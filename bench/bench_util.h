@@ -1,0 +1,51 @@
+// Shared rendering for the per-figure bench binaries: each binary runs a
+// canned scenario and prints the series the corresponding paper figure
+// plots, plus the summary rows the paper quotes in its captions.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/ctqo_analyzer.h"
+#include "core/experiment.h"
+#include "core/report.h"
+#include "core/scenarios.h"
+
+namespace ntier::bench {
+
+// Runs cfg and prints the standard three-panel figure layout:
+//   (a) CPU demand of the named VMs (the millibottleneck evidence),
+//   (b) queued requests per tier against their MaxSysQDepth,
+//   (c) VLRT requests per 50 ms window,
+// followed by the experiment summary and CTQO classification.
+inline std::unique_ptr<core::NTierSystem> run_figure(
+    const core::ExperimentConfig& cfg, const std::vector<std::string>& cpu_series,
+    sim::Duration row_step = sim::Duration::seconds(1)) {
+  std::puts(core::config_banner(cfg).c_str());
+  auto sys = core::run_system(cfg);
+  const sim::Time until = sys->simulation().now();
+
+  std::puts("--- (a) CPU demand %, peak per row ---");
+  std::puts(core::timeline_panel(sys->sampler(), cpu_series, until, row_step).c_str());
+
+  std::printf("--- (b) queued requests per tier (MaxSysQDepth: %s=%zu %s=%zu %s=%zu) ---\n",
+              sys->web()->name().c_str(), sys->web()->max_sys_q_depth(),
+              sys->app()->name().c_str(), sys->app()->max_sys_q_depth(),
+              sys->db()->name().c_str(), sys->db()->max_sys_q_depth());
+  std::puts(core::timeline_panel(sys->sampler(),
+                                 {sys->web()->name() + ".queue",
+                                  sys->app()->name() + ".queue",
+                                  sys->db()->name() + ".queue"},
+                                 until, row_step)
+                .c_str());
+
+  std::puts("--- (c) VLRT requests per 50 ms window ---");
+  std::puts(core::vlrt_panel(sys->latency()).c_str());
+
+  auto summary = core::summarize(*sys);
+  std::puts(summary.to_string().c_str());
+  return sys;
+}
+
+}  // namespace ntier::bench

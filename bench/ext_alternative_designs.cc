@@ -1,0 +1,122 @@
+// Extension study: alternative designs around CTQO.
+//
+//  (A) SEDA-style staged servers (the events-vs-threads middle ground of
+//      the paper's related work): bounded stage queues sit between
+//      MaxSysQDepth (~10^2) and LiteQDepth (~10^4), shrinking but not
+//      eliminating drops.
+//  (B) Load shedding at the web tier: answer overload with an immediate
+//      error instead of letting TCP drop — no VLRT, but explicit
+//      failures the application must handle.
+//  (C) Browser-style client timeouts: with a 10 s timeout the retrans-
+//      mitted stragglers turn into user-visible failures.
+#include <cstdio>
+
+#include "core/chain.h"
+#include "core/experiment.h"
+#include "core/scenarios.h"
+#include "metrics/table.h"
+#include "server/sync_server.h"
+
+using namespace ntier;
+using sim::Duration;
+using sim::Time;
+
+namespace {
+
+enum class Style { kSync, kStaged, kAsync };
+
+core::ChainConfig chain_of(Style style) {
+  core::ChainConfig cfg;
+  auto tier = [&](std::string name, std::size_t threads, auto fn) {
+    core::ChainTierSpec t;
+    t.name = std::move(name);
+    t.async = style == Style::kAsync;
+    t.staged = style == Style::kStaged;
+    t.sync.threads_per_process = threads;
+    t.sync.max_processes = 1;
+    t.staged_cfg.ingress.queue_cap = 1000;
+    t.program_fn = fn;
+    return t;
+  };
+  cfg.tiers.push_back(tier("web", 150, core::relay_fn(Duration::micros(60),
+                                                      Duration::micros(40))));
+  cfg.tiers.push_back(tier("app", 150, core::relay_fn(Duration::micros(150),
+                                                      Duration::micros(600))));
+  cfg.tiers.push_back(tier("db", 100, core::leaf_fn(Duration::micros(400))));
+  cfg.workload.sessions = 7000;
+  cfg.duration = Duration::seconds(40);
+  cfg.freeze_tier = 1;
+  cfg.freeze.first = Time::from_seconds(8);
+  cfg.freeze.period = Duration::seconds(12);
+  // Long enough (~1.5 s x ~1000 req/s) to overflow the staged tier's
+  // 1000-slot stage queue too, exposing the full bound gradient.
+  cfg.freeze.pause = Duration::millis(1500);
+  return cfg;
+}
+
+void part_a() {
+  std::puts("(A) sync vs SEDA-staged vs async under the same app millibottleneck");
+  metrics::Table t({"architecture", "admission_bound", "drops", "vlrt", "p99.9_ms"});
+  for (auto [style, name] : {std::pair{Style::kSync, "thread-per-request"},
+                             std::pair{Style::kStaged, "SEDA staged (q=1000)"},
+                             std::pair{Style::kAsync, "event-driven"}}) {
+    core::ChainSystem sys(chain_of(style));
+    sys.run();
+    t.add_row({name, metrics::Table::num(std::uint64_t{sys.tier(0)->max_sys_q_depth()}),
+               metrics::Table::num(sys.total_drops()),
+               metrics::Table::num(sys.latency().vlrt_count()),
+               metrics::Table::num(sys.latency().histogram().percentile(99.9).to_millis(), 0)});
+  }
+  std::puts(t.to_string().c_str());
+  std::puts(
+      "drops shrink with the admission bound (278 -> 1016 -> unbounded). Note\n"
+      "the event-driven row: zero drops, yet a >3 s tail remains — with a\n"
+      "1.5 s freeze the *stored* requests pay pure queueing delay. Asynchrony\n"
+      "removes the retransmission cliff, not the backlog itself.\n");
+}
+
+void part_b() {
+  std::puts("(B) web-tier load shedding vs TCP drop (Fig 3 scenario)");
+  metrics::Table t({"policy", "drops", "shed", "failed_requests", "vlrt", "rps"});
+  for (bool shed : {false, true}) {
+    auto cfg = core::scenarios::fig3_consolidation_sync();
+    cfg.system.web_shed_on_overload = shed;
+    auto sys = core::run_system(cfg);
+    auto s = core::summarize(*sys);
+    auto* web = dynamic_cast<server::SyncServer*>(sys->web());
+    t.add_row({shed ? "shed (fast 503)" : "drop (TCP retransmit)",
+               metrics::Table::num(s.total_drops),
+               metrics::Table::num(web != nullptr ? web->shed_count() : 0),
+               metrics::Table::num(sys->clients().failed()),
+               metrics::Table::num(s.latency.vlrt_count),
+               metrics::Table::num(s.throughput_rps, 0)});
+  }
+  std::puts(t.to_string().c_str());
+  std::puts("shedding converts multi-second VLRT into immediate failures.\n");
+}
+
+void part_c() {
+  std::puts("(C) browser timeouts over the dropping system (Fig 3 scenario)");
+  metrics::Table t({"client_timeout", "vlrt", "timeouts", "failed", "p99.9_ms"});
+  for (auto [timeout, label] : {std::pair{Duration::zero(), "none"},
+                                std::pair{Duration::seconds(10), "10s"},
+                                std::pair{Duration::seconds(3), "3s"}}) {
+    auto cfg = core::scenarios::fig3_consolidation_sync();
+    cfg.workload.client_timeout = timeout;
+    auto sys = core::run_system(cfg);
+    t.add_row({label, metrics::Table::num(sys->latency().vlrt_count()),
+               metrics::Table::num(sys->clients().timeouts()),
+               metrics::Table::num(sys->clients().failed()),
+               metrics::Table::num(sys->latency().histogram().percentile(99.9).to_millis(), 0)});
+  }
+  std::puts(t.to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  part_a();
+  part_b();
+  part_c();
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Fig 1 reproduction: semi-log frequency of response times at WL
+// 4000/7000/8000 under stochastic (burst-index-100) consolidation
+// interference. Paper: multi-modal peaks near 0/3/6/9 s; throughput
+// 572/990/1103 req/s; highest average CPU util 43/75/85 %.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ntier;
+  for (std::size_t wl : {4000u, 7000u, 8000u}) {
+    auto cfg = core::scenarios::fig1_multimodal(wl);
+    std::puts(core::config_banner(cfg).c_str());
+    auto sys = core::run_system(cfg);
+    auto s = core::summarize(*sys);
+
+    std::printf("throughput: %.0f req/s   (paper: %s)\n", s.throughput_rps,
+                wl == 4000 ? "572" : wl == 7000 ? "990" : "1103");
+    std::printf("highest avg CPU util: %.0f%%  (paper: %s%%)\n",
+                s.highest_mean_util_pct,
+                wl == 4000 ? "43" : wl == 7000 ? "75" : "85");
+    std::printf("dropped packets: %llu, VLRT (>=3s): %llu of %llu requests\n",
+                static_cast<unsigned long long>(s.total_drops),
+                static_cast<unsigned long long>(s.latency.vlrt_count),
+                static_cast<unsigned long long>(s.latency.count));
+    std::puts(core::histogram_panel(sys->latency()).c_str());
+    std::puts("");
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Fig 3 reproduction: upstream CTQO from CPU millibottlenecks under VM
+// consolidation (SysSteady-Tomcat co-located with SysBursty-MySQL).
+// Paper: (a) bursts saturate the shared core; (b) Tomcat queue caps at
+// MaxSysQDepth(Tomcat)=278 while Apache grows past 278, then past the
+// second-process level 428; (c) VLRT bursts at the drop instants.
+#include "bench_util.h"
+
+int main() {
+  using namespace ntier;
+  auto cfg = core::scenarios::fig3_consolidation_sync();
+  auto sys = bench::run_figure(
+      cfg, {"tomcat.demand", "sysbursty.demand", "apache.demand"});
+  std::printf("burst marks (SysBursty batches):");
+  for (auto t : sys->interference()->burst_marks())
+    std::printf(" %.1fs", t.to_seconds());
+  std::printf("\nApache processes spawned: second level MaxSysQDepth=%zu\n",
+              sys->web()->max_sys_q_depth());
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Fig 7 reproduction: NX=1 (Nginx-Tomcat-MySQL) with millibottlenecks in
+// Tomcat. Paper: no upstream CTQO at Nginx; downstream CTQO when arrivals
+// exceed MaxSysQDepth(Tomcat)=165+128=293; Tomcat drops, Nginx never.
+#include "bench_util.h"
+
+int main() {
+  using namespace ntier;
+  auto cfg = core::scenarios::fig7_nx1();
+  auto sys = bench::run_figure(cfg, {"tomcat.demand", "sysbursty.demand"});
+  std::printf("drops: nginx=%llu tomcat=%llu mysql=%llu (paper: only Tomcat drops)\n",
+              static_cast<unsigned long long>(sys->web()->stats().dropped),
+              static_cast<unsigned long long>(sys->app()->stats().dropped),
+              static_cast<unsigned long long>(sys->db()->stats().dropped));
+  return 0;
+}

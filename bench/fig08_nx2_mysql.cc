@@ -1,0 +1,16 @@
+// Fig 8 reproduction: NX=2 (Nginx-XTomcat-MySQL), millibottlenecks in
+// MySQL via a co-located bursty tenant. Paper: no upstream CTQO into
+// XTomcat/Nginx; downstream CTQO at MySQL when > MaxSysQDepth(MySQL)=228
+// requests arrive during the millibottleneck.
+#include "bench_util.h"
+
+int main() {
+  using namespace ntier;
+  auto cfg = core::scenarios::fig8_nx2_mysql();
+  auto sys = bench::run_figure(cfg, {"mysql.demand", "sysbursty.demand"});
+  std::printf("drops: nginx=%llu xtomcat=%llu mysql=%llu (paper: only MySQL drops)\n",
+              static_cast<unsigned long long>(sys->web()->stats().dropped),
+              static_cast<unsigned long long>(sys->app()->stats().dropped),
+              static_cast<unsigned long long>(sys->db()->stats().dropped));
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Fig 9 reproduction: NX=2, millibottlenecks in XTomcat. Paper: the
+// event-driven XTomcat buffers the burst, then batch-releases queued
+// queries to MySQL, exceeding MaxSysQDepth(MySQL)=228 — downstream CTQO
+// with drops at MySQL although the bottleneck is in XTomcat.
+#include "bench_util.h"
+
+int main() {
+  using namespace ntier;
+  auto cfg = core::scenarios::fig9_nx2_xtomcat();
+  auto sys = bench::run_figure(cfg, {"xtomcat.demand", "sysbursty.demand"});
+  std::printf("drops: nginx=%llu xtomcat=%llu mysql=%llu "
+              "(paper: MySQL drops, bottleneck in XTomcat)\n",
+              static_cast<unsigned long long>(sys->web()->stats().dropped),
+              static_cast<unsigned long long>(sys->app()->stats().dropped),
+              static_cast<unsigned long long>(sys->db()->stats().dropped));
+  return 0;
+}

@@ -1,0 +1,92 @@
+// google-benchmark microbenchmarks of the simulation substrates: these
+// bound how much simulated time per wall-second the harness sustains.
+#include <benchmark/benchmark.h>
+
+#include "cpu/host_core.h"
+#include "metrics/histogram.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using namespace ntier;
+using sim::Duration;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < n; ++i)
+      q.push(sim::Time::from_micros(static_cast<std::int64_t>(rng.next_u64() % 1000000)),
+             [] {});
+    while (q.pop_and_run()) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(100000);
+
+void BM_EventCancellation(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(1000);
+    for (int i = 0; i < 1000; ++i)
+      handles.push_back(q.push(sim::Time::from_micros(i), [] {}));
+    for (auto& h : handles) h.cancel();
+    benchmark::DoNotOptimize(q.empty());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventCancellation);
+
+void BM_PsCoreChurn(benchmark::State& state) {
+  // Continuous submit/complete churn on a shared core with two VMs —
+  // the hot path of every tier server.
+  for (auto _ : state) {
+    sim::Simulation sim;
+    cpu::HostCpu host(sim, 1.0);
+    auto* a = host.add_vm("a");
+    auto* b = host.add_vm("b");
+    sim::Rng rng(2);
+    int completed = 0;
+    for (int i = 0; i < 2000; ++i) {
+      auto* vm = (i % 2 != 0) ? b : a;
+      sim.after(Duration::micros(static_cast<std::int64_t>(rng.next_u64() % 10000)),
+                [vm, &completed, &rng] {
+                  vm->submit(Duration::micros(5 + static_cast<std::int64_t>(
+                                                      rng.next_u64() % 200)),
+                             [&completed] { ++completed; });
+                });
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(completed);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_PsCoreChurn);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  metrics::LinearHistogram h(Duration::millis(100), Duration::seconds(30));
+  sim::Rng rng(3);
+  for (auto _ : state) {
+    h.record(Duration::micros(static_cast<std::int64_t>(rng.next_u64() % 10'000'000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_RngExponential(benchmark::State& state) {
+  sim::Rng rng(4);
+  double acc = 0;
+  for (auto _ : state) acc += rng.exponential(1.0);
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngExponential);
+
+}  // namespace
+
+BENCHMARK_MAIN();

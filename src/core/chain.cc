@@ -1,0 +1,129 @@
+#include "core/chain.h"
+
+#include <cassert>
+
+namespace ntier::core {
+
+std::function<server::Program(const server::RequestClassProfile&)> relay_fn(
+    sim::Duration pre, sim::Duration post) {
+  return [pre, post](const server::RequestClassProfile&) {
+    return server::Program{
+        server::WorkStep{server::WorkStep::Kind::kCpu, pre},
+        server::WorkStep{server::WorkStep::Kind::kDownstream, sim::Duration::zero()},
+        server::WorkStep{server::WorkStep::Kind::kCpu, post}};
+  };
+}
+
+std::function<server::Program(const server::RequestClassProfile&)> leaf_fn(
+    sim::Duration cpu, sim::Duration disk) {
+  return [cpu, disk](const server::RequestClassProfile&) {
+    server::Program prog{server::WorkStep{server::WorkStep::Kind::kCpu, cpu}};
+    if (disk > sim::Duration::zero())
+      prog.push_back(server::WorkStep{server::WorkStep::Kind::kDisk, disk});
+    return prog;
+  };
+}
+
+ChainSystem::ChainSystem(ChainConfig cfg)
+    : cfg_(std::move(cfg)), rng_(cfg_.seed), sampler_(sim_, cfg_.sample_window) {
+  assert(!cfg_.tiers.empty());
+  const std::size_t n = cfg_.tiers.size();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const ChainTierSpec& spec = cfg_.tiers[i];
+    assert(spec.program_fn && "every chain tier needs a program_fn");
+    hosts_.push_back(
+        std::make_unique<cpu::HostCpu>(sim_, static_cast<double>(spec.vcpus)));
+    vms_.push_back(hosts_.back()->add_vm(spec.name, spec.vcpus));
+
+    if (spec.has_disk) {
+      disks_.push_back(std::make_unique<cpu::IoDevice>(sim_, spec.name + ".disk"));
+    } else {
+      disks_.push_back(nullptr);
+    }
+
+    std::unique_ptr<server::Server> srv;
+    if (spec.staged) {
+      srv = std::make_unique<server::StagedServer>(sim_, spec.name, vms_[i],
+                                                   &cfg_.profile, spec.program_fn,
+                                                   spec.staged_cfg);
+    } else if (spec.async) {
+      srv = std::make_unique<server::AsyncServer>(sim_, spec.name, vms_[i],
+                                                  &cfg_.profile, spec.program_fn,
+                                                  spec.async_cfg);
+    } else {
+      srv = std::make_unique<server::SyncServer>(sim_, spec.name, vms_[i],
+                                                 &cfg_.profile, spec.program_fn,
+                                                 spec.sync);
+    }
+    if (disks_[i]) srv->attach_io(disks_[i].get());
+    servers_.push_back(std::move(srv));
+  }
+
+  net::Link link{cfg_.link_latency};
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    servers_[i]->connect_downstream(servers_[i + 1].get(), cfg_.tier_rto, link);
+
+  // Workload.
+  const WorkloadConfig& w = cfg_.workload;
+  if (w.burst_index > 1.0) {
+    workload::BurstClock::Config bc;
+    bc.burst_index = w.burst_index;
+    bc.burst_dwell = w.burst_dwell;
+    bc.normal_dwell = w.normal_dwell;
+    burst_ = std::make_unique<workload::BurstClock>(sim_, rng_, bc);
+  }
+  workload::ClientConfig cc;
+  cc.sessions = w.sessions;
+  cc.mean_think = w.mean_think;
+  cc.rto = w.client_rto;
+  cc.link = net::Link{w.client_link};
+  cc.trace_requests = w.trace_requests;
+  cc.measure_from = w.measure_from;
+  clients_ = std::make_unique<workload::ClientPool>(
+      sim_, rng_.fork(1), &cfg_.profile, servers_[0].get(), cc, burst_.get());
+  clients_->on_complete([this](const server::RequestPtr& r) { latency_.record(r); });
+
+  if (cfg_.freeze_tier >= 0) {
+    assert(static_cast<std::size_t>(cfg_.freeze_tier) < n);
+    injector_ = std::make_unique<cpu::FreezeInjector>(
+        sim_, vms_[cfg_.freeze_tier], cfg_.freeze);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    sampler_.track_vm(vms_[i]->name(), vms_[i]);
+    sampler_.track_server(servers_[i]->name(), servers_[i].get());
+    if (disks_[i]) sampler_.track_io(disks_[i]->name(), disks_[i].get());
+  }
+}
+
+void ChainSystem::run() { run_until(sim_.now() + cfg_.duration); }
+
+void ChainSystem::run_until(sim::Time t) {
+  if (!started_) {
+    started_ = true;
+    sampler_.start();
+    clients_->start();
+  }
+  sim_.run_until(t);
+}
+
+std::uint64_t ChainSystem::total_drops() const {
+  std::uint64_t acc = 0;
+  for (const auto& s : servers_) acc += s->stats().dropped;
+  return acc;
+}
+
+CtqoReport analyze_ctqo(ChainSystem& sys, AnalyzerOptions opt) {
+  std::vector<TierView> tiers;
+  for (std::size_t i = 0; i < sys.tier_count(); ++i) {
+    TierView v;
+    v.server = sys.tier(i);
+    v.vm_prefix = sys.tier_vm(i)->name();
+    if (sys.tier_disk(i) != nullptr) v.disk_prefix = sys.tier_disk(i)->name();
+    tiers.push_back(std::move(v));
+  }
+  return analyze_tiers(tiers, sys.sampler(), opt);
+}
+
+}  // namespace ntier::core

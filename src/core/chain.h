@@ -1,0 +1,114 @@
+// ChainSystem: arbitrary-depth n-tier chains.
+//
+// NTierSystem hardwires the paper's 3-tier testbed; ChainSystem
+// generalizes to any chain length so the CTQO mechanics can be studied
+// on deeper topologies (the paper's title says *n*-tier): front tier
+// faces the clients, each tier forwards to the next, the last tier is a
+// leaf. Tiers are sync (thread-per-request) or async (event-driven)
+// independently; a freeze-based millibottleneck can be injected into any
+// tier. Upstream CTQO then cascades through every synchronous tier above
+// the bottleneck, dropping at the first tier below an unbounded source.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/ctqo_analyzer.h"
+#include "cpu/dvfs.h"
+#include "cpu/host_core.h"
+#include "cpu/io_device.h"
+#include "monitor/sampler.h"
+#include "monitor/vlrt_tracker.h"
+#include "server/async_server.h"
+#include "server/staged_server.h"
+#include "server/sync_server.h"
+#include "sim/random.h"
+#include "sim/simulation.h"
+#include "workload/client.h"
+
+namespace ntier::core {
+
+struct ChainTierSpec {
+  std::string name;
+  bool async = false;
+  // SEDA-style staged tier (takes precedence over `async` when set).
+  bool staged = false;
+  server::SyncConfig sync{};
+  server::AsyncConfig async_cfg{};
+  server::StagedConfig staged_cfg{};
+  int vcpus = 1;
+  // Tier-local work per request class; use relay_fn/leaf_fn helpers.
+  std::function<server::Program(const server::RequestClassProfile&)> program_fn;
+  bool has_disk = false;  // attach an IoDevice for kDisk steps
+};
+
+// [cpu(pre), downstream, cpu(post)] regardless of request class.
+std::function<server::Program(const server::RequestClassProfile&)> relay_fn(
+    sim::Duration pre, sim::Duration post);
+// [cpu(demand)] (+ disk step when disk > 0) — the leaf tier.
+std::function<server::Program(const server::RequestClassProfile&)> leaf_fn(
+    sim::Duration cpu, sim::Duration disk = sim::Duration::zero());
+
+struct ChainConfig {
+  std::string name = "chain";
+  std::vector<ChainTierSpec> tiers;  // front (client-facing) first
+  server::AppProfile profile = server::AppProfile::rubbos();
+  WorkloadConfig workload{};
+  net::RtoPolicy tier_rto = net::RtoPolicy::fixed3s();
+  sim::Duration link_latency = sim::Duration::micros(200);
+  sim::Duration sample_window = sim::Duration::millis(50);
+  sim::Duration duration = sim::Duration::seconds(30);
+  std::uint64_t seed = 42;
+  // Millibottleneck: periodic freeze of tier `freeze_tier` (-1 = none).
+  int freeze_tier = -1;
+  cpu::FreezeInjector::Config freeze{};
+};
+
+class ChainSystem {
+ public:
+  explicit ChainSystem(ChainConfig cfg);
+  ChainSystem(const ChainSystem&) = delete;
+  ChainSystem& operator=(const ChainSystem&) = delete;
+
+  void run();
+  void run_until(sim::Time t);
+
+  const ChainConfig& config() const { return cfg_; }
+  std::size_t tier_count() const { return servers_.size(); }
+  server::Server* tier(std::size_t i) { return servers_.at(i).get(); }
+  const server::Server* tier(std::size_t i) const { return servers_.at(i).get(); }
+  cpu::VmCpu* tier_vm(std::size_t i) { return vms_.at(i); }
+  cpu::IoDevice* tier_disk(std::size_t i) { return disks_.at(i).get(); }
+
+  sim::Simulation& simulation() { return sim_; }
+  monitor::Sampler& sampler() { return sampler_; }
+  const monitor::Sampler& sampler() const { return sampler_; }
+  monitor::LatencyCollector& latency() { return latency_; }
+  workload::ClientPool& clients() { return *clients_; }
+  cpu::FreezeInjector* injector() { return injector_.get(); }
+
+  std::uint64_t total_drops() const;
+
+ private:
+  ChainConfig cfg_;
+  sim::Simulation sim_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<cpu::HostCpu>> hosts_;
+  std::vector<cpu::VmCpu*> vms_;
+  std::vector<std::unique_ptr<cpu::IoDevice>> disks_;
+  std::vector<std::unique_ptr<server::Server>> servers_;
+  std::unique_ptr<workload::BurstClock> burst_;
+  std::unique_ptr<workload::ClientPool> clients_;
+  std::unique_ptr<cpu::FreezeInjector> injector_;
+  monitor::Sampler sampler_;
+  monitor::LatencyCollector latency_;
+  bool started_ = false;
+};
+
+// CTQO analysis over a chain (same episode semantics as the 3-tier
+// analyzer, tier indices run 0..tier_count-1 front to back).
+CtqoReport analyze_ctqo(ChainSystem& sys, AnalyzerOptions opt = AnalyzerOptions());
+
+}  // namespace ntier::core

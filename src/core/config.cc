@@ -1,0 +1,15 @@
+#include "core/config.h"
+
+namespace ntier::core {
+
+const char* to_string(Architecture a) {
+  switch (a) {
+    case Architecture::kSync: return "sync (Apache-Tomcat-MySQL)";
+    case Architecture::kNx1: return "NX=1 (Nginx-Tomcat-MySQL)";
+    case Architecture::kNx2: return "NX=2 (Nginx-XTomcat-MySQL)";
+    case Architecture::kNx3: return "NX=3 (Nginx-XTomcat-XMySQL)";
+  }
+  return "?";
+}
+
+}  // namespace ntier::core

@@ -1,0 +1,141 @@
+#include "core/ctqo_analyzer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/system.h"
+
+namespace ntier::core {
+
+namespace {
+
+struct DropEvent {
+  sim::Time at;
+  int tier;
+};
+
+}  // namespace
+
+std::string CtqoEpisode::to_string() const {
+  char buf[256];
+  const char* k = kind == Kind::kUpstream     ? "upstream CTQO"
+                  : kind == Kind::kDownstream ? "downstream CTQO"
+                                              : "unclassified";
+  if (bottleneck_found) {
+    std::snprintf(buf, sizeof buf,
+                  "[%7.2fs - %7.2fs] %llu drops at %s; millibottleneck at %s "
+                  "(%.2fs) -> %s",
+                  start.to_seconds(), end.to_seconds(),
+                  static_cast<unsigned long long>(drops), drop_tier_name.c_str(),
+                  bottleneck_name.c_str(), bottleneck_at.to_seconds(), k);
+  } else {
+    std::snprintf(buf, sizeof buf, "[%7.2fs - %7.2fs] %llu drops at %s; %s",
+                  start.to_seconds(), end.to_seconds(),
+                  static_cast<unsigned long long>(drops), drop_tier_name.c_str(), k);
+  }
+  return buf;
+}
+
+std::string CtqoReport::to_string() const {
+  std::string out;
+  char head[160];
+  std::snprintf(head, sizeof head,
+                "CTQO report: %llu dropped packets, %zu episodes (%llu upstream, "
+                "%llu downstream)\n",
+                static_cast<unsigned long long>(total_drops), episodes.size(),
+                static_cast<unsigned long long>(upstream_episodes),
+                static_cast<unsigned long long>(downstream_episodes));
+  out += head;
+  for (const auto& e : episodes) out += "  " + e.to_string() + "\n";
+  return out;
+}
+
+CtqoReport analyze_tiers(const std::vector<TierView>& tiers,
+                         const monitor::Sampler& sampler, AnalyzerOptions opt) {
+  CtqoReport report;
+
+  // Gather all admission drops, tagged by tier index.
+  std::vector<DropEvent> events;
+  for (std::size_t t = 0; t < tiers.size(); ++t) {
+    for (sim::Time at : tiers[t].server->drop_times())
+      events.push_back({at, static_cast<int>(t)});
+  }
+  report.total_drops = events.size();
+  if (events.empty()) return report;
+  std::sort(events.begin(), events.end(),
+            [](const DropEvent& a, const DropEvent& b) { return a.at < b.at; });
+
+  // Cluster into episodes by time gap.
+  std::vector<std::pair<std::size_t, std::size_t>> clusters;  // [first, last]
+  std::size_t begin = 0;
+  for (std::size_t i = 1; i <= events.size(); ++i) {
+    if (i == events.size() || events[i].at - events[i - 1].at > opt.episode_gap) {
+      clusters.emplace_back(begin, i - 1);
+      begin = i;
+    }
+  }
+
+  for (auto [lo, hi] : clusters) {
+    CtqoEpisode ep;
+    ep.start = events[lo].at;
+    ep.end = events[hi].at;
+    ep.drops = hi - lo + 1;
+    // Dominant drop tier of the cluster.
+    std::vector<std::uint64_t> per_tier(tiers.size(), 0);
+    for (std::size_t i = lo; i <= hi; ++i) ++per_tier[events[i].tier];
+    int best = 0;
+    for (std::size_t t = 1; t < tiers.size(); ++t)
+      if (per_tier[t] > per_tier[best]) best = static_cast<int>(t);
+    ep.drop_tier = best;
+    ep.drop_tier_name = tiers[best].server->name();
+
+    // Millibottleneck: earliest tier whose VM demand or stall — or whose
+    // disk — saturated in [start - lookback, end].
+    const sim::Time from =
+        ep.start.count_micros() > opt.lookback.count_micros()
+            ? ep.start - opt.lookback
+            : sim::Time::origin();
+    sim::Time best_at = sim::Time::max();
+    for (std::size_t t = 0; t < tiers.size(); ++t) {
+      const auto& view = tiers[t];
+      sim::Time at = sampler.series(view.vm_prefix + ".demand")
+                         .first_time_at_least(opt.saturation_pct, from, ep.end);
+      at = std::min(at, sampler.series(view.vm_prefix + ".stall")
+                            .first_time_at_least(opt.saturation_pct, from, ep.end));
+      if (!view.disk_prefix.empty()) {
+        at = std::min(at, sampler.series(view.disk_prefix + ".busy")
+                              .first_time_at_least(opt.saturation_pct, from, ep.end));
+      }
+      if (at < best_at) {
+        best_at = at;
+        ep.bottleneck_tier = static_cast<int>(t);
+        ep.bottleneck_name = view.vm_prefix;
+      }
+    }
+    if (best_at != sim::Time::max()) {
+      ep.bottleneck_found = true;
+      ep.bottleneck_at = best_at;
+      ep.kind = ep.drop_tier < ep.bottleneck_tier ? CtqoEpisode::Kind::kUpstream
+                                                  : CtqoEpisode::Kind::kDownstream;
+      if (ep.kind == CtqoEpisode::Kind::kUpstream) ++report.upstream_episodes;
+      if (ep.kind == CtqoEpisode::Kind::kDownstream) ++report.downstream_episodes;
+    }
+    report.episodes.push_back(ep);
+  }
+  return report;
+}
+
+CtqoReport analyze_ctqo(NTierSystem& sys, AnalyzerOptions opt) {
+  std::vector<TierView> tiers;
+  for (int t = 0; t < 3; ++t) {
+    const Tier tier = static_cast<Tier>(t);
+    TierView v;
+    v.server = sys.tier(tier);
+    v.vm_prefix = sys.tier_vm(tier)->name();
+    if (tier == Tier::kDb) v.disk_prefix = "dbdisk";
+    tiers.push_back(std::move(v));
+  }
+  return analyze_tiers(tiers, sys.sampler(), opt);
+}
+
+}  // namespace ntier::core

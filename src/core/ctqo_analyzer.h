@@ -1,0 +1,74 @@
+// CTQO analyzer: micro-level event analysis of a finished run.
+//
+// Implements the paper's diagnostic reasoning: cluster dropped packets
+// into episodes, find the millibottleneck (a VM whose demand or stall
+// pegged at ~100% just before/during the drops — or a saturated disk),
+// and classify the episode —
+//   upstream CTQO:   drops at a tier *above* the bottleneck tier
+//                    (queue overflow pushed back through RPC waits);
+//   downstream CTQO: drops at or *below* the bottleneck tier (an async
+//                    upstream flooded it, or it overflowed locally).
+//
+// Works on the paper's 3-tier NTierSystem and on arbitrary-depth
+// ChainSystems through the generic tier-view entry point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "monitor/sampler.h"
+#include "server/server_base.h"
+
+namespace ntier::core {
+
+class NTierSystem;
+
+struct CtqoEpisode {
+  sim::Time start;  // first drop of the cluster
+  sim::Time end;    // last drop of the cluster
+  int drop_tier = 0;
+  std::string drop_tier_name;
+  std::uint64_t drops = 0;
+  bool bottleneck_found = false;
+  int bottleneck_tier = 0;
+  std::string bottleneck_name;
+  sim::Time bottleneck_at;  // first saturated window near the episode
+  enum class Kind { kUpstream, kDownstream, kUnknown } kind = Kind::kUnknown;
+  std::string to_string() const;
+};
+
+struct CtqoReport {
+  std::vector<CtqoEpisode> episodes;
+  std::uint64_t total_drops = 0;
+  std::uint64_t upstream_episodes = 0;
+  std::uint64_t downstream_episodes = 0;
+  std::string to_string() const;
+};
+
+struct AnalyzerOptions {
+  // Drops separated by more than this belong to different episodes.
+  sim::Duration episode_gap = sim::Duration::seconds(2);
+  // Demand/stall/disk-busy % that counts as a millibottleneck.
+  double saturation_pct = 99.0;
+  // How far before the first drop to look for the bottleneck.
+  sim::Duration lookback = sim::Duration::seconds(2);
+};
+
+// One analyzable tier: its server, the steady VM's sampler prefix, and
+// (optionally) the sampler prefix of an attached disk ("" = none).
+struct TierView {
+  server::Server* server = nullptr;
+  std::string vm_prefix;
+  std::string disk_prefix;
+};
+
+// Generic entry point over an ordered front-to-back tier list.
+CtqoReport analyze_tiers(const std::vector<TierView>& tiers,
+                         const monitor::Sampler& sampler,
+                         AnalyzerOptions opt = AnalyzerOptions());
+
+// Convenience for the paper's 3-tier system.
+CtqoReport analyze_ctqo(NTierSystem& sys, AnalyzerOptions opt = AnalyzerOptions());
+
+}  // namespace ntier::core

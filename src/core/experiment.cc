@@ -1,0 +1,67 @@
+#include "core/experiment.h"
+
+#include <cstdio>
+
+namespace ntier::core {
+
+std::unique_ptr<NTierSystem> run_system(const ExperimentConfig& cfg) {
+  auto sys = std::make_unique<NTierSystem>(cfg);
+  sys->run();
+  return sys;
+}
+
+ExperimentSummary summarize(NTierSystem& sys) {
+  ExperimentSummary s;
+  const auto& cfg = sys.config();
+  s.name = cfg.name;
+  const sim::Time now = sys.simulation().now();
+  const sim::Time from = cfg.workload.measure_from;
+  s.duration_s = (now - from).to_seconds();
+  s.throughput_rps = sys.latency().throughput_rps(from, now);
+  s.latency = sys.latency().digest();
+  s.failed_requests = sys.clients().failed();
+
+  for (int t = 0; t < 3; ++t) {
+    const Tier tier = static_cast<Tier>(t);
+    auto* srv = sys.tier(tier);
+    TierSummary ts;
+    ts.server = srv->name();
+    ts.accepted = srv->stats().accepted;
+    ts.dropped = srv->stats().dropped;
+    ts.completed = srv->stats().completed;
+    ts.max_sys_q_depth = srv->max_sys_q_depth();
+    ts.peak_queue = sys.sampler().series(srv->name() + ".queue").max_value();
+    const auto& cpu = sys.sampler().series(sys.tier_vm(tier)->name() + ".cpu");
+    ts.mean_cpu_pct = cpu.mean_over(from, now);
+    s.total_drops += ts.dropped;
+    if (ts.mean_cpu_pct > s.highest_mean_util_pct) s.highest_mean_util_pct = ts.mean_cpu_pct;
+    s.tiers.push_back(std::move(ts));
+  }
+  s.ctqo = analyze_ctqo(sys);
+  return s;
+}
+
+std::string ExperimentSummary::to_string() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%s: %.1f req/s over %.0fs, highest avg CPU %.0f%%, drops=%llu, "
+                "failed=%llu\n  latency: %s\n",
+                name.c_str(), throughput_rps, duration_s, highest_mean_util_pct,
+                static_cast<unsigned long long>(total_drops),
+                static_cast<unsigned long long>(failed_requests),
+                latency.to_string().c_str());
+  out += buf;
+  for (const auto& t : tiers) {
+    std::snprintf(buf, sizeof buf,
+                  "  %-8s acc=%llu drop=%llu peakQ=%.0f maxSysQDepth=%zu cpu=%.0f%%\n",
+                  t.server.c_str(), static_cast<unsigned long long>(t.accepted),
+                  static_cast<unsigned long long>(t.dropped), t.peak_queue,
+                  t.max_sys_q_depth, t.mean_cpu_pct);
+    out += buf;
+  }
+  out += ctqo.to_string();
+  return out;
+}
+
+}  // namespace ntier::core

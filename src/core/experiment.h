@@ -1,0 +1,43 @@
+// Experiment driver: build a system from a config, run it, summarize.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ctqo_analyzer.h"
+#include "core/system.h"
+#include "metrics/summary.h"
+
+namespace ntier::core {
+
+struct TierSummary {
+  std::string server;
+  std::uint64_t accepted = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t completed = 0;
+  std::size_t max_sys_q_depth = 0;
+  double peak_queue = 0.0;     // max of the 50 ms queue series
+  double mean_cpu_pct = 0.0;   // mean busy% over the run
+};
+
+struct ExperimentSummary {
+  std::string name;
+  double duration_s = 0.0;
+  double throughput_rps = 0.0;
+  metrics::LatencyDigest latency;
+  std::uint64_t total_drops = 0;
+  std::uint64_t failed_requests = 0;
+  double highest_mean_util_pct = 0.0;  // the paper's "highest average CPU util"
+  std::vector<TierSummary> tiers;
+  CtqoReport ctqo;
+  std::string to_string() const;
+};
+
+// Builds and runs cfg.duration; the system stays alive for inspection.
+std::unique_ptr<NTierSystem> run_system(const ExperimentConfig& cfg);
+
+// Summarizes a finished run over [measure_from, now].
+ExperimentSummary summarize(NTierSystem& sys);
+
+}  // namespace ntier::core

@@ -1,0 +1,30 @@
+#include "core/export.h"
+
+#include "metrics/csv.h"
+
+namespace ntier::core {
+
+ExportResult export_run_csv(NTierSystem& sys, const std::string& dir) {
+  ExportResult result;
+  auto emit = [&](const std::string& name, const std::string& content) {
+    const std::string path = dir + "/" + name;
+    if (metrics::write_file(path, content)) {
+      result.files_written.push_back(path);
+    } else {
+      result.ok = false;
+    }
+  };
+
+  std::vector<const metrics::Timeline*> series;
+  for (const auto& name : sys.sampler().series_names())
+    series.push_back(&sys.sampler().series(name));
+  emit("series.csv", metrics::timelines_to_csv(series));
+  emit("histogram.csv", metrics::histogram_to_csv(sys.latency().histogram()));
+  emit("vlrt.csv", metrics::timelines_to_csv({&sys.latency().vlrt_per_window()}));
+  emit("latency_q.csv",
+       metrics::timelines_to_csv({&sys.latency().latency_quantile_series(50.0),
+                                  &sys.latency().latency_quantile_series(99.0)}));
+  return result;
+}
+
+}  // namespace ntier::core

@@ -1,0 +1,24 @@
+// Whole-run CSV export: dumps every sampled series plus the latency
+// artifacts of a run into a directory for external plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+
+namespace ntier::core {
+
+struct ExportResult {
+  std::vector<std::string> files_written;
+  bool ok = true;
+};
+
+// Writes into `dir` (must exist):
+//   series.csv     — all 50 ms sampler series, merged
+//   histogram.csv  — response-time frequency bins
+//   vlrt.csv       — VLRT counts per 50 ms window
+//   latency_q.csv  — per-second p50/p99 latency
+ExportResult export_run_csv(NTierSystem& sys, const std::string& dir);
+
+}  // namespace ntier::core

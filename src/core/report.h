@@ -1,0 +1,28 @@
+// Figure-style text rendering of a finished run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/system.h"
+
+namespace ntier::core {
+
+// Multi-column "t_s  <series...>" table over [0, until], downsampled to
+// `step` (e.g. 0.5 s rows of 50 ms windows keep peaks readable: each row
+// shows the max over the windows it covers).
+std::string timeline_panel(const monitor::Sampler& sampler,
+                           const std::vector<std::string>& series, sim::Time until,
+                           sim::Duration step);
+
+// The Fig 1 panel: response-time histogram plus detected modes.
+std::string histogram_panel(const monitor::LatencyCollector& collector);
+
+// The Fig 3(c)-style panel: VLRT counts per window, non-zero rows only.
+std::string vlrt_panel(const monitor::LatencyCollector& collector);
+
+// One-paragraph run header (config echo).
+std::string config_banner(const ExperimentConfig& cfg);
+
+}  // namespace ntier::core

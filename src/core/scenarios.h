@@ -1,0 +1,68 @@
+// The paper's canned experiments, one builder per figure.
+//
+// Each returns a complete ExperimentConfig; bench binaries run them and
+// print the corresponding series. Parameters mirror the paper where
+// stated (thread pools, backlog, think time, WL sizes, 30 s flushes,
+// 400-request batches); free parameters (burst demand, flush bytes,
+// interference weight) are calibrated so the *shape* of each figure
+// reproduces — see EXPERIMENTS.md for paper-vs-measured.
+#pragma once
+
+#include <cstddef>
+
+#include "core/config.h"
+
+namespace ntier::core::scenarios {
+
+// Fig 1: multi-modal response-time histograms of the sync system under
+// stochastic (burst-index-100) consolidation interference.
+// workload in {4000, 7000, 8000}.
+ExperimentConfig fig1_multimodal(std::size_t workload);
+
+// Fig 3: upstream CTQO from CPU millibottlenecks (VM consolidation,
+// SysSteady-Tomcat x SysBursty-MySQL), sync system, WL 7000.
+ExperimentConfig fig3_consolidation_sync();
+
+// Fig 5: upstream CTQO from I/O millibottlenecks (collectl log flush on
+// the MySQL disk every 30 s), sync system, Tomcat on 4 vCPUs.
+ExperimentConfig fig5_logflush_sync();
+
+// Fig 7: NX=1 (Nginx-Tomcat-MySQL), millibottlenecks in Tomcat ->
+// downstream CTQO at Tomcat (MaxSysQDepth 165+128=293).
+ExperimentConfig fig7_nx1();
+
+// Fig 8: NX=2 (Nginx-XTomcat-MySQL), millibottlenecks in MySQL ->
+// downstream CTQO at MySQL (228).
+ExperimentConfig fig8_nx2_mysql();
+
+// Fig 9: NX=2, millibottlenecks in XTomcat -> batch release floods
+// MySQL -> downstream CTQO at MySQL.
+ExperimentConfig fig9_nx2_xtomcat();
+
+// Fig 10: NX=3 (Nginx-XTomcat-XMySQL), millibottlenecks in XTomcat ->
+// no CTQO, no drops.
+ExperimentConfig fig10_nx3_xtomcat();
+
+// Fig 11: NX=3, collectl log-flush millibottlenecks in XMySQL ->
+// no CTQO, no drops.
+ExperimentConfig fig11_nx3_logflush();
+
+// Fig 12: throughput vs workload concurrency. Sync uses 2000-thread
+// pools plus the thread-overhead model; async is the NX=3 stack.
+// Zero think time; `concurrency` in {100, 200, 400, 800, 1600}.
+ExperimentConfig fig12_point(Architecture arch, std::size_t concurrency);
+
+// --- Extension studies (millibottleneck causes from the paper's
+// --- references [31], [32]; "we add to the variety of millibottleneck
+// --- studies") -----------------------------------------------------------
+
+// JVM garbage-collection pauses in the app tier (ref [32]): periodic
+// stop-the-world freezes, same CTQO consequences as consolidation.
+ExperimentConfig ext_gc_pause(Architecture arch);
+
+// DVFS governor lag (ref [31]): an ondemand-style governor parks the app
+// host at low frequency under moderate load; client bursts arrive before
+// the governor ramps up — a capacity-deficit millibottleneck.
+ExperimentConfig ext_dvfs(Architecture arch);
+
+}  // namespace ntier::core::scenarios

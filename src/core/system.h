@@ -1,0 +1,98 @@
+// NTierSystem: a fully assembled simulated testbed.
+//
+// Owns the Simulation, the hosts/VMs/disk, the three tier servers
+// (chosen by Architecture), the client population, the optional
+// SysBursty interference tenant or collectl log flusher, the 50 ms
+// sampler, and the latency collector. This is the public entry point a
+// downstream user builds experiments with; `scenarios.h` provides the
+// paper's canned configurations.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "core/config.h"
+#include "cpu/dvfs.h"
+#include "cpu/host_core.h"
+#include "cpu/io_device.h"
+#include "monitor/collectl.h"
+#include "monitor/sampler.h"
+#include "monitor/vlrt_tracker.h"
+#include "server/server_base.h"
+#include "sim/random.h"
+#include "sim/simulation.h"
+#include "workload/client.h"
+#include "workload/sysbursty.h"
+
+namespace ntier::core {
+
+class NTierSystem {
+ public:
+  explicit NTierSystem(ExperimentConfig cfg);
+  NTierSystem(const NTierSystem&) = delete;
+  NTierSystem& operator=(const NTierSystem&) = delete;
+
+  // Runs the configured duration (idempotent extension allowed via
+  // run_until). Starts clients/sampler on first call.
+  void run();
+  void run_until(sim::Time t);
+
+  // --- access ------------------------------------------------------------
+  const ExperimentConfig& config() const { return cfg_; }
+  sim::Simulation& simulation() { return sim_; }
+  server::Server* tier(Tier t) { return servers_[index(t)].get(); }
+  const server::Server* tier(Tier t) const { return servers_[index(t)].get(); }
+  server::Server* web() { return tier(Tier::kWeb); }
+  server::Server* app() { return tier(Tier::kApp); }
+  server::Server* db() { return tier(Tier::kDb); }
+  // Steady VM of a tier ("apache"/"nginx", "tomcat"/"xtomcat", ...).
+  cpu::VmCpu* tier_vm(Tier t) { return vms_[index(t)]; }
+  cpu::VmCpu* bursty_vm() { return bursty_vm_; }
+  cpu::IoDevice* db_disk() { return db_disk_.get(); }
+
+  monitor::Sampler& sampler() { return sampler_; }
+  const monitor::Sampler& sampler() const { return sampler_; }
+  monitor::LatencyCollector& latency() { return latency_; }
+  const monitor::LatencyCollector& latency() const { return latency_; }
+  workload::ClientPool& clients() { return *clients_; }
+  const workload::ClientPool& clients() const { return *clients_; }
+  workload::InterferenceLoad* interference() { return interference_.get(); }
+  const workload::InterferenceLoad* interference() const { return interference_.get(); }
+  monitor::Collectl* collectl() { return collectl_.get(); }
+  cpu::FreezeInjector* gc_injector() { return gc_.get(); }
+  cpu::DvfsGovernor* dvfs() { return dvfs_.get(); }
+
+  const server::AppProfile& profile() const { return cfg_.profile; }
+
+ private:
+  void build_hosts();
+  void build_servers();
+  void build_workload();
+  void build_monitoring();
+
+  ExperimentConfig cfg_;
+  sim::Simulation sim_;
+  sim::Rng rng_;
+
+  std::array<std::unique_ptr<cpu::HostCpu>, 3> hosts_;
+  std::array<cpu::VmCpu*, 3> vms_{};
+  cpu::VmCpu* bursty_vm_ = nullptr;
+  std::unique_ptr<cpu::IoDevice> db_disk_;
+
+  std::array<std::unique_ptr<server::Server>, 3> servers_;
+
+  std::unique_ptr<workload::BurstClock> client_burst_;
+  std::unique_ptr<workload::SessionModel> session_model_;
+  std::unique_ptr<workload::ClientPool> clients_;
+  std::unique_ptr<workload::InterferenceLoad> interference_;
+  std::unique_ptr<monitor::Collectl> collectl_;
+  std::unique_ptr<cpu::FreezeInjector> gc_;
+  std::unique_ptr<cpu::DvfsGovernor> dvfs_;
+
+  monitor::Sampler sampler_;
+  monitor::LatencyCollector latency_;
+  bool started_ = false;
+};
+
+}  // namespace ntier::core

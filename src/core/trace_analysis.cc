@@ -1,0 +1,122 @@
+#include "core/trace_analysis.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "metrics/table.h"
+
+namespace ntier::core {
+
+namespace {
+
+// Splits "tier:event" stamps.
+bool split(const std::string& where, std::string& tier, std::string& event) {
+  const auto pos = where.find(':');
+  if (pos == std::string::npos) return false;
+  tier = where.substr(0, pos);
+  event = where.substr(pos + 1);
+  return true;
+}
+
+struct Acc {
+  std::uint64_t count = 0;
+  double sum_s = 0.0;
+  double max_s = 0.0;
+  std::uint64_t drops = 0;
+  std::size_t order = std::numeric_limits<std::size_t>::max();  // unassigned
+};
+
+}  // namespace
+
+TraceBreakdown analyze_traces(const std::vector<server::RequestPtr>& requests) {
+  TraceBreakdown out;
+  std::map<std::string, Acc> tiers;
+  std::size_t next_order = 0;
+  double total_s = 0.0;
+  double outside_s = 0.0;
+
+  for (const auto& req : requests) {
+    if (req->trace.empty()) continue;
+    ++out.requests;
+    total_s += req->latency().to_seconds();
+
+    // Per-tier first admit and last reply within this request. Hop order
+    // is the chronological first-sight order across all traces.
+    std::map<std::string, std::pair<sim::Time, sim::Time>> spans;
+    std::map<std::string, std::uint64_t> drops;
+    for (const auto& s : req->trace) {
+      std::string tier, event;
+      if (!split(s.where, tier, event)) continue;
+      if (tier == "client") continue;
+      Acc& acc = tiers[tier];
+      if (acc.order == std::numeric_limits<std::size_t>::max())
+        acc.order = next_order++;
+      if (event == "drop") {
+        ++drops[tier];
+        continue;
+      }
+      auto it = spans.find(tier);
+      if (it == spans.end()) {
+        spans.emplace(tier, std::make_pair(s.at, s.at));
+      } else {
+        it->second.second = s.at;
+      }
+    }
+
+    double covered_s = 0.0;
+    // The front tier's span covers the nested ones; "outside" time is
+    // what even the front tier never saw (RTO waits before admission).
+    for (const auto& [tier, span] : spans) {
+      const double in_tier = (span.second - span.first).to_seconds();
+      Acc& acc = tiers[tier];
+      ++acc.count;
+      acc.sum_s += in_tier;
+      acc.max_s = std::max(acc.max_s, in_tier);
+      covered_s = std::max(covered_s, in_tier);
+    }
+    for (const auto& [tier, n] : drops) tiers[tier].drops += n;
+    outside_s += std::max(0.0, req->latency().to_seconds() - covered_s);
+  }
+
+  if (out.requests > 0) {
+    out.mean_total = sim::Duration::from_seconds(total_s / out.requests);
+    out.mean_outside_tiers =
+        sim::Duration::from_seconds(outside_s / out.requests);
+  }
+  std::vector<std::pair<std::string, Acc>> ordered(tiers.begin(), tiers.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.second.order < b.second.order; });
+  for (const auto& [name, acc] : ordered) {
+    HopStats h;
+    h.tier = name;
+    h.count = acc.count;
+    h.drops = acc.drops;
+    if (acc.count > 0) {
+      h.mean_in_tier = sim::Duration::from_seconds(acc.sum_s / acc.count);
+      h.max_in_tier = sim::Duration::from_seconds(acc.max_s);
+    }
+    out.hops.push_back(std::move(h));
+  }
+  return out;
+}
+
+std::string TraceBreakdown::to_table() const {
+  metrics::Table t({"tier", "visits", "mean_in_tier_ms", "max_in_tier_ms", "drops"});
+  for (const auto& h : hops) {
+    t.add_row({h.tier, metrics::Table::num(h.count),
+               metrics::Table::num(h.mean_in_tier.to_millis(), 2),
+               metrics::Table::num(h.max_in_tier.to_millis(), 2),
+               metrics::Table::num(h.drops)});
+  }
+  std::string out = t.to_string();
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "requests=%llu mean_total=%.2fms mean_outside_tiers=%.2fms\n",
+                static_cast<unsigned long long>(requests), mean_total.to_millis(),
+                mean_outside_tiers.to_millis());
+  out += buf;
+  return out;
+}
+
+}  // namespace ntier::core

@@ -1,0 +1,43 @@
+// Per-hop latency breakdown from request traces.
+//
+// The paper's micro-level event analysis, automated: given traced
+// requests, attribute each request's latency to tiers (first admit to
+// last reply per tier, inclusive of nested downstream time), plus the
+// retransmission delay inferred from drop stamps. Comparing the normal
+// and VLRT populations makes the CTQO signature obvious: VLRT requests
+// spend ~k x RTO *in front of* some tier, not inside any of them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "server/request.h"
+
+namespace ntier::core {
+
+struct HopStats {
+  std::string tier;
+  std::uint64_t count = 0;
+  sim::Duration mean_in_tier;   // admit -> final reply, inclusive
+  sim::Duration max_in_tier;
+  std::uint64_t drops = 0;      // drop stamps in front of this tier
+};
+
+struct TraceBreakdown {
+  std::vector<HopStats> hops;   // in first-visit order
+  std::uint64_t requests = 0;
+  sim::Duration mean_total;
+  // Mean client-visible time spent waiting on retransmissions (latency
+  // minus the time covered inside tiers, clamped at zero).
+  sim::Duration mean_outside_tiers;
+
+  std::string to_table() const;
+};
+
+// Requires requests recorded with tracing enabled; untraced requests are
+// skipped.
+TraceBreakdown analyze_traces(const std::vector<server::RequestPtr>& requests);
+
+}  // namespace ntier::core

@@ -1,0 +1,37 @@
+// Run validation: queueing-theory sanity checks over a finished run.
+//
+// A simulator is only trustworthy if the classic conservation laws hold
+// in its measured output. `validate_run` checks:
+//   * Little's law at the system level: mean in-flight N = X * R
+//     computed from three *independent* measurements (client counters,
+//     throughput windows, latency histogram);
+//   * closed-loop law: X = sessions / (R + Z);
+//   * flow balance per tier: accepted = completed + in-system.
+// Every canned scenario must pass within tolerance (tests enforce it).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+
+namespace ntier::core {
+
+struct ValidationCheck {
+  std::string name;
+  double expected = 0.0;
+  double measured = 0.0;
+  double rel_error = 0.0;
+  bool ok = false;
+};
+
+struct ValidationReport {
+  std::vector<ValidationCheck> checks;
+  bool all_ok = true;
+  std::string to_string() const;
+};
+
+// `rel_tol` applies to the ratio checks; flow balance must hold exactly.
+ValidationReport validate_run(NTierSystem& sys, double rel_tol = 0.1);
+
+}  // namespace ntier::core

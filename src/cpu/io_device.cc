@@ -1,0 +1,46 @@
+#include "cpu/io_device.h"
+
+#include <algorithm>
+
+namespace ntier::cpu {
+
+IoDevice::IoDevice(sim::Simulation& sim, std::string name, Config cfg)
+    : sim_(sim), name_(std::move(name)), cfg_(cfg) {
+  free_at_ = period_start_ = sim.now();
+}
+
+IoDevice::IoDevice(sim::Simulation& sim, std::string name)
+    : IoDevice(sim, std::move(name), Config()) {}
+
+void IoDevice::submit(std::uint64_t bytes, std::function<void()> done) {
+  const auto xfer =
+      sim::Duration::from_seconds(static_cast<double>(bytes) / cfg_.bytes_per_second);
+  bytes_total_ += bytes;
+  submit_service(cfg_.per_op_latency + xfer, std::move(done));
+}
+
+void IoDevice::submit_service(sim::Duration service, std::function<void()> done) {
+  const sim::Time now = sim_.now();
+  if (free_at_ < now) {
+    // Device went idle: close the previous busy period.
+    busy_before_period_ += (free_at_ - period_start_).to_seconds();
+    period_start_ = now;
+    free_at_ = now;
+  }
+  free_at_ += std::max(service, sim::Duration::zero());
+  ++in_flight_;
+  sim_.at(free_at_, [this, cb = std::move(done)] {
+    --in_flight_;
+    ++ops_completed_;
+    cb();
+  });
+}
+
+double IoDevice::busy_seconds_until(sim::Time t) const {
+  const sim::Time upto = std::min(t, free_at_);
+  double cur = 0.0;
+  if (upto > period_start_) cur = (upto - period_start_).to_seconds();
+  return busy_before_period_ + cur;
+}
+
+}  // namespace ntier::cpu

@@ -1,0 +1,26 @@
+#include "cpu/thread_overhead.h"
+
+#include "cpu/host_core.h"
+
+namespace ntier::cpu {
+namespace {
+
+void tick(sim::Simulation& sim, VmCpu& vm, ThreadOverheadModel model,
+          std::shared_ptr<std::function<std::size_t()>> busy) {
+  const auto pause = model.gc_pause((*busy)());
+  if (pause > sim::Duration::zero()) vm.freeze_for(pause);
+  sim.after(model.gc_interval,
+            [&sim, &vm, model, busy] { tick(sim, vm, model, busy); });
+}
+
+}  // namespace
+
+void arm_gc(sim::Simulation& sim, VmCpu& vm, const ThreadOverheadModel& model,
+            std::function<std::size_t()> busy_threads) {
+  if (model.gc_interval <= sim::Duration::zero()) return;
+  auto busy = std::make_shared<std::function<std::size_t()>>(std::move(busy_threads));
+  sim.after(model.gc_interval,
+            [&sim, &vm, model, busy] { tick(sim, vm, model, busy); });
+}
+
+}  // namespace ntier::cpu

@@ -1,0 +1,24 @@
+// CSV export for external plotting: every paper figure's series can be
+// written out and re-plotted with any tool.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/histogram.h"
+#include "metrics/timeline.h"
+
+namespace ntier::metrics {
+
+// Merged timelines: "t_s,<name1>,<name2>,..." with one row per window of
+// the first series' width (all series must share the window width).
+std::string timelines_to_csv(const std::vector<const Timeline*>& series);
+
+// "lower_ms,upper_ms,count" rows, empty bins included up to the last
+// non-empty one (semi-log plots need the zeros).
+std::string histogram_to_csv(const LinearHistogram& hist);
+
+// Writes content to path; returns false on I/O failure.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace ntier::metrics

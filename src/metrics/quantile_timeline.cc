@@ -1,0 +1,59 @@
+#include "metrics/quantile_timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cassert>
+#include <stdexcept>
+
+namespace ntier::metrics {
+
+QuantileTimeline::QuantileTimeline(std::vector<double> quantiles, sim::Duration window)
+    : qs_(std::move(quantiles)), window_(window) {
+  assert(!qs_.empty());
+  char name[32];
+  for (double q : qs_) {
+    assert(q > 0.0 && q <= 100.0);
+    std::snprintf(name, sizeof name, "p%g_ms", q);
+    lines_.emplace_back(name, window_);
+  }
+}
+
+void QuantileTimeline::record(sim::Time at, sim::Duration value) {
+  const std::size_t w = window_index(at);
+  if (open_ && w != current_window_) close_window();
+  if (!open_) {
+    current_window_ = w;
+    open_ = true;
+  }
+  // Out-of-order samples from an earlier window fold into the current
+  // one; completions are near-ordered so the distortion is negligible.
+  buffer_us_.push_back(value.count_micros());
+}
+
+void QuantileTimeline::close_window() {
+  if (!open_ || buffer_us_.empty()) {
+    buffer_us_.clear();
+    open_ = false;
+    return;
+  }
+  std::sort(buffer_us_.begin(), buffer_us_.end());
+  const sim::Time wstart =
+      sim::Time::origin() + window_ * static_cast<std::int64_t>(current_window_);
+  for (std::size_t i = 0; i < qs_.size(); ++i) {
+    const auto rank = static_cast<std::size_t>(
+        qs_[i] / 100.0 * static_cast<double>(buffer_us_.size() - 1) + 0.5);
+    lines_[i].set(wstart, static_cast<double>(buffer_us_[rank]) / 1000.0);
+  }
+  buffer_us_.clear();
+  open_ = false;
+}
+
+void QuantileTimeline::flush() { close_window(); }
+
+const Timeline& QuantileTimeline::series(double q) const {
+  for (std::size_t i = 0; i < qs_.size(); ++i)
+    if (qs_[i] == q) return lines_[i];
+  throw std::out_of_range("QuantileTimeline: quantile not configured");
+}
+
+}  // namespace ntier::metrics

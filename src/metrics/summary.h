@@ -1,0 +1,57 @@
+// Scalar summaries: streaming mean/variance counters and a compact
+// latency digest used in experiment reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace ntier::metrics {
+
+// Welford streaming moments over double observations.
+class Running {
+ public:
+  void add(double x);
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance, 0 when n < 2
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Index of dispersion of inter-arrival times; the paper's burstiness
+// measure (burst index I per Mi et al. ICAC'09) grows with this.
+class DispersionIndex {
+ public:
+  void add_arrival(sim::Time t);
+  // var/mean^2 of inter-arrival times (squared coefficient of variation).
+  double scv() const;
+  std::uint64_t arrivals() const { return inter_.count() + (has_last_ ? 1 : 0); }
+
+ private:
+  Running inter_;
+  sim::Time last_{};
+  bool has_last_ = false;
+};
+
+struct LatencyDigest {
+  std::uint64_t count = 0;
+  sim::Duration mean;
+  sim::Duration p50;
+  sim::Duration p99;
+  sim::Duration p999;
+  sim::Duration max;
+  std::uint64_t vlrt_count = 0;  // >= vlrt threshold
+  std::string to_string() const;
+};
+
+}  // namespace ntier::metrics

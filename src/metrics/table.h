@@ -1,0 +1,30 @@
+// Aligned text tables for bench output — the "rows the paper reports".
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ntier::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Cells are stringified by the caller; row length must match headers.
+  void add_row(std::vector<std::string> cells);
+  Table& cell(std::string v);  // builder-style: fills the current row
+  void end_row();
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::string to_string() const;
+
+  static std::string num(double v, int decimals = 1);
+  static std::string num(std::uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> pending_;
+};
+
+}  // namespace ntier::metrics

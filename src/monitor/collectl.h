@@ -1,0 +1,45 @@
+// collectl model: fine-grained monitoring whose own log flush causes
+// millibottlenecks (paper §IV-B).
+//
+// The real collectl buffers 50 ms samples in memory and flushes the log
+// to disk every 30 s; on the DB node that flush saturates the disk for
+// a few hundred ms, stalling MySQL's I/O and creating the Fig 5 / Fig 11
+// millibottleneck. The sampling itself is Sampler; this class models the
+// flush side effect against the node's IoDevice.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/io_device.h"
+#include "sim/simulation.h"
+
+namespace ntier::monitor {
+
+class Collectl {
+ public:
+  struct Config {
+    sim::Duration flush_period = sim::Duration::seconds(30);
+    std::uint64_t bytes_per_flush = 20ull * 1024 * 1024;
+    sim::Time first_flush = sim::Time::from_seconds(10.0);
+  };
+
+  Collectl(sim::Simulation& sim, cpu::IoDevice* target, Config cfg);
+  Collectl(sim::Simulation& sim, cpu::IoDevice* target);
+
+  const std::vector<sim::Time>& flush_times() const { return flushes_; }
+  std::uint64_t flushes_completed() const { return done_; }
+  // How long one flush occupies the disk (for tests / calibration).
+  sim::Duration flush_occupancy() const;
+
+ private:
+  void flush();
+
+  sim::Simulation& sim_;
+  cpu::IoDevice* target_;
+  Config cfg_;
+  std::vector<sim::Time> flushes_;
+  std::uint64_t done_ = 0;
+};
+
+}  // namespace ntier::monitor

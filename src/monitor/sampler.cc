@@ -1,0 +1,88 @@
+#include "monitor/sampler.h"
+
+#include <stdexcept>
+
+namespace ntier::monitor {
+
+Sampler::Sampler(sim::Simulation& sim, sim::Duration window) : sim_(sim), window_(window) {}
+
+metrics::Timeline& Sampler::line(const std::string& name) {
+  auto it = lines_.find(name);
+  if (it == lines_.end())
+    it = lines_.emplace(name, metrics::Timeline(name, window_)).first;
+  return it->second;
+}
+
+void Sampler::track_vm(const std::string& prefix, cpu::VmCpu* vm) {
+  vms_.push_back(VmTrack{prefix, vm, 0.0, 0.0, 0.0});
+  line(prefix + ".cpu");
+  line(prefix + ".demand");
+  line(prefix + ".stall");
+}
+
+void Sampler::track_server(const std::string& prefix, server::Server* srv) {
+  servers_.emplace_back(prefix, srv);
+  line(prefix + ".queue");
+}
+
+void Sampler::track_io(const std::string& prefix, cpu::IoDevice* dev) {
+  ios_.push_back(IoTrack{prefix, dev, 0.0});
+  line(prefix + ".busy");
+}
+
+void Sampler::start() {
+  if (started_) return;
+  started_ = true;
+  sim_.after(window_, [this] { tick(); });
+}
+
+void Sampler::tick() {
+  const sim::Time now = sim_.now();
+  // The sample summarizes the window that just ended: stamp it at the
+  // window's start so series indices align with wall time.
+  const sim::Time wstart = now - window_;
+  const double win_s = window_.to_seconds();
+
+  for (auto& t : vms_) {
+    const double busy = t.vm->busy_core_seconds();
+    const double want = t.vm->demand_seconds();
+    const double stall = t.vm->stalled_seconds();
+    line(t.prefix + ".cpu").set(wstart, 100.0 * (busy - t.last_busy) / win_s / t.vm->vcpus());
+    line(t.prefix + ".demand").set(wstart, 100.0 * (want - t.last_want) / win_s);
+    line(t.prefix + ".stall").set(wstart, 100.0 * (stall - t.last_stall) / win_s);
+    t.last_busy = busy;
+    t.last_want = want;
+    t.last_stall = stall;
+  }
+  for (auto& [prefix, srv] : servers_) {
+    line(prefix + ".queue").set(wstart, static_cast<double>(srv->queued_requests()));
+  }
+  for (auto& t : ios_) {
+    const double busy = t.dev->busy_seconds_until(now);
+    line(t.prefix + ".busy").set(wstart, 100.0 * (busy - t.last_busy) / win_s);
+    t.last_busy = busy;
+  }
+  sim_.after(window_, [this] { tick(); });
+}
+
+const metrics::Timeline& Sampler::series(const std::string& name) const {
+  auto it = lines_.find(name);
+  if (it == lines_.end()) throw std::out_of_range("Sampler: unknown series " + name);
+  return it->second;
+}
+
+bool Sampler::has_series(const std::string& name) const { return lines_.count(name) > 0; }
+
+std::vector<std::string> Sampler::series_names() const {
+  std::vector<std::string> out;
+  out.reserve(lines_.size());
+  for (const auto& [k, v] : lines_) out.push_back(k);
+  return out;
+}
+
+std::vector<sim::Time> Sampler::saturated_windows(const std::string& vm_prefix,
+                                                  double threshold_pct) const {
+  return series(vm_prefix + ".demand").windows_at_least(threshold_pct);
+}
+
+}  // namespace ntier::monitor

@@ -1,0 +1,19 @@
+#include "monitor/trace_store.h"
+
+namespace ntier::monitor {
+
+TraceStore::TraceStore(Config cfg) : cfg_(cfg) {}
+TraceStore::TraceStore() : TraceStore(Config()) {}
+
+void TraceStore::record(const server::RequestPtr& req) {
+  ++seen_;
+  const bool anomalous =
+      req->failed || req->total_drops > 0 || req->latency() >= cfg_.vlrt_threshold;
+  if (anomalous) {
+    anomalous_.push_back(req);
+    return;
+  }
+  if (normal_.size() < cfg_.normal_capacity) normal_.push_back(req);
+}
+
+}  // namespace ntier::monitor

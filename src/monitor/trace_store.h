@@ -1,0 +1,40 @@
+// TraceStore: retains traced requests for post-run micro analysis.
+//
+// Keeps a bounded reservoir of normal requests plus every anomalous one
+// (dropped/failed/VLRT), so per-hop breakdowns can compare the two
+// populations without holding the whole run in memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "server/request.h"
+#include "sim/time.h"
+
+namespace ntier::monitor {
+
+class TraceStore {
+ public:
+  struct Config {
+    std::size_t normal_capacity = 2000;  // bounded sample of clean requests
+    sim::Duration vlrt_threshold = sim::Duration::seconds(3);
+  };
+
+  explicit TraceStore(Config cfg);
+  TraceStore();
+
+  // ClientPool::on_complete-compatible.
+  void record(const server::RequestPtr& req);
+
+  const std::vector<server::RequestPtr>& normal() const { return normal_; }
+  const std::vector<server::RequestPtr>& anomalous() const { return anomalous_; }
+  std::uint64_t seen() const { return seen_; }
+
+ private:
+  Config cfg_;
+  std::vector<server::RequestPtr> normal_;
+  std::vector<server::RequestPtr> anomalous_;
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace ntier::monitor

@@ -1,0 +1,58 @@
+#include "monitor/vlrt_tracker.h"
+
+namespace ntier::monitor {
+
+LatencyCollector::LatencyCollector(Config cfg)
+    : cfg_(cfg),
+      hist_(cfg.histogram_bin, cfg.histogram_max),
+      vlrt_("vlrt", cfg.vlrt_window),
+      thpt_("throughput", cfg.throughput_window),
+      quantiles_({50.0, 99.0}, cfg.throughput_window) {}
+
+LatencyCollector::LatencyCollector() : LatencyCollector(Config()) {}
+
+void LatencyCollector::record(const server::RequestPtr& req) {
+  const sim::Duration lat = req->latency();
+  ++completed_;
+  hist_.record(lat);
+  thpt_.add(req->completed, 1.0);
+  quantiles_.record(req->completed, lat);
+  if (req->class_index >= per_class_.size()) per_class_.resize(req->class_index + 1);
+  ClassStats& cls = per_class_[req->class_index];
+  ++cls.completed;
+  if (req->total_drops > 0) {
+    ++dropped_requests_;
+    ++cls.dropped;
+  }
+  if (req->failed) ++failed_;
+  if (lat >= cfg_.vlrt_threshold) {
+    ++vlrt_count_;
+    ++cls.vlrt;
+    vlrt_.add(req->completed, 1.0);
+  }
+}
+
+const LatencyCollector::ClassStats& LatencyCollector::class_stats(
+    std::size_t class_index) const {
+  static const ClassStats kEmpty{};
+  return class_index < per_class_.size() ? per_class_[class_index] : kEmpty;
+}
+
+double LatencyCollector::throughput_rps(sim::Time from, sim::Time to) const {
+  if (to <= from) return 0.0;
+  return thpt_.mean_over(from, to) / cfg_.throughput_window.to_seconds();
+}
+
+metrics::LatencyDigest LatencyCollector::digest() const {
+  metrics::LatencyDigest d;
+  d.count = completed_;
+  d.mean = hist_.mean();
+  d.p50 = hist_.percentile(50);
+  d.p99 = hist_.percentile(99);
+  d.p999 = hist_.percentile(99.9);
+  d.max = hist_.max();
+  d.vlrt_count = vlrt_count_;
+  return d;
+}
+
+}  // namespace ntier::monitor

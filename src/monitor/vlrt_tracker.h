@@ -1,0 +1,79 @@
+// Latency collection: histograms, per-window VLRT counts, throughput.
+//
+// Feed it every completed request (ClientPool::on_complete) and it
+// produces the paper's three per-run artifacts: the Fig 1 frequency
+// histogram, the Fig 3(c)-style "# VLRT requests per 50 ms window"
+// series, and throughput.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/histogram.h"
+#include "metrics/quantile_timeline.h"
+#include "metrics/summary.h"
+#include "metrics/timeline.h"
+#include "server/request.h"
+#include "sim/simulation.h"
+
+namespace ntier::monitor {
+
+class LatencyCollector {
+ public:
+  struct Config {
+    sim::Duration vlrt_threshold = sim::Duration::seconds(3);
+    sim::Duration histogram_bin = sim::Duration::millis(100);
+    sim::Duration histogram_max = sim::Duration::seconds(30);
+    sim::Duration vlrt_window = sim::Duration::millis(50);
+    sim::Duration throughput_window = sim::Duration::seconds(1);
+  };
+
+  explicit LatencyCollector(Config cfg);
+  LatencyCollector();
+
+  void record(const server::RequestPtr& req);
+
+  const metrics::LinearHistogram& histogram() const { return hist_; }
+  const metrics::Timeline& vlrt_per_window() const { return vlrt_; }
+  const metrics::Timeline& throughput_per_window() const { return thpt_; }
+  // Per-second p50/p99 latency series (flushes the open window).
+  const metrics::Timeline& latency_quantile_series(double q) {
+    quantiles_.flush();
+    return quantiles_.series(q);
+  }
+
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t vlrt_count() const { return vlrt_count_; }
+  std::uint64_t dropped_request_count() const { return dropped_requests_; }
+  std::uint64_t failed_count() const { return failed_; }
+  sim::Duration vlrt_threshold() const { return cfg_.vlrt_threshold; }
+
+  // Per-request-class counters (indexed by Request::class_index). The
+  // paper's Fig 4 point: during upstream CTQO even static requests —
+  // which never leave the web tier — queue and drop.
+  struct ClassStats {
+    std::uint64_t completed = 0;
+    std::uint64_t vlrt = 0;
+    std::uint64_t dropped = 0;  // requests with >= 1 dropped packet
+  };
+  const ClassStats& class_stats(std::size_t class_index) const;
+
+  // Mean throughput between two instants (req/s).
+  double throughput_rps(sim::Time from, sim::Time to) const;
+
+  metrics::LatencyDigest digest() const;
+
+ private:
+  Config cfg_;
+  metrics::LinearHistogram hist_;
+  metrics::Timeline vlrt_;
+  metrics::Timeline thpt_;
+  metrics::QuantileTimeline quantiles_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t vlrt_count_ = 0;
+  std::uint64_t dropped_requests_ = 0;  // requests that saw >= 1 drop
+  std::uint64_t failed_ = 0;
+  std::vector<ClassStats> per_class_;
+};
+
+}  // namespace ntier::monitor

@@ -1,0 +1,3 @@
+#include "net/link.h"
+
+namespace ntier::net {}

@@ -1,0 +1,32 @@
+// Network link latency model (LAN between tiers).
+#pragma once
+
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace ntier::net {
+
+class Link {
+ public:
+  // Fixed one-way latency.
+  explicit Link(sim::Duration latency = sim::Duration::micros(200))
+      : latency_(latency) {}
+  // Latency with uniform jitter in [latency, latency + jitter); rng must
+  // outlive the link.
+  Link(sim::Duration latency, sim::Duration jitter, sim::Rng& rng)
+      : latency_(latency), jitter_(jitter), rng_(&rng) {}
+
+  sim::Duration sample() {
+    if (!rng_ || jitter_ <= sim::Duration::zero()) return latency_;
+    return latency_ + sim::Duration::from_seconds(rng_->uniform() * jitter_.to_seconds());
+  }
+
+  sim::Duration base_latency() const { return latency_; }
+
+ private:
+  sim::Duration latency_;
+  sim::Duration jitter_{};
+  sim::Rng* rng_ = nullptr;
+};
+
+}  // namespace ntier::net

@@ -1,0 +1,4 @@
+#include "net/message.h"
+
+// Header-only types; this TU anchors the library target.
+namespace ntier::net {}

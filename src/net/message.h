@@ -1,0 +1,41 @@
+// Small shared types for the inter-tier messaging substrate.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace ntier::net {
+
+struct MessageId {
+  std::uint64_t value = 0;
+  friend constexpr auto operator<=>(MessageId, MessageId) = default;
+};
+
+// Monotonic id source; one per simulation.
+class MessageIdGen {
+ public:
+  MessageId next() { return MessageId{++last_}; }
+
+ private:
+  std::uint64_t last_ = 0;
+};
+
+// Result of one logical send (possibly after retransmissions).
+struct TxOutcome {
+  bool delivered = false;
+  int attempts = 1;            // total delivery attempts
+  int drops = 0;               // attempts rejected by the receiver
+  sim::Duration retrans_delay; // extra latency caused purely by drops
+};
+
+// Counters for a sender or receiver side.
+struct TxStats {
+  std::uint64_t sent = 0;        // logical sends initiated
+  std::uint64_t delivered = 0;   // logical sends eventually accepted
+  std::uint64_t drops = 0;       // individual dropped attempts
+  std::uint64_t retransmits = 0; // retransmission attempts issued
+  std::uint64_t failed = 0;      // sends abandoned after max retries
+};
+
+}  // namespace ntier::net

@@ -1,0 +1,21 @@
+#include "net/rto_policy.h"
+
+#include <cmath>
+
+namespace ntier::net {
+
+sim::Duration RtoPolicy::rto(int retry) const {
+  if (retry < 0) retry = 0;
+  if (backoff == Backoff::kFixed) return initial;
+  return initial * std::pow(multiplier, static_cast<double>(retry));
+}
+
+RtoPolicy RtoPolicy::rhel6() { return RtoPolicy{}; }
+
+RtoPolicy RtoPolicy::fixed3s() {
+  RtoPolicy p;
+  p.backoff = Backoff::kFixed;
+  return p;
+}
+
+}  // namespace ntier::net

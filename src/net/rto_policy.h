@@ -1,0 +1,34 @@
+// TCP retransmission-timeout policy.
+//
+// The paper's testbed runs RHEL 6.3 (kernel 2.6.32), where a dropped
+// connection-establishment packet is retransmitted after 3 s, with
+// exponential backoff on further losses (3 s, 6 s, 12 s, ...). These
+// delays — not queueing — are what turn a millisecond request into a
+// multi-second VLRT request, producing Fig 1's modes near 3/6/9 s
+// (one drop = 3 s; drops on two hops = 6 s; a double drop on one
+// hop = 3+6 = 9 s).
+#pragma once
+
+#include "sim/time.h"
+
+namespace ntier::net {
+
+struct RtoPolicy {
+  enum class Backoff { kFixed, kExponential };
+
+  sim::Duration initial = sim::Duration::seconds(3);
+  Backoff backoff = Backoff::kExponential;
+  double multiplier = 2.0;  // used by kExponential
+  int max_retries = 6;      // give up afterwards (connection failure)
+
+  // Timeout before retransmission number `retry` (0-based: the delay
+  // after the first drop is rto(0)).
+  sim::Duration rto(int retry) const;
+
+  // RHEL 6.3 / kernel 2.6.32 SYN-retransmit behaviour (paper default).
+  static RtoPolicy rhel6();
+  // Fixed 3 s for every retry.
+  static RtoPolicy fixed3s();
+};
+
+}  // namespace ntier::net

@@ -1,0 +1,3 @@
+#include "net/tcp_queue.h"
+
+namespace ntier::net {}

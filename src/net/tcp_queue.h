@@ -1,0 +1,50 @@
+// Bounded TCP accept queue (the kernel "backlog").
+//
+// The paper's MaxSysQDepth arithmetic is thread-pool size + TCP buffer
+// (backlog) size, 128 on their Linux kernel. A server admits a request
+// either into a free worker or into this queue; when both are full the
+// packet is dropped and the sender retransmits per RtoPolicy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ntier::net {
+
+class TcpQueue {
+ public:
+  explicit TcpQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t depth() const { return depth_; }
+  bool full() const { return depth_ >= capacity_; }
+
+  // Admits one request; returns false (and records the drop) when full.
+  bool try_push(sim::Time now) {
+    if (depth_ >= capacity_) {
+      ++drops_;
+      drop_times_.push_back(now);
+      return false;
+    }
+    ++depth_;
+    return true;
+  }
+
+  // Removes one queued request (a worker picked it up).
+  void pop() {
+    if (depth_ > 0) --depth_;
+  }
+
+  std::uint64_t drops() const { return drops_; }
+  const std::vector<sim::Time>& drop_times() const { return drop_times_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t depth_ = 0;
+  std::uint64_t drops_ = 0;
+  std::vector<sim::Time> drop_times_;
+};
+
+}  // namespace ntier::net

@@ -1,0 +1,47 @@
+#include "net/transport.h"
+
+namespace ntier::net {
+
+struct Pending {
+  AttemptFn attempt;
+  ResultFn on_result;
+  int attempts = 0;
+  int drops = 0;
+  sim::Duration retrans_delay;
+};
+
+void Transport::send(AttemptFn attempt, ResultFn on_result) {
+  ++stats_.sent;
+  auto p = std::make_shared<Pending>();
+  p->attempt = std::move(attempt);
+  p->on_result = std::move(on_result);
+  attempt_at(std::move(p), link_.sample());
+}
+
+void Transport::attempt_at(std::shared_ptr<Pending> p, sim::Duration delay) {
+  sim_.after(delay, [this, p] {
+    ++p->attempts;
+    if (p->attempt()) {
+      ++stats_.delivered;
+      if (p->on_result) {
+        p->on_result(TxOutcome{true, p->attempts, p->drops, p->retrans_delay});
+      }
+      return;
+    }
+    ++stats_.drops;
+    if (p->drops >= rto_.max_retries) {
+      ++stats_.failed;
+      if (p->on_result) {
+        p->on_result(TxOutcome{false, p->attempts, p->drops + 1, p->retrans_delay});
+      }
+      return;
+    }
+    const sim::Duration rto = rto_.rto(p->drops);
+    ++p->drops;
+    ++stats_.retransmits;
+    p->retrans_delay += rto;
+    attempt_at(p, rto + link_.sample());
+  });
+}
+
+}  // namespace ntier::net

@@ -1,0 +1,48 @@
+// Reliable delivery over an unreliable admission boundary.
+//
+// Transport::send models one logical message: after the link latency the
+// receiver's admission function is attempted; a refusal is a dropped
+// packet, and the transport re-attempts after RtoPolicy::rto(k) like the
+// sender's TCP stack would. The accumulated retransmission delay is the
+// entire VLRT mechanism of the paper — requests are never lost inside
+// servers, only delayed by whole RTOs at admission.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/link.h"
+#include "net/message.h"
+#include "net/rto_policy.h"
+#include "sim/simulation.h"
+
+namespace ntier::net {
+
+// Returns true when the receiver admits the message now.
+using AttemptFn = std::function<bool()>;
+// Invoked once per logical send, after final success or abandonment.
+using ResultFn = std::function<void(const TxOutcome&)>;
+
+class Transport {
+ public:
+  Transport(sim::Simulation& sim, RtoPolicy rto, Link link)
+      : sim_(sim), rto_(rto), link_(link) {}
+
+  // Fire-and-track send. `attempt` is called after each link traversal;
+  // `on_result` (optional) after delivery or failure.
+  void send(AttemptFn attempt, ResultFn on_result = {});
+
+  const TxStats& stats() const { return stats_; }
+  const RtoPolicy& rto_policy() const { return rto_; }
+  Link& link() { return link_; }
+
+ private:
+  void attempt_at(std::shared_ptr<struct Pending> p, sim::Duration delay);
+
+  sim::Simulation& sim_;
+  RtoPolicy rto_;
+  Link link_;
+  TxStats stats_;
+};
+
+}  // namespace ntier::net

@@ -1,0 +1,18 @@
+// Umbrella header: the whole public API.
+//
+// Downstream users can include this single header; fine-grained headers
+// remain available for faster builds.
+#pragma once
+
+#include "core/chain.h"          // arbitrary-depth n-tier chains
+#include "core/config.h"         // experiment configuration
+#include "core/ctqo_analyzer.h"  // drop-episode classification
+#include "core/experiment.h"     // run + summarize
+#include "core/export.h"         // CSV dumps of a run
+#include "core/report.h"         // figure-style text panels
+#include "core/scenarios.h"      // the paper's canned experiments
+#include "core/system.h"         // the 3-tier testbed (NX=0..3)
+#include "core/trace_analysis.h" // per-hop latency breakdowns
+#include "core/validation.h"     // queueing-law sanity checks
+#include "monitor/trace_store.h"
+#include "workload/session_model.h"

@@ -1,0 +1,113 @@
+#include "server/app_profile.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ntier::server {
+
+using sim::Duration;
+
+AppProfile AppProfile::rubbos() {
+  AppProfile p;
+  // Static content: Apache/Nginx only.
+  p.classes.push_back(RequestClassProfile{
+      .name = "Static",
+      .is_static = true,
+      .weight = 0.15,
+      .web_pre = Duration::micros(50),
+      .web_post = Duration::zero(),
+      .app_pre = Duration::zero(),
+      .app_post = Duration::zero(),
+      .db_queries = 0,
+      .db_cpu = Duration::zero(),
+      .db_io = Duration::zero()});
+  // Light dynamic page (e.g. StoriesOfTheDay): one query.
+  p.classes.push_back(RequestClassProfile{
+      .name = "StoriesOfTheDay",
+      .is_static = false,
+      .weight = 0.55,
+      .web_pre = Duration::micros(60),
+      .web_post = Duration::micros(40),
+      .app_pre = Duration::micros(150),
+      .app_post = Duration::micros(600),
+      .db_queries = 1,
+      .db_cpu = Duration::micros(350),
+      .db_io = Duration::micros(15)});
+  // Heavier dynamic page (ViewStory): two queries.
+  p.classes.push_back(RequestClassProfile{
+      .name = "ViewStory",
+      .is_static = false,
+      .weight = 0.30,
+      .web_pre = Duration::micros(60),
+      .web_post = Duration::micros(40),
+      .app_pre = Duration::micros(200),
+      .app_post = Duration::micros(960),
+      .db_queries = 2,
+      .db_cpu = Duration::micros(300),
+      .db_io = Duration::micros(15)});
+  return p;
+}
+
+std::size_t AppProfile::pick(sim::Rng& rng) const {
+  assert(!classes.empty());
+  double total = 0.0;
+  for (const auto& c : classes) total += c.weight;
+  double u = rng.uniform() * total;
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    u -= classes[i].weight;
+    if (u <= 0.0) return i;
+  }
+  return classes.size() - 1;
+}
+
+std::size_t AppProfile::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < classes.size(); ++i)
+    if (classes[i].name == name) return i;
+  throw std::out_of_range("AppProfile: no class named " + name);
+}
+
+Duration AppProfile::mean_app_cpu() const {
+  double total_w = 0.0;
+  double acc_s = 0.0;
+  for (const auto& c : classes) {
+    total_w += c.weight;
+    acc_s += c.weight * (c.app_pre + c.app_post).to_seconds();
+  }
+  return total_w > 0 ? Duration::from_seconds(acc_s / total_w) : Duration::zero();
+}
+
+Program web_program(const RequestClassProfile& c) {
+  Program prog;
+  prog.push_back({WorkStep::Kind::kCpu, c.web_pre});
+  if (!c.is_static) {
+    prog.push_back({WorkStep::Kind::kDownstream, Duration::zero()});
+    prog.push_back({WorkStep::Kind::kCpu, c.web_post});
+  }
+  return prog;
+}
+
+Program app_program(const RequestClassProfile& c) {
+  Program prog;
+  prog.push_back({WorkStep::Kind::kCpu, c.app_pre});
+  const int q = c.db_queries;
+  if (q <= 0) {
+    prog.push_back({WorkStep::Kind::kCpu, c.app_post});
+    return prog;
+  }
+  const Duration slice = c.app_post / q;
+  for (int i = 0; i < q; ++i) {
+    prog.push_back({WorkStep::Kind::kDownstream, Duration::zero()});
+    prog.push_back({WorkStep::Kind::kCpu, slice});
+  }
+  return prog;
+}
+
+Program db_program(const RequestClassProfile& c) {
+  Program prog;
+  prog.push_back({WorkStep::Kind::kCpu, c.db_cpu});
+  if (c.db_io > Duration::zero())
+    prog.push_back({WorkStep::Kind::kDisk, c.db_io});
+  return prog;
+}
+
+}  // namespace ntier::server

@@ -1,0 +1,74 @@
+// Application profile: what each request class costs at each tier.
+//
+// Substitutes for the RUBBoS servlet/database code. Demands are chosen so
+// the simulated operating points match the paper's (DESIGN.md §5): with a
+// 7 s mean think time, WL 4000/7000/8000 clients give ~572/990/1103 req/s
+// and 43/75/85 % utilization of the bottleneck (app tier) CPU.
+//
+// The app-tier CPU is split into pre-query and post-query halves. The
+// split matters for Fig 9: an event-driven app server dispatches a
+// request's DB query after only the *pre* work, so after a
+// millibottleneck it floods the DB tier far faster than the DB drains —
+// the batch-release downstream CTQO.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace ntier::server {
+
+struct RequestClassProfile {
+  std::string name;
+  bool is_static = false;   // served entirely by the web tier
+  double weight = 1.0;      // relative frequency in the mix
+
+  sim::Duration web_pre;    // web tier work before forwarding
+  sim::Duration web_post;   // web tier work after the app reply
+  sim::Duration app_pre;    // app tier work before the first DB query
+  sim::Duration app_post;   // app tier work after the last DB reply
+  int db_queries = 1;       // sequential queries per request
+  sim::Duration db_cpu;     // DB CPU per query
+  sim::Duration db_io;      // DB disk service per query
+};
+
+struct AppProfile {
+  std::vector<RequestClassProfile> classes;
+
+  // RUBBoS-like browse mix: static content, StoriesOfTheDay (light) and
+  // ViewStory (heavier, the class SysBursty batches).
+  static AppProfile rubbos();
+
+  // Weighted class draw.
+  std::size_t pick(sim::Rng& rng) const;
+  const RequestClassProfile& at(std::size_t i) const { return classes.at(i); }
+  std::size_t index_of(const std::string& name) const;
+
+  // Mean app-tier CPU demand per request (bottleneck-tier utilization
+  // predictor: util = throughput * this).
+  sim::Duration mean_app_cpu() const;
+};
+
+// --- tier-local work programs -------------------------------------------
+
+struct WorkStep {
+  enum class Kind { kCpu, kDisk, kDownstream };
+  Kind kind = Kind::kCpu;
+  sim::Duration amount;  // CPU demand or disk service time
+};
+
+using Program = std::vector<WorkStep>;
+
+// The program a web-tier server runs for a class (static classes have no
+// downstream step).
+Program web_program(const RequestClassProfile& c);
+// App-tier: pre CPU, then per query a downstream step followed by a slice
+// of the post work.
+Program app_program(const RequestClassProfile& c);
+// DB-tier: CPU then disk (disk step omitted when db_io == 0).
+Program db_program(const RequestClassProfile& c);
+
+}  // namespace ntier::server

@@ -1,0 +1,93 @@
+#include "server/async_server.h"
+
+#include <cassert>
+
+namespace ntier::server {
+
+AsyncServer::AsyncServer(sim::Simulation& sim, std::string name, cpu::VmCpu* vm,
+                         const AppProfile* profile,
+                         std::function<Program(const RequestClassProfile&)> program_fn,
+                         AsyncConfig cfg)
+    : Server(sim, std::move(name), vm, profile, std::move(program_fn)), cfg_(cfg) {
+  assert(cfg.max_active > 0);
+}
+
+bool AsyncServer::offer(Job job) {
+  note_offer();
+  if (in_system_ >= cfg_.lite_q_depth) {
+    note_drop();
+    job.req->stamp(name_ + ":drop", sim_.now());
+    return false;
+  }
+  note_accept();
+  job.req->stamp(name_ + ":admit", sim_.now());
+  auto ctx = std::make_shared<Ctx>();
+  ctx->prog = program_for(*job.req);
+  ctx->job = std::move(job);
+  wait_q_.push_back(std::move(ctx));
+  pump();
+  return true;
+}
+
+void AsyncServer::pump() {
+  while (active_ < cfg_.max_active && (!resume_q_.empty() || !wait_q_.empty())) {
+    CtxPtr ctx;
+    if (!resume_q_.empty()) {  // resumed work first (completions beat arrivals)
+      ctx = std::move(resume_q_.front());
+      resume_q_.pop_front();
+    } else {
+      ctx = std::move(wait_q_.front());
+      wait_q_.pop_front();
+    }
+    ++active_;
+    run_step(ctx);
+  }
+}
+
+void AsyncServer::run_step(const CtxPtr& ctx) {
+  if (ctx->pc >= ctx->prog.size()) {
+    note_reply();
+    ctx->job.req->stamp(name_ + ":reply", sim_.now());
+    ctx->job.reply(ctx->job.req);
+    release_slot();
+    pump();
+    return;
+  }
+  const WorkStep& step = ctx->prog[ctx->pc];
+  switch (step.kind) {
+    case WorkStep::Kind::kCpu: {
+      if (step.amount <= sim::Duration::zero()) {
+        ++ctx->pc;
+        run_step(ctx);
+        return;
+      }
+      vm_->submit(step.amount, [this, ctx] {
+        ++ctx->pc;
+        run_step(ctx);
+      });
+      return;
+    }
+    case WorkStep::Kind::kDisk: {
+      assert(io_ != nullptr && "kDisk step requires attach_io()");
+      io_->submit_service(step.amount, [this, ctx] {
+        ++ctx->pc;
+        run_step(ctx);
+      });
+      return;
+    }
+    case WorkStep::Kind::kDownstream: {
+      // Event-driven call: park the request, free the slot, continue via
+      // the callback when the reply lands (Fig 14's eventHandler).
+      release_slot();
+      dispatch_downstream(ctx->job.req, [this, ctx] {
+        ++ctx->pc;
+        resume_q_.push_back(ctx);
+        pump();
+      });
+      pump();
+      return;
+    }
+  }
+}
+
+}  // namespace ntier::server

@@ -1,0 +1,63 @@
+// AsyncServer: event-driven server (Nginx, XTomcat, XMySQL/InnoDB).
+//
+// No thread is held across a downstream call: a request parks in the
+// server while its query is outstanding, and a lightweight queue of
+// LiteQDepth (65535 connections for Nginx/XTomcat, 2000 InnoDB wait
+// slots for XMySQL) bounds admission — in practice never reached, so
+// the server does not drop packets during millibottlenecks. The flip
+// side reproduced here: after a freeze ends, all parked requests
+// dispatch their downstream queries nearly at once (only the small
+// `pre` CPU in front), flooding a synchronous downstream tier — the
+// batch-release downstream CTQO of Fig 9.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "server/server_base.h"
+
+namespace ntier::server {
+
+struct AsyncConfig {
+  // Admission bound (the paper's LiteQDepth).
+  std::size_t lite_q_depth = 65535;
+  // Concurrent requests allowed in a CPU/disk processing step. InnoDB
+  // runs 8 worker threads; pure event loops are effectively unbounded
+  // (set high).
+  std::size_t max_active = 4096;
+};
+
+class AsyncServer : public Server {
+ public:
+  AsyncServer(sim::Simulation& sim, std::string name, cpu::VmCpu* vm,
+              const AppProfile* profile,
+              std::function<Program(const RequestClassProfile&)> program_fn,
+              AsyncConfig cfg);
+
+  bool offer(Job job) override;
+
+  std::size_t busy_workers() const override { return active_; }
+  std::size_t backlog_depth() const override { return wait_q_.size() + resume_q_.size(); }
+  std::size_t max_sys_q_depth() const override { return cfg_.lite_q_depth; }
+  std::size_t lite_q_depth() const { return cfg_.lite_q_depth; }
+  const AsyncConfig& config() const { return cfg_; }
+
+ private:
+  struct Ctx {
+    Job job;
+    Program prog;
+    std::size_t pc = 0;
+  };
+  using CtxPtr = std::shared_ptr<Ctx>;
+
+  void pump();
+  void run_step(const CtxPtr& ctx);  // holds an active slot
+  void release_slot() { --active_; }
+
+  AsyncConfig cfg_;
+  std::size_t active_ = 0;
+  std::deque<CtxPtr> wait_q_;    // admitted, not yet started
+  std::deque<CtxPtr> resume_q_;  // downstream reply arrived, continue
+};
+
+}  // namespace ntier::server

@@ -1,0 +1,26 @@
+#include "server/connection_pool.h"
+
+namespace ntier::server {
+
+void ConnectionPool::acquire(std::function<void()> granted) {
+  if (in_use_ < size_) {
+    ++in_use_;
+    ++grants_;
+    granted();
+    return;
+  }
+  waiters_.push_back(std::move(granted));
+}
+
+void ConnectionPool::release() {
+  if (!waiters_.empty()) {
+    auto next = std::move(waiters_.front());
+    waiters_.pop_front();
+    ++grants_;
+    next();  // connection stays in_use_, handed over directly
+    return;
+  }
+  if (in_use_ > 0) --in_use_;
+}
+
+}  // namespace ntier::server

@@ -1,0 +1,38 @@
+// Blocking connection pool (Tomcat's JDBC pool, size 50 in the paper).
+//
+// The pool is the hidden queue bound between app and DB tier in the
+// synchronous system: at most `size` queries can be in flight to MySQL,
+// which is why sync MySQL never overflows — the overflow surfaces
+// upstream instead (upstream CTQO, paper §V-B).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+namespace ntier::server {
+
+class ConnectionPool {
+ public:
+  explicit ConnectionPool(std::size_t size) : size_(size) {}
+
+  // Calls `granted` when a connection is available (possibly
+  // immediately, synchronously). FIFO among waiters.
+  void acquire(std::function<void()> granted);
+
+  // Returns a connection; hands it to the oldest waiter if any.
+  void release();
+
+  std::size_t size() const { return size_; }
+  std::size_t in_use() const { return in_use_; }
+  std::size_t waiting() const { return waiters_.size(); }
+  std::uint64_t total_grants() const { return grants_; }
+
+ private:
+  std::size_t size_;
+  std::size_t in_use_ = 0;
+  std::uint64_t grants_ = 0;
+  std::deque<std::function<void()>> waiters_;
+};
+
+}  // namespace ntier::server

@@ -1,0 +1,3 @@
+#include "server/request.h"
+
+namespace ntier::server {}

@@ -1,0 +1,53 @@
+// Requests and the micro-level event trace.
+//
+// A Request is created by a client, traverses the tier chain, and flows
+// back. Per the paper's methodology, "all the messages exchanged between
+// servers are timestamped" — the trace records every admission, drop,
+// and completion so experiments can do micro-level event analysis.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ntier::server {
+
+struct Request {
+  std::uint64_t id = 0;
+  std::size_t class_index = 0;  // into AppProfile::classes
+  sim::Time issued;             // client send time
+  sim::Time completed;          // client receive time (set by client)
+  int total_drops = 0;          // packet drops suffered across all hops
+  bool failed = false;          // abandoned after max retransmissions
+
+  // Micro-level event trace (enabled per experiment; costs memory).
+  struct Stamp {
+    std::string where;  // "apache:admit", "tomcat:drop", "client:send", ...
+    sim::Time at;
+  };
+  std::vector<Stamp> trace;
+  bool tracing = false;
+
+  void stamp(std::string where, sim::Time at) {
+    if (tracing) trace.push_back(Stamp{std::move(where), at});
+  }
+
+  sim::Duration latency() const { return completed - issued; }
+};
+
+using RequestPtr = std::shared_ptr<Request>;
+
+// One unit of work offered to a server: the request plus the way back.
+// `reply` is invoked by the serving tier when its work (including all
+// downstream work) finishes; the *sender* embeds any return-path latency
+// inside the callback.
+struct Job {
+  RequestPtr req;
+  std::function<void(const RequestPtr&)> reply;
+};
+
+}  // namespace ntier::server

@@ -1,0 +1,47 @@
+#include "server/server_base.h"
+
+#include <cassert>
+
+namespace ntier::server {
+
+Server::Server(sim::Simulation& sim, std::string name, cpu::VmCpu* vm,
+               const AppProfile* profile,
+               std::function<Program(const RequestClassProfile&)> program_fn)
+    : sim_(sim),
+      name_(std::move(name)),
+      vm_(vm),
+      profile_(profile),
+      program_fn_(std::move(program_fn)) {
+  assert(profile_ != nullptr);
+}
+
+void Server::connect_downstream(Server* next, net::RtoPolicy rto, net::Link link) {
+  downstream_ = next;
+  transport_ = std::make_unique<net::Transport>(sim_, rto, link);
+}
+
+void Server::dispatch_downstream(const RequestPtr& req, std::function<void()> on_reply) {
+  assert(downstream_ != nullptr && transport_ != nullptr);
+  auto reply_cb = std::make_shared<std::function<void()>>(std::move(on_reply));
+  Job down;
+  down.req = req;
+  // The downstream tier calls this at its completion instant; the
+  // return-path link latency belongs to this (sending) side.
+  down.reply = [this, reply_cb](const RequestPtr&) {
+    sim_.after(transport_->link().sample(), [reply_cb] { (*reply_cb)(); });
+  };
+  transport_->send(
+      [next = downstream_, down](/*attempt*/) { return next->offer(down); },
+      [this, req, reply_cb](const net::TxOutcome& out) {
+        req->total_drops += out.drops;
+        if (!out.delivered) {
+          // Connection abandoned after max retries: fail the request and
+          // unwind so upstream threads/clients are released.
+          req->failed = true;
+          ++stats_.failed;
+          (*reply_cb)();
+        }
+      });
+}
+
+}  // namespace ntier::server

@@ -1,0 +1,104 @@
+// Server: common machinery for every tier server model.
+//
+// A server admits Jobs (offer); admission can fail — that is a dropped
+// packet, the central event of the paper. Each server runs on a VmCpu,
+// may own an IoDevice for its disk steps, and may have one downstream
+// server reached through a retransmitting Transport (the RPC chain).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/host_core.h"
+#include "cpu/io_device.h"
+#include "net/link.h"
+#include "net/rto_policy.h"
+#include "net/transport.h"
+#include "server/app_profile.h"
+#include "server/request.h"
+#include "sim/simulation.h"
+
+namespace ntier::server {
+
+class Server {
+ public:
+  struct Stats {
+    std::uint64_t offered = 0;    // admission attempts (incl. retransmits)
+    std::uint64_t accepted = 0;   // jobs admitted
+    std::uint64_t dropped = 0;    // admission refusals (dropped packets)
+    std::uint64_t completed = 0;  // jobs replied
+    std::uint64_t failed = 0;     // downstream sends abandoned
+  };
+
+  // `program_fn` maps a request class to this tier's work program.
+  Server(sim::Simulation& sim, std::string name, cpu::VmCpu* vm, const AppProfile* profile,
+         std::function<Program(const RequestClassProfile&)> program_fn);
+  virtual ~Server() = default;
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Attempts to admit one job. Returns false when the packet is dropped
+  // (sender will retransmit per its RtoPolicy).
+  virtual bool offer(Job job) = 0;
+
+  // Wires the downstream hop of the RPC/async chain.
+  void connect_downstream(Server* next, net::RtoPolicy rto, net::Link link);
+  // Attaches a disk for kDisk steps (DB tier, collectl flush target).
+  void attach_io(cpu::IoDevice* dev) { io_ = dev; }
+
+  // --- observability -----------------------------------------------------
+  const std::string& name() const { return name_; }
+  cpu::VmCpu* vm() const { return vm_; }
+  cpu::IoDevice* io() const { return io_; }
+  const Stats& stats() const { return stats_; }
+  // Total requests inside this server (the paper's "queued requests"
+  // per-tier series; bounded by MaxSysQDepth for sync servers).
+  std::size_t queued_requests() const { return in_system_; }
+  virtual std::size_t busy_workers() const = 0;
+  virtual std::size_t backlog_depth() const = 0;
+  // Current admission capacity: thread pool + TCP backlog for sync
+  // servers (the paper's MaxSysQDepth), LiteQDepth for async ones.
+  virtual std::size_t max_sys_q_depth() const = 0;
+  // Timestamps of every admission drop at this server.
+  const std::vector<sim::Time>& drop_times() const { return drop_times_; }
+  net::Transport* downstream_transport() { return transport_ ? transport_.get() : nullptr; }
+  Server* downstream() const { return downstream_; }
+
+ protected:
+  Program program_for(const Request& r) const {
+    return program_fn_(profile_->at(r.class_index));
+  }
+
+  void note_offer() { ++stats_.offered; }
+  void note_accept() { ++stats_.accepted; ++in_system_; }
+  void note_drop() {
+    ++stats_.dropped;
+    drop_times_.push_back(sim_.now());
+  }
+  void note_reply() { ++stats_.completed; --in_system_; }
+
+  // Sends the request downstream with retransmission-on-drop; `on_reply`
+  // fires after the downstream tier replies (return-link latency
+  // included). On permanent failure the request is marked failed and
+  // `on_reply` still fires so the chain unwinds.
+  void dispatch_downstream(const RequestPtr& req, std::function<void()> on_reply);
+
+  sim::Simulation& sim_;
+  std::string name_;
+  cpu::VmCpu* vm_;
+  cpu::IoDevice* io_ = nullptr;
+  const AppProfile* profile_;
+  std::function<Program(const RequestClassProfile&)> program_fn_;
+
+  Server* downstream_ = nullptr;
+  std::unique_ptr<net::Transport> transport_;
+
+  Stats stats_;
+  std::size_t in_system_ = 0;
+  std::vector<sim::Time> drop_times_;
+};
+
+}  // namespace ntier::server

@@ -1,0 +1,107 @@
+#include "server/staged_server.h"
+
+#include <cassert>
+
+namespace ntier::server {
+
+StagedServer::StagedServer(sim::Simulation& sim, std::string name, cpu::VmCpu* vm,
+                           const AppProfile* profile,
+                           std::function<Program(const RequestClassProfile&)> program_fn,
+                           StagedConfig cfg)
+    : Server(sim, std::move(name), vm, profile, std::move(program_fn)), cfg_(cfg) {
+  assert(cfg.ingress.threads > 0 && cfg.continuation.threads > 0);
+}
+
+bool StagedServer::offer(Job job) {
+  note_offer();
+  if (ingress_q_.size() >= cfg_.ingress.queue_cap) {
+    note_drop();
+    job.req->stamp(name_ + ":drop", sim_.now());
+    return false;
+  }
+  note_accept();
+  job.req->stamp(name_ + ":admit", sim_.now());
+  auto ctx = std::make_shared<Ctx>();
+  ctx->prog = program_for(*job.req);
+  ctx->job = std::move(job);
+  ingress_q_.push_back(std::move(ctx));
+  pump();
+  return true;
+}
+
+void StagedServer::pump() {
+  // Continuation stage first: completing in-flight work frees memory and
+  // replies upstream (SEDA's output stages run ahead of accept stages).
+  while (cont_active_ < cfg_.continuation.threads && !cont_q_.empty()) {
+    CtxPtr ctx = std::move(cont_q_.front());
+    cont_q_.pop_front();
+    ++cont_active_;
+    run_step(ctx, /*continuation_stage=*/true);
+  }
+  while (ingress_active_ < cfg_.ingress.threads && !ingress_q_.empty()) {
+    CtxPtr ctx = std::move(ingress_q_.front());
+    ingress_q_.pop_front();
+    ++ingress_active_;
+    run_step(ctx, /*continuation_stage=*/false);
+  }
+}
+
+void StagedServer::run_step(const CtxPtr& ctx, bool continuation_stage) {
+  if (ctx->pc >= ctx->prog.size()) {
+    finish(ctx, continuation_stage);
+    return;
+  }
+  const WorkStep& step = ctx->prog[ctx->pc];
+  switch (step.kind) {
+    case WorkStep::Kind::kCpu: {
+      if (step.amount <= sim::Duration::zero()) {
+        ++ctx->pc;
+        run_step(ctx, continuation_stage);
+        return;
+      }
+      vm_->submit(step.amount, [this, ctx, continuation_stage] {
+        ++ctx->pc;
+        run_step(ctx, continuation_stage);
+      });
+      return;
+    }
+    case WorkStep::Kind::kDisk: {
+      assert(io_ != nullptr && "kDisk step requires attach_io()");
+      io_->submit_service(step.amount, [this, ctx, continuation_stage] {
+        ++ctx->pc;
+        run_step(ctx, continuation_stage);
+      });
+      return;
+    }
+    case WorkStep::Kind::kDownstream: {
+      // Release this stage's slot; the reply re-enters via the
+      // continuation queue (unbounded: the request is already ours).
+      if (continuation_stage) {
+        --cont_active_;
+      } else {
+        --ingress_active_;
+      }
+      dispatch_downstream(ctx->job.req, [this, ctx] {
+        ++ctx->pc;
+        cont_q_.push_back(ctx);
+        pump();
+      });
+      pump();
+      return;
+    }
+  }
+}
+
+void StagedServer::finish(const CtxPtr& ctx, bool continuation_stage) {
+  note_reply();
+  ctx->job.req->stamp(name_ + ":reply", sim_.now());
+  ctx->job.reply(ctx->job.req);
+  if (continuation_stage) {
+    --cont_active_;
+  } else {
+    --ingress_active_;
+  }
+  pump();
+}
+
+}  // namespace ntier::server

@@ -1,0 +1,77 @@
+// StagedServer: SEDA-style staged event-driven server.
+//
+// The paper's related work spans the events-vs-threads debate (SEDA
+// [33], Capriccio-style threads [29]); SEDA is the classic middle point
+// between our SyncServer and AsyncServer: request processing is split
+// into stages, each with its own *bounded* event queue and a small
+// thread pool, and downstream I/O never blocks a stage thread.
+//
+// Two stages model a tier: `ingress` runs the work up to the first
+// downstream call; `continuation` runs everything after a downstream
+// reply. Admission overflow at the ingress queue is a dropped packet
+// (SEDA sheds at stage boundaries); continuation work — replies already
+// inside the server — is never shed.
+//
+// Compared on the paper's millibottleneck scenarios, a staged tier sits
+// between sync (MaxSysQDepth ~ 10^2) and async (LiteQDepth ~ 10^4-10^5):
+// its bounded stage queue postpones CTQO roughly in proportion to the
+// queue cap (bench/ext_seda).
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "server/server_base.h"
+
+namespace ntier::server {
+
+struct StageConfig {
+  std::size_t queue_cap = 1000;  // bounded event queue (admission bound)
+  std::size_t threads = 16;      // stage thread pool
+};
+
+struct StagedConfig {
+  StageConfig ingress{};
+  StageConfig continuation{};
+};
+
+class StagedServer : public Server {
+ public:
+  StagedServer(sim::Simulation& sim, std::string name, cpu::VmCpu* vm,
+               const AppProfile* profile,
+               std::function<Program(const RequestClassProfile&)> program_fn,
+               StagedConfig cfg);
+
+  bool offer(Job job) override;
+
+  std::size_t busy_workers() const override { return ingress_active_ + cont_active_; }
+  std::size_t backlog_depth() const override {
+    return ingress_q_.size() + cont_q_.size();
+  }
+  std::size_t max_sys_q_depth() const override {
+    return cfg_.ingress.queue_cap + cfg_.ingress.threads;
+  }
+  const StagedConfig& config() const { return cfg_; }
+
+ private:
+  struct Ctx {
+    Job job;
+    Program prog;
+    std::size_t pc = 0;
+  };
+  using CtxPtr = std::shared_ptr<Ctx>;
+
+  void pump();
+  // Runs steps while holding a slot of the given stage; the downstream
+  // step releases the slot and re-enters via the continuation queue.
+  void run_step(const CtxPtr& ctx, bool continuation_stage);
+  void finish(const CtxPtr& ctx, bool continuation_stage);
+
+  StagedConfig cfg_;
+  std::deque<CtxPtr> ingress_q_;
+  std::deque<CtxPtr> cont_q_;
+  std::size_t ingress_active_ = 0;
+  std::size_t cont_active_ = 0;
+};
+
+}  // namespace ntier::server

@@ -1,0 +1,147 @@
+#include "server/sync_server.h"
+
+#include <cassert>
+
+namespace ntier::server {
+
+SyncServer::SyncServer(sim::Simulation& sim, std::string name, cpu::VmCpu* vm,
+                       const AppProfile* profile,
+                       std::function<Program(const RequestClassProfile&)> program_fn,
+                       SyncConfig cfg)
+    : Server(sim, std::move(name), vm, profile, std::move(program_fn)),
+      cfg_(cfg),
+      threads_(cfg.threads_per_process),
+      accept_q_(cfg.backlog) {
+  assert(cfg.threads_per_process > 0);
+  if (cfg_.db_pool > 0) pool_ = std::make_unique<ConnectionPool>(cfg_.db_pool);
+  arm_gc(sim_, *vm_, cfg_.overhead, [this] { return busy_; });
+}
+
+bool SyncServer::offer(Job job) {
+  note_offer();
+  if (busy_ < threads_) {
+    note_accept();
+    job.req->stamp(name_ + ":admit", sim_.now());
+    start(std::move(job));
+    return true;
+  }
+  if (accept_q_.try_push(sim_.now())) {
+    note_accept();
+    job.req->stamp(name_ + ":backlog", sim_.now());
+    backlog_q_.push_back(std::move(job));
+    check_spawn();
+    return true;
+  }
+  if (cfg_.shed_on_overload) {
+    // Fail fast: a canned overload error costs no worker and no queue
+    // slot; the sender sees an accepted-and-answered request.
+    ++shed_;
+    job.req->failed = true;
+    job.req->stamp(name_ + ":shed", sim_.now());
+    sim_.after(sim::Duration::micros(50),
+               [job = std::move(job)] { job.reply(job.req); });
+    check_spawn();
+    return true;
+  }
+  note_drop();
+  job.req->stamp(name_ + ":drop", sim_.now());
+  check_spawn();
+  return false;
+}
+
+void SyncServer::start(Job job) {
+  ++busy_;
+  if (busy_ == threads_ && exhausted_since_ == sim::Time::max())
+    exhausted_since_ = sim_.now();
+  auto ctx = std::make_shared<Ctx>();
+  ctx->prog = program_for(*job.req);
+  ctx->job = std::move(job);
+  run_step(ctx);
+}
+
+void SyncServer::run_step(const std::shared_ptr<Ctx>& ctx) {
+  if (ctx->pc >= ctx->prog.size()) {
+    finish(ctx);
+    return;
+  }
+  const WorkStep& step = ctx->prog[ctx->pc];
+  switch (step.kind) {
+    case WorkStep::Kind::kCpu: {
+      if (step.amount <= sim::Duration::zero()) {
+        ++ctx->pc;
+        run_step(ctx);
+        return;
+      }
+      const auto demand = cfg_.overhead.inflate(step.amount, busy_);
+      vm_->submit(demand, [this, ctx] {
+        ++ctx->pc;
+        run_step(ctx);
+      });
+      return;
+    }
+    case WorkStep::Kind::kDisk: {
+      assert(io_ != nullptr && "kDisk step requires attach_io()");
+      io_->submit_service(step.amount, [this, ctx] {
+        ++ctx->pc;
+        run_step(ctx);
+      });
+      return;
+    }
+    case WorkStep::Kind::kDownstream: {
+      auto go = [this, ctx] {
+        dispatch_downstream(ctx->job.req, [this, ctx] {
+          if (pool_) pool_->release();
+          ++ctx->pc;
+          run_step(ctx);
+        });
+      };
+      if (pool_) {
+        // The worker thread blocks until a DB connection frees — this
+        // wait is still *inside* the server (counted in queued_requests).
+        pool_->acquire(std::move(go));
+      } else {
+        go();
+      }
+      return;
+    }
+  }
+}
+
+void SyncServer::finish(const std::shared_ptr<Ctx>& ctx) {
+  note_reply();
+  ctx->job.req->stamp(name_ + ":reply", sim_.now());
+  ctx->job.reply(ctx->job.req);
+  worker_freed();
+}
+
+void SyncServer::worker_freed() {
+  --busy_;
+  if (!backlog_q_.empty()) {
+    Job next = std::move(backlog_q_.front());
+    backlog_q_.pop_front();
+    accept_q_.pop();
+    start(std::move(next));
+  }
+  // The pool stays "exhausted" if the backlog immediately refilled the
+  // freed worker; the timer only resets when capacity truly opened up.
+  if (busy_ < threads_) exhausted_since_ = sim::Time::max();
+}
+
+void SyncServer::check_spawn() {
+  if (processes_ >= cfg_.max_processes) return;
+  if (exhausted_since_ == sim::Time::max()) return;
+  if (sim_.now() - exhausted_since_ < cfg_.process_spawn_after) return;
+  // Apache prefork: bring up another process worth of workers and let
+  // them drain the backlog immediately.
+  ++processes_;
+  threads_ += cfg_.threads_per_process;
+  exhausted_since_ = sim_.now();  // exhaustion timer restarts for the larger pool
+  while (busy_ < threads_ && !backlog_q_.empty()) {
+    Job next = std::move(backlog_q_.front());
+    backlog_q_.pop_front();
+    accept_q_.pop();
+    start(std::move(next));
+  }
+}
+
+}  // namespace ntier::server

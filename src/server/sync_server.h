@@ -1,0 +1,82 @@
+// SyncServer: thread-per-request RPC server (Apache, Tomcat BIO, MySQL).
+//
+// A worker thread owns a request for its whole lifetime, *including*
+// downstream RPC waits — the tight coupling the paper identifies as the
+// CTQO enabler. Admission capacity is MaxSysQDepth = live threads + TCP
+// backlog; beyond that packets drop. An optional process manager mimics
+// Apache prefork: when every thread has been busy for a sustained
+// period, another process (thread pool) is spawned, raising
+// MaxSysQDepth (the 278 -> 428 second-level overflow in Fig 3(b)).
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "cpu/thread_overhead.h"
+#include "net/tcp_queue.h"
+#include "server/connection_pool.h"
+#include "server/server_base.h"
+
+namespace ntier::server {
+
+struct SyncConfig {
+  std::size_t threads_per_process = 150;
+  std::size_t max_processes = 1;
+  // Spawn another process once the pool has been continuously exhausted
+  // this long (only if max_processes allows).
+  sim::Duration process_spawn_after = sim::Duration::seconds(2);
+  std::size_t backlog = 128;  // TCP accept-queue capacity
+  // Downstream connection pool size; 0 = unlimited (no pool).
+  std::size_t db_pool = 0;
+  cpu::ThreadOverheadModel overhead{};
+  // Alternative design (§V-E adjacent): instead of letting TCP drop the
+  // packet (3 s retransmit), reply with an immediate error ("503") when
+  // MaxSysQDepth is full. Trades VLRT for explicit failures. Intended
+  // for the client-facing tier.
+  bool shed_on_overload = false;
+};
+
+class SyncServer : public Server {
+ public:
+  SyncServer(sim::Simulation& sim, std::string name, cpu::VmCpu* vm,
+             const AppProfile* profile,
+             std::function<Program(const RequestClassProfile&)> program_fn,
+             SyncConfig cfg);
+
+  bool offer(Job job) override;
+
+  std::size_t busy_workers() const override { return busy_; }
+  std::size_t backlog_depth() const override { return accept_q_.depth(); }
+  std::size_t max_sys_q_depth() const override { return threads_ + accept_q_.capacity(); }
+  std::size_t thread_count() const { return threads_; }
+  std::size_t process_count() const { return processes_; }
+  // Requests answered with an immediate overload error (shed mode).
+  std::uint64_t shed_count() const { return shed_; }
+  ConnectionPool* pool() { return pool_ ? pool_.get() : nullptr; }
+  const SyncConfig& config() const { return cfg_; }
+
+ private:
+  struct Ctx {
+    Job job;
+    Program prog;
+    std::size_t pc = 0;
+  };
+
+  void start(Job job);
+  void run_step(const std::shared_ptr<Ctx>& ctx);
+  void finish(const std::shared_ptr<Ctx>& ctx);
+  void worker_freed();
+  void check_spawn();
+
+  SyncConfig cfg_;
+  std::size_t threads_;     // current total across processes
+  std::size_t processes_ = 1;
+  std::size_t busy_ = 0;
+  net::TcpQueue accept_q_;
+  std::deque<Job> backlog_q_;
+  std::unique_ptr<ConnectionPool> pool_;
+  sim::Time exhausted_since_ = sim::Time::max();
+  std::uint64_t shed_ = 0;
+};
+
+}  // namespace ntier::server

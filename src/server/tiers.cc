@@ -1,0 +1,88 @@
+#include "server/tiers.h"
+
+namespace ntier::server::tiers {
+
+SyncConfig apache_config() {
+  SyncConfig c;
+  c.threads_per_process = 150;
+  c.max_processes = 2;  // prefork: MaxSysQDepth 278 -> 428 (Fig 3(b))
+  c.process_spawn_after = sim::Duration::seconds(2);
+  c.backlog = 128;
+  return c;
+}
+
+SyncConfig tomcat_config(std::size_t threads) {
+  SyncConfig c;
+  c.threads_per_process = threads;
+  c.max_processes = 1;
+  c.backlog = 128;
+  c.db_pool = 50;  // JDBC pool: sync MySQL's real input bound
+  return c;
+}
+
+SyncConfig mysql_config() {
+  SyncConfig c;
+  c.threads_per_process = 100;
+  c.max_processes = 1;
+  c.backlog = 128;  // MaxSysQDepth(MySQL) = 228
+  return c;
+}
+
+AsyncConfig nginx_config() {
+  AsyncConfig c;
+  c.lite_q_depth = 65535;
+  c.max_active = 4096;
+  return c;
+}
+
+AsyncConfig xtomcat_config() {
+  AsyncConfig c;
+  c.lite_q_depth = 65535;
+  c.max_active = 4096;
+  return c;
+}
+
+AsyncConfig xmysql_config() {
+  AsyncConfig c;
+  c.lite_q_depth = 2000;  // InnoDB lightweight wait queue
+  c.max_active = 8;       // innodb_thread_concurrency
+  return c;
+}
+
+namespace {
+Program web_fn(const RequestClassProfile& c) { return web_program(c); }
+Program app_fn(const RequestClassProfile& c) { return app_program(c); }
+Program db_fn(const RequestClassProfile& c) { return db_program(c); }
+}  // namespace
+
+std::unique_ptr<SyncServer> make_apache(sim::Simulation& sim, cpu::VmCpu* vm,
+                                        const AppProfile* profile, SyncConfig cfg) {
+  return std::make_unique<SyncServer>(sim, "apache", vm, profile, web_fn, cfg);
+}
+
+std::unique_ptr<SyncServer> make_tomcat(sim::Simulation& sim, cpu::VmCpu* vm,
+                                        const AppProfile* profile, SyncConfig cfg) {
+  return std::make_unique<SyncServer>(sim, "tomcat", vm, profile, app_fn, cfg);
+}
+
+std::unique_ptr<SyncServer> make_mysql(sim::Simulation& sim, cpu::VmCpu* vm,
+                                       const AppProfile* profile, SyncConfig cfg) {
+  return std::make_unique<SyncServer>(sim, "mysql", vm, profile, db_fn, cfg);
+}
+
+std::unique_ptr<AsyncServer> make_nginx(sim::Simulation& sim, cpu::VmCpu* vm,
+                                        const AppProfile* profile, AsyncConfig cfg) {
+  return std::make_unique<AsyncServer>(sim, "nginx", vm, profile, web_fn, cfg);
+}
+
+std::unique_ptr<AsyncServer> make_xtomcat(sim::Simulation& sim, cpu::VmCpu* vm,
+                                          const AppProfile* profile, AsyncConfig cfg) {
+  return std::make_unique<AsyncServer>(sim, "xtomcat", vm, profile, app_fn, cfg);
+}
+
+std::unique_ptr<AsyncServer> make_xmysql(sim::Simulation& sim, cpu::VmCpu* vm,
+                                         const AppProfile* profile, AsyncConfig cfg) {
+  return std::make_unique<AsyncServer>(sim, "xmysql", vm, profile, db_fn, cfg);
+}
+
+}  // namespace ntier::server::tiers

@@ -1,0 +1,45 @@
+// Tier presets: the six concrete servers of the paper with their
+// published configuration (Fig 13 + §III-§V numbers).
+//
+//   Apache  — sync web,  150 threads/process, up to 2 processes, backlog 128
+//   Tomcat  — sync app,  150 threads (165 in the NX=1 runs), DB pool 50
+//   MySQL   — sync DB,   100 threads, backlog 128
+//   Nginx   — async web, LiteQDepth 65535
+//   XTomcat — async app, LiteQDepth 65535 (NIO + async JDBC: no DB pool)
+//   XMySQL  — MySQL/InnoDB lightweight queue: 8 threads + 2000 wait slots
+#pragma once
+
+#include <memory>
+
+#include "server/async_server.h"
+#include "server/sync_server.h"
+
+namespace ntier::server::tiers {
+
+SyncConfig apache_config();
+SyncConfig tomcat_config(std::size_t threads = 150);
+SyncConfig mysql_config();
+AsyncConfig nginx_config();
+AsyncConfig xtomcat_config();
+AsyncConfig xmysql_config();
+
+std::unique_ptr<SyncServer> make_apache(sim::Simulation& sim, cpu::VmCpu* vm,
+                                        const AppProfile* profile,
+                                        SyncConfig cfg = apache_config());
+std::unique_ptr<SyncServer> make_tomcat(sim::Simulation& sim, cpu::VmCpu* vm,
+                                        const AppProfile* profile,
+                                        SyncConfig cfg = tomcat_config());
+std::unique_ptr<SyncServer> make_mysql(sim::Simulation& sim, cpu::VmCpu* vm,
+                                       const AppProfile* profile,
+                                       SyncConfig cfg = mysql_config());
+std::unique_ptr<AsyncServer> make_nginx(sim::Simulation& sim, cpu::VmCpu* vm,
+                                        const AppProfile* profile,
+                                        AsyncConfig cfg = nginx_config());
+std::unique_ptr<AsyncServer> make_xtomcat(sim::Simulation& sim, cpu::VmCpu* vm,
+                                          const AppProfile* profile,
+                                          AsyncConfig cfg = xtomcat_config());
+std::unique_ptr<AsyncServer> make_xmysql(sim::Simulation& sim, cpu::VmCpu* vm,
+                                         const AppProfile* profile,
+                                         AsyncConfig cfg = xmysql_config());
+
+}  // namespace ntier::server::tiers

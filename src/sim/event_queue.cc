@@ -1,0 +1,34 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace ntier::sim {
+
+EventHandle EventQueue::push(Time when, EventFn fn) {
+  auto done = std::make_shared<bool>(false);
+  heap_.push(Entry{when, next_seq_++, std::move(fn), done});
+  return EventHandle{std::move(done)};
+}
+
+void EventQueue::drop_dead() {
+  while (!heap_.empty() && *heap_.top().done) heap_.pop();
+}
+
+Time EventQueue::next_time() {
+  drop_dead();
+  return heap_.empty() ? Time::max() : heap_.top().when;
+}
+
+bool EventQueue::pop_and_run() {
+  drop_dead();
+  if (heap_.empty()) return false;
+  // Move the entry out before running: fn may push new events and
+  // invalidate the top reference.
+  Entry e = heap_.top();
+  heap_.pop();
+  *e.done = true;
+  e.fn();
+  return true;
+}
+
+}  // namespace ntier::sim

@@ -1,0 +1,71 @@
+// Cancellable future-event list for the discrete-event engine.
+//
+// A binary heap keyed by (time, sequence) gives deterministic FIFO order
+// among events scheduled for the same instant. Cancellation is lazy: a
+// cancelled entry stays in the heap and is skipped on pop, which keeps
+// cancel() O(1) — important for the processor-sharing core, which
+// reschedules its next-completion event on every job arrival/departure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ntier::sim {
+
+using EventFn = std::function<void()>;
+
+// Handle that outlives the queue entry; safe to cancel after firing (no-op).
+class EventHandle {
+ public:
+  EventHandle() = default;
+  // True if the event has neither fired nor been cancelled.
+  bool pending() const { return state_ && !*state_; }
+  // Prevents a pending event from firing. Idempotent.
+  void cancel() { if (state_) *state_ = true; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> s) : state_(std::move(s)) {}
+  std::shared_ptr<bool> state_;  // true = cancelled-or-fired
+};
+
+class EventQueue {
+ public:
+  // Enqueues fn to run at `when`. Events at equal times fire in
+  // scheduling order.
+  EventHandle push(Time when, EventFn fn);
+
+  // Time of the earliest live event; Time::max() when empty.
+  Time next_time();
+
+  // Pops and runs the earliest live event. Returns false if none exists.
+  bool pop_and_run();
+
+  bool empty() { return next_time() == Time::max(); }
+  std::size_t size_upper_bound() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<bool> done;  // shared with the handle
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  void drop_dead();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ntier::sim

@@ -1,0 +1,51 @@
+// Deterministic random number generation for the simulator.
+//
+// xoshiro256++ seeded via SplitMix64. Every stochastic component takes an
+// Rng (usually forked from one experiment master seed), so a scenario's
+// entire artifact set is a pure function of its config — invariant 9 in
+// DESIGN.md.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace ntier::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Derives an independent stream; children of distinct indices from the
+  // same parent are decorrelated (SplitMix64 over seed ^ golden*index).
+  Rng fork(std::uint64_t stream_index);
+
+  std::uint64_t next_u64();
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n);
+  // Exponential with the given mean (> 0).
+  double exponential(double mean);
+  // Standard normal via Marsaglia polar method.
+  double normal(double mean, double stddev);
+  // Pareto with scale xm > 0 and shape alpha > 0 (heavy-tailed demands).
+  double pareto(double xm, double alpha);
+  // Bernoulli.
+  bool chance(double p);
+  // Zipf over {0..n-1} with exponent s (popularity skew in request mixes).
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  // Duration helpers (never negative, rounded to µs).
+  Duration exp_duration(Duration mean);
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace ntier::sim

@@ -1,0 +1,26 @@
+#include "sim/simulation.h"
+
+namespace ntier::sim {
+
+void Simulation::run_until(Time deadline) {
+  while (true) {
+    Time t = queue_.next_time();
+    if (t > deadline) break;
+    now_ = t;
+    queue_.pop_and_run();
+    ++executed_;
+  }
+  if (deadline > now_) now_ = deadline;
+}
+
+void Simulation::run_all() {
+  while (true) {
+    Time t = queue_.next_time();
+    if (t == Time::max()) break;
+    now_ = t;
+    queue_.pop_and_run();
+    ++executed_;
+  }
+}
+
+}  // namespace ntier::sim

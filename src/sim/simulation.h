@@ -1,0 +1,49 @@
+// Simulation: the clock plus scheduling facade every model component uses.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace ntier::sim {
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules fn at an absolute instant (>= now()).
+  EventHandle at(Time when, EventFn fn) {
+    assert(when >= now_);
+    return queue_.push(when, std::move(fn));
+  }
+
+  // Schedules fn after a non-negative delay.
+  EventHandle after(Duration delay, EventFn fn) {
+    assert(delay >= Duration::zero());
+    return queue_.push(now_ + delay, std::move(fn));
+  }
+
+  // Runs events until the clock would pass `deadline`. The clock ends at
+  // exactly `deadline` (events at the deadline itself do run).
+  void run_until(Time deadline);
+
+  // Runs until no live events remain (use with closed models only).
+  void run_all();
+
+  // Events executed so far; useful for microbenchmarks and loop guards.
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  Time now_ = Time::origin();
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace ntier::sim

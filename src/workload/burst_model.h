@@ -1,0 +1,51 @@
+// Workload burstiness (the paper's "burst index", after Mi et al. ICAC'09).
+//
+// RUBBoS injects burstiness by modulating client think times with a
+// 2-state Markov process shared by all clients: in the burst state the
+// mean think time shrinks by the burst index I, multiplying the arrival
+// rate for the dwell; the steady state has the configured mean. Burst
+// index 1 degenerates to plain exponential think times (SysSteady's
+// default); SysBursty uses I = 100.
+#pragma once
+
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace ntier::workload {
+
+class BurstClock {
+ public:
+  struct Config {
+    double burst_index = 1.0;  // think-time divisor while bursting
+    sim::Duration burst_dwell = sim::Duration::millis(800);
+    sim::Duration normal_dwell = sim::Duration::seconds(14);
+  };
+
+  // rng must outlive the clock. A burst_index <= 1 never enters the
+  // burst state (no events scheduled).
+  BurstClock(sim::Simulation& sim, sim::Rng& rng, Config cfg);
+
+  bool bursting() const { return bursting_; }
+  // Multiplier applied to think-time means right now (1/I in a burst).
+  double think_scale() const { return bursting_ ? 1.0 / cfg_.burst_index : 1.0; }
+
+  // Start times of every burst dwell (for figure time markers).
+  const std::vector<sim::Time>& burst_starts() const { return burst_starts_; }
+
+ private:
+  void schedule_flip();
+
+  sim::Simulation& sim_;
+  sim::Rng& rng_;
+  Config cfg_;
+  bool bursting_ = false;
+  std::vector<sim::Time> burst_starts_;
+};
+
+// Draws one think time honoring the optional shared burst clock.
+sim::Duration draw_think(sim::Rng& rng, sim::Duration mean, const BurstClock* clock);
+
+}  // namespace ntier::workload

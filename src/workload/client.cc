@@ -1,0 +1,102 @@
+#include "workload/client.h"
+
+namespace ntier::workload {
+
+ClientPool::ClientPool(sim::Simulation& sim, sim::Rng rng,
+                       const server::AppProfile* profile, server::Server* front,
+                       ClientConfig cfg, BurstClock* burst)
+    : sim_(sim),
+      rng_(rng),
+      profile_(profile),
+      front_(front),
+      cfg_(cfg),
+      burst_(burst),
+      transport_(sim, cfg.rto, cfg.link) {
+  if (cfg_.session_model != nullptr) {
+    session_class_.resize(cfg_.sessions);
+    for (auto& s : session_class_) s = profile_->pick(rng_);
+  }
+}
+
+void ClientPool::start() {
+  for (std::size_t s = 0; s < cfg_.sessions; ++s) {
+    // Exponential initial phase = the equilibrium residual of the
+    // (exponential) think cycle, so the arrival process is stationary
+    // from t=0 with no ramp-in overshoot.
+    const auto phase = rng_.exp_duration(cfg_.mean_think);
+    sim_.after(phase, [this, s] { issue(s); });
+  }
+}
+
+void ClientPool::session_think(std::size_t session) {
+  const auto think = draw_think(rng_, cfg_.mean_think, burst_);
+  sim_.after(think, [this, session] { issue(session); });
+}
+
+std::size_t ClientPool::pick_class(std::size_t session) {
+  if (cfg_.session_model == nullptr) return profile_->pick(rng_);
+  std::size_t& state = session_class_[session];
+  state = cfg_.session_model->next(state, rng_);
+  return state;
+}
+
+// Finalizes one request exactly once (normal reply, timeout, or
+// connection failure) and moves the session on.
+void ClientPool::settle(std::size_t session, const server::RequestPtr& r) {
+  r->completed = sim_.now();
+  r->stamp("client:recv", sim_.now());
+  ++completed_;
+  if (r->failed) ++failed_;
+  notify(r);
+  session_think(session);
+}
+
+void ClientPool::issue(std::size_t session) {
+  auto req = std::make_shared<server::Request>();
+  req->id = next_id_++;
+  req->class_index = pick_class(session);
+  req->issued = sim_.now();
+  req->tracing = cfg_.trace_requests;
+  req->stamp("client:send", sim_.now());
+  ++issued_;
+
+  // First of {reply, timeout, connection-failure} wins.
+  auto settled = std::make_shared<bool>(false);
+
+  server::Job job;
+  job.req = req;
+  job.reply = [this, session, settled](const server::RequestPtr& r) {
+    // Response travels the return link before the client sees it.
+    sim_.after(transport_.link().sample(), [this, session, settled, r] {
+      if (*settled) return;  // stale response after a timeout
+      *settled = true;
+      settle(session, r);
+    });
+  };
+
+  if (cfg_.timeout > sim::Duration::zero()) {
+    sim_.after(cfg_.timeout, [this, session, settled, req] {
+      if (*settled) return;
+      *settled = true;
+      ++timeouts_;
+      req->failed = true;
+      req->stamp("client:timeout", sim_.now());
+      settle(session, req);
+    });
+  }
+
+  transport_.send(
+      [front = front_, job]() { return front->offer(job); },
+      [this, req, session, settled](const net::TxOutcome& out) {
+        req->total_drops += out.drops;
+        if (!out.delivered) {
+          // Connection never established: the user request fails.
+          if (*settled) return;
+          *settled = true;
+          req->failed = true;
+          settle(session, req);
+        }
+      });
+}
+
+}  // namespace ntier::workload

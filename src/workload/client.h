@@ -1,0 +1,95 @@
+// Closed-loop client population (the RUBBoS load generator).
+//
+// N sessions each cycle through think -> request -> response. The
+// closed-loop law X = N / (R + Z) pins the paper's operating points:
+// think time 7 s puts WL 4000/7000/8000 at ~572/990/1103 req/s. Client
+// packets refused by the web tier retransmit per the client RtoPolicy —
+// these retransmissions ARE the paper's VLRT requests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "net/link.h"
+#include "net/rto_policy.h"
+#include "net/transport.h"
+#include "server/app_profile.h"
+#include "server/request.h"
+#include "server/server_base.h"
+#include "sim/random.h"
+#include "sim/simulation.h"
+#include "workload/burst_model.h"
+#include "workload/session_model.h"
+
+namespace ntier::workload {
+
+struct ClientConfig {
+  std::size_t sessions = 1000;
+  sim::Duration mean_think = sim::Duration::seconds(7);
+  net::RtoPolicy rto = net::RtoPolicy::rhel6();
+  net::Link link{};
+  bool trace_requests = false;
+  // Completions before this instant are not reported (warm-up).
+  sim::Time measure_from = sim::Time::origin();
+  // Browser-style request timeout; zero disables. A timed-out request is
+  // recorded as failed and the session moves on (the straggling response
+  // is discarded when it eventually arrives).
+  sim::Duration timeout = sim::Duration::zero();
+  // Optional Markov page-navigation model (see workload/session_model.h);
+  // null = independent draws from the profile weights.
+  const SessionModel* session_model = nullptr;
+};
+
+class ClientPool {
+ public:
+  using CompletionFn = std::function<void(const server::RequestPtr&)>;
+
+  // `front` is the web tier; `burst` (optional) modulates think times.
+  ClientPool(sim::Simulation& sim, sim::Rng rng, const server::AppProfile* profile,
+             server::Server* front, ClientConfig cfg, BurstClock* burst = nullptr);
+
+  // Begins all sessions (each with a randomized initial think phase).
+  void start();
+
+  // Registers a listener called for every measured completion (after
+  // warm-up); listeners accumulate and run in registration order.
+  void on_complete(CompletionFn fn) { listeners_.push_back(std::move(fn)); }
+
+  std::uint64_t issued() const { return issued_; }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t failed() const { return failed_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t in_flight() const { return issued_ - completed_; }
+  const net::TxStats& tx_stats() const { return transport_.stats(); }
+
+ private:
+  void session_think(std::size_t session);
+  void issue(std::size_t session);
+
+  sim::Simulation& sim_;
+  sim::Rng rng_;
+  const server::AppProfile* profile_;
+  server::Server* front_;
+  ClientConfig cfg_;
+  BurstClock* burst_;
+  net::Transport transport_;
+
+  void notify(const server::RequestPtr& r) {
+    if (r->completed < cfg_.measure_from) return;
+    for (auto& fn : listeners_) fn(r);
+  }
+
+  std::size_t pick_class(std::size_t session);
+  void settle(std::size_t session, const server::RequestPtr& r);
+
+  std::vector<CompletionFn> listeners_;
+  std::vector<std::size_t> session_class_;  // Markov state per session
+  std::uint64_t next_id_ = 1;
+  std::uint64_t issued_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace ntier::workload

@@ -1,0 +1,42 @@
+#include "workload/request_mix.h"
+
+namespace ntier::workload {
+
+namespace {
+double total_weight(const server::AppProfile& p) {
+  double w = 0.0;
+  for (const auto& c : p.classes) w += c.weight;
+  return w;
+}
+}  // namespace
+
+sim::Duration mean_web_cpu(const server::AppProfile& p) {
+  double acc = 0.0;
+  for (const auto& c : p.classes) acc += c.weight * (c.web_pre + c.web_post).to_seconds();
+  return sim::Duration::from_seconds(acc / total_weight(p));
+}
+
+sim::Duration mean_db_cpu(const server::AppProfile& p) {
+  double acc = 0.0;
+  for (const auto& c : p.classes)
+    acc += c.weight * c.db_queries * c.db_cpu.to_seconds();
+  return sim::Duration::from_seconds(acc / total_weight(p));
+}
+
+OperatingPoint predict(const server::AppProfile& profile, std::size_t sessions,
+                       sim::Duration mean_think) {
+  // Base response time: sum of mean demands (no queueing) plus a couple
+  // of link round trips; small against a 7 s think time.
+  const double base_r = mean_web_cpu(profile).to_seconds() +
+                        profile.mean_app_cpu().to_seconds() +
+                        mean_db_cpu(profile).to_seconds() + 0.002;
+  OperatingPoint op;
+  op.throughput_rps =
+      static_cast<double>(sessions) / (mean_think.to_seconds() + base_r);
+  op.web_util = op.throughput_rps * mean_web_cpu(profile).to_seconds();
+  op.app_util = op.throughput_rps * profile.mean_app_cpu().to_seconds();
+  op.db_util = op.throughput_rps * mean_db_cpu(profile).to_seconds();
+  return op;
+}
+
+}  // namespace ntier::workload

@@ -1,0 +1,32 @@
+// Request-mix utilities layered over AppProfile.
+//
+// Closed-loop operating-point math used by scenario builders and tests:
+// predicts throughput and per-tier utilization from a workload size so
+// experiments can assert they run at the paper's operating points
+// (43/75/85 % at WL 4000/7000/8000).
+#pragma once
+
+#include <cstddef>
+
+#include "server/app_profile.h"
+#include "sim/time.h"
+
+namespace ntier::workload {
+
+struct OperatingPoint {
+  double throughput_rps = 0.0;  // X = N / (R + Z)
+  double web_util = 0.0;        // fraction of one core
+  double app_util = 0.0;
+  double db_util = 0.0;
+};
+
+// Predicts the operating point for `sessions` closed-loop clients with
+// `mean_think`, assuming negligible queueing (R ~ base response time).
+OperatingPoint predict(const server::AppProfile& profile, std::size_t sessions,
+                       sim::Duration mean_think);
+
+// Mean CPU demand per request at each tier under the mix.
+sim::Duration mean_web_cpu(const server::AppProfile& profile);
+sim::Duration mean_db_cpu(const server::AppProfile& profile);
+
+}  // namespace ntier::workload

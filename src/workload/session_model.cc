@@ -1,0 +1,61 @@
+#include "workload/session_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ntier::workload {
+
+SessionModel::SessionModel(std::vector<std::vector<double>> transition)
+    : rows_(std::move(transition)) {
+  assert(!rows_.empty());
+  for (const auto& row : rows_) {
+    assert(row.size() == rows_.size() && "transition matrix must be square");
+    double sum = 0.0;
+    for (double p : row) {
+      assert(p >= 0.0);
+      sum += p;
+    }
+    assert(std::abs(sum - 1.0) < 1e-6 && "rows must be stochastic");
+    (void)sum;
+  }
+}
+
+std::size_t SessionModel::next(std::size_t current, sim::Rng& rng) const {
+  assert(current < rows_.size());
+  const auto& row = rows_[current];
+  double u = rng.uniform();
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    u -= row[j];
+    if (u <= 0.0) return j;
+  }
+  return row.size() - 1;
+}
+
+std::vector<double> SessionModel::stationary(int iterations) const {
+  const std::size_t n = rows_.size();
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> nxt(n, 0.0);
+  for (int it = 0; it < iterations; ++it) {
+    for (auto& v : nxt) v = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) nxt[j] += pi[i] * rows_[i][j];
+    pi.swap(nxt);
+  }
+  return pi;
+}
+
+SessionModel SessionModel::rubbos_browse() {
+  // States: 0=Static, 1=StoriesOfTheDay, 2=ViewStory. A browse session
+  // alternates front-page loads with story views; static assets follow
+  // dynamic pages. Stationary distribution ~ (0.15, 0.55, 0.30), the
+  // rubbos() weights.
+  // Stationary distribution: (0.151, 0.549, 0.300) — the rubbos()
+  // weights to within half a percent.
+  return SessionModel({
+      {0.10, 0.60, 0.30},  // after a static hit
+      {0.16, 0.54, 0.30},  // after the front page
+      {0.16, 0.54, 0.30},  // after a story
+  });
+}
+
+}  // namespace ntier::workload

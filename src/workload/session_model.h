@@ -1,0 +1,39 @@
+// Markov session model: RUBBoS-style page navigation.
+//
+// Real RUBBoS clients do not draw each request independently — they walk
+// a transition matrix between pages (browse the front page, open a
+// story, go back, ...). The matrix's stationary distribution replaces
+// the independent class weights; per-session state adds short-range
+// correlation to the request mix (bursts of ViewStory from the same
+// session), one more source of workload burstiness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "server/app_profile.h"
+#include "sim/random.h"
+
+namespace ntier::workload {
+
+class SessionModel {
+ public:
+  // `transition[i][j]` = P(next class = j | current class = i); each row
+  // must sum to ~1 and the matrix must be square over the profile size.
+  explicit SessionModel(std::vector<std::vector<double>> transition);
+
+  std::size_t state_count() const { return rows_.size(); }
+  std::size_t next(std::size_t current, sim::Rng& rng) const;
+
+  // Stationary distribution via power iteration.
+  std::vector<double> stationary(int iterations = 200) const;
+
+  // Canonical browse matrix over the rubbos() profile classes
+  // {Static, StoriesOfTheDay, ViewStory}.
+  static SessionModel rubbos_browse();
+
+ private:
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace ntier::workload

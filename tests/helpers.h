@@ -1,0 +1,65 @@
+// Shared scaffolding for server-layer tests.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cpu/host_core.h"
+#include "server/app_profile.h"
+#include "server/request.h"
+#include "sim/simulation.h"
+
+namespace ntier::test {
+
+// One-class profile whose per-tier programs are supplied directly by the
+// test through custom program functions.
+inline server::AppProfile one_class_profile() {
+  server::AppProfile p;
+  server::RequestClassProfile c;
+  c.name = "only";
+  c.weight = 1.0;
+  c.web_pre = sim::Duration::micros(100);
+  c.app_pre = sim::Duration::micros(100);
+  c.app_post = sim::Duration::micros(100);
+  c.db_queries = 1;
+  c.db_cpu = sim::Duration::micros(100);
+  p.classes.push_back(c);
+  return p;
+}
+
+inline server::RequestPtr make_request(sim::Time now, std::uint64_t id = 1) {
+  auto r = std::make_shared<server::Request>();
+  r->id = id;
+  r->issued = now;
+  r->class_index = 0;
+  return r;
+}
+
+// Collects replies with their times.
+struct ReplySink {
+  std::vector<std::pair<std::uint64_t, sim::Time>> replies;
+  sim::Simulation* sim;
+  explicit ReplySink(sim::Simulation& s) : sim(&s) {}
+  server::Job job(std::uint64_t id = 1) {
+    server::Job j;
+    j.req = make_request(sim->now(), id);
+    j.reply = [this](const server::RequestPtr& r) {
+      replies.emplace_back(r->id, sim->now());
+    };
+    return j;
+  }
+};
+
+// A program of a single CPU step.
+inline server::Program cpu_only(sim::Duration d) {
+  return {server::WorkStep{server::WorkStep::Kind::kCpu, d}};
+}
+
+// cpu -> downstream -> cpu.
+inline server::Program cpu_down_cpu(sim::Duration pre, sim::Duration post) {
+  return {server::WorkStep{server::WorkStep::Kind::kCpu, pre},
+          server::WorkStep{server::WorkStep::Kind::kDownstream, sim::Duration::zero()},
+          server::WorkStep{server::WorkStep::Kind::kCpu, post}};
+}
+
+}  // namespace ntier::test

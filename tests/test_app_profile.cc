@@ -1,0 +1,108 @@
+#include "server/app_profile.h"
+
+#include <gtest/gtest.h>
+
+namespace ntier::server {
+namespace {
+
+using sim::Duration;
+
+TEST(AppProfile, RubbosHasExpectedClasses) {
+  const auto p = AppProfile::rubbos();
+  ASSERT_EQ(p.classes.size(), 3u);
+  EXPECT_EQ(p.classes[p.index_of("Static")].is_static, true);
+  EXPECT_EQ(p.classes[p.index_of("ViewStory")].db_queries, 2);
+  EXPECT_EQ(p.classes[p.index_of("StoriesOfTheDay")].db_queries, 1);
+}
+
+TEST(AppProfile, IndexOfThrowsOnUnknown) {
+  const auto p = AppProfile::rubbos();
+  EXPECT_THROW((void)p.index_of("nope"), std::out_of_range);
+}
+
+TEST(AppProfile, PickFollowsWeights) {
+  const auto p = AppProfile::rubbos();
+  sim::Rng rng(2);
+  std::vector<int> counts(p.classes.size(), 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[p.pick(rng)];
+  EXPECT_NEAR(counts[0] / double(n), 0.15, 0.01);
+  EXPECT_NEAR(counts[1] / double(n), 0.55, 0.01);
+  EXPECT_NEAR(counts[2] / double(n), 0.30, 0.01);
+}
+
+TEST(AppProfile, MeanAppCpuMatchesWeights) {
+  const auto p = AppProfile::rubbos();
+  // 0.55*(150+600) + 0.30*(200+960) = 412.5 + 348 = 760.5 us. At the
+  // closed-loop throughputs of WL 4000/7000/8000 this puts the app tier
+  // at the paper's 43/75/85 % utilization points.
+  EXPECT_NEAR(p.mean_app_cpu().to_seconds(), 760.5e-6, 1e-6);
+}
+
+TEST(Programs, StaticWebProgramHasNoDownstream) {
+  const auto p = AppProfile::rubbos();
+  const auto prog = web_program(p.at(p.index_of("Static")));
+  ASSERT_EQ(prog.size(), 1u);
+  EXPECT_EQ(prog[0].kind, WorkStep::Kind::kCpu);
+}
+
+TEST(Programs, DynamicWebProgramShape) {
+  const auto p = AppProfile::rubbos();
+  const auto prog = web_program(p.at(p.index_of("ViewStory")));
+  ASSERT_EQ(prog.size(), 3u);
+  EXPECT_EQ(prog[0].kind, WorkStep::Kind::kCpu);
+  EXPECT_EQ(prog[1].kind, WorkStep::Kind::kDownstream);
+  EXPECT_EQ(prog[2].kind, WorkStep::Kind::kCpu);
+}
+
+TEST(Programs, AppProgramHasOneDownstreamPerQuery) {
+  const auto p = AppProfile::rubbos();
+  const auto prog = app_program(p.at(p.index_of("ViewStory")));
+  int downstream = 0;
+  for (const auto& s : prog)
+    if (s.kind == WorkStep::Kind::kDownstream) ++downstream;
+  EXPECT_EQ(downstream, 2);
+  // pre + 2x(down + slice)
+  ASSERT_EQ(prog.size(), 5u);
+  EXPECT_EQ(prog[0].kind, WorkStep::Kind::kCpu);
+  EXPECT_EQ(prog[0].amount, Duration::micros(200));
+}
+
+TEST(Programs, AppProgramSlicesPostWork) {
+  const auto p = AppProfile::rubbos();
+  const auto c = p.at(p.index_of("ViewStory"));
+  const auto prog = app_program(c);
+  Duration total;
+  for (const auto& s : prog)
+    if (s.kind == WorkStep::Kind::kCpu) total += s.amount;
+  EXPECT_EQ(total, c.app_pre + c.app_post);
+}
+
+TEST(Programs, DbProgramCpuThenDisk) {
+  const auto p = AppProfile::rubbos();
+  const auto prog = db_program(p.at(p.index_of("StoriesOfTheDay")));
+  ASSERT_EQ(prog.size(), 2u);
+  EXPECT_EQ(prog[0].kind, WorkStep::Kind::kCpu);
+  EXPECT_EQ(prog[1].kind, WorkStep::Kind::kDisk);
+}
+
+TEST(Programs, DbProgramOmitsDiskWhenZero) {
+  RequestClassProfile c;
+  c.db_cpu = Duration::micros(100);
+  c.db_io = Duration::zero();
+  EXPECT_EQ(db_program(c).size(), 1u);
+}
+
+TEST(Programs, AppProgramWithoutQueries) {
+  RequestClassProfile c;
+  c.app_pre = Duration::micros(10);
+  c.app_post = Duration::micros(20);
+  c.db_queries = 0;
+  const auto prog = app_program(c);
+  ASSERT_EQ(prog.size(), 2u);
+  EXPECT_EQ(prog[0].kind, WorkStep::Kind::kCpu);
+  EXPECT_EQ(prog[1].kind, WorkStep::Kind::kCpu);
+}
+
+}  // namespace
+}  // namespace ntier::server

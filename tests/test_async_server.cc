@@ -1,0 +1,187 @@
+#include "server/async_server.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "net/rto_policy.h"
+#include "server/sync_server.h"
+
+namespace ntier::server {
+namespace {
+
+using sim::Duration;
+using sim::Simulation;
+using sim::Time;
+using test::ReplySink;
+
+struct Fixture {
+  Simulation sim;
+  cpu::HostCpu host{sim, 1.0};
+  cpu::VmCpu* vm = host.add_vm("srv");
+  AppProfile profile = test::one_class_profile();
+  ReplySink sink{sim};
+
+  std::unique_ptr<AsyncServer> make(AsyncConfig cfg, Program prog) {
+    return std::make_unique<AsyncServer>(
+        sim, "srv", vm, &profile,
+        [prog](const RequestClassProfile&) { return prog; }, cfg);
+  }
+  std::unique_ptr<SyncServer> make_sync(SyncConfig cfg, Program prog) {
+    return std::make_unique<SyncServer>(
+        sim, "srv2", vm, &profile,
+        [prog](const RequestClassProfile&) { return prog; }, cfg);
+  }
+};
+
+TEST(AsyncServer, ProcessesAndReplies) {
+  Fixture f;
+  auto srv = f.make(AsyncConfig{}, test::cpu_only(Duration::millis(10)));
+  EXPECT_TRUE(srv->offer(f.sink.job(5)));
+  f.sim.run_all();
+  ASSERT_EQ(f.sink.replies.size(), 1u);
+  EXPECT_NEAR(f.sink.replies[0].second.to_seconds(), 0.010, 1e-4);
+}
+
+TEST(AsyncServer, MaxActiveSerializesProcessing) {
+  Fixture f;
+  AsyncConfig cfg;
+  cfg.max_active = 1;
+  auto srv = f.make(cfg, test::cpu_only(Duration::millis(10)));
+  srv->offer(f.sink.job(1));
+  srv->offer(f.sink.job(2));
+  EXPECT_EQ(srv->busy_workers(), 1u);
+  EXPECT_EQ(srv->backlog_depth(), 1u);
+  f.sim.run_all();
+  ASSERT_EQ(f.sink.replies.size(), 2u);
+  EXPECT_NEAR(f.sink.replies[0].second.to_seconds(), 0.010, 1e-4);
+  EXPECT_NEAR(f.sink.replies[1].second.to_seconds(), 0.020, 1e-4);
+}
+
+TEST(AsyncServer, LiteQDepthBoundsAdmission) {
+  Fixture f;
+  AsyncConfig cfg;
+  cfg.lite_q_depth = 2;
+  cfg.max_active = 1;
+  auto srv = f.make(cfg, test::cpu_only(Duration::millis(10)));
+  EXPECT_TRUE(srv->offer(f.sink.job(1)));
+  EXPECT_TRUE(srv->offer(f.sink.job(2)));
+  EXPECT_FALSE(srv->offer(f.sink.job(3)));
+  EXPECT_EQ(srv->stats().dropped, 1u);
+  EXPECT_EQ(srv->max_sys_q_depth(), 2u);
+}
+
+TEST(AsyncServer, HugeLiteQAbsorbsBurst) {
+  Fixture f;
+  AsyncConfig cfg;  // 65535 default
+  auto srv = f.make(cfg, test::cpu_only(Duration::micros(100)));
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(srv->offer(f.sink.job(i)));
+  EXPECT_EQ(srv->stats().dropped, 0u);
+  EXPECT_EQ(srv->queued_requests(), 1000u);
+  f.sim.run_all();
+  EXPECT_EQ(f.sink.replies.size(), 1000u);
+}
+
+TEST(AsyncServer, DownstreamCallReleasesSlot) {
+  // With max_active=1, a parked request must not block the next one.
+  Fixture f;
+  AsyncConfig up_cfg;
+  up_cfg.max_active = 1;
+  SyncConfig down_cfg;
+  down_cfg.threads_per_process = 4;
+  auto down = f.make_sync(down_cfg, test::cpu_only(Duration::millis(50)));
+  auto up = f.make(up_cfg, test::cpu_down_cpu(Duration::micros(10), Duration::micros(10)));
+  up->connect_downstream(down.get(), net::RtoPolicy::fixed3s(), net::Link{});
+  up->offer(f.sink.job(1));
+  up->offer(f.sink.job(2));
+  f.sim.run_until(Time::from_seconds(0.005));
+  // Both requests made it downstream despite max_active=1.
+  EXPECT_EQ(down->queued_requests(), 2u);
+  f.sim.run_all();
+  EXPECT_EQ(f.sink.replies.size(), 2u);
+}
+
+TEST(AsyncServer, UnboundedDownstreamConcurrencyVsSyncBound) {
+  // The paper's NX=1 lesson: an async upstream pushes *all* queued work
+  // downstream, unlike a sync upstream bounded by its thread pool.
+  Fixture f;
+  SyncConfig down_cfg;
+  down_cfg.threads_per_process = 2;
+  down_cfg.backlog = 3;
+  auto down = f.make_sync(down_cfg, test::cpu_only(Duration::millis(20)));
+  AsyncConfig up_cfg;
+  auto up = f.make(up_cfg, test::cpu_down_cpu(Duration::micros(1), Duration::micros(1)));
+  up->connect_downstream(down.get(), net::RtoPolicy::fixed3s(), net::Link{});
+  for (int i = 0; i < 10; ++i) up->offer(f.sink.job(i));
+  f.sim.run_until(Time::from_seconds(0.01));
+  // Downstream got flooded to its MaxSysQDepth and dropped the rest.
+  EXPECT_EQ(down->queued_requests(), 5u);
+  EXPECT_GT(down->stats().dropped, 0u);
+}
+
+TEST(AsyncServer, BatchReleaseAfterFreeze) {
+  // Fig 9 mechanics: requests accumulate during the freeze, then their
+  // downstream queries all dispatch within the tiny pre-CPU time.
+  Fixture f;
+  AsyncConfig up_cfg;
+  auto down = f.make_sync(SyncConfig{.threads_per_process = 1000, .backlog = 1000},
+                          test::cpu_only(Duration::millis(5)));
+  auto up = f.make(up_cfg, test::cpu_down_cpu(Duration::micros(10), Duration::micros(10)));
+  up->connect_downstream(down.get(), net::RtoPolicy::fixed3s(), net::Link{});
+  f.vm->freeze_for(Duration::millis(500));
+  for (int i = 0; i < 100; ++i) up->offer(f.sink.job(i));
+  f.sim.run_until(Time::from_seconds(0.499));
+  EXPECT_EQ(down->queued_requests(), 0u);  // nothing dispatched during freeze
+  f.sim.run_until(Time::from_seconds(0.52));
+  // Within ~20ms of thaw, (nearly) the whole batch reached downstream.
+  EXPECT_GT(down->stats().accepted, 90u);
+}
+
+TEST(AsyncServer, ResumedWorkBeatsNewArrivals) {
+  Fixture f;
+  AsyncConfig cfg;
+  cfg.max_active = 1;
+  SyncConfig down_cfg;
+  down_cfg.threads_per_process = 4;
+  auto down = f.make_sync(down_cfg, test::cpu_only(Duration::millis(1)));
+  auto up = f.make(cfg, test::cpu_down_cpu(Duration::millis(2), Duration::millis(2)));
+  up->connect_downstream(down.get(), net::RtoPolicy::fixed3s(), net::Link{});
+  up->offer(f.sink.job(1));
+  // New arrivals stream in while request 1 is parked downstream.
+  for (int i = 2; i <= 5; ++i)
+    f.sim.after(Duration::millis(i), [&f, &up, i] { up->offer(f.sink.job(i)); });
+  f.sim.run_all();
+  ASSERT_EQ(f.sink.replies.size(), 5u);
+  EXPECT_EQ(f.sink.replies[0].first, 1u);  // resumed request finished first
+}
+
+TEST(AsyncServer, StatsAndInSystemConsistent) {
+  Fixture f;
+  auto srv = f.make(AsyncConfig{}, test::cpu_only(Duration::millis(1)));
+  for (int i = 0; i < 10; ++i) srv->offer(f.sink.job(i));
+  f.sim.run_all();
+  EXPECT_EQ(srv->stats().accepted, 10u);
+  EXPECT_EQ(srv->stats().completed, 10u);
+  EXPECT_EQ(srv->queued_requests(), 0u);
+}
+
+TEST(AsyncServer, DiskStepHoldsSlot) {
+  // InnoDB thread blocked on disk still occupies one of the 8 slots.
+  Fixture f;
+  cpu::IoDevice disk(f.sim, "d");
+  AsyncConfig cfg;
+  cfg.max_active = 1;
+  Program prog{WorkStep{WorkStep::Kind::kCpu, Duration::micros(10)},
+               WorkStep{WorkStep::Kind::kDisk, Duration::millis(10)}};
+  auto srv = f.make(cfg, prog);
+  srv->attach_io(&disk);
+  srv->offer(f.sink.job(1));
+  srv->offer(f.sink.job(2));
+  f.sim.run_until(Time::from_seconds(0.005));
+  EXPECT_EQ(srv->busy_workers(), 1u);  // second job waits for the slot
+  f.sim.run_all();
+  EXPECT_EQ(f.sink.replies.size(), 2u);
+  EXPECT_GT(f.sink.replies[1].second.to_seconds(), 0.020);
+}
+
+}  // namespace
+}  // namespace ntier::server

@@ -1,0 +1,67 @@
+#include "server/connection_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ntier::server {
+namespace {
+
+TEST(ConnectionPool, ImmediateGrantWhenFree) {
+  ConnectionPool pool(2);
+  bool granted = false;
+  pool.acquire([&] { granted = true; });
+  EXPECT_TRUE(granted);
+  EXPECT_EQ(pool.in_use(), 1u);
+  EXPECT_EQ(pool.waiting(), 0u);
+}
+
+TEST(ConnectionPool, QueuesWhenExhausted) {
+  ConnectionPool pool(1);
+  pool.acquire([] {});
+  bool granted = false;
+  pool.acquire([&] { granted = true; });
+  EXPECT_FALSE(granted);
+  EXPECT_EQ(pool.waiting(), 1u);
+}
+
+TEST(ConnectionPool, ReleaseHandsToOldestWaiter) {
+  ConnectionPool pool(1);
+  pool.acquire([] {});
+  std::vector<int> order;
+  pool.acquire([&] { order.push_back(1); });
+  pool.acquire([&] { order.push_back(2); });
+  pool.release();
+  pool.release();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(pool.in_use(), 1u);  // one grant still holds it
+}
+
+TEST(ConnectionPool, ReleaseWithoutWaitersFreesSlot) {
+  ConnectionPool pool(1);
+  pool.acquire([] {});
+  pool.release();
+  EXPECT_EQ(pool.in_use(), 0u);
+  bool granted = false;
+  pool.acquire([&] { granted = true; });
+  EXPECT_TRUE(granted);
+}
+
+TEST(ConnectionPool, InUseNeverExceedsSize) {
+  ConnectionPool pool(3);
+  for (int i = 0; i < 10; ++i) pool.acquire([] {});
+  EXPECT_EQ(pool.in_use(), 3u);
+  EXPECT_EQ(pool.waiting(), 7u);
+}
+
+TEST(ConnectionPool, GrantCounting) {
+  ConnectionPool pool(1);
+  pool.acquire([] {});
+  pool.acquire([] {});
+  EXPECT_EQ(pool.total_grants(), 1u);
+  pool.release();
+  EXPECT_EQ(pool.total_grants(), 2u);
+}
+
+}  // namespace
+}  // namespace ntier::server

@@ -1,0 +1,170 @@
+#include "core/system.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "core/scenarios.h"
+
+namespace ntier::core {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+ExperimentConfig tiny(Architecture arch) {
+  ExperimentConfig cfg;
+  cfg.system.arch = arch;
+  cfg.workload.sessions = 500;
+  cfg.duration = Duration::seconds(5);
+  return cfg;
+}
+
+TEST(NTierSystem, SyncTierNamesAndDepths) {
+  NTierSystem sys(tiny(Architecture::kSync));
+  EXPECT_EQ(sys.web()->name(), "apache");
+  EXPECT_EQ(sys.app()->name(), "tomcat");
+  EXPECT_EQ(sys.db()->name(), "mysql");
+  EXPECT_EQ(sys.web()->max_sys_q_depth(), 278u);
+  EXPECT_EQ(sys.app()->max_sys_q_depth(), 278u);
+  EXPECT_EQ(sys.db()->max_sys_q_depth(), 228u);
+}
+
+TEST(NTierSystem, Nx1Wiring) {
+  auto cfg = tiny(Architecture::kNx1);
+  cfg.system.app_threads = 165;
+  NTierSystem sys(cfg);
+  EXPECT_EQ(sys.web()->name(), "nginx");
+  EXPECT_EQ(sys.app()->name(), "tomcat");
+  EXPECT_EQ(sys.web()->max_sys_q_depth(), 65535u);
+  EXPECT_EQ(sys.app()->max_sys_q_depth(), 293u);  // 165 + 128
+}
+
+TEST(NTierSystem, Nx2Wiring) {
+  NTierSystem sys(tiny(Architecture::kNx2));
+  EXPECT_EQ(sys.app()->name(), "xtomcat");
+  EXPECT_EQ(sys.db()->name(), "mysql");
+  EXPECT_EQ(sys.app()->max_sys_q_depth(), 65535u);
+}
+
+TEST(NTierSystem, Nx3Wiring) {
+  NTierSystem sys(tiny(Architecture::kNx3));
+  EXPECT_EQ(sys.web()->name(), "nginx");
+  EXPECT_EQ(sys.app()->name(), "xtomcat");
+  EXPECT_EQ(sys.db()->name(), "xmysql");
+  EXPECT_EQ(sys.db()->max_sys_q_depth(), 2000u);
+}
+
+TEST(NTierSystem, DownstreamChain) {
+  NTierSystem sys(tiny(Architecture::kSync));
+  EXPECT_EQ(sys.web()->downstream(), sys.app());
+  EXPECT_EQ(sys.app()->downstream(), sys.db());
+  EXPECT_EQ(sys.db()->downstream(), nullptr);
+}
+
+TEST(NTierSystem, RunProducesTraffic) {
+  NTierSystem sys(tiny(Architecture::kSync));
+  sys.run();
+  EXPECT_GT(sys.clients().completed(), 100u);
+  EXPECT_GT(sys.latency().completed(), 100u);
+  EXPECT_EQ(sys.clients().failed(), 0u);
+}
+
+TEST(NTierSystem, BurstyVmOnlyWithConsolidation) {
+  NTierSystem plain(tiny(Architecture::kSync));
+  EXPECT_EQ(plain.bursty_vm(), nullptr);
+  auto cfg = tiny(Architecture::kSync);
+  cfg.bottleneck.kind = MillibottleneckSpec::Kind::kConsolidationBatch;
+  cfg.bottleneck.target = Tier::kApp;
+  NTierSystem with(cfg);
+  ASSERT_NE(with.bursty_vm(), nullptr);
+  EXPECT_EQ(with.bursty_vm()->name(), "sysbursty");
+  EXPECT_NE(with.interference(), nullptr);
+}
+
+TEST(NTierSystem, CollectlOnlyWithLogFlush) {
+  NTierSystem plain(tiny(Architecture::kSync));
+  EXPECT_EQ(plain.collectl(), nullptr);
+  auto cfg = tiny(Architecture::kSync);
+  cfg.bottleneck.kind = MillibottleneckSpec::Kind::kLogFlush;
+  NTierSystem with(cfg);
+  EXPECT_NE(with.collectl(), nullptr);
+}
+
+TEST(NTierSystem, SamplerTracksAllTiers) {
+  NTierSystem sys(tiny(Architecture::kSync));
+  EXPECT_TRUE(sys.sampler().has_series("apache.queue"));
+  EXPECT_TRUE(sys.sampler().has_series("tomcat.cpu"));
+  EXPECT_TRUE(sys.sampler().has_series("mysql.demand"));
+  EXPECT_TRUE(sys.sampler().has_series("dbdisk.busy"));
+}
+
+TEST(NTierSystem, AppVcpusRespected) {
+  auto cfg = tiny(Architecture::kSync);
+  cfg.system.app_vcpus = 4;
+  NTierSystem sys(cfg);
+  EXPECT_EQ(sys.tier_vm(Tier::kApp)->vcpus(), 4);
+}
+
+TEST(NTierSystem, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    auto cfg = tiny(Architecture::kSync);
+    cfg.bottleneck.kind = MillibottleneckSpec::Kind::kConsolidationBatch;
+    cfg.bottleneck.batch.first_at = Time::from_seconds(1);
+    cfg.seed = 99;
+    NTierSystem sys(cfg);
+    sys.run();
+    return std::tuple(sys.clients().completed(), sys.web()->stats().dropped,
+                      sys.latency().vlrt_count());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(NTierSystem, SeedChangesTraffic) {
+  auto run_once = [](std::uint64_t seed) {
+    auto cfg = tiny(Architecture::kSync);
+    cfg.seed = seed;
+    NTierSystem sys(cfg);
+    sys.run();
+    return sys.clients().completed();
+  };
+  EXPECT_NE(run_once(1), run_once(2));
+}
+
+TEST(Summarize, FieldsPopulated) {
+  auto cfg = tiny(Architecture::kSync);
+  cfg.name = "smoke";
+  auto sys = run_system(cfg);
+  auto s = summarize(*sys);
+  EXPECT_EQ(s.name, "smoke");
+  EXPECT_GT(s.throughput_rps, 10.0);
+  ASSERT_EQ(s.tiers.size(), 3u);
+  EXPECT_EQ(s.tiers[0].server, "apache");
+  EXPECT_GT(s.tiers[1].mean_cpu_pct, 1.0);
+  EXPECT_EQ(s.total_drops, 0u);
+  EXPECT_FALSE(s.to_string().empty());
+}
+
+TEST(ConfigBanner, MentionsArchitecture) {
+  auto cfg = tiny(Architecture::kNx3);
+  cfg.name = "banner";
+  const auto b = config_banner(cfg);
+  EXPECT_NE(b.find("banner"), std::string::npos);
+  EXPECT_NE(b.find("NX=3"), std::string::npos);
+}
+
+TEST(ArchToString, AllValues) {
+  EXPECT_STREQ(to_string(Architecture::kSync), "sync (Apache-Tomcat-MySQL)");
+  EXPECT_STREQ(to_string(Architecture::kNx1), "NX=1 (Nginx-Tomcat-MySQL)");
+  EXPECT_STREQ(to_string(Architecture::kNx2), "NX=2 (Nginx-XTomcat-MySQL)");
+  EXPECT_STREQ(to_string(Architecture::kNx3), "NX=3 (Nginx-XTomcat-XMySQL)");
+}
+
+TEST(MaxSysQDepthHelper, PaperNumbers) {
+  EXPECT_EQ(max_sys_q_depth(150, 128), 278u);
+  EXPECT_EQ(max_sys_q_depth(165, 128), 293u);
+  EXPECT_EQ(max_sys_q_depth(100, 128), 228u);
+}
+
+}  // namespace
+}  // namespace ntier::core

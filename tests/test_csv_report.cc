@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/report.h"
+#include "core/scenarios.h"
+#include "metrics/csv.h"
+
+namespace ntier {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+// --- metrics/csv ----------------------------------------------------------
+
+TEST(Csv, MergedTimelines) {
+  metrics::Timeline a("cpu", Duration::millis(50));
+  metrics::Timeline b("queue", Duration::millis(50));
+  a.set(Time::origin(), 1.5);
+  a.set(Time::from_micros(50'000), 2.5);
+  b.set(Time::origin(), 10.0);
+  const auto csv = metrics::timelines_to_csv({&a, &b});
+  EXPECT_NE(csv.find("t_s,cpu,queue"), std::string::npos);
+  EXPECT_NE(csv.find("0.000,1.5000,10.0000"), std::string::npos);
+  EXPECT_NE(csv.find("0.050,2.5000,0.0000"), std::string::npos);
+}
+
+TEST(Csv, EmptySeriesList) {
+  EXPECT_EQ(metrics::timelines_to_csv({}), "t_s\n");
+}
+
+TEST(Csv, HistogramIncludesEmptyMiddleBins) {
+  metrics::LinearHistogram h(Duration::millis(100), Duration::seconds(1));
+  h.record(Duration::millis(50));
+  h.record(Duration::millis(250));
+  const auto csv = metrics::histogram_to_csv(h);
+  EXPECT_NE(csv.find("0.0,100.0,1"), std::string::npos);
+  EXPECT_NE(csv.find("100.0,200.0,0"), std::string::npos);  // empty bin kept
+  EXPECT_NE(csv.find("200.0,300.0,1"), std::string::npos);
+  EXPECT_EQ(csv.find("300.0,400.0"), std::string::npos);  // trailing zeros cut
+}
+
+TEST(Csv, WriteFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ntier_csv_test.csv";
+  ASSERT_TRUE(metrics::write_file(path, "a,b\n1,2\n"));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const auto n = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, n), "a,b\n1,2\n");
+}
+
+TEST(Csv, WriteFileFailsOnBadPath) {
+  EXPECT_FALSE(metrics::write_file("/nonexistent-dir-xyz/file.csv", "x"));
+}
+
+// --- core/report ----------------------------------------------------------
+
+TEST(Report, TimelinePanelDownsamplesWithPeaks) {
+  sim::Simulation sim;
+  monitor::Sampler sampler(sim, Duration::millis(50));
+  cpu::HostCpu host(sim, 1.0);
+  auto* vm = host.add_vm("a");
+  sampler.track_vm("a", vm);
+  sampler.start();
+  // Busy only in the second 50 ms window.
+  sim.after(Duration::millis(50), [&] { vm->submit(Duration::millis(50), [] {}); });
+  sim.run_until(Time::from_seconds(1));
+  const auto panel = core::timeline_panel(sampler, {"a.cpu"}, Time::from_seconds(1),
+                                          Duration::millis(500));
+  // Two rows; the first must show the 100% peak despite downsampling.
+  EXPECT_NE(panel.find("0.00"), std::string::npos);
+  EXPECT_NE(panel.find("100.0"), std::string::npos);
+  EXPECT_NE(panel.find("0.50"), std::string::npos);
+}
+
+TEST(Report, HistogramPanelListsModes) {
+  monitor::LatencyCollector collector;
+  for (int i = 0; i < 100; ++i) {
+    auto r = std::make_shared<server::Request>();
+    r->issued = Time::origin();
+    r->completed = Time::from_seconds(0.005);
+    collector.record(r);
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto r = std::make_shared<server::Request>();
+    r->issued = Time::origin();
+    r->completed = Time::from_seconds(3.02);
+    r->total_drops = 1;
+    collector.record(r);
+  }
+  const auto panel = core::histogram_panel(collector);
+  EXPECT_NE(panel.find("modes:"), std::string::npos);
+  EXPECT_NE(panel.find("3.05s"), std::string::npos);
+}
+
+TEST(Report, VlrtPanelShowsWindows) {
+  monitor::LatencyCollector collector;
+  auto r = std::make_shared<server::Request>();
+  r->issued = Time::origin();
+  r->completed = Time::from_seconds(6.125);
+  collector.record(r);
+  const auto panel = core::vlrt_panel(collector);
+  EXPECT_NE(panel.find("3s"), std::string::npos);   // threshold echoed
+  EXPECT_NE(panel.find("6.10 1.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ntier

@@ -1,0 +1,137 @@
+#include "cpu/dvfs.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+
+namespace ntier::cpu {
+namespace {
+
+using sim::Duration;
+using sim::Simulation;
+using sim::Time;
+
+TEST(HostCapacity, SetCapacityChangesServiceRate) {
+  Simulation sim;
+  HostCpu host(sim, 1.0);
+  auto* vm = host.add_vm("a");
+  double done = -1;
+  vm->submit(Duration::millis(100), [&] { done = sim.now().to_seconds(); });
+  sim.after(Duration::millis(50), [&] { host.set_capacity(0.5); });
+  sim.run_all();
+  // 50 ms at full speed + remaining 50 ms at half speed = 150 ms.
+  EXPECT_NEAR(done, 0.150, 1e-4);
+}
+
+TEST(HostCapacity, TotalBusyAggregatesVms) {
+  Simulation sim;
+  HostCpu host(sim, 2.0);
+  auto* a = host.add_vm("a");
+  auto* b = host.add_vm("b");
+  a->submit(Duration::millis(30), [] {});
+  b->submit(Duration::millis(50), [] {});
+  sim.run_all();
+  EXPECT_NEAR(host.total_busy_core_seconds(), 0.080, 1e-4);
+}
+
+TEST(DvfsGovernor, RampsUpUnderLoad) {
+  Simulation sim;
+  HostCpu host(sim, 1.0);
+  auto* vm = host.add_vm("a");
+  DvfsGovernor::Config cfg;
+  cfg.start_freq = 0.4;
+  cfg.min_freq = 0.4;
+  cfg.step = 0.2;
+  cfg.interval = Duration::millis(100);
+  DvfsGovernor gov(sim, host, cfg);
+  // Saturating work: governor must step 0.4 -> 1.0.
+  for (int i = 0; i < 100; ++i) vm->submit(Duration::millis(20), [] {});
+  sim.run_until(Time::from_seconds(1));
+  EXPECT_DOUBLE_EQ(gov.frequency(), 1.0);
+  // 0.4 -> 0.6 -> 0.8 -> 1.0: three up-steps after the initial apply.
+  ASSERT_GE(gov.history().size(), 4u);
+  EXPECT_DOUBLE_EQ(gov.history()[0].freq, 0.4);
+  EXPECT_DOUBLE_EQ(gov.history()[1].freq, 0.6);
+}
+
+TEST(DvfsGovernor, StepsDownWhenIdle) {
+  Simulation sim;
+  HostCpu host(sim, 1.0);
+  host.add_vm("a");
+  DvfsGovernor::Config cfg;
+  cfg.start_freq = 1.0;
+  cfg.min_freq = 0.4;
+  cfg.step = 0.2;
+  cfg.interval = Duration::millis(100);
+  DvfsGovernor gov(sim, host, cfg);
+  sim.run_until(Time::from_seconds(1));
+  EXPECT_NEAR(gov.frequency(), 0.4, 1e-9);
+}
+
+TEST(DvfsGovernor, ParksBetweenThresholds) {
+  Simulation sim;
+  HostCpu host(sim, 1.0);
+  auto* vm = host.add_vm("a");
+  DvfsGovernor::Config cfg;
+  cfg.start_freq = 0.5;
+  cfg.min_freq = 0.3;
+  cfg.interval = Duration::millis(100);
+  DvfsGovernor gov(sim, host, cfg);
+  // ~50% utilization of the scaled capacity: between 0.35 and 0.8.
+  std::function<void()> feed = [&] {
+    vm->submit(Duration::millis(5), [] {});  // 5ms work every 20ms at 0.5 freq => ~50%
+    sim.after(Duration::millis(20), feed);
+  };
+  feed();
+  sim.run_until(Time::from_seconds(2));
+  EXPECT_DOUBLE_EQ(gov.frequency(), 0.5);
+}
+
+TEST(DvfsGovernor, ThrottledSecondsAccounting) {
+  Simulation sim;
+  HostCpu host(sim, 1.0);
+  host.add_vm("a");
+  DvfsGovernor::Config cfg;
+  cfg.start_freq = 0.4;
+  cfg.min_freq = 0.4;
+  cfg.interval = Duration::millis(100);
+  DvfsGovernor gov(sim, host, cfg);
+  sim.run_until(Time::from_seconds(3));
+  EXPECT_NEAR(gov.throttled_seconds(), 3.0, 0.01);
+}
+
+TEST(FreezeInjector, PeriodicPauses) {
+  Simulation sim;
+  HostCpu host(sim, 1.0);
+  auto* vm = host.add_vm("a");
+  FreezeInjector::Config cfg;
+  cfg.first = Time::from_seconds(1);
+  cfg.period = Duration::seconds(2);
+  cfg.pause = Duration::millis(300);
+  FreezeInjector inj(sim, vm, cfg);
+  sim.run_until(Time::from_seconds(5.5));
+  // Pauses at 1, 3, 5.
+  ASSERT_EQ(inj.pause_times().size(), 3u);
+  EXPECT_EQ(inj.pause_times()[1], Time::from_seconds(3));
+}
+
+TEST(FreezeInjector, PausesStallWork) {
+  Simulation sim;
+  HostCpu host(sim, 1.0);
+  auto* vm = host.add_vm("a");
+  FreezeInjector::Config cfg;
+  cfg.first = Time::from_seconds(1);
+  cfg.period = Duration::seconds(100);
+  cfg.pause = Duration::millis(400);
+  FreezeInjector inj(sim, vm, cfg);
+  double done = -1;
+  sim.after(Duration::millis(990), [&] {
+    vm->submit(Duration::millis(20), [&] { done = sim.now().to_seconds(); });
+  });
+  sim.run_until(Time::from_seconds(2));
+  // 10 ms served, frozen 1.0-1.4 s, remaining 10 ms -> ~1.41 s.
+  EXPECT_NEAR(done, 1.410, 1e-3);
+}
+
+}  // namespace
+}  // namespace ntier::cpu

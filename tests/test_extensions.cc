@@ -1,0 +1,131 @@
+// Integration tests of the extension studies: GC-pause and DVFS
+// millibottleneck causes, the mixed-stack iff-claim, and the Fig 4
+// static-request observation.
+#include <gtest/gtest.h>
+
+#include "core/chain.h"
+#include "core/ctqo_analyzer.h"
+#include "core/experiment.h"
+#include "core/scenarios.h"
+
+namespace ntier::core {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+TEST(Extensions, GcPausesCauseCtqoInSyncStack) {
+  auto sys = run_system(scenarios::ext_gc_pause(Architecture::kSync));
+  EXPECT_GT(sys->latency().vlrt_count(), 50u);
+  ASSERT_NE(sys->gc_injector(), nullptr);
+  EXPECT_GE(sys->gc_injector()->pause_times().size(), 3u);
+  const auto report = analyze_ctqo(*sys);
+  ASSERT_GE(report.episodes.size(), 1u);
+  // Every episode traces back to the app tier's pauses.
+  for (const auto& ep : report.episodes)
+    EXPECT_EQ(ep.bottleneck_tier, index(Tier::kApp));
+}
+
+TEST(Extensions, GcPausesHarmlessInAsyncStack) {
+  auto sys = run_system(scenarios::ext_gc_pause(Architecture::kNx3));
+  EXPECT_EQ(sys->latency().vlrt_count(), 0u);
+  EXPECT_EQ(summarize(*sys).total_drops, 0u);
+  // The pauses still happened.
+  EXPECT_GE(sys->gc_injector()->pause_times().size(), 3u);
+}
+
+TEST(Extensions, DvfsLagCausesCtqoInSyncStack) {
+  auto sys = run_system(scenarios::ext_dvfs(Architecture::kSync));
+  EXPECT_GT(summarize(*sys).total_drops, 5u);
+  ASSERT_NE(sys->dvfs(), nullptr);
+  EXPECT_GT(sys->dvfs()->throttled_seconds(), 10.0);
+}
+
+TEST(Extensions, DvfsLagHarmlessInAsyncStack) {
+  auto sys = run_system(scenarios::ext_dvfs(Architecture::kNx3));
+  EXPECT_EQ(summarize(*sys).total_drops, 0u);
+  EXPECT_EQ(sys->latency().vlrt_count(), 0u);
+}
+
+TEST(Extensions, StaticRequestsAlsoSufferVlrt) {
+  // Fig 4's observation: by t3, even static requests — served entirely
+  // in Apache — queue behind the blocked dynamic ones and get dropped.
+  auto cfg = scenarios::fig3_consolidation_sync();
+  auto sys = run_system(cfg);
+  const auto static_idx = sys->profile().index_of("Static");
+  const auto& stats = sys->latency().class_stats(static_idx);
+  EXPECT_GT(stats.completed, 1000u);
+  EXPECT_GT(stats.vlrt, 10u);
+  EXPECT_GT(stats.dropped, 10u);
+}
+
+TEST(Extensions, PerClassStatsSumToTotals) {
+  auto cfg = scenarios::fig3_consolidation_sync();
+  auto sys = run_system(cfg);
+  std::uint64_t completed = 0, vlrt = 0;
+  for (std::size_t i = 0; i < sys->profile().classes.size(); ++i) {
+    completed += sys->latency().class_stats(i).completed;
+    vlrt += sys->latency().class_stats(i).vlrt;
+  }
+  EXPECT_EQ(completed, sys->latency().completed());
+  EXPECT_EQ(vlrt, sys->latency().vlrt_count());
+}
+
+// The iff-claim over all 8 sync/async combinations (§I): only the
+// all-async combination is drop-free under an app-tier millibottleneck.
+class StackCombo : public ::testing::TestWithParam<int> {};
+
+TEST_P(StackCombo, CtqoFreeIffAllAsync) {
+  const int mask = GetParam();
+  const bool web = (mask & 4) != 0;
+  const bool app = (mask & 2) != 0;
+  const bool db = (mask & 1) != 0;
+  ChainConfig cfg;
+  auto tier = [](std::string name, bool async, std::size_t threads, auto fn) {
+    ChainTierSpec t;
+    t.name = std::move(name);
+    t.async = async;
+    t.sync.threads_per_process = threads;
+    t.sync.max_processes = 1;
+    t.program_fn = fn;
+    return t;
+  };
+  cfg.tiers.push_back(
+      tier("web", web, 150, relay_fn(Duration::micros(60), Duration::micros(40))));
+  cfg.tiers.push_back(
+      tier("app", app, 150, relay_fn(Duration::micros(150), Duration::micros(600))));
+  auto dbt = tier("db", db, 100, leaf_fn(Duration::micros(400)));
+  dbt.async_cfg.max_active = 8;
+  dbt.async_cfg.lite_q_depth = 2000;
+  cfg.tiers.push_back(std::move(dbt));
+  cfg.workload.sessions = 7000;
+  cfg.duration = Duration::seconds(25);
+  cfg.freeze_tier = 1;
+  cfg.freeze.first = Time::from_seconds(8);
+  cfg.freeze.period = Duration::seconds(12);
+  cfg.freeze.pause = Duration::millis(700);
+  ChainSystem sys(cfg);
+  sys.run();
+  if (web && app && db) {
+    EXPECT_EQ(sys.total_drops(), 0u);
+    EXPECT_EQ(sys.latency().vlrt_count(), 0u);
+  } else {
+    EXPECT_GT(sys.total_drops(), 0u);
+    // Drops sit at the first tier below an unbounded source.
+    const int expect_tier = !web ? 0 : (!app ? 1 : 2);
+    EXPECT_GT(sys.tier(expect_tier)->stats().dropped, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, StackCombo, ::testing::Range(0, 8),
+                         [](const auto& info) {
+                           const int m = info.param;
+                           std::string s;
+                           s += (m & 4) ? 'A' : 'S';
+                           s += (m & 2) ? 'A' : 'S';
+                           s += (m & 1) ? 'A' : 'S';
+                           return s;
+                         });
+
+}  // namespace
+}  // namespace ntier::core

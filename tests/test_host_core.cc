@@ -1,0 +1,303 @@
+#include "cpu/host_core.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/simulation.h"
+
+namespace ntier::cpu {
+namespace {
+
+using sim::Duration;
+using sim::Simulation;
+using sim::Time;
+
+constexpr double kTolS = 1e-4;  // 100 µs tolerance on completion times
+
+struct Fixture {
+  Simulation sim;
+  HostCpu host;
+  explicit Fixture(double cores = 1.0) : host(sim, cores) {}
+};
+
+TEST(HostCpu, SingleJobRunsAtFullSpeed) {
+  Fixture f;
+  auto* vm = f.host.add_vm("a");
+  double done_at = -1;
+  vm->submit(Duration::millis(100), [&] { done_at = f.sim.now().to_seconds(); });
+  f.sim.run_all();
+  EXPECT_NEAR(done_at, 0.100, kTolS);
+}
+
+TEST(HostCpu, TwoEqualJobsShareProcessor) {
+  Fixture f;
+  auto* vm = f.host.add_vm("a");
+  std::vector<double> done;
+  for (int i = 0; i < 2; ++i)
+    vm->submit(Duration::millis(100), [&] { done.push_back(f.sim.now().to_seconds()); });
+  f.sim.run_all();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 0.200, kTolS);
+  EXPECT_NEAR(done[1], 0.200, kTolS);
+}
+
+TEST(HostCpu, StaggeredArrivalPsTimings) {
+  // A(100ms) at t=0, B(100ms) at t=50ms:
+  // A alone until 50ms (50 done), shares until 150ms -> A completes.
+  // B then alone, completes at 200ms.
+  Fixture f;
+  auto* vm = f.host.add_vm("a");
+  double a_done = -1, b_done = -1;
+  vm->submit(Duration::millis(100), [&] { a_done = f.sim.now().to_seconds(); });
+  f.sim.after(Duration::millis(50), [&] {
+    vm->submit(Duration::millis(100), [&] { b_done = f.sim.now().to_seconds(); });
+  });
+  f.sim.run_all();
+  EXPECT_NEAR(a_done, 0.150, kTolS);
+  EXPECT_NEAR(b_done, 0.200, kTolS);
+}
+
+TEST(HostCpu, ShorterJobFinishesFirst) {
+  Fixture f;
+  auto* vm = f.host.add_vm("a");
+  double short_done = -1, long_done = -1;
+  vm->submit(Duration::millis(50), [&] { short_done = f.sim.now().to_seconds(); });
+  vm->submit(Duration::millis(150), [&] { long_done = f.sim.now().to_seconds(); });
+  f.sim.run_all();
+  // Short: shares until 100ms (50 each) -> done. Long: 100 left, alone -> 200ms.
+  EXPECT_NEAR(short_done, 0.100, kTolS);
+  EXPECT_NEAR(long_done, 0.200, kTolS);
+}
+
+TEST(HostCpu, TwoVmsFairShare) {
+  Fixture f;
+  auto* a = f.host.add_vm("a");
+  auto* b = f.host.add_vm("b");
+  double a_done = -1, b_done = -1;
+  a->submit(Duration::millis(100), [&] { a_done = f.sim.now().to_seconds(); });
+  b->submit(Duration::millis(100), [&] { b_done = f.sim.now().to_seconds(); });
+  f.sim.run_all();
+  EXPECT_NEAR(a_done, 0.200, kTolS);
+  EXPECT_NEAR(b_done, 0.200, kTolS);
+}
+
+TEST(HostCpu, WeightedShares) {
+  // Weight 3 vs 1: the heavy VM gets 75% of the core.
+  Fixture f;
+  auto* heavy = f.host.add_vm("heavy", 1, 3.0);
+  auto* light = f.host.add_vm("light", 1, 1.0);
+  double h_done = -1, l_done = -1;
+  heavy->submit(Duration::millis(75), [&] { h_done = f.sim.now().to_seconds(); });
+  light->submit(Duration::millis(100), [&] { l_done = f.sim.now().to_seconds(); });
+  f.sim.run_all();
+  // heavy at 75% -> done at 100ms; light had 25 done, then alone -> 175ms.
+  EXPECT_NEAR(h_done, 0.100, kTolS);
+  EXPECT_NEAR(l_done, 0.175, kTolS);
+}
+
+TEST(HostCpu, IdleVmDoesNotConsumeShare) {
+  Fixture f;
+  auto* a = f.host.add_vm("a");
+  f.host.add_vm("idle");
+  double done = -1;
+  a->submit(Duration::millis(100), [&] { done = f.sim.now().to_seconds(); });
+  f.sim.run_all();
+  EXPECT_NEAR(done, 0.100, kTolS);
+}
+
+TEST(HostCpu, VmGainsShareWhenOtherGoesIdle) {
+  Fixture f;
+  auto* a = f.host.add_vm("a");
+  auto* b = f.host.add_vm("b");
+  double a_done = -1, b_done = -1;
+  a->submit(Duration::millis(50), [&] { a_done = f.sim.now().to_seconds(); });
+  b->submit(Duration::millis(100), [&] { b_done = f.sim.now().to_seconds(); });
+  f.sim.run_all();
+  // Both at 50% until a completes at 100ms (b has 50 done); b alone -> 150ms.
+  EXPECT_NEAR(a_done, 0.100, kTolS);
+  EXPECT_NEAR(b_done, 0.150, kTolS);
+}
+
+TEST(HostCpu, MultiCoreVmRunsJobsInParallel) {
+  Fixture f(2.0);
+  auto* vm = f.host.add_vm("a", 2);
+  std::vector<double> done;
+  for (int i = 0; i < 2; ++i)
+    vm->submit(Duration::millis(100), [&] { done.push_back(f.sim.now().to_seconds()); });
+  f.sim.run_all();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 0.100, kTolS);
+  EXPECT_NEAR(done[1], 0.100, kTolS);
+}
+
+TEST(HostCpu, VcpuLimitCapsParallelism) {
+  // Host has 2 cores but the VM only 1 vCPU: 2 jobs still share 1 core.
+  Fixture f(2.0);
+  auto* vm = f.host.add_vm("a", 1);
+  std::vector<double> done;
+  for (int i = 0; i < 2; ++i)
+    vm->submit(Duration::millis(100), [&] { done.push_back(f.sim.now().to_seconds()); });
+  f.sim.run_all();
+  EXPECT_NEAR(done[0], 0.200, kTolS);
+}
+
+TEST(HostCpu, WaterFillingRedistributesSurplus) {
+  // 2 cores; A (2 vcpus, 3 jobs) and B (1 vcpu, 1 job), equal weight:
+  // proportional split gives each 1 core; both want more than/equal
+  // their cap: B capped at 1 -> B at full speed; A gets 1 core for 3 jobs.
+  Fixture f(2.0);
+  auto* a = f.host.add_vm("a", 2);
+  auto* b = f.host.add_vm("b", 1);
+  std::vector<double> a_done;
+  double b_done = -1;
+  for (int i = 0; i < 3; ++i)
+    a->submit(Duration::millis(90), [&] { a_done.push_back(f.sim.now().to_seconds()); });
+  b->submit(Duration::millis(100), [&] { b_done = f.sim.now().to_seconds(); });
+  f.sim.run_all();
+  EXPECT_NEAR(b_done, 0.100, kTolS);
+  ASSERT_EQ(a_done.size(), 3u);
+  // While b runs (100ms): a's 3 jobs share 1 core (rate 1/3 each,
+  // 33.3ms attained). Then a gets both cores for 3 jobs (rate 2/3):
+  // 33.3 + (t-100)*2/3 = 90 -> t = 185ms.
+  EXPECT_NEAR(a_done[2], 0.185, 5e-4);
+}
+
+TEST(HostCpu, FreezeDelaysCompletion) {
+  Fixture f;
+  auto* vm = f.host.add_vm("a");
+  double done = -1;
+  vm->freeze_for(Duration::seconds(1));
+  vm->submit(Duration::millis(100), [&] { done = f.sim.now().to_seconds(); });
+  f.sim.run_all();
+  EXPECT_NEAR(done, 1.100, kTolS);
+}
+
+TEST(HostCpu, FreezeMidJob) {
+  Fixture f;
+  auto* vm = f.host.add_vm("a");
+  double done = -1;
+  vm->submit(Duration::millis(100), [&] { done = f.sim.now().to_seconds(); });
+  f.sim.after(Duration::millis(50), [&] { vm->freeze_for(Duration::millis(200)); });
+  f.sim.run_all();
+  // 50ms served, frozen 50->250ms, remaining 50ms -> done at 300ms.
+  EXPECT_NEAR(done, 0.300, kTolS);
+}
+
+TEST(HostCpu, FreezeExtendsNotShortens) {
+  Fixture f;
+  auto* vm = f.host.add_vm("a");
+  vm->freeze_for(Duration::millis(300));
+  vm->freeze_for(Duration::millis(100));  // shorter: must not shrink
+  double done = -1;
+  vm->submit(Duration::millis(10), [&] { done = f.sim.now().to_seconds(); });
+  f.sim.run_all();
+  EXPECT_NEAR(done, 0.310, kTolS);
+}
+
+TEST(HostCpu, FrozenFlag) {
+  Fixture f;
+  auto* vm = f.host.add_vm("a");
+  EXPECT_FALSE(vm->frozen());
+  vm->freeze_for(Duration::millis(100));
+  EXPECT_TRUE(vm->frozen());
+  f.sim.run_until(Time::from_seconds(0.2));
+  EXPECT_FALSE(vm->frozen());
+}
+
+TEST(HostCpu, FrozenVmSurrendersShare) {
+  Fixture f;
+  auto* a = f.host.add_vm("a");
+  auto* b = f.host.add_vm("b");
+  a->freeze_for(Duration::seconds(10));
+  a->submit(Duration::millis(100), [] {});
+  double b_done = -1;
+  b->submit(Duration::millis(100), [&] { b_done = f.sim.now().to_seconds(); });
+  f.sim.run_all();
+  EXPECT_NEAR(b_done, 0.100, kTolS);  // b unaffected by frozen a
+}
+
+TEST(HostCpu, ZeroDemandCompletesImmediately) {
+  Fixture f;
+  auto* vm = f.host.add_vm("a");
+  double done = -1;
+  f.sim.after(Duration::millis(5), [&] {
+    vm->submit(Duration::zero(), [&] { done = f.sim.now().to_seconds(); });
+  });
+  f.sim.run_all();
+  EXPECT_NEAR(done, 0.005, 1e-6);
+}
+
+TEST(HostCpu, BusyAccountingMatchesWork) {
+  Fixture f;
+  auto* vm = f.host.add_vm("a");
+  for (int i = 0; i < 4; ++i) vm->submit(Duration::millis(25), [] {});
+  f.sim.run_all();
+  EXPECT_NEAR(vm->busy_core_seconds(), 0.100, kTolS);
+  EXPECT_NEAR(vm->demand_seconds(), 0.100, kTolS);
+  EXPECT_NEAR(vm->stalled_seconds(), 0.0, kTolS);
+}
+
+TEST(HostCpu, DemandAccountsContention) {
+  // Starved VM: wants CPU the whole time, gets half.
+  Fixture f;
+  auto* a = f.host.add_vm("a");
+  auto* b = f.host.add_vm("b");
+  a->submit(Duration::millis(100), [] {});
+  b->submit(Duration::millis(100), [] {});
+  f.sim.run_all();
+  EXPECT_NEAR(a->busy_core_seconds(), 0.100, kTolS);
+  EXPECT_NEAR(a->demand_seconds(), 0.200, kTolS);  // present for 200ms
+}
+
+TEST(HostCpu, StallAccountingDuringFreeze) {
+  Fixture f;
+  auto* vm = f.host.add_vm("a");
+  vm->submit(Duration::millis(100), [] {});
+  f.sim.after(Duration::millis(50), [&] { vm->freeze_for(Duration::millis(200)); });
+  f.sim.run_all();
+  // Frozen 50->250ms with 50ms of work still pending throughout.
+  EXPECT_NEAR(vm->stalled_seconds(), 0.200, kTolS);
+  EXPECT_NEAR(vm->busy_core_seconds(), 0.100, kTolS);
+}
+
+TEST(HostCpu, AccountingSyncsOnRead) {
+  // Reading mid-interval must integrate up to now even with no event.
+  Fixture f;
+  auto* vm = f.host.add_vm("a");
+  vm->submit(Duration::millis(100), [] {});
+  f.sim.run_until(Time::from_seconds(0.05));
+  EXPECT_NEAR(vm->busy_core_seconds(), 0.050, kTolS);
+}
+
+TEST(HostCpu, ManyJobsConserveWork) {
+  Fixture f;
+  auto* vm = f.host.add_vm("a");
+  sim::Rng rng(4);
+  int completed = 0;
+  const int n = 500;
+  double total_s = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const auto d = rng.exp_duration(Duration::micros(800));
+    total_s += d.to_seconds();
+    f.sim.after(rng.exp_duration(Duration::millis(1)), [&, d] {
+      vm->submit(d, [&] { ++completed; });
+    });
+  }
+  f.sim.run_all();
+  EXPECT_EQ(completed, n);
+  EXPECT_NEAR(vm->busy_core_seconds(), total_s, 0.01);
+}
+
+TEST(HostCpu, FractionalCoreCapacity) {
+  Fixture f(0.5);
+  auto* vm = f.host.add_vm("a");
+  double done = -1;
+  vm->submit(Duration::millis(100), [&] { done = f.sim.now().to_seconds(); });
+  f.sim.run_all();
+  EXPECT_NEAR(done, 0.200, kTolS);
+}
+
+}  // namespace
+}  // namespace ntier::cpu

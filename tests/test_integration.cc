@@ -1,0 +1,191 @@
+// End-to-end behavioral tests: each asserts a headline result of the
+// paper on a (shortened) canned scenario.
+#include <gtest/gtest.h>
+
+#include "core/ctqo_analyzer.h"
+#include "core/experiment.h"
+#include "core/scenarios.h"
+
+namespace ntier::core {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+namespace sc = scenarios;
+
+TEST(Integration, SyncConsolidationProducesUpstreamCtqo) {
+  auto cfg = sc::fig3_consolidation_sync();
+  auto sys = run_system(cfg);
+  // Drops occur at the web tier (Apache), not at the bottlenecked app
+  // tier's own ingress from a bounded upstream.
+  EXPECT_GT(sys->web()->stats().dropped, 50u);
+  EXPECT_EQ(sys->db()->stats().dropped, 0u);
+  EXPECT_GT(sys->latency().vlrt_count(), 50u);
+  const auto report = analyze_ctqo(*sys);
+  ASSERT_GE(report.episodes.size(), 3u);
+  EXPECT_GE(report.upstream_episodes, 3u);
+  for (const auto& ep : report.episodes) {
+    if (ep.kind == CtqoEpisode::Kind::kUpstream) {
+      EXPECT_EQ(ep.bottleneck_tier, index(Tier::kApp));
+    }
+  }
+}
+
+TEST(Integration, SyncApachePreforkSecondLevelOverflow) {
+  auto cfg = sc::fig3_consolidation_sync();
+  auto sys = run_system(cfg);
+  // The second Apache process raises MaxSysQDepth 278 -> 428 (Fig 3(b)).
+  EXPECT_EQ(sys->web()->max_sys_q_depth(), 428u);
+  const double peak = sys->sampler().series("apache.queue").max_value();
+  EXPECT_GT(peak, 300.0);
+  EXPECT_LE(peak, 428.0);
+}
+
+TEST(Integration, SyncLogFlushProducesUpstreamCtqo) {
+  auto cfg = sc::fig5_logflush_sync();
+  cfg.duration = Duration::seconds(45);  // one flush at 10 s is enough
+  auto sys = run_system(cfg);
+  EXPECT_GT(sys->web()->stats().dropped, 10u);
+  EXPECT_GT(sys->latency().vlrt_count(), 10u);
+  const auto report = analyze_ctqo(*sys);
+  ASSERT_GE(report.episodes.size(), 1u);
+  EXPECT_EQ(report.episodes[0].kind, CtqoEpisode::Kind::kUpstream);
+  EXPECT_EQ(report.episodes[0].bottleneck_tier, index(Tier::kDb));
+}
+
+TEST(Integration, Nx1MovesDropsDownstreamToTomcat) {
+  auto cfg = sc::fig7_nx1();
+  cfg.duration = Duration::seconds(30);
+  auto sys = run_system(cfg);
+  EXPECT_EQ(sys->web()->stats().dropped, 0u);  // Nginx never drops
+  EXPECT_GT(sys->app()->stats().dropped, 20u);
+  const auto report = analyze_ctqo(*sys);
+  ASSERT_GE(report.episodes.size(), 1u);
+  EXPECT_GT(report.downstream_episodes, 0u);
+  // Tomcat's queue is bounded by its MaxSysQDepth = 293.
+  EXPECT_LE(sys->sampler().series("tomcat.queue").max_value(), 293.0);
+}
+
+TEST(Integration, Nx2MysqlMillibottleneckDropsAtMysql) {
+  auto cfg = sc::fig8_nx2_mysql();
+  cfg.duration = Duration::seconds(30);
+  auto sys = run_system(cfg);
+  EXPECT_EQ(sys->web()->stats().dropped, 0u);
+  EXPECT_EQ(sys->app()->stats().dropped, 0u);
+  EXPECT_GT(sys->db()->stats().dropped, 20u);
+  EXPECT_LE(sys->sampler().series("mysql.queue").max_value(), 228.0);
+  const auto report = analyze_ctqo(*sys);
+  ASSERT_GE(report.episodes.size(), 1u);
+  EXPECT_GT(report.downstream_episodes, 0u);
+}
+
+TEST(Integration, Nx2XtomcatBatchReleaseFloodsMysql) {
+  auto cfg = sc::fig9_nx2_xtomcat();
+  cfg.duration = Duration::seconds(30);
+  auto sys = run_system(cfg);
+  // Millibottleneck is in XTomcat, but the drops surface at MySQL.
+  EXPECT_EQ(sys->app()->stats().dropped, 0u);
+  EXPECT_GT(sys->db()->stats().dropped, 20u);
+  const auto report = analyze_ctqo(*sys);
+  ASSERT_GE(report.episodes.size(), 1u);
+  for (const auto& ep : report.episodes) {
+    EXPECT_EQ(ep.drop_tier, index(Tier::kDb));
+    EXPECT_EQ(ep.kind, CtqoEpisode::Kind::kDownstream);
+  }
+}
+
+TEST(Integration, Nx3EliminatesCtqoUnderCpuMillibottleneck) {
+  auto cfg = sc::fig10_nx3_xtomcat();
+  auto sys = run_system(cfg);
+  EXPECT_EQ(sys->web()->stats().dropped, 0u);
+  EXPECT_EQ(sys->app()->stats().dropped, 0u);
+  EXPECT_EQ(sys->db()->stats().dropped, 0u);
+  EXPECT_EQ(sys->latency().vlrt_count(), 0u);
+  EXPECT_TRUE(analyze_ctqo(*sys).episodes.empty());
+  // The millibottlenecks really happened:
+  EXPECT_FALSE(sys->sampler().saturated_windows("xtomcat").empty());
+}
+
+TEST(Integration, Nx3EliminatesCtqoUnderIoMillibottleneck) {
+  auto cfg = sc::fig11_nx3_logflush();
+  cfg.duration = Duration::seconds(45);
+  auto sys = run_system(cfg);
+  EXPECT_EQ(sys->web()->stats().dropped + sys->app()->stats().dropped +
+                sys->db()->stats().dropped,
+            0u);
+  EXPECT_EQ(sys->latency().vlrt_count(), 0u);
+  // The flush really stalled the disk:
+  EXPECT_GT(sys->sampler().series("dbdisk.busy").max_value(), 90.0);
+}
+
+TEST(Integration, NoMillibottleneckNoVlrt) {
+  ExperimentConfig cfg;
+  cfg.system.arch = Architecture::kSync;
+  cfg.workload.sessions = 7000;
+  cfg.duration = Duration::seconds(30);
+  auto sys = run_system(cfg);
+  EXPECT_EQ(sys->latency().vlrt_count(), 0u);
+  EXPECT_EQ(sys->web()->stats().dropped, 0u);
+}
+
+TEST(Integration, VlrtLatenciesSitAtRtoMultiples) {
+  auto cfg = sc::fig3_consolidation_sync();
+  auto sys = run_system(cfg);
+  const auto& hist = sys->latency().histogram();
+  // Every VLRT is >= 3 s and the dominant mode is near 3 s.
+  const auto modes = hist.modes(5);
+  ASSERT_GE(modes.size(), 2u);
+  EXPECT_LT(modes[0].to_seconds(), 1.0);
+  // Some mode sits right at the RTO (3 s); queueing clusters may appear
+  // below it, so search rather than index.
+  bool has_rto_mode = false;
+  for (auto m : modes)
+    if (m.to_seconds() > 2.9 && m.to_seconds() < 3.5) has_rto_mode = true;
+  EXPECT_TRUE(has_rto_mode);
+  // Nothing lives between the end of the queueing continuum and the RTO.
+  EXPECT_EQ(hist.count_at_least(Duration::from_seconds(2.5)),
+            hist.count_at_least(Duration::from_seconds(2.95)));
+}
+
+TEST(Integration, DroppedRequestsMatchVlrt) {
+  auto cfg = sc::fig3_consolidation_sync();
+  auto sys = run_system(cfg);
+  // Requests that experienced >= 1 drop are (essentially) the VLRT set.
+  EXPECT_NEAR(static_cast<double>(sys->latency().dropped_request_count()),
+              static_cast<double>(sys->latency().vlrt_count()),
+              0.05 * sys->latency().vlrt_count() + 5);
+}
+
+TEST(Integration, ConservationAcrossSystem) {
+  auto cfg = sc::fig3_consolidation_sync();
+  auto sys = run_system(cfg);
+  const auto& c = sys->clients();
+  EXPECT_EQ(c.issued(), c.completed() + c.in_flight());
+  EXPECT_LE(c.in_flight(), cfg.workload.sessions);
+  // Web tier conservation: accepted = completed + still inside.
+  EXPECT_EQ(sys->web()->stats().accepted,
+            sys->web()->stats().completed + sys->web()->queued_requests());
+}
+
+TEST(Integration, ThroughputMatchesClosedLoopLaw) {
+  ExperimentConfig cfg;
+  cfg.workload.sessions = 7000;
+  cfg.duration = Duration::seconds(40);
+  cfg.workload.measure_from = Time::from_seconds(10);
+  auto sys = run_system(cfg);
+  const double rps =
+      sys->latency().throughput_rps(Time::from_seconds(10), sys->simulation().now());
+  EXPECT_NEAR(rps, 990.0, 60.0);  // paper: 990 req/s at WL 7000
+}
+
+TEST(Integration, ModerateUtilizationDespiteDrops) {
+  // The paper's headline: CTQO at moderate average utilization.
+  auto cfg = sc::fig3_consolidation_sync();
+  auto sys = run_system(cfg);
+  auto s = summarize(*sys);
+  EXPECT_GT(s.total_drops, 0u);
+  EXPECT_LT(s.highest_mean_util_pct, 90.0);
+}
+
+}  // namespace
+}  // namespace ntier::core

@@ -1,0 +1,112 @@
+#include "cpu/io_device.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace ntier::cpu {
+namespace {
+
+using sim::Duration;
+using sim::Simulation;
+using sim::Time;
+
+TEST(IoDevice, SingleOpServiceTime) {
+  Simulation sim;
+  IoDevice dev(sim, "d");
+  double done = -1;
+  dev.submit_service(Duration::millis(10), [&] { done = sim.now().to_seconds(); });
+  sim.run_all();
+  EXPECT_NEAR(done, 0.010, 1e-6);
+}
+
+TEST(IoDevice, FifoOrderAndQueueing) {
+  Simulation sim;
+  IoDevice dev(sim, "d");
+  std::vector<int> order;
+  std::vector<double> when;
+  for (int i = 0; i < 3; ++i)
+    dev.submit_service(Duration::millis(10), [&, i] {
+      order.push_back(i);
+      when.push_back(sim.now().to_seconds());
+    });
+  EXPECT_EQ(dev.queue_depth(), 3u);
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_NEAR(when[0], 0.010, 1e-6);
+  EXPECT_NEAR(when[1], 0.020, 1e-6);
+  EXPECT_NEAR(when[2], 0.030, 1e-6);
+  EXPECT_EQ(dev.queue_depth(), 0u);
+  EXPECT_EQ(dev.ops_completed(), 3u);
+}
+
+TEST(IoDevice, BytesToServiceTime) {
+  Simulation sim;
+  IoDevice::Config cfg;
+  cfg.bytes_per_second = 1024 * 1024;  // 1 MiB/s
+  cfg.per_op_latency = Duration::zero();
+  IoDevice dev(sim, "d", cfg);
+  double done = -1;
+  dev.submit(512 * 1024, [&] { done = sim.now().to_seconds(); });
+  sim.run_all();
+  EXPECT_NEAR(done, 0.5, 1e-6);
+  EXPECT_EQ(dev.bytes_written(), 512u * 1024);
+}
+
+TEST(IoDevice, PerOpLatencyAdds) {
+  Simulation sim;
+  IoDevice::Config cfg;
+  cfg.bytes_per_second = 1024 * 1024;
+  cfg.per_op_latency = Duration::millis(5);
+  IoDevice dev(sim, "d", cfg);
+  double done = -1;
+  dev.submit(0, [&] { done = sim.now().to_seconds(); });
+  sim.run_all();
+  EXPECT_NEAR(done, 0.005, 1e-6);
+}
+
+TEST(IoDevice, SmallOpStallsBehindBigFlush) {
+  // The log-flush millibottleneck in miniature.
+  Simulation sim;
+  IoDevice dev(sim, "d");  // 50 MiB/s
+  double small_done = -1;
+  dev.submit(25ull * 1024 * 1024, [] {});  // ~0.5 s
+  dev.submit_service(Duration::micros(15), [&] { small_done = sim.now().to_seconds(); });
+  sim.run_all();
+  EXPECT_GT(small_done, 0.45);
+}
+
+TEST(IoDevice, BusyAccountingBackToBack) {
+  Simulation sim;
+  IoDevice dev(sim, "d");
+  dev.submit_service(Duration::millis(10), [] {});
+  dev.submit_service(Duration::millis(10), [] {});
+  sim.run_all();
+  EXPECT_NEAR(dev.busy_seconds_until(sim.now()), 0.020, 1e-6);
+}
+
+TEST(IoDevice, BusyAccountingWithIdleGap) {
+  Simulation sim;
+  IoDevice dev(sim, "d");
+  dev.submit_service(Duration::millis(10), [] {});
+  sim.after(Duration::millis(100), [&] {
+    dev.submit_service(Duration::millis(10), [] {});
+  });
+  sim.run_all();
+  EXPECT_NEAR(dev.busy_seconds_until(sim.now()), 0.020, 1e-6);
+  // Mid-gap query sees only the first op.
+  EXPECT_NEAR(dev.busy_seconds_until(Time::from_seconds(0.05)), 0.010, 1e-6);
+}
+
+TEST(IoDevice, BusyPartialWindow) {
+  Simulation sim;
+  IoDevice dev(sim, "d");
+  dev.submit_service(Duration::millis(100), [] {});
+  sim.run_until(Time::from_seconds(0.03));
+  EXPECT_NEAR(dev.busy_seconds_until(sim.now()), 0.030, 1e-6);
+}
+
+}  // namespace
+}  // namespace ntier::cpu

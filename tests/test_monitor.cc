@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "monitor/collectl.h"
+#include "monitor/sampler.h"
+#include "monitor/vlrt_tracker.h"
+#include "server/sync_server.h"
+
+namespace ntier::monitor {
+namespace {
+
+using sim::Duration;
+using sim::Simulation;
+using sim::Time;
+
+// --- Sampler -------------------------------------------------------------
+
+TEST(Sampler, VmUtilizationWindows) {
+  Simulation sim;
+  cpu::HostCpu host(sim, 1.0);
+  auto* vm = host.add_vm("a");
+  Sampler sampler(sim, Duration::millis(50));
+  sampler.track_vm("a", vm);
+  sampler.start();
+  // 100% busy from 0 to 100ms, idle after.
+  vm->submit(Duration::millis(100), [] {});
+  sim.run_until(Time::from_seconds(0.3));
+  const auto& cpu = sampler.series("a.cpu");
+  EXPECT_NEAR(cpu.value_at(0), 100.0, 1.0);
+  EXPECT_NEAR(cpu.value_at(1), 100.0, 1.0);
+  EXPECT_NEAR(cpu.value_at(2), 0.0, 1.0);
+}
+
+TEST(Sampler, DemandShowsContention) {
+  Simulation sim;
+  cpu::HostCpu host(sim, 1.0);
+  auto* a = host.add_vm("a");
+  auto* b = host.add_vm("b");
+  Sampler sampler(sim, Duration::millis(50));
+  sampler.track_vm("a", a);
+  sampler.start();
+  a->submit(Duration::millis(50), [] {});
+  b->submit(Duration::millis(50), [] {});
+  sim.run_until(Time::from_seconds(0.2));
+  // a runs at 50% for 100ms but wants CPU the whole time.
+  EXPECT_NEAR(sampler.series("a.cpu").value_at(0), 50.0, 2.0);
+  EXPECT_NEAR(sampler.series("a.demand").value_at(0), 100.0, 2.0);
+}
+
+TEST(Sampler, StallSeriesDuringFreeze) {
+  Simulation sim;
+  cpu::HostCpu host(sim, 1.0);
+  auto* vm = host.add_vm("a");
+  Sampler sampler(sim, Duration::millis(50));
+  sampler.track_vm("a", vm);
+  sampler.start();
+  vm->submit(Duration::millis(10), [] {});
+  vm->freeze_for(Duration::millis(50));
+  sim.run_until(Time::from_seconds(0.2));
+  EXPECT_NEAR(sampler.series("a.stall").value_at(0), 100.0, 2.0);
+}
+
+TEST(Sampler, ServerQueueGauge) {
+  Simulation sim;
+  cpu::HostCpu host(sim, 1.0);
+  auto* vm = host.add_vm("srv");
+  auto profile = test::one_class_profile();
+  server::SyncServer srv(
+      sim, "srv", vm, &profile,
+      [](const server::RequestClassProfile&) {
+        return test::cpu_only(Duration::millis(200));
+      },
+      server::SyncConfig{.threads_per_process = 1});
+  Sampler sampler(sim, Duration::millis(50));
+  sampler.track_server("srv", &srv);
+  sampler.start();
+  test::ReplySink sink(sim);
+  srv.offer(sink.job(1));
+  srv.offer(sink.job(2));
+  sim.run_until(Time::from_seconds(0.1));
+  EXPECT_EQ(sampler.series("srv.queue").value_at(1), 2.0);
+}
+
+TEST(Sampler, IoBusySeries) {
+  Simulation sim;
+  cpu::IoDevice dev(sim, "d");
+  Sampler sampler(sim, Duration::millis(50));
+  sampler.track_io("d", &dev);
+  sampler.start();
+  dev.submit_service(Duration::millis(75), [] {});
+  sim.run_until(Time::from_seconds(0.2));
+  EXPECT_NEAR(sampler.series("d.busy").value_at(0), 100.0, 1.0);
+  EXPECT_NEAR(sampler.series("d.busy").value_at(1), 50.0, 2.0);
+  EXPECT_NEAR(sampler.series("d.busy").value_at(2), 0.0, 1.0);
+}
+
+TEST(Sampler, SaturatedWindows) {
+  Simulation sim;
+  cpu::HostCpu host(sim, 1.0);
+  auto* vm = host.add_vm("a");
+  Sampler sampler(sim, Duration::millis(50));
+  sampler.track_vm("a", vm);
+  sampler.start();
+  sim.after(Duration::millis(100), [&] { vm->submit(Duration::millis(100), [] {}); });
+  sim.run_until(Time::from_seconds(0.5));
+  const auto sat = sampler.saturated_windows("a");
+  ASSERT_GE(sat.size(), 2u);
+  EXPECT_EQ(sat[0], Time::from_micros(100'000));
+}
+
+TEST(Sampler, UnknownSeriesThrows) {
+  Simulation sim;
+  Sampler sampler(sim);
+  EXPECT_THROW((void)sampler.series("nope"), std::out_of_range);
+  EXPECT_FALSE(sampler.has_series("nope"));
+}
+
+TEST(Sampler, SeriesNamesListed) {
+  Simulation sim;
+  cpu::HostCpu host(sim, 1.0);
+  auto* vm = host.add_vm("a");
+  Sampler sampler(sim);
+  sampler.track_vm("a", vm);
+  const auto names = sampler.series_names();
+  EXPECT_EQ(names.size(), 3u);
+  EXPECT_TRUE(sampler.has_series("a.cpu"));
+  EXPECT_TRUE(sampler.has_series("a.demand"));
+  EXPECT_TRUE(sampler.has_series("a.stall"));
+}
+
+// --- Collectl ------------------------------------------------------------
+
+TEST(Collectl, FlushScheduleMatchesPaper) {
+  Simulation sim;
+  cpu::IoDevice disk(sim, "d");
+  Collectl::Config cfg;
+  cfg.first_flush = Time::from_seconds(10);
+  cfg.flush_period = Duration::seconds(30);
+  Collectl collectl(sim, &disk, cfg);
+  sim.run_until(Time::from_seconds(80));
+  // 10, 40, 70 — the Fig 5(a) marks.
+  ASSERT_EQ(collectl.flush_times().size(), 3u);
+  EXPECT_EQ(collectl.flush_times()[0], Time::from_seconds(10));
+  EXPECT_EQ(collectl.flush_times()[1], Time::from_seconds(40));
+  EXPECT_EQ(collectl.flush_times()[2], Time::from_seconds(70));
+  EXPECT_EQ(collectl.flushes_completed(), 3u);
+}
+
+TEST(Collectl, FlushOccupiesDiskHundredsOfMs) {
+  Simulation sim;
+  cpu::IoDevice disk(sim, "d");  // 50 MiB/s
+  Collectl::Config cfg;
+  cfg.first_flush = Time::from_seconds(1);
+  cfg.bytes_per_flush = 20ull * 1024 * 1024;
+  Collectl collectl(sim, &disk, cfg);
+  sim.run_until(Time::from_seconds(2));
+  const double busy = disk.busy_seconds_until(sim.now());
+  EXPECT_NEAR(busy, 0.4, 0.02);
+}
+
+TEST(Collectl, SmallDbIoStallsBehindFlush) {
+  Simulation sim;
+  cpu::IoDevice disk(sim, "d");
+  Collectl::Config cfg;
+  cfg.first_flush = Time::from_seconds(1);
+  Collectl collectl(sim, &disk, cfg);
+  double done = -1;
+  sim.after(Duration::millis(1001), [&] {
+    disk.submit_service(Duration::micros(15), [&] { done = sim.now().to_seconds(); });
+  });
+  sim.run_until(Time::from_seconds(3));
+  EXPECT_GT(done, 1.3);  // stalled behind the flush
+}
+
+// --- LatencyCollector ----------------------------------------------------
+
+server::RequestPtr finished(double issued_s, double completed_s, int drops = 0) {
+  auto r = std::make_shared<server::Request>();
+  r->issued = Time::from_seconds(issued_s);
+  r->completed = Time::from_seconds(completed_s);
+  r->total_drops = drops;
+  return r;
+}
+
+TEST(LatencyCollector, CountsAndHistogram) {
+  LatencyCollector c;
+  c.record(finished(0.0, 0.005));
+  c.record(finished(0.0, 3.05, 1));
+  EXPECT_EQ(c.completed(), 2u);
+  EXPECT_EQ(c.vlrt_count(), 1u);
+  EXPECT_EQ(c.dropped_request_count(), 1u);
+  EXPECT_EQ(c.histogram().total(), 2u);
+}
+
+TEST(LatencyCollector, VlrtWindowPlacement) {
+  LatencyCollector c;
+  c.record(finished(0.0, 5.01));  // VLRT completing at 5.01s
+  c.record(finished(5.0, 5.02));  // normal
+  EXPECT_DOUBLE_EQ(c.vlrt_per_window().value_at_time(Time::from_seconds(5.01)), 1.0);
+}
+
+TEST(LatencyCollector, ThroughputWindows) {
+  LatencyCollector c;
+  for (int i = 0; i < 100; ++i) c.record(finished(0.0, 1.0 + i * 0.01));
+  EXPECT_NEAR(c.throughput_rps(Time::from_seconds(1), Time::from_seconds(2)), 100.0, 1.0);
+}
+
+TEST(LatencyCollector, DigestFields) {
+  LatencyCollector c;
+  for (int i = 1; i <= 100; ++i) c.record(finished(0.0, i * 0.001));
+  const auto d = c.digest();
+  EXPECT_EQ(d.count, 100u);
+  EXPECT_NEAR(d.p50.to_millis(), 50.0, 2.0);
+  EXPECT_NEAR(d.max.to_millis(), 100.0, 0.5);
+  EXPECT_EQ(d.vlrt_count, 0u);
+}
+
+TEST(LatencyCollector, FailedRequests) {
+  LatencyCollector c;
+  auto r = finished(0.0, 21.0, 7);
+  r->failed = true;
+  c.record(r);
+  EXPECT_EQ(c.failed_count(), 1u);
+}
+
+TEST(LatencyCollector, CustomThreshold) {
+  LatencyCollector::Config cfg;
+  cfg.vlrt_threshold = Duration::seconds(1);
+  LatencyCollector c(cfg);
+  c.record(finished(0.0, 1.5));
+  EXPECT_EQ(c.vlrt_count(), 1u);
+  EXPECT_EQ(c.vlrt_threshold(), Duration::seconds(1));
+}
+
+}  // namespace
+}  // namespace ntier::monitor

@@ -1,0 +1,101 @@
+// Checks that the canned scenarios encode the paper's published
+// parameters (Fig 13 and §III-§V).
+#include "core/scenarios.h"
+
+#include <gtest/gtest.h>
+
+namespace ntier::core::scenarios {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+TEST(Scenarios, Fig1WorkloadsAndDuration) {
+  for (std::size_t wl : {4000u, 7000u, 8000u}) {
+    const auto cfg = fig1_multimodal(wl);
+    EXPECT_EQ(cfg.workload.sessions, wl);
+    EXPECT_EQ(cfg.system.arch, Architecture::kSync);
+    EXPECT_GE(cfg.duration, Duration::seconds(200));
+    EXPECT_EQ(cfg.bottleneck.kind, MillibottleneckSpec::Kind::kConsolidationMmpp);
+    EXPECT_DOUBLE_EQ(cfg.bottleneck.mmpp.burst.burst_index, 100.0);  // paper: burst index 100
+  }
+}
+
+TEST(Scenarios, Fig3IsSyncConsolidationOnApp) {
+  const auto cfg = fig3_consolidation_sync();
+  EXPECT_EQ(cfg.system.arch, Architecture::kSync);
+  EXPECT_EQ(cfg.bottleneck.kind, MillibottleneckSpec::Kind::kConsolidationBatch);
+  EXPECT_EQ(cfg.bottleneck.target, Tier::kApp);
+  EXPECT_EQ(cfg.bottleneck.batch.batch_size, 400u);  // "batch of 400 ViewStory"
+  EXPECT_EQ(cfg.workload.sessions, 7000u);           // paper §IV-A
+  EXPECT_EQ(cfg.workload.mean_think, Duration::seconds(7));
+}
+
+TEST(Scenarios, Fig5LogFlushEvery30s) {
+  const auto cfg = fig5_logflush_sync();
+  EXPECT_EQ(cfg.bottleneck.kind, MillibottleneckSpec::Kind::kLogFlush);
+  EXPECT_EQ(cfg.bottleneck.logflush.flush_period, Duration::seconds(30));
+  EXPECT_EQ(cfg.bottleneck.logflush.first_flush, Time::from_seconds(10));
+  EXPECT_EQ(cfg.system.app_vcpus, 4);  // paper: Tomcat scaled to 4 cores
+}
+
+TEST(Scenarios, Fig7Nx1TomcatDepth) {
+  const auto cfg = fig7_nx1();
+  EXPECT_EQ(cfg.system.arch, Architecture::kNx1);
+  EXPECT_EQ(cfg.system.app_threads, 165u);  // MaxSysQDepth 165+128=293
+  EXPECT_EQ(cfg.bottleneck.target, Tier::kApp);
+}
+
+TEST(Scenarios, Fig8TargetsDb) {
+  const auto cfg = fig8_nx2_mysql();
+  EXPECT_EQ(cfg.system.arch, Architecture::kNx2);
+  EXPECT_EQ(cfg.bottleneck.target, Tier::kDb);
+}
+
+TEST(Scenarios, Fig9TargetsApp) {
+  const auto cfg = fig9_nx2_xtomcat();
+  EXPECT_EQ(cfg.system.arch, Architecture::kNx2);
+  EXPECT_EQ(cfg.bottleneck.target, Tier::kApp);
+}
+
+TEST(Scenarios, Fig10And11AreNx3) {
+  EXPECT_EQ(fig10_nx3_xtomcat().system.arch, Architecture::kNx3);
+  const auto f11 = fig11_nx3_logflush();
+  EXPECT_EQ(f11.system.arch, Architecture::kNx3);
+  EXPECT_EQ(f11.bottleneck.kind, MillibottleneckSpec::Kind::kLogFlush);
+}
+
+TEST(Scenarios, Fig12SyncUses2000Threads) {
+  const auto cfg = fig12_point(Architecture::kSync, 1600);
+  EXPECT_EQ(cfg.system.web_threads, 2000u);
+  EXPECT_EQ(cfg.system.app_threads, 2000u);
+  EXPECT_EQ(cfg.system.db_threads, 2000u);
+  EXPECT_GT(cfg.system.sync_overhead.alpha_per_thread, 0.0);
+  EXPECT_EQ(cfg.workload.sessions, 1600u);
+  EXPECT_EQ(cfg.workload.mean_think, Duration::zero());
+}
+
+TEST(Scenarios, Fig12AsyncHasNoOverheadModel) {
+  const auto cfg = fig12_point(Architecture::kNx3, 400);
+  EXPECT_EQ(cfg.system.arch, Architecture::kNx3);
+  EXPECT_DOUBLE_EQ(cfg.system.sync_overhead.alpha_per_thread, 0.0);
+}
+
+TEST(Scenarios, DefaultRtoIsThreeSeconds) {
+  const auto cfg = fig3_consolidation_sync();
+  EXPECT_EQ(cfg.workload.client_rto.rto(0), Duration::seconds(3));
+  EXPECT_EQ(cfg.system.tier_rto.rto(0), Duration::seconds(3));
+}
+
+TEST(Scenarios, InterferenceIsViewStoryScale) {
+  const auto cfg = fig3_consolidation_sync();
+  // 400 jobs x 1.5 ms = 0.6 s of CPU per burst: a sub-second (milli-)
+  // bottleneck once fair sharing stretches it.
+  const double burst_work_s = cfg.bottleneck.batch.batch_size *
+                              cfg.bottleneck.batch.demand_per_job.to_seconds();
+  EXPECT_GT(burst_work_s, 0.2);
+  EXPECT_LT(burst_work_s, 1.0);
+}
+
+}  // namespace
+}  // namespace ntier::core::scenarios

@@ -1,0 +1,87 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+namespace ntier::sim {
+namespace {
+
+using namespace ntier::sim::literals;
+
+TEST(Simulation, StartsAtOrigin) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), Time::origin());
+}
+
+TEST(Simulation, ClockAdvancesToEventTimes) {
+  Simulation sim;
+  Time seen{};
+  sim.after(2_s, [&] { seen = sim.now(); });
+  sim.run_until(Time::from_seconds(10));
+  EXPECT_EQ(seen, Time::from_seconds(2));
+  EXPECT_EQ(sim.now(), Time::from_seconds(10));
+}
+
+TEST(Simulation, RunUntilStopsBeforeLaterEvents) {
+  Simulation sim;
+  int fired = 0;
+  sim.after(5_s, [&] { ++fired; });
+  sim.run_until(Time::from_seconds(4));
+  EXPECT_EQ(fired, 0);
+  sim.run_until(Time::from_seconds(6));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, EventExactlyAtDeadlineRuns) {
+  Simulation sim;
+  int fired = 0;
+  sim.after(5_s, [&] { ++fired; });
+  sim.run_until(Time::from_seconds(5));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, ChainedScheduling) {
+  Simulation sim;
+  std::vector<double> times;
+  std::function<void()> tick = [&] {
+    times.push_back(sim.now().to_seconds());
+    if (times.size() < 3) sim.after(1_s, tick);
+  };
+  sim.after(1_s, tick);
+  sim.run_all();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(Simulation, AtSchedulesAbsolute) {
+  Simulation sim;
+  Time seen{};
+  sim.at(Time::from_seconds(3), [&] { seen = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(seen, Time::from_seconds(3));
+}
+
+TEST(Simulation, CancelledEventSkipped) {
+  Simulation sim;
+  int fired = 0;
+  auto h = sim.after(1_s, [&] { ++fired; });
+  h.cancel();
+  sim.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulation, EventsExecutedCounter) {
+  Simulation sim;
+  for (int i = 0; i < 5; ++i) sim.after(Duration::millis(i), [] {});
+  sim.run_all();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(Simulation, ZeroDelayRunsAtSameTime) {
+  Simulation sim;
+  Time seen = Time::max();
+  sim.after(1_s, [&] { sim.after(Duration::zero(), [&] { seen = sim.now(); }); });
+  sim.run_all();
+  EXPECT_EQ(seen, Time::from_seconds(1));
+}
+
+}  // namespace
+}  // namespace ntier::sim

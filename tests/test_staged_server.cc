@@ -1,0 +1,133 @@
+#include "server/staged_server.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "net/rto_policy.h"
+#include "server/sync_server.h"
+
+namespace ntier::server {
+namespace {
+
+using sim::Duration;
+using sim::Simulation;
+using sim::Time;
+using test::ReplySink;
+
+struct Fixture {
+  Simulation sim;
+  cpu::HostCpu host{sim, 1.0};
+  cpu::VmCpu* vm = host.add_vm("srv");
+  AppProfile profile = test::one_class_profile();
+  ReplySink sink{sim};
+
+  std::unique_ptr<StagedServer> make(StagedConfig cfg, Program prog) {
+    return std::make_unique<StagedServer>(
+        sim, "seda", vm, &profile,
+        [prog](const RequestClassProfile&) { return prog; }, cfg);
+  }
+  std::unique_ptr<SyncServer> make_sync(SyncConfig cfg, Program prog) {
+    return std::make_unique<SyncServer>(
+        sim, "down", vm, &profile,
+        [prog](const RequestClassProfile&) { return prog; }, cfg);
+  }
+};
+
+TEST(StagedServer, ProcessesAndReplies) {
+  Fixture f;
+  auto srv = f.make(StagedConfig{}, test::cpu_only(Duration::millis(10)));
+  EXPECT_TRUE(srv->offer(f.sink.job(1)));
+  f.sim.run_all();
+  ASSERT_EQ(f.sink.replies.size(), 1u);
+  EXPECT_NEAR(f.sink.replies[0].second.to_seconds(), 0.010, 1e-4);
+}
+
+TEST(StagedServer, IngressQueueBoundsAdmission) {
+  Fixture f;
+  StagedConfig cfg;
+  cfg.ingress.queue_cap = 2;
+  cfg.ingress.threads = 1;
+  auto srv = f.make(cfg, test::cpu_only(Duration::millis(50)));
+  EXPECT_TRUE(srv->offer(f.sink.job(1)));   // taken by the stage thread
+  EXPECT_TRUE(srv->offer(f.sink.job(2)));   // queued
+  EXPECT_TRUE(srv->offer(f.sink.job(3)));   // queued
+  EXPECT_FALSE(srv->offer(f.sink.job(4)));  // queue full -> drop
+  EXPECT_EQ(srv->stats().dropped, 1u);
+  EXPECT_EQ(srv->max_sys_q_depth(), 3u);  // cap + threads
+}
+
+TEST(StagedServer, StageThreadsBoundConcurrency) {
+  Fixture f;
+  StagedConfig cfg;
+  cfg.ingress.threads = 2;
+  auto srv = f.make(cfg, test::cpu_only(Duration::millis(10)));
+  for (int i = 0; i < 5; ++i) srv->offer(f.sink.job(i));
+  EXPECT_EQ(srv->busy_workers(), 2u);
+  f.sim.run_all();
+  EXPECT_EQ(f.sink.replies.size(), 5u);
+}
+
+TEST(StagedServer, DownstreamDoesNotHoldStageThread) {
+  Fixture f;
+  StagedConfig cfg;
+  cfg.ingress.threads = 1;
+  SyncConfig down_cfg;
+  down_cfg.threads_per_process = 8;
+  auto down = f.make_sync(down_cfg, test::cpu_only(Duration::millis(50)));
+  auto up = f.make(cfg, test::cpu_down_cpu(Duration::micros(10), Duration::micros(10)));
+  up->connect_downstream(down.get(), net::RtoPolicy::fixed3s(), net::Link{});
+  up->offer(f.sink.job(1));
+  up->offer(f.sink.job(2));
+  f.sim.run_until(Time::from_seconds(0.005));
+  // Both made it downstream although the stage has a single thread.
+  EXPECT_EQ(down->queued_requests(), 2u);
+  f.sim.run_all();
+  EXPECT_EQ(f.sink.replies.size(), 2u);
+}
+
+TEST(StagedServer, ContinuationWorkIsNeverShed) {
+  Fixture f;
+  StagedConfig cfg;
+  cfg.ingress.queue_cap = 100;
+  cfg.continuation.threads = 1;
+  SyncConfig down_cfg;
+  down_cfg.threads_per_process = 64;
+  auto down = f.make_sync(down_cfg, test::cpu_only(Duration::millis(1)));
+  auto up = f.make(cfg, test::cpu_down_cpu(Duration::micros(10), Duration::millis(2)));
+  up->connect_downstream(down.get(), net::RtoPolicy::fixed3s(), net::Link{});
+  for (int i = 0; i < 50; ++i) up->offer(f.sink.job(i));
+  f.sim.run_all();
+  EXPECT_EQ(f.sink.replies.size(), 50u);
+  EXPECT_EQ(up->stats().dropped, 0u);
+  EXPECT_EQ(up->stats().completed, 50u);
+}
+
+TEST(StagedServer, SitsBetweenSyncAndAsyncUnderFreeze) {
+  // During a 300 ms freeze at 2000 arrivals/s, ~600 requests arrive:
+  // sync (278) drops, staged (1000+16) absorbs, matching its cap.
+  Fixture f;
+  StagedConfig cfg;
+  cfg.ingress.queue_cap = 1000;
+  auto srv = f.make(cfg, test::cpu_only(Duration::micros(100)));
+  f.vm->freeze_for(Duration::millis(300));
+  for (int i = 0; i < 600; ++i) {
+    f.sim.after(Duration::micros(500 * i),
+                [&f, &srv, i] { srv->offer(f.sink.job(i)); });
+  }
+  f.sim.run_all();
+  EXPECT_EQ(srv->stats().dropped, 0u);
+  EXPECT_EQ(f.sink.replies.size(), 600u);
+}
+
+TEST(StagedServer, StatsAndConservation) {
+  Fixture f;
+  auto srv = f.make(StagedConfig{}, test::cpu_only(Duration::millis(1)));
+  for (int i = 0; i < 20; ++i) srv->offer(f.sink.job(i));
+  f.sim.run_all();
+  EXPECT_EQ(srv->stats().accepted, 20u);
+  EXPECT_EQ(srv->stats().completed, 20u);
+  EXPECT_EQ(srv->queued_requests(), 0u);
+}
+
+}  // namespace
+}  // namespace ntier::server

@@ -1,0 +1,88 @@
+#include "metrics/summary.h"
+
+#include "sim/random.h"
+
+#include <gtest/gtest.h>
+
+namespace ntier::metrics {
+namespace {
+
+TEST(Running, EmptyIsZero) {
+  Running r;
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_DOUBLE_EQ(r.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(r.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(r.min(), 0.0);
+}
+
+TEST(Running, MeanMinMax) {
+  Running r;
+  for (double v : {4.0, 2.0, 6.0}) r.add(v);
+  EXPECT_DOUBLE_EQ(r.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(r.min(), 2.0);
+  EXPECT_DOUBLE_EQ(r.max(), 6.0);
+  EXPECT_EQ(r.count(), 3u);
+}
+
+TEST(Running, SampleVariance) {
+  Running r;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) r.add(v);
+  EXPECT_NEAR(r.variance(), 4.571428, 1e-5);
+  EXPECT_NEAR(r.stddev(), 2.13809, 1e-4);
+}
+
+TEST(Running, SingleSampleVarianceZero) {
+  Running r;
+  r.add(42.0);
+  EXPECT_DOUBLE_EQ(r.variance(), 0.0);
+}
+
+TEST(DispersionIndex, ExponentialArrivalsScvNearOne) {
+  DispersionIndex d;
+  sim::Rng rng(3);
+  sim::Time t;
+  for (int i = 0; i < 20000; ++i) {
+    t += rng.exp_duration(sim::Duration::millis(10));
+    d.add_arrival(t);
+  }
+  EXPECT_NEAR(d.scv(), 1.0, 0.08);
+}
+
+TEST(DispersionIndex, DeterministicArrivalsScvZero) {
+  DispersionIndex d;
+  for (int i = 0; i < 100; ++i)
+    d.add_arrival(sim::Time::from_micros(i * 1000));
+  EXPECT_NEAR(d.scv(), 0.0, 1e-9);
+}
+
+TEST(DispersionIndex, BurstyArrivalsScvHigh) {
+  DispersionIndex d;
+  sim::Time t;
+  // 10 tight arrivals then a long gap, repeatedly: SCV >> 1.
+  for (int g = 0; g < 50; ++g) {
+    for (int i = 0; i < 10; ++i) {
+      t += sim::Duration::micros(100);
+      d.add_arrival(t);
+    }
+    t += sim::Duration::seconds(1);
+  }
+  EXPECT_GT(d.scv(), 3.0);
+}
+
+TEST(LatencyDigest, ToStringContainsFields) {
+  LatencyDigest d;
+  d.count = 10;
+  d.mean = sim::Duration::millis(5);
+  d.p50 = sim::Duration::millis(4);
+  d.p99 = sim::Duration::millis(50);
+  d.p999 = sim::Duration::millis(100);
+  d.max = sim::Duration::seconds(3);
+  d.vlrt_count = 2;
+  const std::string s = d.to_string();
+  EXPECT_NE(s.find("n=10"), std::string::npos);
+  EXPECT_NE(s.find("vlrt=2"), std::string::npos);
+  EXPECT_NE(s.find("3000.0ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ntier::metrics

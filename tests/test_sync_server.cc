@@ -1,0 +1,261 @@
+#include "server/sync_server.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "net/rto_policy.h"
+
+namespace ntier::server {
+namespace {
+
+using sim::Duration;
+using sim::Simulation;
+using sim::Time;
+using test::ReplySink;
+
+struct Fixture {
+  Simulation sim;
+  cpu::HostCpu host{sim, 1.0};
+  cpu::VmCpu* vm = host.add_vm("srv");
+  AppProfile profile = test::one_class_profile();
+  ReplySink sink{sim};
+
+  std::unique_ptr<SyncServer> make(SyncConfig cfg, Program prog) {
+    return std::make_unique<SyncServer>(
+        sim, "srv", vm, &profile,
+        [prog](const RequestClassProfile&) { return prog; }, cfg);
+  }
+};
+
+TEST(SyncServer, ProcessesAndReplies) {
+  Fixture f;
+  SyncConfig cfg;
+  cfg.threads_per_process = 1;
+  auto srv = f.make(cfg, test::cpu_only(Duration::millis(10)));
+  EXPECT_TRUE(srv->offer(f.sink.job(7)));
+  f.sim.run_all();
+  ASSERT_EQ(f.sink.replies.size(), 1u);
+  EXPECT_EQ(f.sink.replies[0].first, 7u);
+  EXPECT_NEAR(f.sink.replies[0].second.to_seconds(), 0.010, 1e-4);
+  EXPECT_EQ(srv->stats().completed, 1u);
+  EXPECT_EQ(srv->queued_requests(), 0u);
+}
+
+TEST(SyncServer, ThreadsBoundConcurrency) {
+  Fixture f;
+  SyncConfig cfg;
+  cfg.threads_per_process = 2;
+  auto srv = f.make(cfg, test::cpu_only(Duration::millis(10)));
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(srv->offer(f.sink.job(i)));
+  EXPECT_EQ(srv->busy_workers(), 2u);
+  EXPECT_EQ(srv->backlog_depth(), 1u);
+  f.sim.run_all();
+  ASSERT_EQ(f.sink.replies.size(), 3u);
+  // Two share the core then finish together at ~20ms; third runs alone.
+  EXPECT_NEAR(f.sink.replies[2].second.to_seconds(), 0.030, 1e-3);
+}
+
+TEST(SyncServer, BacklogOverflowDrops) {
+  Fixture f;
+  SyncConfig cfg;
+  cfg.threads_per_process = 1;
+  cfg.backlog = 1;
+  auto srv = f.make(cfg, test::cpu_only(Duration::millis(10)));
+  EXPECT_TRUE(srv->offer(f.sink.job(1)));   // worker
+  EXPECT_TRUE(srv->offer(f.sink.job(2)));   // backlog
+  EXPECT_FALSE(srv->offer(f.sink.job(3)));  // dropped
+  EXPECT_EQ(srv->stats().dropped, 1u);
+  ASSERT_EQ(srv->drop_times().size(), 1u);
+  EXPECT_EQ(srv->queued_requests(), 2u);
+}
+
+TEST(SyncServer, MaxSysQDepthArithmetic) {
+  Fixture f;
+  SyncConfig cfg;
+  cfg.threads_per_process = 150;
+  cfg.backlog = 128;
+  auto srv = f.make(cfg, test::cpu_only(Duration::millis(1)));
+  EXPECT_EQ(srv->max_sys_q_depth(), 278u);  // the paper's number
+}
+
+TEST(SyncServer, QueuedNeverExceedsMaxSysQDepth) {
+  Fixture f;
+  SyncConfig cfg;
+  cfg.threads_per_process = 3;
+  cfg.backlog = 2;
+  auto srv = f.make(cfg, test::cpu_only(Duration::millis(5)));
+  int admitted = 0;
+  for (int i = 0; i < 20; ++i) admitted += srv->offer(f.sink.job(i));
+  EXPECT_EQ(admitted, 5);
+  EXPECT_EQ(srv->queued_requests(), srv->max_sys_q_depth());
+}
+
+TEST(SyncServer, BacklogDrainsInFifoOrder) {
+  Fixture f;
+  SyncConfig cfg;
+  cfg.threads_per_process = 1;
+  auto srv = f.make(cfg, test::cpu_only(Duration::millis(10)));
+  for (int i = 0; i < 3; ++i) srv->offer(f.sink.job(i));
+  f.sim.run_all();
+  ASSERT_EQ(f.sink.replies.size(), 3u);
+  EXPECT_EQ(f.sink.replies[0].first, 0u);
+  EXPECT_EQ(f.sink.replies[1].first, 1u);
+  EXPECT_EQ(f.sink.replies[2].first, 2u);
+}
+
+TEST(SyncServer, DownstreamChainRepliesPropagate) {
+  Fixture f;
+  SyncConfig cfg;
+  cfg.threads_per_process = 4;
+  auto down = f.make(cfg, test::cpu_only(Duration::millis(5)));
+  auto up = f.make(cfg, test::cpu_down_cpu(Duration::millis(1), Duration::millis(1)));
+  up->connect_downstream(down.get(), net::RtoPolicy::fixed3s(),
+                         net::Link{Duration::micros(100)});
+  EXPECT_TRUE(up->offer(f.sink.job(1)));
+  f.sim.run_all();
+  ASSERT_EQ(f.sink.replies.size(), 1u);
+  // 1ms + link + 5ms + link + 1ms (+PS sharing of the single core).
+  EXPECT_GT(f.sink.replies[0].second.to_seconds(), 0.007);
+  EXPECT_EQ(down->stats().completed, 1u);
+}
+
+TEST(SyncServer, WorkerHeldAcrossDownstreamWait) {
+  // The RPC coupling: with 1 thread, a second job cannot start while the
+  // first waits on the (slow) downstream tier.
+  Fixture f;
+  SyncConfig cfg1;
+  cfg1.threads_per_process = 1;
+  SyncConfig cfg_down;
+  cfg_down.threads_per_process = 1;
+  auto down = f.make(cfg_down, test::cpu_only(Duration::millis(50)));
+  auto up = f.make(cfg1, test::cpu_down_cpu(Duration::micros(10), Duration::micros(10)));
+  up->connect_downstream(down.get(), net::RtoPolicy::fixed3s(), net::Link{});
+  EXPECT_TRUE(up->offer(f.sink.job(1)));
+  EXPECT_TRUE(up->offer(f.sink.job(2)));  // goes to backlog, not a worker
+  f.sim.run_until(Time::from_seconds(0.01));
+  EXPECT_EQ(up->busy_workers(), 1u);
+  EXPECT_EQ(up->backlog_depth(), 1u);
+  f.sim.run_all();
+  EXPECT_EQ(f.sink.replies.size(), 2u);
+}
+
+TEST(SyncServer, ConnectionPoolBoundsDownstreamInflight) {
+  Fixture f;
+  SyncConfig up_cfg;
+  up_cfg.threads_per_process = 10;
+  up_cfg.db_pool = 1;  // only one query in flight
+  SyncConfig down_cfg;
+  down_cfg.threads_per_process = 10;
+  auto down = f.make(down_cfg, test::cpu_only(Duration::millis(10)));
+  auto up = f.make(up_cfg, test::cpu_down_cpu(Duration::micros(1), Duration::micros(1)));
+  up->connect_downstream(down.get(), net::RtoPolicy::fixed3s(), net::Link{});
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(up->offer(f.sink.job(i)));
+  f.sim.run_until(Time::from_seconds(0.005));
+  EXPECT_LE(down->queued_requests(), 1u);
+  f.sim.run_all();
+  EXPECT_EQ(f.sink.replies.size(), 5u);
+  EXPECT_EQ(up->pool()->in_use(), 0u);
+}
+
+TEST(SyncServer, ProcessSpawnAfterSustainedExhaustion) {
+  Fixture f;
+  SyncConfig cfg;
+  cfg.threads_per_process = 1;
+  cfg.max_processes = 2;
+  cfg.process_spawn_after = Duration::millis(50);
+  auto srv = f.make(cfg, test::cpu_only(Duration::millis(500)));
+  srv->offer(f.sink.job(1));  // occupies the only worker for 500ms
+  EXPECT_EQ(srv->thread_count(), 1u);
+  // Offers keep arriving; after 50ms of exhaustion the spawn triggers.
+  for (int i = 0; i < 10; ++i) {
+    f.sim.after(Duration::millis(10 * (i + 1)),
+                [&, i] { srv->offer(f.sink.job(100 + i)); });
+  }
+  f.sim.run_until(Time::from_seconds(0.2));
+  EXPECT_EQ(srv->process_count(), 2u);
+  EXPECT_EQ(srv->thread_count(), 2u);
+  EXPECT_EQ(srv->max_sys_q_depth(), 2u + cfg.backlog);
+}
+
+TEST(SyncServer, NoSpawnWhenExhaustionIsBrief) {
+  Fixture f;
+  SyncConfig cfg;
+  cfg.threads_per_process = 1;
+  cfg.max_processes = 2;
+  cfg.process_spawn_after = Duration::millis(500);
+  auto srv = f.make(cfg, test::cpu_only(Duration::millis(5)));
+  for (int i = 0; i < 40; ++i) {
+    f.sim.after(Duration::millis(6 * i), [&, i] { srv->offer(f.sink.job(i)); });
+  }
+  f.sim.run_all();
+  EXPECT_EQ(srv->process_count(), 1u);
+}
+
+TEST(SyncServer, OverheadInflatesServiceTime) {
+  Fixture f;
+  SyncConfig cfg;
+  cfg.threads_per_process = 1;
+  cfg.overhead.alpha_per_thread = 1.0;  // x2 with one busy thread
+  auto srv = f.make(cfg, test::cpu_only(Duration::millis(10)));
+  srv->offer(f.sink.job(1));
+  f.sim.run_all();
+  EXPECT_NEAR(f.sink.replies[0].second.to_seconds(), 0.020, 1e-3);
+}
+
+TEST(SyncServer, DiskStepUsesIoDevice) {
+  Fixture f;
+  cpu::IoDevice disk(f.sim, "d");
+  SyncConfig cfg;
+  cfg.threads_per_process = 1;
+  Program prog{WorkStep{WorkStep::Kind::kCpu, Duration::millis(1)},
+               WorkStep{WorkStep::Kind::kDisk, Duration::millis(20)}};
+  auto srv = f.make(cfg, prog);
+  srv->attach_io(&disk);
+  srv->offer(f.sink.job(1));
+  f.sim.run_all();
+  EXPECT_NEAR(f.sink.replies[0].second.to_seconds(), 0.021, 1e-3);
+  EXPECT_EQ(disk.ops_completed(), 1u);
+}
+
+TEST(SyncServer, StatsCountersConsistent) {
+  Fixture f;
+  SyncConfig cfg;
+  cfg.threads_per_process = 1;
+  cfg.backlog = 0;
+  auto srv = f.make(cfg, test::cpu_only(Duration::millis(10)));
+  EXPECT_TRUE(srv->offer(f.sink.job(1)));
+  EXPECT_FALSE(srv->offer(f.sink.job(2)));
+  f.sim.run_all();
+  EXPECT_EQ(srv->stats().offered, 2u);
+  EXPECT_EQ(srv->stats().accepted, 1u);
+  EXPECT_EQ(srv->stats().dropped, 1u);
+  EXPECT_EQ(srv->stats().completed, 1u);
+}
+
+TEST(SyncServer, RetransmittedQueryEventuallyServed) {
+  // Downstream full at first attempt; accepts on the 3 s retransmit.
+  Fixture f;
+  SyncConfig up_cfg;
+  up_cfg.threads_per_process = 1;
+  SyncConfig down_cfg;
+  down_cfg.threads_per_process = 1;
+  down_cfg.backlog = 0;
+  auto down = f.make(down_cfg, test::cpu_only(Duration::millis(3500)));
+  auto up = f.make(up_cfg, test::cpu_down_cpu(Duration::micros(10), Duration::micros(10)));
+  up->connect_downstream(down.get(), net::RtoPolicy::fixed3s(), net::Link{});
+  // Occupy downstream's only worker directly.
+  down->offer(f.sink.job(99));
+  up->offer(f.sink.job(1));
+  f.sim.run_all();
+  ASSERT_EQ(f.sink.replies.size(), 2u);
+  // Request 1: attempts at ~0 s and ~3 s are both dropped (the blocking
+  // job runs until 3.5 s); the 6 s retransmit is admitted and served for
+  // 3.5 s -> reply at ~9.5 s with two recorded drops.
+  EXPECT_EQ(f.sink.replies[1].first, 1u);
+  EXPECT_GT(f.sink.replies[1].second.to_seconds(), 9.0);
+  EXPECT_LT(f.sink.replies[1].second.to_seconds(), 10.5);
+  EXPECT_EQ(down->stats().dropped, 2u);
+}
+
+}  // namespace
+}  // namespace ntier::server

@@ -1,0 +1,45 @@
+#include "metrics/table.h"
+
+#include <gtest/gtest.h>
+
+namespace ntier::metrics {
+namespace {
+
+TEST(Table, HeaderAndRule) {
+  Table t({"a", "bb"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("a  bb"), std::string::npos);
+  EXPECT_NE(s.find("-  --"), std::string::npos);
+}
+
+TEST(Table, RowAlignment) {
+  Table t({"name", "v"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("x       1"), std::string::npos);
+  EXPECT_NE(s.find("longer  22"), std::string::npos);
+}
+
+TEST(Table, BuilderCells) {
+  Table t({"a", "b"});
+  t.cell("1").cell("2");
+  t.cell("3").cell("4");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, EndRowPadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.cell("only");
+  t.end_row();
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::num(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace ntier::metrics

@@ -1,0 +1,62 @@
+#include "cpu/thread_overhead.h"
+
+#include <gtest/gtest.h>
+
+#include "cpu/host_core.h"
+#include "sim/simulation.h"
+
+namespace ntier::cpu {
+namespace {
+
+using sim::Duration;
+
+TEST(ThreadOverhead, DefaultIsIdentity) {
+  ThreadOverheadModel m;
+  EXPECT_DOUBLE_EQ(m.inflation(2000), 1.0);
+  EXPECT_EQ(m.inflate(Duration::millis(1), 500), Duration::millis(1));
+}
+
+TEST(ThreadOverhead, LinearInflation) {
+  ThreadOverheadModel m;
+  m.alpha_per_thread = 1.3e-3;
+  EXPECT_NEAR(m.inflation(100), 1.13, 1e-9);
+  EXPECT_NEAR(m.inflation(1600), 3.08, 1e-9);
+  EXPECT_NEAR(m.inflate(Duration::micros(750), 1600).to_seconds(), 0.00231, 1e-6);
+}
+
+TEST(ThreadOverhead, GcPauseGrowsWithThreads) {
+  ThreadOverheadModel m;
+  m.gc_base = Duration::millis(5);
+  m.gc_per_thread = Duration::micros(50);
+  EXPECT_EQ(m.gc_pause(0), Duration::millis(5));
+  EXPECT_EQ(m.gc_pause(100), Duration::millis(10));
+}
+
+TEST(ThreadOverhead, ArmGcFreezesVmPeriodically) {
+  sim::Simulation sim;
+  HostCpu host(sim, 1.0);
+  auto* vm = host.add_vm("a");
+  ThreadOverheadModel m;
+  m.gc_interval = Duration::millis(100);
+  m.gc_base = Duration::millis(20);
+  arm_gc(sim, *vm, m, [] { return std::size_t{0}; });
+  // A 50ms job submitted at t=90ms straddles the GC pause at 100ms.
+  double done = -1;
+  sim.after(Duration::millis(90), [&] {
+    vm->submit(Duration::millis(50), [&] { done = sim.now().to_seconds(); });
+  });
+  sim.run_until(sim::Time::from_seconds(0.5));
+  EXPECT_NEAR(done, 0.090 + 0.050 + 0.020, 1e-3);
+}
+
+TEST(ThreadOverhead, ArmGcNoopWithoutInterval) {
+  sim::Simulation sim;
+  HostCpu host(sim, 1.0);
+  auto* vm = host.add_vm("a");
+  arm_gc(sim, *vm, ThreadOverheadModel{}, [] { return std::size_t{0}; });
+  sim.run_until(sim::Time::from_seconds(1));
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+}  // namespace
+}  // namespace ntier::cpu

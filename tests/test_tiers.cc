@@ -1,0 +1,99 @@
+// The tier presets must encode the paper's published parameters exactly
+// (Fig 13 and the MaxSysQDepth arithmetic of §III-§V).
+#include "server/tiers.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+
+namespace ntier::server::tiers {
+namespace {
+
+TEST(TierPresets, ApacheConfig) {
+  const auto c = apache_config();
+  EXPECT_EQ(c.threads_per_process, 150u);
+  EXPECT_EQ(c.max_processes, 2u);  // prefork second process
+  EXPECT_EQ(c.backlog, 128u);
+  EXPECT_EQ(c.db_pool, 0u);
+}
+
+TEST(TierPresets, TomcatConfig) {
+  const auto c = tomcat_config();
+  EXPECT_EQ(c.threads_per_process, 150u);
+  EXPECT_EQ(c.max_processes, 1u);
+  EXPECT_EQ(c.db_pool, 50u);  // JDBC pool
+  EXPECT_EQ(tomcat_config(165).threads_per_process, 165u);  // NX=1 variant
+}
+
+TEST(TierPresets, MysqlConfig) {
+  const auto c = mysql_config();
+  EXPECT_EQ(c.threads_per_process, 100u);
+  EXPECT_EQ(c.backlog, 128u);  // MaxSysQDepth 228
+}
+
+TEST(TierPresets, AsyncConfigs) {
+  EXPECT_EQ(nginx_config().lite_q_depth, 65535u);
+  EXPECT_EQ(xtomcat_config().lite_q_depth, 65535u);
+  EXPECT_EQ(xmysql_config().lite_q_depth, 2000u);  // InnoDB wait queue
+  EXPECT_EQ(xmysql_config().max_active, 8u);       // InnoDB threads
+}
+
+TEST(TierPresets, FactoriesNameServers) {
+  sim::Simulation sim;
+  cpu::HostCpu host(sim, 1.0);
+  auto* vm = host.add_vm("vm");
+  const auto profile = AppProfile::rubbos();
+  EXPECT_EQ(make_apache(sim, vm, &profile)->name(), "apache");
+  EXPECT_EQ(make_tomcat(sim, vm, &profile)->name(), "tomcat");
+  EXPECT_EQ(make_mysql(sim, vm, &profile)->name(), "mysql");
+  EXPECT_EQ(make_nginx(sim, vm, &profile)->name(), "nginx");
+  EXPECT_EQ(make_xtomcat(sim, vm, &profile)->name(), "xtomcat");
+  EXPECT_EQ(make_xmysql(sim, vm, &profile)->name(), "xmysql");
+}
+
+TEST(TierPresets, MaxSysQDepthArithmetic) {
+  sim::Simulation sim;
+  cpu::HostCpu host(sim, 1.0);
+  auto* vm = host.add_vm("vm");
+  const auto profile = AppProfile::rubbos();
+  EXPECT_EQ(make_apache(sim, vm, &profile)->max_sys_q_depth(), 278u);
+  EXPECT_EQ(make_tomcat(sim, vm, &profile)->max_sys_q_depth(), 278u);
+  EXPECT_EQ(make_mysql(sim, vm, &profile)->max_sys_q_depth(), 228u);
+  EXPECT_EQ(make_xmysql(sim, vm, &profile)->max_sys_q_depth(), 2000u);
+}
+
+TEST(TierPresets, ProgramsWiredPerTierRole) {
+  // Apache serves static requests locally (1-step program); Tomcat
+  // issues DB queries; MySQL touches its disk.
+  sim::Simulation sim;
+  cpu::HostCpu host(sim, 4.0);
+  auto* vm = host.add_vm("vm", 4);
+  const auto profile = AppProfile::rubbos();
+  cpu::IoDevice disk(sim, "d");
+
+  auto apache = make_apache(sim, vm, &profile);
+  auto tomcat = make_tomcat(sim, vm, &profile);
+  auto mysql = make_mysql(sim, vm, &profile);
+  mysql->attach_io(&disk);
+  tomcat->connect_downstream(mysql.get(), net::RtoPolicy::fixed3s(), net::Link{});
+  apache->connect_downstream(tomcat.get(), net::RtoPolicy::fixed3s(), net::Link{});
+
+  test::ReplySink sink(sim);
+  auto job = sink.job(1);
+  job.req->class_index = profile.index_of("ViewStory");
+  EXPECT_TRUE(apache->offer(std::move(job)));
+  sim.run_all();
+  ASSERT_EQ(sink.replies.size(), 1u);
+  EXPECT_EQ(mysql->stats().completed, 2u);  // two queries
+  EXPECT_EQ(disk.ops_completed(), 2u);
+
+  auto stat = sink.job(2);
+  stat.req->class_index = profile.index_of("Static");
+  EXPECT_TRUE(apache->offer(std::move(stat)));
+  sim.run_all();
+  EXPECT_EQ(sink.replies.size(), 2u);
+  EXPECT_EQ(mysql->stats().completed, 2u);  // static never reached the DB
+}
+
+}  // namespace
+}  // namespace ntier::server::tiers

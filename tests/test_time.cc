@@ -1,0 +1,92 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace ntier::sim {
+namespace {
+
+using namespace ntier::sim::literals;
+
+TEST(Duration, FactoryConversions) {
+  EXPECT_EQ(Duration::micros(5).count_micros(), 5);
+  EXPECT_EQ(Duration::millis(5).count_micros(), 5000);
+  EXPECT_EQ(Duration::seconds(5).count_micros(), 5'000'000);
+}
+
+TEST(Duration, FromSecondsRounds) {
+  EXPECT_EQ(Duration::from_seconds(0.0000015).count_micros(), 2);
+  EXPECT_EQ(Duration::from_seconds(0.0000014).count_micros(), 1);
+  EXPECT_EQ(Duration::from_seconds(-0.0000015).count_micros(), -2);
+}
+
+TEST(Duration, ToSeconds) {
+  EXPECT_DOUBLE_EQ(Duration::millis(1500).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::millis(1500).to_millis(), 1500.0);
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ((1_s + 500_ms).count_micros(), 1'500'000);
+  EXPECT_EQ((1_s - 250_ms).count_micros(), 750'000);
+  EXPECT_EQ((100_ms * 3).count_micros(), 300'000);
+  EXPECT_EQ((3 * 100_ms).count_micros(), 300'000);
+  EXPECT_EQ((1_s / 4).count_micros(), 250'000);
+  EXPECT_DOUBLE_EQ(1_s / 250_ms, 4.0);
+}
+
+TEST(Duration, ScaleByDouble) {
+  EXPECT_EQ((1_s * 2.5).count_micros(), 2'500'000);
+  EXPECT_EQ((100_us * 0.5).count_micros(), 50);
+}
+
+TEST(Duration, CompoundAssign) {
+  Duration d = 1_s;
+  d += 500_ms;
+  EXPECT_EQ(d, Duration::millis(1500));
+  d -= 1_s;
+  EXPECT_EQ(d, 500_ms);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(1_ms, 1_s);
+  EXPECT_GT(2_s, 1999_ms);
+  EXPECT_EQ(1000_us, 1_ms);
+  EXPECT_LE(Duration::zero(), 0_us);
+}
+
+TEST(Duration, Literals) {
+  EXPECT_EQ(1.5_s, Duration::millis(1500));
+  EXPECT_EQ(7_s, Duration::seconds(7));
+}
+
+TEST(Duration, MaxIsLarge) { EXPECT_GT(Duration::max(), Duration::seconds(1'000'000)); }
+
+TEST(Time, OriginAndOffsets) {
+  const Time t0 = Time::origin();
+  EXPECT_EQ(t0.count_micros(), 0);
+  const Time t1 = t0 + 3_s;
+  EXPECT_EQ(t1.to_seconds(), 3.0);
+  EXPECT_EQ(t1 - t0, 3_s);
+  EXPECT_EQ(t1 - 1_s, Time::from_seconds(2.0));
+}
+
+TEST(Time, CompoundAssign) {
+  Time t = Time::from_seconds(1.0);
+  t += 250_ms;
+  EXPECT_EQ(t, Time::from_micros(1'250'000));
+}
+
+TEST(Time, Comparisons) {
+  EXPECT_LT(Time::origin(), Time::from_seconds(0.001));
+  EXPECT_EQ(Time::from_micros(10), Time::origin() + 10_us);
+  EXPECT_GT(Time::max(), Time::from_seconds(1e9));
+}
+
+TEST(TimeToString, Formats) {
+  EXPECT_EQ(to_string(Duration::seconds(3)), "3s");
+  EXPECT_EQ(to_string(Duration::millis(50)), "50ms");
+  EXPECT_EQ(to_string(Duration::micros(7)), "7us");
+  EXPECT_EQ(to_string(Time::from_seconds(1.5)), "1.500s");
+}
+
+}  // namespace
+}  // namespace ntier::sim

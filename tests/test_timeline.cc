@@ -1,0 +1,120 @@
+#include "metrics/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace ntier::metrics {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+Timeline make() { return Timeline("q", Duration::millis(50)); }
+
+TEST(Timeline, AddAccumulatesWithinWindow) {
+  auto tl = make();
+  tl.add(Time::from_micros(10'000), 1.0);
+  tl.add(Time::from_micros(40'000), 2.0);
+  EXPECT_DOUBLE_EQ(tl.value_at(0), 3.0);
+}
+
+TEST(Timeline, WindowBoundaries) {
+  auto tl = make();
+  tl.add(Time::from_micros(49'999), 1.0);
+  tl.add(Time::from_micros(50'000), 1.0);  // next window
+  EXPECT_DOUBLE_EQ(tl.value_at(0), 1.0);
+  EXPECT_DOUBLE_EQ(tl.value_at(1), 1.0);
+}
+
+TEST(Timeline, SetOverwrites) {
+  auto tl = make();
+  tl.set(Time::from_micros(10), 5.0);
+  tl.set(Time::from_micros(20), 7.0);
+  EXPECT_DOUBLE_EQ(tl.value_at(0), 7.0);
+}
+
+TEST(Timeline, MaxInKeepsPeak) {
+  auto tl = make();
+  tl.max_in(Time::origin(), 3.0);
+  tl.max_in(Time::origin(), 1.0);
+  EXPECT_DOUBLE_EQ(tl.value_at(0), 3.0);
+}
+
+TEST(Timeline, ValueAtOutOfRangeIsZero) {
+  auto tl = make();
+  EXPECT_DOUBLE_EQ(tl.value_at(99), 0.0);
+  EXPECT_DOUBLE_EQ(tl.value_at_time(Time::from_seconds(100)), 0.0);
+}
+
+TEST(Timeline, WindowStart) {
+  auto tl = make();
+  EXPECT_EQ(tl.window_start(0), Time::origin());
+  EXPECT_EQ(tl.window_start(3), Time::from_micros(150'000));
+}
+
+TEST(Timeline, MaxValue) {
+  auto tl = make();
+  tl.set(Time::from_seconds(0.1), 4.0);
+  tl.set(Time::from_seconds(0.3), 9.0);
+  EXPECT_DOUBLE_EQ(tl.max_value(), 9.0);
+}
+
+TEST(Timeline, MeanOverRange) {
+  auto tl = make();
+  // windows 0..3 hold 1,2,3,4
+  for (int i = 0; i < 4; ++i)
+    tl.set(Time::from_micros(i * 50'000), i + 1.0);
+  EXPECT_DOUBLE_EQ(tl.mean_over(Time::origin(), Time::from_micros(200'000)), 2.5);
+  EXPECT_DOUBLE_EQ(tl.mean_over(Time::from_micros(50'000), Time::from_micros(150'000)), 2.5);
+}
+
+TEST(Timeline, MeanOverEmptyOrInverted) {
+  auto tl = make();
+  EXPECT_DOUBLE_EQ(tl.mean_over(Time::from_seconds(1), Time::from_seconds(1)), 0.0);
+  EXPECT_DOUBLE_EQ(tl.mean_over(Time::from_seconds(2), Time::from_seconds(1)), 0.0);
+}
+
+TEST(Timeline, FirstTimeAtLeast) {
+  auto tl = make();
+  tl.set(Time::from_micros(100'000), 50.0);
+  tl.set(Time::from_micros(200'000), 100.0);
+  EXPECT_EQ(tl.first_time_at_least(100.0, Time::origin(), Time::from_seconds(1)),
+            Time::from_micros(200'000));
+  EXPECT_EQ(tl.first_time_at_least(49.0, Time::origin(), Time::from_seconds(1)),
+            Time::from_micros(100'000));
+  EXPECT_EQ(tl.first_time_at_least(1000.0, Time::origin(), Time::from_seconds(1)),
+            Time::max());
+}
+
+TEST(Timeline, FirstTimeRespectsBounds) {
+  auto tl = make();
+  tl.set(Time::from_micros(100'000), 100.0);
+  // window is before `from`
+  EXPECT_EQ(tl.first_time_at_least(100.0, Time::from_micros(150'000), Time::from_seconds(1)),
+            Time::max());
+  // window is at/after `to`
+  EXPECT_EQ(tl.first_time_at_least(100.0, Time::origin(), Time::from_micros(100'000)),
+            Time::max());
+}
+
+TEST(Timeline, WindowsAtLeast) {
+  auto tl = make();
+  tl.set(Time::from_micros(0), 99.0);
+  tl.set(Time::from_micros(50'000), 100.0);
+  tl.set(Time::from_micros(150'000), 101.0);
+  const auto w = tl.windows_at_least(100.0);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w[0], Time::from_micros(50'000));
+  EXPECT_EQ(w[1], Time::from_micros(150'000));
+}
+
+TEST(Timeline, TableSkipsTrailingZeros) {
+  auto tl = make();
+  tl.set(Time::origin(), 1.0);
+  tl.set(Time::from_micros(50'000), 0.0);
+  const std::string t = tl.to_table();
+  EXPECT_NE(t.find("0.00 1.000"), std::string::npos);
+  EXPECT_EQ(t.find("0.05"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ntier::metrics
