@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_qdepth"
+  "../bench/ablation_qdepth.pdb"
+  "CMakeFiles/ablation_qdepth.dir/ablation_qdepth.cc.o"
+  "CMakeFiles/ablation_qdepth.dir/ablation_qdepth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_qdepth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_alternative_designs"
+  "../bench/ext_alternative_designs.pdb"
+  "CMakeFiles/ext_alternative_designs.dir/ext_alternative_designs.cc.o"
+  "CMakeFiles/ext_alternative_designs.dir/ext_alternative_designs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_alternative_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

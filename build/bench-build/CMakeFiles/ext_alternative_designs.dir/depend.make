@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_alternative_designs.
+# This may be replaced when dependencies are built.

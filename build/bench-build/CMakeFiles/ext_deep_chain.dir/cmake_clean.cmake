@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_deep_chain"
+  "../bench/ext_deep_chain.pdb"
+  "CMakeFiles/ext_deep_chain.dir/ext_deep_chain.cc.o"
+  "CMakeFiles/ext_deep_chain.dir/ext_deep_chain.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_deep_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_millibottleneck_causes.cc" "bench-build/CMakeFiles/ext_millibottleneck_causes.dir/ext_millibottleneck_causes.cc.o" "gcc" "bench-build/CMakeFiles/ext_millibottleneck_causes.dir/ext_millibottleneck_causes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ntier_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

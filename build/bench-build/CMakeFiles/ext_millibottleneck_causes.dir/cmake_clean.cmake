@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_millibottleneck_causes"
+  "../bench/ext_millibottleneck_causes.pdb"
+  "CMakeFiles/ext_millibottleneck_causes.dir/ext_millibottleneck_causes.cc.o"
+  "CMakeFiles/ext_millibottleneck_causes.dir/ext_millibottleneck_causes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_millibottleneck_causes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_mixed_stacks"
+  "../bench/ext_mixed_stacks.pdb"
+  "CMakeFiles/ext_mixed_stacks.dir/ext_mixed_stacks.cc.o"
+  "CMakeFiles/ext_mixed_stacks.dir/ext_mixed_stacks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mixed_stacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

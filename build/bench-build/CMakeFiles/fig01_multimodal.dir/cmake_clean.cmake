@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_multimodal"
+  "../bench/fig01_multimodal.pdb"
+  "CMakeFiles/fig01_multimodal.dir/fig01_multimodal.cc.o"
+  "CMakeFiles/fig01_multimodal.dir/fig01_multimodal.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_multimodal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_consolidation_sync"
+  "../bench/fig03_consolidation_sync.pdb"
+  "CMakeFiles/fig03_consolidation_sync.dir/fig03_consolidation_sync.cc.o"
+  "CMakeFiles/fig03_consolidation_sync.dir/fig03_consolidation_sync.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_consolidation_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

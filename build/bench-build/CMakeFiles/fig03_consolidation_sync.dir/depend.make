@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_consolidation_sync.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_logflush_sync"
+  "../bench/fig05_logflush_sync.pdb"
+  "CMakeFiles/fig05_logflush_sync.dir/fig05_logflush_sync.cc.o"
+  "CMakeFiles/fig05_logflush_sync.dir/fig05_logflush_sync.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_logflush_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_nx1"
+  "../bench/fig07_nx1.pdb"
+  "CMakeFiles/fig07_nx1.dir/fig07_nx1.cc.o"
+  "CMakeFiles/fig07_nx1.dir/fig07_nx1.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_nx1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

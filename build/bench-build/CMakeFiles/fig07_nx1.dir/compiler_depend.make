@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_nx1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_nx2_mysql"
+  "../bench/fig08_nx2_mysql.pdb"
+  "CMakeFiles/fig08_nx2_mysql.dir/fig08_nx2_mysql.cc.o"
+  "CMakeFiles/fig08_nx2_mysql.dir/fig08_nx2_mysql.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_nx2_mysql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_nx2_mysql.
+# This may be replaced when dependencies are built.

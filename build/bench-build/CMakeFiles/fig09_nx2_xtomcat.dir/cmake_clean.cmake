@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_nx2_xtomcat"
+  "../bench/fig09_nx2_xtomcat.pdb"
+  "CMakeFiles/fig09_nx2_xtomcat.dir/fig09_nx2_xtomcat.cc.o"
+  "CMakeFiles/fig09_nx2_xtomcat.dir/fig09_nx2_xtomcat.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_nx2_xtomcat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_nx3_xtomcat"
+  "../bench/fig10_nx3_xtomcat.pdb"
+  "CMakeFiles/fig10_nx3_xtomcat.dir/fig10_nx3_xtomcat.cc.o"
+  "CMakeFiles/fig10_nx3_xtomcat.dir/fig10_nx3_xtomcat.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_nx3_xtomcat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

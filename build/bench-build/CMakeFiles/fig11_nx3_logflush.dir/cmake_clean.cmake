@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_nx3_logflush"
+  "../bench/fig11_nx3_logflush.pdb"
+  "CMakeFiles/fig11_nx3_logflush.dir/fig11_nx3_logflush.cc.o"
+  "CMakeFiles/fig11_nx3_logflush.dir/fig11_nx3_logflush.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_nx3_logflush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

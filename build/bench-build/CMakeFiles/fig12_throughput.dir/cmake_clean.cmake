@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_throughput"
+  "../bench/fig12_throughput.pdb"
+  "CMakeFiles/fig12_throughput.dir/fig12_throughput.cc.o"
+  "CMakeFiles/fig12_throughput.dir/fig12_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

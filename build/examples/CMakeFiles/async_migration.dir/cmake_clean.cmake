@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_migration.dir/async_migration.cpp.o"
+  "CMakeFiles/async_migration.dir/async_migration.cpp.o.d"
+  "async_migration"
+  "async_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microanalysis.dir/microanalysis.cpp.o"
+  "CMakeFiles/microanalysis.dir/microanalysis.cpp.o.d"
+  "microanalysis"
+  "microanalysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microanalysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

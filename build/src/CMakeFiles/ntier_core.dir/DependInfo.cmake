@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chain.cc" "src/CMakeFiles/ntier_core.dir/core/chain.cc.o" "gcc" "src/CMakeFiles/ntier_core.dir/core/chain.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/ntier_core.dir/core/config.cc.o" "gcc" "src/CMakeFiles/ntier_core.dir/core/config.cc.o.d"
+  "/root/repo/src/core/ctqo_analyzer.cc" "src/CMakeFiles/ntier_core.dir/core/ctqo_analyzer.cc.o" "gcc" "src/CMakeFiles/ntier_core.dir/core/ctqo_analyzer.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/ntier_core.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/ntier_core.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/export.cc" "src/CMakeFiles/ntier_core.dir/core/export.cc.o" "gcc" "src/CMakeFiles/ntier_core.dir/core/export.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/ntier_core.dir/core/report.cc.o" "gcc" "src/CMakeFiles/ntier_core.dir/core/report.cc.o.d"
+  "/root/repo/src/core/scenarios.cc" "src/CMakeFiles/ntier_core.dir/core/scenarios.cc.o" "gcc" "src/CMakeFiles/ntier_core.dir/core/scenarios.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/ntier_core.dir/core/system.cc.o" "gcc" "src/CMakeFiles/ntier_core.dir/core/system.cc.o.d"
+  "/root/repo/src/core/trace_analysis.cc" "src/CMakeFiles/ntier_core.dir/core/trace_analysis.cc.o" "gcc" "src/CMakeFiles/ntier_core.dir/core/trace_analysis.cc.o.d"
+  "/root/repo/src/core/validation.cc" "src/CMakeFiles/ntier_core.dir/core/validation.cc.o" "gcc" "src/CMakeFiles/ntier_core.dir/core/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ntier_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_monitor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

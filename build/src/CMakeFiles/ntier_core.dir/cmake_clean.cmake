@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntier_core.dir/core/chain.cc.o"
+  "CMakeFiles/ntier_core.dir/core/chain.cc.o.d"
+  "CMakeFiles/ntier_core.dir/core/config.cc.o"
+  "CMakeFiles/ntier_core.dir/core/config.cc.o.d"
+  "CMakeFiles/ntier_core.dir/core/ctqo_analyzer.cc.o"
+  "CMakeFiles/ntier_core.dir/core/ctqo_analyzer.cc.o.d"
+  "CMakeFiles/ntier_core.dir/core/experiment.cc.o"
+  "CMakeFiles/ntier_core.dir/core/experiment.cc.o.d"
+  "CMakeFiles/ntier_core.dir/core/export.cc.o"
+  "CMakeFiles/ntier_core.dir/core/export.cc.o.d"
+  "CMakeFiles/ntier_core.dir/core/report.cc.o"
+  "CMakeFiles/ntier_core.dir/core/report.cc.o.d"
+  "CMakeFiles/ntier_core.dir/core/scenarios.cc.o"
+  "CMakeFiles/ntier_core.dir/core/scenarios.cc.o.d"
+  "CMakeFiles/ntier_core.dir/core/system.cc.o"
+  "CMakeFiles/ntier_core.dir/core/system.cc.o.d"
+  "CMakeFiles/ntier_core.dir/core/trace_analysis.cc.o"
+  "CMakeFiles/ntier_core.dir/core/trace_analysis.cc.o.d"
+  "CMakeFiles/ntier_core.dir/core/validation.cc.o"
+  "CMakeFiles/ntier_core.dir/core/validation.cc.o.d"
+  "libntier_core.a"
+  "libntier_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntier_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

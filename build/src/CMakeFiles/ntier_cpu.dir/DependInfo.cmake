@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/dvfs.cc" "src/CMakeFiles/ntier_cpu.dir/cpu/dvfs.cc.o" "gcc" "src/CMakeFiles/ntier_cpu.dir/cpu/dvfs.cc.o.d"
+  "/root/repo/src/cpu/host_core.cc" "src/CMakeFiles/ntier_cpu.dir/cpu/host_core.cc.o" "gcc" "src/CMakeFiles/ntier_cpu.dir/cpu/host_core.cc.o.d"
+  "/root/repo/src/cpu/io_device.cc" "src/CMakeFiles/ntier_cpu.dir/cpu/io_device.cc.o" "gcc" "src/CMakeFiles/ntier_cpu.dir/cpu/io_device.cc.o.d"
+  "/root/repo/src/cpu/thread_overhead.cc" "src/CMakeFiles/ntier_cpu.dir/cpu/thread_overhead.cc.o" "gcc" "src/CMakeFiles/ntier_cpu.dir/cpu/thread_overhead.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ntier_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntier_cpu.dir/cpu/dvfs.cc.o"
+  "CMakeFiles/ntier_cpu.dir/cpu/dvfs.cc.o.d"
+  "CMakeFiles/ntier_cpu.dir/cpu/host_core.cc.o"
+  "CMakeFiles/ntier_cpu.dir/cpu/host_core.cc.o.d"
+  "CMakeFiles/ntier_cpu.dir/cpu/io_device.cc.o"
+  "CMakeFiles/ntier_cpu.dir/cpu/io_device.cc.o.d"
+  "CMakeFiles/ntier_cpu.dir/cpu/thread_overhead.cc.o"
+  "CMakeFiles/ntier_cpu.dir/cpu/thread_overhead.cc.o.d"
+  "libntier_cpu.a"
+  "libntier_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntier_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

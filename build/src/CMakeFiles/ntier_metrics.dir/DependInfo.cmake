@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/csv.cc" "src/CMakeFiles/ntier_metrics.dir/metrics/csv.cc.o" "gcc" "src/CMakeFiles/ntier_metrics.dir/metrics/csv.cc.o.d"
+  "/root/repo/src/metrics/histogram.cc" "src/CMakeFiles/ntier_metrics.dir/metrics/histogram.cc.o" "gcc" "src/CMakeFiles/ntier_metrics.dir/metrics/histogram.cc.o.d"
+  "/root/repo/src/metrics/quantile_timeline.cc" "src/CMakeFiles/ntier_metrics.dir/metrics/quantile_timeline.cc.o" "gcc" "src/CMakeFiles/ntier_metrics.dir/metrics/quantile_timeline.cc.o.d"
+  "/root/repo/src/metrics/summary.cc" "src/CMakeFiles/ntier_metrics.dir/metrics/summary.cc.o" "gcc" "src/CMakeFiles/ntier_metrics.dir/metrics/summary.cc.o.d"
+  "/root/repo/src/metrics/table.cc" "src/CMakeFiles/ntier_metrics.dir/metrics/table.cc.o" "gcc" "src/CMakeFiles/ntier_metrics.dir/metrics/table.cc.o.d"
+  "/root/repo/src/metrics/timeline.cc" "src/CMakeFiles/ntier_metrics.dir/metrics/timeline.cc.o" "gcc" "src/CMakeFiles/ntier_metrics.dir/metrics/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ntier_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

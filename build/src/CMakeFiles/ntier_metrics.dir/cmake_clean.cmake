@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntier_metrics.dir/metrics/csv.cc.o"
+  "CMakeFiles/ntier_metrics.dir/metrics/csv.cc.o.d"
+  "CMakeFiles/ntier_metrics.dir/metrics/histogram.cc.o"
+  "CMakeFiles/ntier_metrics.dir/metrics/histogram.cc.o.d"
+  "CMakeFiles/ntier_metrics.dir/metrics/quantile_timeline.cc.o"
+  "CMakeFiles/ntier_metrics.dir/metrics/quantile_timeline.cc.o.d"
+  "CMakeFiles/ntier_metrics.dir/metrics/summary.cc.o"
+  "CMakeFiles/ntier_metrics.dir/metrics/summary.cc.o.d"
+  "CMakeFiles/ntier_metrics.dir/metrics/table.cc.o"
+  "CMakeFiles/ntier_metrics.dir/metrics/table.cc.o.d"
+  "CMakeFiles/ntier_metrics.dir/metrics/timeline.cc.o"
+  "CMakeFiles/ntier_metrics.dir/metrics/timeline.cc.o.d"
+  "libntier_metrics.a"
+  "libntier_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntier_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

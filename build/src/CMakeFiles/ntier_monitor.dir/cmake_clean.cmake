@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntier_monitor.dir/monitor/collectl.cc.o"
+  "CMakeFiles/ntier_monitor.dir/monitor/collectl.cc.o.d"
+  "CMakeFiles/ntier_monitor.dir/monitor/sampler.cc.o"
+  "CMakeFiles/ntier_monitor.dir/monitor/sampler.cc.o.d"
+  "CMakeFiles/ntier_monitor.dir/monitor/trace_store.cc.o"
+  "CMakeFiles/ntier_monitor.dir/monitor/trace_store.cc.o.d"
+  "CMakeFiles/ntier_monitor.dir/monitor/vlrt_tracker.cc.o"
+  "CMakeFiles/ntier_monitor.dir/monitor/vlrt_tracker.cc.o.d"
+  "libntier_monitor.a"
+  "libntier_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntier_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/link.cc" "src/CMakeFiles/ntier_net.dir/net/link.cc.o" "gcc" "src/CMakeFiles/ntier_net.dir/net/link.cc.o.d"
+  "/root/repo/src/net/message.cc" "src/CMakeFiles/ntier_net.dir/net/message.cc.o" "gcc" "src/CMakeFiles/ntier_net.dir/net/message.cc.o.d"
+  "/root/repo/src/net/rto_policy.cc" "src/CMakeFiles/ntier_net.dir/net/rto_policy.cc.o" "gcc" "src/CMakeFiles/ntier_net.dir/net/rto_policy.cc.o.d"
+  "/root/repo/src/net/tcp_queue.cc" "src/CMakeFiles/ntier_net.dir/net/tcp_queue.cc.o" "gcc" "src/CMakeFiles/ntier_net.dir/net/tcp_queue.cc.o.d"
+  "/root/repo/src/net/transport.cc" "src/CMakeFiles/ntier_net.dir/net/transport.cc.o" "gcc" "src/CMakeFiles/ntier_net.dir/net/transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ntier_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntier_net.dir/net/link.cc.o"
+  "CMakeFiles/ntier_net.dir/net/link.cc.o.d"
+  "CMakeFiles/ntier_net.dir/net/message.cc.o"
+  "CMakeFiles/ntier_net.dir/net/message.cc.o.d"
+  "CMakeFiles/ntier_net.dir/net/rto_policy.cc.o"
+  "CMakeFiles/ntier_net.dir/net/rto_policy.cc.o.d"
+  "CMakeFiles/ntier_net.dir/net/tcp_queue.cc.o"
+  "CMakeFiles/ntier_net.dir/net/tcp_queue.cc.o.d"
+  "CMakeFiles/ntier_net.dir/net/transport.cc.o"
+  "CMakeFiles/ntier_net.dir/net/transport.cc.o.d"
+  "libntier_net.a"
+  "libntier_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntier_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

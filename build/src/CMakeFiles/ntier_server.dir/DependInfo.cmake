@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/app_profile.cc" "src/CMakeFiles/ntier_server.dir/server/app_profile.cc.o" "gcc" "src/CMakeFiles/ntier_server.dir/server/app_profile.cc.o.d"
+  "/root/repo/src/server/async_server.cc" "src/CMakeFiles/ntier_server.dir/server/async_server.cc.o" "gcc" "src/CMakeFiles/ntier_server.dir/server/async_server.cc.o.d"
+  "/root/repo/src/server/connection_pool.cc" "src/CMakeFiles/ntier_server.dir/server/connection_pool.cc.o" "gcc" "src/CMakeFiles/ntier_server.dir/server/connection_pool.cc.o.d"
+  "/root/repo/src/server/request.cc" "src/CMakeFiles/ntier_server.dir/server/request.cc.o" "gcc" "src/CMakeFiles/ntier_server.dir/server/request.cc.o.d"
+  "/root/repo/src/server/server_base.cc" "src/CMakeFiles/ntier_server.dir/server/server_base.cc.o" "gcc" "src/CMakeFiles/ntier_server.dir/server/server_base.cc.o.d"
+  "/root/repo/src/server/staged_server.cc" "src/CMakeFiles/ntier_server.dir/server/staged_server.cc.o" "gcc" "src/CMakeFiles/ntier_server.dir/server/staged_server.cc.o.d"
+  "/root/repo/src/server/sync_server.cc" "src/CMakeFiles/ntier_server.dir/server/sync_server.cc.o" "gcc" "src/CMakeFiles/ntier_server.dir/server/sync_server.cc.o.d"
+  "/root/repo/src/server/tiers.cc" "src/CMakeFiles/ntier_server.dir/server/tiers.cc.o" "gcc" "src/CMakeFiles/ntier_server.dir/server/tiers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ntier_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntier_server.dir/server/app_profile.cc.o"
+  "CMakeFiles/ntier_server.dir/server/app_profile.cc.o.d"
+  "CMakeFiles/ntier_server.dir/server/async_server.cc.o"
+  "CMakeFiles/ntier_server.dir/server/async_server.cc.o.d"
+  "CMakeFiles/ntier_server.dir/server/connection_pool.cc.o"
+  "CMakeFiles/ntier_server.dir/server/connection_pool.cc.o.d"
+  "CMakeFiles/ntier_server.dir/server/request.cc.o"
+  "CMakeFiles/ntier_server.dir/server/request.cc.o.d"
+  "CMakeFiles/ntier_server.dir/server/server_base.cc.o"
+  "CMakeFiles/ntier_server.dir/server/server_base.cc.o.d"
+  "CMakeFiles/ntier_server.dir/server/staged_server.cc.o"
+  "CMakeFiles/ntier_server.dir/server/staged_server.cc.o.d"
+  "CMakeFiles/ntier_server.dir/server/sync_server.cc.o"
+  "CMakeFiles/ntier_server.dir/server/sync_server.cc.o.d"
+  "CMakeFiles/ntier_server.dir/server/tiers.cc.o"
+  "CMakeFiles/ntier_server.dir/server/tiers.cc.o.d"
+  "libntier_server.a"
+  "libntier_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntier_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/ntier_sim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/ntier_sim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/random.cc" "src/CMakeFiles/ntier_sim.dir/sim/random.cc.o" "gcc" "src/CMakeFiles/ntier_sim.dir/sim/random.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "src/CMakeFiles/ntier_sim.dir/sim/simulation.cc.o" "gcc" "src/CMakeFiles/ntier_sim.dir/sim/simulation.cc.o.d"
+  "/root/repo/src/sim/time.cc" "src/CMakeFiles/ntier_sim.dir/sim/time.cc.o" "gcc" "src/CMakeFiles/ntier_sim.dir/sim/time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntier_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/ntier_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/ntier_sim.dir/sim/random.cc.o"
+  "CMakeFiles/ntier_sim.dir/sim/random.cc.o.d"
+  "CMakeFiles/ntier_sim.dir/sim/simulation.cc.o"
+  "CMakeFiles/ntier_sim.dir/sim/simulation.cc.o.d"
+  "CMakeFiles/ntier_sim.dir/sim/time.cc.o"
+  "CMakeFiles/ntier_sim.dir/sim/time.cc.o.d"
+  "libntier_sim.a"
+  "libntier_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntier_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/burst_model.cc" "src/CMakeFiles/ntier_workload.dir/workload/burst_model.cc.o" "gcc" "src/CMakeFiles/ntier_workload.dir/workload/burst_model.cc.o.d"
+  "/root/repo/src/workload/client.cc" "src/CMakeFiles/ntier_workload.dir/workload/client.cc.o" "gcc" "src/CMakeFiles/ntier_workload.dir/workload/client.cc.o.d"
+  "/root/repo/src/workload/request_mix.cc" "src/CMakeFiles/ntier_workload.dir/workload/request_mix.cc.o" "gcc" "src/CMakeFiles/ntier_workload.dir/workload/request_mix.cc.o.d"
+  "/root/repo/src/workload/session_model.cc" "src/CMakeFiles/ntier_workload.dir/workload/session_model.cc.o" "gcc" "src/CMakeFiles/ntier_workload.dir/workload/session_model.cc.o.d"
+  "/root/repo/src/workload/sysbursty.cc" "src/CMakeFiles/ntier_workload.dir/workload/sysbursty.cc.o" "gcc" "src/CMakeFiles/ntier_workload.dir/workload/sysbursty.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ntier_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

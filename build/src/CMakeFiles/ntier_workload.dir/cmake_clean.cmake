@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntier_workload.dir/workload/burst_model.cc.o"
+  "CMakeFiles/ntier_workload.dir/workload/burst_model.cc.o.d"
+  "CMakeFiles/ntier_workload.dir/workload/client.cc.o"
+  "CMakeFiles/ntier_workload.dir/workload/client.cc.o.d"
+  "CMakeFiles/ntier_workload.dir/workload/request_mix.cc.o"
+  "CMakeFiles/ntier_workload.dir/workload/request_mix.cc.o.d"
+  "CMakeFiles/ntier_workload.dir/workload/session_model.cc.o"
+  "CMakeFiles/ntier_workload.dir/workload/session_model.cc.o.d"
+  "CMakeFiles/ntier_workload.dir/workload/sysbursty.cc.o"
+  "CMakeFiles/ntier_workload.dir/workload/sysbursty.cc.o.d"
+  "libntier_workload.a"
+  "libntier_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntier_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libntier_workload.a"
+)

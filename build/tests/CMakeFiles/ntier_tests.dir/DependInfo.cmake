@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_app_profile.cc" "tests/CMakeFiles/ntier_tests.dir/test_app_profile.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_app_profile.cc.o.d"
+  "/root/repo/tests/test_async_server.cc" "tests/CMakeFiles/ntier_tests.dir/test_async_server.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_async_server.cc.o.d"
+  "/root/repo/tests/test_chain.cc" "tests/CMakeFiles/ntier_tests.dir/test_chain.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_chain.cc.o.d"
+  "/root/repo/tests/test_connection_pool.cc" "tests/CMakeFiles/ntier_tests.dir/test_connection_pool.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_connection_pool.cc.o.d"
+  "/root/repo/tests/test_core_system.cc" "tests/CMakeFiles/ntier_tests.dir/test_core_system.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_core_system.cc.o.d"
+  "/root/repo/tests/test_csv_report.cc" "tests/CMakeFiles/ntier_tests.dir/test_csv_report.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_csv_report.cc.o.d"
+  "/root/repo/tests/test_dvfs.cc" "tests/CMakeFiles/ntier_tests.dir/test_dvfs.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_dvfs.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/ntier_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/ntier_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_histogram.cc" "tests/CMakeFiles/ntier_tests.dir/test_histogram.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_histogram.cc.o.d"
+  "/root/repo/tests/test_host_core.cc" "tests/CMakeFiles/ntier_tests.dir/test_host_core.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_host_core.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/ntier_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_io_device.cc" "tests/CMakeFiles/ntier_tests.dir/test_io_device.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_io_device.cc.o.d"
+  "/root/repo/tests/test_monitor.cc" "tests/CMakeFiles/ntier_tests.dir/test_monitor.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_monitor.cc.o.d"
+  "/root/repo/tests/test_net.cc" "tests/CMakeFiles/ntier_tests.dir/test_net.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_net.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/ntier_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_random.cc" "tests/CMakeFiles/ntier_tests.dir/test_random.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_random.cc.o.d"
+  "/root/repo/tests/test_robustness.cc" "tests/CMakeFiles/ntier_tests.dir/test_robustness.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_robustness.cc.o.d"
+  "/root/repo/tests/test_scenarios.cc" "tests/CMakeFiles/ntier_tests.dir/test_scenarios.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_scenarios.cc.o.d"
+  "/root/repo/tests/test_session_timeout.cc" "tests/CMakeFiles/ntier_tests.dir/test_session_timeout.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_session_timeout.cc.o.d"
+  "/root/repo/tests/test_simulation.cc" "tests/CMakeFiles/ntier_tests.dir/test_simulation.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_simulation.cc.o.d"
+  "/root/repo/tests/test_staged_server.cc" "tests/CMakeFiles/ntier_tests.dir/test_staged_server.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_staged_server.cc.o.d"
+  "/root/repo/tests/test_summary.cc" "tests/CMakeFiles/ntier_tests.dir/test_summary.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_summary.cc.o.d"
+  "/root/repo/tests/test_sync_server.cc" "tests/CMakeFiles/ntier_tests.dir/test_sync_server.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_sync_server.cc.o.d"
+  "/root/repo/tests/test_table.cc" "tests/CMakeFiles/ntier_tests.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_table.cc.o.d"
+  "/root/repo/tests/test_thread_overhead.cc" "tests/CMakeFiles/ntier_tests.dir/test_thread_overhead.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_thread_overhead.cc.o.d"
+  "/root/repo/tests/test_tiers.cc" "tests/CMakeFiles/ntier_tests.dir/test_tiers.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_tiers.cc.o.d"
+  "/root/repo/tests/test_time.cc" "tests/CMakeFiles/ntier_tests.dir/test_time.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_time.cc.o.d"
+  "/root/repo/tests/test_timeline.cc" "tests/CMakeFiles/ntier_tests.dir/test_timeline.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_timeline.cc.o.d"
+  "/root/repo/tests/test_validation_export.cc" "tests/CMakeFiles/ntier_tests.dir/test_validation_export.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_validation_export.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/ntier_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/ntier_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ntier_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntier_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
