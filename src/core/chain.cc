@@ -1,6 +1,7 @@
 #include "core/chain.h"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace ntier::core {
 
@@ -63,6 +64,10 @@ ChainSystem::ChainSystem(ChainConfig cfg)
   net::Link link{cfg_.link_latency};
   for (std::size_t i = 0; i + 1 < n; ++i)
     servers_[i]->connect_downstream(servers_[i + 1].get(), cfg_.tier_rto, link);
+  if (cfg_.tier_policy.any()) {
+    for (std::size_t i = 0; i + 1 < n; ++i)
+      servers_[i]->enable_tail_policy(cfg_.tier_policy, rng_.fork(10 + i));
+  }
 
   // Workload.
   const WorkloadConfig& w = cfg_.workload;
@@ -80,6 +85,8 @@ ChainSystem::ChainSystem(ChainConfig cfg)
   cc.link = net::Link{w.client_link};
   cc.trace_requests = w.trace_requests;
   cc.measure_from = w.measure_from;
+  cc.timeout = w.client_timeout;
+  cc.policy = w.client_policy;
   clients_ = std::make_unique<workload::ClientPool>(
       sim_, rng_.fork(1), &cfg_.profile, servers_[0].get(), cc, burst_.get());
   clients_->on_complete([this](const server::RequestPtr& r) { latency_.record(r); });
@@ -95,6 +102,17 @@ ChainSystem::ChainSystem(ChainConfig cfg)
     sampler_.track_server(servers_[i]->name(), servers_[i].get());
     if (disks_[i]) sampler_.track_io(disks_[i]->name(), disks_[i].get());
   }
+
+  if (!cfg_.faults.empty()) {
+    fault::FaultTargets targets;
+    for (auto& srv : servers_) targets.tiers.push_back(srv.get());
+    for (auto& host : hosts_) targets.hosts.push_back(host.get());
+    targets.hops.push_back(&clients_->transport());
+    for (std::size_t i = 0; i + 1 < n; ++i)
+      targets.hops.push_back(servers_[i]->downstream_transport());
+    fault_injector_ = std::make_unique<fault::FaultInjector>(
+        sim_, rng_.fork(20), cfg_.faults, std::move(targets));
+  }
 }
 
 void ChainSystem::run() { run_until(sim_.now() + cfg_.duration); }
@@ -104,6 +122,7 @@ void ChainSystem::run_until(sim::Time t) {
     started_ = true;
     sampler_.start();
     clients_->start();
+    if (fault_injector_) fault_injector_->arm();
   }
   sim_.run_until(t);
 }
@@ -112,6 +131,59 @@ std::uint64_t ChainSystem::total_drops() const {
   std::uint64_t acc = 0;
   for (const auto& s : servers_) acc += s->stats().dropped;
   return acc;
+}
+
+void validate(const ChainConfig& cfg) {
+  auto reject = [&cfg](const std::string& why) {
+    throw std::invalid_argument("config '" + cfg.name + "': " + why);
+  };
+  if (cfg.tiers.empty()) reject("a chain needs at least one tier");
+  if (cfg.duration <= sim::Duration::zero()) reject("duration must be positive");
+  if (cfg.sample_window <= sim::Duration::zero()) reject("sample_window must be positive");
+  if (cfg.link_latency < sim::Duration::zero()) reject("link_latency cannot be negative");
+  for (const auto& t : cfg.tiers) {
+    if (!t.program_fn) reject("tier '" + t.name + "' has no program_fn");
+    if (t.vcpus <= 0) reject("tier '" + t.name + "' has no vCPUs");
+    if (t.staged) {
+      if (t.staged_cfg.ingress.threads == 0 || t.staged_cfg.continuation.threads == 0)
+        reject("tier '" + t.name + "' has an empty stage thread pool");
+    } else if (t.async) {
+      if (t.async_cfg.lite_q_depth == 0)
+        reject("tier '" + t.name + "' has a zero LiteQDepth");
+      if (t.async_cfg.max_active == 0)
+        reject("tier '" + t.name + "' allows no active requests");
+    } else {
+      if (t.sync.threads_per_process == 0)
+        reject("tier '" + t.name + "' has an empty thread pool");
+      if (t.sync.backlog == 0) reject("tier '" + t.name + "' has a zero TCP backlog");
+    }
+  }
+  const WorkloadConfig& w = cfg.workload;
+  if (w.sessions == 0) reject("workload needs at least one session");
+  if (w.mean_think <= sim::Duration::zero()) reject("mean_think must be positive");
+  if (w.client_timeout > sim::Duration::zero() && w.client_timeout < w.client_rto.rto(0))
+    reject("client_timeout shorter than one retransmission timeout");
+  std::string why = policy::invalid_reason(w.client_policy);
+  if (!why.empty()) reject("client_policy: " + why);
+  why = policy::invalid_reason(cfg.tier_policy);
+  if (!why.empty()) reject("tier_policy: " + why);
+  why = fault::invalid_reason(cfg.faults);
+  if (!why.empty()) reject(why);
+  const int n = static_cast<int>(cfg.tiers.size());
+  for (const auto& c : cfg.faults.crashes)
+    if (c.tier >= n) reject("fault: crash tier index beyond the chain");
+  for (const auto& l : cfg.faults.links)
+    if (l.hop >= n) reject("fault: link hop index beyond the chain");
+  for (const auto& s : cfg.faults.slow_nodes)
+    if (s.tier >= n) reject("fault: slow-node tier index beyond the chain");
+  if (cfg.freeze_tier >= n) reject("freeze_tier index beyond the chain");
+}
+
+std::unique_ptr<ChainSystem> run_chain(const ChainConfig& cfg) {
+  validate(cfg);
+  auto sys = std::make_unique<ChainSystem>(cfg);
+  sys->run();
+  return sys;
 }
 
 CtqoReport analyze_ctqo(ChainSystem& sys, AnalyzerOptions opt) {

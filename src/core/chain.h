@@ -17,6 +17,7 @@
 #include "core/config.h"
 #include "core/ctqo_analyzer.h"
 #include "cpu/dvfs.h"
+#include "fault/fault_injector.h"
 #include "cpu/host_core.h"
 #include "cpu/io_device.h"
 #include "monitor/sampler.h"
@@ -64,6 +65,10 @@ struct ChainConfig {
   // Millibottleneck: periodic freeze of tier `freeze_tier` (-1 = none).
   int freeze_tier = -1;
   cpu::FreezeInjector::Config freeze{};
+  // Tail-tolerance policy on every inter-tier hop (see ExperimentConfig).
+  policy::TailPolicy tier_policy{};
+  // Deterministic fault schedule; tier/hop indices run front to back.
+  fault::FaultPlan faults{};
 };
 
 class ChainSystem {
@@ -88,6 +93,7 @@ class ChainSystem {
   monitor::LatencyCollector& latency() { return latency_; }
   workload::ClientPool& clients() { return *clients_; }
   cpu::FreezeInjector* injector() { return injector_.get(); }
+  fault::FaultInjector* faults() { return fault_injector_.get(); }
 
   std::uint64_t total_drops() const;
 
@@ -102,6 +108,7 @@ class ChainSystem {
   std::unique_ptr<workload::BurstClock> burst_;
   std::unique_ptr<workload::ClientPool> clients_;
   std::unique_ptr<cpu::FreezeInjector> injector_;
+  std::unique_ptr<fault::FaultInjector> fault_injector_;
   monitor::Sampler sampler_;
   monitor::LatencyCollector latency_;
   bool started_ = false;
@@ -110,5 +117,14 @@ class ChainSystem {
 // CTQO analysis over a chain (same episode semantics as the 3-tier
 // analyzer, tier indices run 0..tier_count-1 front to back).
 CtqoReport analyze_ctqo(ChainSystem& sys, AnalyzerOptions opt = AnalyzerOptions());
+
+// Rejects nonsensical chain configurations (no tiers, zero pools,
+// invalid policies, out-of-range fault targets) with a descriptive
+// std::invalid_argument. run_chain() calls this first.
+void validate(const ChainConfig& cfg);
+
+// Builds and runs cfg.duration after validating; the system stays alive
+// for inspection (mirrors run_system for the 3-tier testbed).
+std::unique_ptr<ChainSystem> run_chain(const ChainConfig& cfg);
 
 }  // namespace ntier::core

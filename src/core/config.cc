@@ -1,5 +1,8 @@
 #include "core/config.h"
 
+#include <stdexcept>
+#include <string>
+
 namespace ntier::core {
 
 const char* to_string(Architecture a) {
@@ -10,6 +13,76 @@ const char* to_string(Architecture a) {
     case Architecture::kNx3: return "NX=3 (Nginx-XTomcat-XMySQL)";
   }
   return "?";
+}
+
+namespace {
+
+[[noreturn]] void reject(const std::string& name, const std::string& why) {
+  throw std::invalid_argument("config '" + name + "': " + why);
+}
+
+void check_policy(const std::string& name, const char* where,
+                  const policy::TailPolicy& p) {
+  const std::string why = policy::invalid_reason(p);
+  if (!why.empty()) reject(name, std::string(where) + ": " + why);
+}
+
+}  // namespace
+
+void validate(const ExperimentConfig& cfg) {
+  const SystemConfig& s = cfg.system;
+  const WorkloadConfig& w = cfg.workload;
+
+  if (cfg.duration <= sim::Duration::zero())
+    reject(cfg.name, "duration must be positive");
+  if (cfg.sample_window <= sim::Duration::zero())
+    reject(cfg.name, "sample_window must be positive");
+
+  if (s.web_threads == 0 || s.app_threads == 0 || s.db_threads == 0)
+    reject(cfg.name, "thread pools must be non-empty (a zero-thread tier can never serve)");
+  if (s.web_processes == 0) reject(cfg.name, "web_processes must be at least 1");
+  if (s.backlog == 0)
+    reject(cfg.name, "TCP backlog must be positive (MaxSysQDepth = threads + backlog)");
+  if (s.lite_q_web == 0 || s.lite_q_app == 0 || s.lite_q_db == 0)
+    reject(cfg.name, "LiteQDepth bounds must be positive");
+  if (s.db_async_threads == 0) reject(cfg.name, "db_async_threads must be positive");
+  if (s.app_vcpus <= 0) reject(cfg.name, "app_vcpus must be positive");
+  if (s.link_latency < sim::Duration::zero())
+    reject(cfg.name, "link_latency cannot be negative");
+  if (s.web_spawn_after <= sim::Duration::zero())
+    reject(cfg.name, "web_spawn_after must be positive");
+
+  if (w.sessions == 0) reject(cfg.name, "workload needs at least one session");
+  if (w.mean_think < sim::Duration::zero())
+    reject(cfg.name, "mean_think cannot be negative (zero = saturation test)");
+  if (w.burst_index < 1.0)
+    reject(cfg.name, "burst_index below 1.0 is not a burst model");
+  if (w.client_link < sim::Duration::zero())
+    reject(cfg.name, "client_link latency cannot be negative");
+  if (w.client_timeout < sim::Duration::zero())
+    reject(cfg.name, "client_timeout cannot be negative");
+  if (w.client_timeout > sim::Duration::zero() && w.client_timeout < w.client_rto.rto(0))
+    reject(cfg.name,
+           "client_timeout shorter than one retransmission timeout: every "
+           "dropped first packet would time out before TCP could retry");
+
+  if (cfg.bottleneck.interference_weight <= 0.0)
+    reject(cfg.name, "interference_weight must be positive");
+
+  check_policy(cfg.name, "client_policy", w.client_policy);
+  check_policy(cfg.name, "tier_policy", cfg.tier_policy);
+
+  const std::string fault_why = fault::invalid_reason(cfg.faults);
+  if (!fault_why.empty()) reject(cfg.name, fault_why);
+  for (const auto& c : cfg.faults.crashes)
+    if (c.tier > 2) reject(cfg.name, "fault: crash tier index beyond the 3-tier system");
+  for (const auto& l : cfg.faults.links)
+    if (l.hop > 2)
+      reject(cfg.name,
+             "fault: link hop index beyond the 3-tier system "
+             "(0=client->web, 1=web->app, 2=app->db)");
+  for (const auto& sn : cfg.faults.slow_nodes)
+    if (sn.tier > 2) reject(cfg.name, "fault: slow-node tier index beyond the 3-tier system");
 }
 
 }  // namespace ntier::core

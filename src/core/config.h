@@ -9,8 +9,10 @@
 
 #include "cpu/dvfs.h"
 #include "cpu/thread_overhead.h"
+#include "fault/fault_plan.h"
 #include "monitor/collectl.h"
 #include "net/rto_policy.h"
+#include "policy/tail_policy.h"
 #include "server/app_profile.h"
 #include "sim/time.h"
 #include "workload/sysbursty.h"
@@ -99,6 +101,10 @@ struct WorkloadConfig {
   // Navigate pages via the RUBBoS Markov session model instead of
   // independent class draws.
   bool markov_sessions = false;
+  // Tail-tolerance policy applied at the client hop: stamps the
+  // end-to-end deadline, drives client retries/hedges/breaker. Default:
+  // all disabled (the paper's naive browser).
+  policy::TailPolicy client_policy{};
 };
 
 struct ExperimentConfig {
@@ -110,7 +116,21 @@ struct ExperimentConfig {
   sim::Duration duration = sim::Duration::seconds(60);
   sim::Duration sample_window = sim::Duration::millis(50);
   std::uint64_t seed = 42;
+  // Tail-tolerance policy applied on every inter-tier hop (web->app,
+  // app->db): deadline-aware dispatch, downstream retries, hedging,
+  // per-downstream circuit breaker. Default: all disabled.
+  policy::TailPolicy tier_policy{};
+  // Deterministic fault schedule (crashes, link degradation, slow
+  // nodes); empty = no faults. Replayed bit-identically from the seed.
+  fault::FaultPlan faults{};
 };
+
+// Rejects nonsensical configurations (zero-sized pools, negative
+// durations, a client timeout shorter than one retransmission timeout,
+// invalid policies or fault windows) with a descriptive
+// std::invalid_argument. run_system() calls this first, so every
+// experiment fails fast instead of silently simulating garbage.
+void validate(const ExperimentConfig& cfg);
 
 // MaxSysQDepth arithmetic of paper §III: thread pool + TCP backlog.
 constexpr std::size_t max_sys_q_depth(std::size_t threads, std::size_t backlog) {

@@ -17,7 +17,7 @@ struct DropEvent {
 }  // namespace
 
 std::string CtqoEpisode::to_string() const {
-  char buf[256];
+  char buf[320];
   const char* k = kind == Kind::kUpstream     ? "upstream CTQO"
                   : kind == Kind::kDownstream ? "downstream CTQO"
                                               : "unclassified";
@@ -33,7 +33,13 @@ std::string CtqoEpisode::to_string() const {
                   start.to_seconds(), end.to_seconds(),
                   static_cast<unsigned long long>(drops), drop_tier_name.c_str(), k);
   }
-  return buf;
+  std::string out = buf;
+  if (retry_storm) {
+    std::snprintf(buf, sizeof buf, " [RETRY STORM: offered %.2fx drain]",
+                  storm_amplification);
+    out += buf;
+  }
+  return out;
 }
 
 std::string CtqoReport::to_string() const {
@@ -41,10 +47,11 @@ std::string CtqoReport::to_string() const {
   char head[160];
   std::snprintf(head, sizeof head,
                 "CTQO report: %llu dropped packets, %zu episodes (%llu upstream, "
-                "%llu downstream)\n",
+                "%llu downstream, %llu in retry storms)\n",
                 static_cast<unsigned long long>(total_drops), episodes.size(),
                 static_cast<unsigned long long>(upstream_episodes),
-                static_cast<unsigned long long>(downstream_episodes));
+                static_cast<unsigned long long>(downstream_episodes),
+                static_cast<unsigned long long>(retry_storm_episodes));
   out += head;
   for (const auto& e : episodes) out += "  " + e.to_string() + "\n";
   return out;
@@ -121,6 +128,42 @@ CtqoReport analyze_tiers(const std::vector<TierView>& tiers,
       if (ep.kind == CtqoEpisode::Kind::kDownstream) ++report.downstream_episodes;
     }
     report.episodes.push_back(ep);
+  }
+
+  // --- retry-storm pass ----------------------------------------------------
+  // Chain consecutive episodes at the same drop tier whose gaps fit within
+  // storm_merge_gap (a fixed 3 s RTO spaces retransmission waves just past
+  // the 2 s episode_gap, splitting one storm across several episodes). A
+  // chain is a storm when it lasted storm_min_duration and the tier's
+  // offered rate (retransmits + retries included) exceeded its drain rate
+  // by storm_amplification on average — arrivals outpacing departures for
+  // multiple RTOs is the metastable signature.
+  auto& eps = report.episodes;
+  std::size_t chain_begin = 0;
+  for (std::size_t i = 1; i <= eps.size(); ++i) {
+    const bool chain_ends =
+        i == eps.size() || eps[i].drop_tier != eps[chain_begin].drop_tier ||
+        eps[i].start - eps[i - 1].end > opt.storm_merge_gap;
+    if (!chain_ends) continue;
+    const sim::Time cstart = eps[chain_begin].start;
+    const sim::Time cend = eps[i - 1].end;
+    const std::string prefix = tiers[eps[chain_begin].drop_tier].server->name();
+    if (cend - cstart >= opt.storm_min_duration &&
+        sampler.has_series(prefix + ".offered") &&
+        sampler.has_series(prefix + ".completed")) {
+      const double offered = sampler.series(prefix + ".offered").mean_over(cstart, cend);
+      const double drained = sampler.series(prefix + ".completed").mean_over(cstart, cend);
+      const double amp = drained > 0.0 ? offered / drained
+                                       : (offered > 0.0 ? opt.storm_amplification : 0.0);
+      if (amp >= opt.storm_amplification) {
+        for (std::size_t j = chain_begin; j < i; ++j) {
+          eps[j].retry_storm = true;
+          eps[j].storm_amplification = amp;
+          ++report.retry_storm_episodes;
+        }
+      }
+    }
+    chain_begin = i;
   }
   return report;
 }

@@ -9,6 +9,12 @@
 //   downstream CTQO: drops at or *below* the bottleneck tier (an async
 //                    upstream flooded it, or it overflowed locally).
 //
+// On top of the paper's classification, the analyzer flags *retry
+// storms*: episode chains where the offered rate at the drop tier (TCP
+// retransmits + policy-layer retries) stays above the drain rate for
+// several RTOs — the metastable regime where retries stop being a
+// tail-latency cure and become the amplifier that sustains the CTQO.
+//
 // Works on the paper's 3-tier NTierSystem and on arbitrary-depth
 // ChainSystems through the generic tier-view entry point.
 #pragma once
@@ -35,6 +41,14 @@ struct CtqoEpisode {
   std::string bottleneck_name;
   sim::Time bottleneck_at;  // first saturated window near the episode
   enum class Kind { kUpstream, kDownstream, kUnknown } kind = Kind::kUnknown;
+  // Retry-storm classification (orthogonal to Kind): this episode is part
+  // of a sustained chain where offered load at the drop tier exceeded its
+  // drain rate — queue growth kept alive by retransmission/retry
+  // feedback rather than by the original burst.
+  bool retry_storm = false;
+  // Mean offered / mean completed at the drop tier over the storm chain
+  // (only meaningful when retry_storm is set).
+  double storm_amplification = 0.0;
   std::string to_string() const;
 };
 
@@ -43,6 +57,7 @@ struct CtqoReport {
   std::uint64_t total_drops = 0;
   std::uint64_t upstream_episodes = 0;
   std::uint64_t downstream_episodes = 0;
+  std::uint64_t retry_storm_episodes = 0;
   std::string to_string() const;
 };
 
@@ -53,6 +68,17 @@ struct AnalyzerOptions {
   double saturation_pct = 99.0;
   // How far before the first drop to look for the bottleneck.
   sim::Duration lookback = sim::Duration::seconds(2);
+  // --- retry-storm detection -------------------------------------------
+  // Episodes at the same tier closer than this are chained into one
+  // storm candidate. Must exceed episode_gap: a fixed 3 s RTO spaces
+  // retransmission waves ~3 s apart, which would otherwise split a
+  // single storm into separate episodes.
+  sim::Duration storm_merge_gap = sim::Duration::from_seconds(3.5);
+  // A chain shorter than this is an ordinary millibottleneck transient,
+  // not a storm (several RTOs must have passed without recovery).
+  sim::Duration storm_min_duration = sim::Duration::seconds(5);
+  // Offered-rate / drain-rate ratio above which the chain is metastable.
+  double storm_amplification = 1.5;
 };
 
 // One analyzable tier: its server, the steady VM's sampler prefix, and

@@ -5,6 +5,7 @@
 namespace ntier::core {
 
 std::unique_ptr<NTierSystem> run_system(const ExperimentConfig& cfg) {
+  validate(cfg);
   auto sys = std::make_unique<NTierSystem>(cfg);
   sys->run();
   return sys;
@@ -37,6 +38,24 @@ ExperimentSummary summarize(NTierSystem& sys) {
     if (ts.mean_cpu_pct > s.highest_mean_util_pct) s.highest_mean_util_pct = ts.mean_cpu_pct;
     s.tiers.push_back(std::move(ts));
   }
+  if (const auto* gov = sys.clients().governor()) {
+    s.client_retries = gov->stats().retries;
+    s.client_hedges = gov->stats().hedges;
+    s.hedge_wins = gov->stats().hedge_wins;
+    s.breaker_opens = gov->breaker() ? gov->breaker()->opens() : 0;
+    s.deadline_cancels = gov->stats().deadline_cancels;
+  }
+  s.retransmit_exhausted = sys.clients().tx_stats().retransmit_exhausted;
+  for (int t = 0; t < 3; ++t) {
+    auto* srv = sys.tier(static_cast<Tier>(t));
+    s.expired_at_admission += srv->stats().expired;
+    if (const auto* gov = srv->governor()) {
+      s.deadline_cancels += gov->stats().deadline_cancels;
+      s.hedge_wins += gov->stats().hedge_wins;
+    }
+    if (auto* tx = srv->downstream_transport())
+      s.retransmit_exhausted += tx->stats().retransmit_exhausted;
+  }
   s.ctqo = analyze_ctqo(sys);
   return s;
 }
@@ -58,6 +77,20 @@ std::string ExperimentSummary::to_string() const {
                   t.server.c_str(), static_cast<unsigned long long>(t.accepted),
                   static_cast<unsigned long long>(t.dropped), t.peak_queue,
                   t.max_sys_q_depth, t.mean_cpu_pct);
+    out += buf;
+  }
+  if (client_retries || client_hedges || breaker_opens || deadline_cancels ||
+      expired_at_admission || retransmit_exhausted) {
+    std::snprintf(buf, sizeof buf,
+                  "  policy: retries=%llu hedges=%llu (wins=%llu) breakerOpens=%llu "
+                  "deadlineCancels=%llu expiredAtTier=%llu rtoExhausted=%llu\n",
+                  static_cast<unsigned long long>(client_retries),
+                  static_cast<unsigned long long>(client_hedges),
+                  static_cast<unsigned long long>(hedge_wins),
+                  static_cast<unsigned long long>(breaker_opens),
+                  static_cast<unsigned long long>(deadline_cancels),
+                  static_cast<unsigned long long>(expired_at_admission),
+                  static_cast<unsigned long long>(retransmit_exhausted));
     out += buf;
   }
   out += ctqo.to_string();

@@ -31,10 +31,19 @@ struct ExperimentSummary {
   double highest_mean_util_pct = 0.0;  // the paper's "highest average CPU util"
   std::vector<TierSummary> tiers;
   CtqoReport ctqo;
+  // --- resilience layer (all zero for policy-free, fault-free runs) ----
+  std::uint64_t client_retries = 0;      // policy re-sends at the client hop
+  std::uint64_t client_hedges = 0;       // duplicate copies the client sent
+  std::uint64_t hedge_wins = 0;          // duplicates that answered first
+  std::uint64_t breaker_opens = 0;       // client breaker trips
+  std::uint64_t deadline_cancels = 0;    // client + tier cancellations
+  std::uint64_t expired_at_admission = 0;  // over-budget jobs refused by tiers
+  std::uint64_t retransmit_exhausted = 0;  // sends that hit the RTO retry cap
   std::string to_string() const;
 };
 
-// Builds and runs cfg.duration; the system stays alive for inspection.
+// Validates, builds, and runs cfg.duration; the system stays alive for
+// inspection. Throws std::invalid_argument on a nonsensical config.
 std::unique_ptr<NTierSystem> run_system(const ExperimentConfig& cfg);
 
 // Summarizes a finished run over [measure_from, now].

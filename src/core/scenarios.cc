@@ -179,4 +179,163 @@ ExperimentConfig ext_dvfs(Architecture arch) {
   return cfg;
 }
 
+const char* to_string(TailPolicyChoice c) {
+  switch (c) {
+    case TailPolicyChoice::kNone: return "none";
+    case TailPolicyChoice::kNaiveRetry: return "naive-retry";
+    case TailPolicyChoice::kBudgetedRetry: return "budgeted-retry";
+    case TailPolicyChoice::kDeadline: return "deadline";
+    case TailPolicyChoice::kHedge: return "hedge";
+    case TailPolicyChoice::kBreaker: return "breaker";
+    case TailPolicyChoice::kDeadlineHedge: return "deadline+hedge";
+    case TailPolicyChoice::kFull: return "full";
+  }
+  return "?";
+}
+
+policy::TailPolicy make_tail_policy(TailPolicyChoice c) {
+  policy::TailPolicy p;
+  switch (c) {
+    case TailPolicyChoice::kNone:
+      break;
+    case TailPolicyChoice::kNaiveRetry:
+      // Give up on an attempt well before the 3 s RTO delivers it, then
+      // re-issue almost immediately, in phase with everyone else. Each
+      // timed-out attempt keeps retransmitting into the full queue while
+      // its replacement joins it — the amplification feedback loop.
+      p.attempt_timeout = Duration::seconds(1);
+      p.retry.max_attempts = 4;
+      p.retry.base_backoff = Duration::millis(10);
+      p.retry.max_backoff = Duration::millis(10);
+      p.retry.decorrelated_jitter = false;
+      break;
+    case TailPolicyChoice::kBudgetedRetry:
+      p.attempt_timeout = Duration::seconds(1);
+      p.retry.max_attempts = 4;
+      p.retry.base_backoff = Duration::millis(50);
+      p.retry.max_backoff = Duration::seconds(2);
+      p.retry.decorrelated_jitter = true;
+      p.retry.budget_ratio = 0.1;  // retries may add at most 10% load
+      p.retry.budget_capacity = 50.0;
+      break;
+    case TailPolicyChoice::kDeadline:
+      p.deadline = Duration::from_seconds(2.5);
+      break;
+    case TailPolicyChoice::kHedge:
+      p.hedge.enabled = true;
+      p.hedge.percentile = 0.95;
+      p.hedge.initial_delay = Duration::millis(500);
+      p.hedge.min_delay = Duration::millis(20);
+      p.hedge.max_hedges = 1;
+      break;
+    case TailPolicyChoice::kBreaker:
+      p.breaker.enabled = true;
+      p.breaker.failure_threshold = 0.5;
+      p.breaker.min_samples = 20;
+      p.breaker.window = Duration::seconds(1);
+      p.breaker.open_for = Duration::seconds(2);
+      break;
+    case TailPolicyChoice::kDeadlineHedge:
+      // The lossy-link antidote: a second (and third) copy after the
+      // observed p95 survives independent packet loss; the deadline
+      // bounds whatever still straggles. No retries, no breaker.
+      p.deadline = Duration::from_seconds(2.5);
+      p.hedge.enabled = true;
+      p.hedge.percentile = 0.95;
+      p.hedge.initial_delay = Duration::millis(500);
+      p.hedge.min_delay = Duration::millis(20);
+      p.hedge.max_hedges = 2;
+      break;
+    case TailPolicyChoice::kFull:
+      p.deadline = Duration::from_seconds(2.5);
+      p.attempt_timeout = Duration::seconds(1);
+      p.retry.max_attempts = 3;
+      p.retry.base_backoff = Duration::millis(50);
+      p.retry.max_backoff = Duration::seconds(2);
+      p.retry.decorrelated_jitter = true;
+      p.retry.budget_ratio = 0.1;
+      p.retry.budget_capacity = 50.0;
+      p.hedge.enabled = true;
+      p.hedge.percentile = 0.95;
+      p.hedge.initial_delay = Duration::millis(500);
+      p.hedge.min_delay = Duration::millis(20);
+      p.breaker.enabled = true;
+      p.breaker.failure_threshold = 0.5;
+      p.breaker.min_samples = 20;
+      p.breaker.window = Duration::seconds(1);
+      p.breaker.open_for = Duration::seconds(2);
+      break;
+  }
+  return p;
+}
+
+ExperimentConfig ext_tail_tolerance(Architecture arch, TailPolicyChoice choice) {
+  ExperimentConfig cfg = fig3_consolidation_sync();
+  cfg.name = std::string("ext-tail-") +
+             (arch == Architecture::kSync ? "sync" : "nx3") + "-" + to_string(choice);
+  cfg.system.arch = arch;
+  // Run closer to saturation than fig 3 proper: with little headroom the
+  // queues drain slowly after each burst, so policy re-sends arrive while
+  // the overflow is still standing — the regime where retries can tip a
+  // transient millibottleneck into a metastable storm.
+  cfg.workload.sessions = 8000;
+  cfg.duration = Duration::seconds(40);
+  cfg.workload.client_policy = make_tail_policy(choice);
+  return cfg;
+}
+
+ExperimentConfig ext_lossy_link(Architecture arch, TailPolicyChoice choice) {
+  ExperimentConfig cfg = fig5_logflush_sync();
+  cfg.name = std::string("ext-lossy-") +
+             (arch == Architecture::kSync ? "sync" : "nx3") + "-" + to_string(choice);
+  cfg.system.arch = arch;
+  cfg.workload.client_policy = make_tail_policy(choice);
+  // Two deterministic loss windows on the client hop. A first packet lost
+  // in-window comes back after one 3 s RTO — exactly the paper's VLRT
+  // modes, but caused by the network instead of admission drops.
+  for (double at : {20.0, 50.0}) {
+    fault::LinkDegradeWindow w;
+    w.hop = 0;
+    w.at = Time::from_seconds(at);
+    w.duration = Duration::seconds(3);
+    w.loss_prob = 0.25;
+    w.extra_latency = Duration::millis(1);
+    cfg.faults.links.push_back(w);
+  }
+  return cfg;
+}
+
+ExperimentConfig ext_fault_injection(Architecture arch) {
+  ExperimentConfig cfg = base_sync();
+  cfg.name = std::string("ext-faults-") + (arch == Architecture::kSync ? "sync" : "nx3");
+  cfg.system.arch = arch;
+  cfg.duration = Duration::seconds(60);
+  {
+    fault::CrashWindow c;
+    c.tier = 2;  // the DB goes away mid-run
+    c.at = Time::from_seconds(12.0);
+    c.down_for = Duration::from_seconds(1.5);
+    c.in_flight = fault::CrashWindow::InFlight::kAbort;
+    cfg.faults.crashes.push_back(c);
+  }
+  {
+    fault::SlowNodeWindow s;
+    s.tier = 1;  // app host throttles to 30% speed
+    s.at = Time::from_seconds(28.0);
+    s.duration = Duration::seconds(2);
+    s.speed_factor = 0.3;
+    cfg.faults.slow_nodes.push_back(s);
+  }
+  {
+    fault::LinkDegradeWindow l;
+    l.hop = 1;  // web -> app link degrades
+    l.at = Time::from_seconds(44.0);
+    l.duration = Duration::seconds(3);
+    l.loss_prob = 0.2;
+    l.extra_latency = Duration::millis(2);
+    cfg.faults.links.push_back(l);
+  }
+  return cfg;
+}
+
 }  // namespace ntier::core::scenarios

@@ -65,4 +65,39 @@ ExperimentConfig ext_gc_pause(Architecture arch);
 // the governor ramps up — a capacity-deficit millibottleneck.
 ExperimentConfig ext_dvfs(Architecture arch);
 
+// --- Tail-tolerance studies (policy layer vs. millibottlenecks) ----------
+
+// One knob per mechanism so benches can sweep them independently.
+enum class TailPolicyChoice {
+  kNone,           // the paper's naive browser (baseline)
+  kNaiveRetry,     // tight timeout, 4 attempts, tiny synchronized backoff,
+                   // no budget — the configuration that can storm
+  kBudgetedRetry,  // same attempts under decorrelated jitter + 10% budget
+  kDeadline,       // 2.5 s end-to-end deadline, propagated to every tier
+  kHedge,          // duplicate after the observed p95, first reply wins
+  kBreaker,        // per-downstream circuit breaker, fast-fail when open
+  kDeadlineHedge,  // 2.5 s deadline + two hedge copies — the lossy-link fix
+  kFull,           // deadline + budgeted retry + hedge + breaker together
+};
+const char* to_string(TailPolicyChoice c);
+policy::TailPolicy make_tail_policy(TailPolicyChoice c);
+
+// Fig 3's consolidation millibottleneck (arch kSync or kNx3) with the
+// chosen policy at the client hop. On NX=0, kNaiveRetry re-issues into
+// full queues while TCP retransmits are still in flight — the retry
+// storm the analyzer flags; budgets/deadlines are the comparison points.
+ExperimentConfig ext_tail_tolerance(Architecture arch, TailPolicyChoice choice);
+
+// Fig 5's log-flush millibottleneck plus deterministic lossy-link
+// windows on the client hop. Losses put the baseline's tail at whole
+// RTOs (~3 s modes); hedged duplicates and deadlines pull p99.9 back
+// without adding a single server-side drop (losses are in the network).
+ExperimentConfig ext_lossy_link(Architecture arch, TailPolicyChoice choice);
+
+// A combined deterministic fault schedule — DB crash-and-restart, app
+// slow-node window, degraded inter-tier link — with no interference
+// bottleneck: exercises the injector end to end and the analyzer's view
+// of fault-driven (rather than consolidation-driven) drop episodes.
+ExperimentConfig ext_fault_injection(Architecture arch);
+
 }  // namespace ntier::core::scenarios

@@ -17,6 +17,7 @@ NTierSystem::NTierSystem(ExperimentConfig cfg)
   build_servers();
   build_workload();
   build_monitoring();
+  build_faults();
 }
 
 void NTierSystem::build_hosts() {
@@ -95,6 +96,13 @@ void NTierSystem::build_servers() {
   net::Link tier_link{s.link_latency};
   servers_[0]->connect_downstream(servers_[1].get(), s.tier_rto, tier_link);
   servers_[1]->connect_downstream(servers_[2].get(), s.tier_rto, tier_link);
+
+  if (cfg_.tier_policy.any()) {
+    // Distinct jitter streams per hop, decorrelated from the workload
+    // streams (fork 1 = clients, 2 = interference).
+    servers_[0]->enable_tail_policy(cfg_.tier_policy, rng_.fork(10));
+    servers_[1]->enable_tail_policy(cfg_.tier_policy, rng_.fork(11));
+  }
 }
 
 void NTierSystem::build_workload() {
@@ -114,6 +122,7 @@ void NTierSystem::build_workload() {
   cc.trace_requests = w.trace_requests;
   cc.measure_from = w.measure_from;
   cc.timeout = w.client_timeout;
+  cc.policy = w.client_policy;
   if (w.markov_sessions) {
     session_model_ = std::make_unique<workload::SessionModel>(
         workload::SessionModel::rubbos_browse());
@@ -158,6 +167,17 @@ void NTierSystem::build_monitoring() {
   sampler_.track_io("dbdisk", db_disk_.get());
 }
 
+void NTierSystem::build_faults() {
+  if (cfg_.faults.empty()) return;
+  fault::FaultTargets targets;
+  for (auto& srv : servers_) targets.tiers.push_back(srv.get());
+  for (auto& host : hosts_) targets.hosts.push_back(host.get());
+  targets.hops = {&clients_->transport(), servers_[0]->downstream_transport(),
+                  servers_[1]->downstream_transport()};
+  fault_injector_ = std::make_unique<fault::FaultInjector>(
+      sim_, rng_.fork(20), cfg_.faults, std::move(targets));
+}
+
 void NTierSystem::run() { run_until(sim_.now() + cfg_.duration); }
 
 void NTierSystem::run_until(sim::Time t) {
@@ -165,6 +185,7 @@ void NTierSystem::run_until(sim::Time t) {
     started_ = true;
     sampler_.start();
     clients_->start();
+    if (fault_injector_) fault_injector_->arm();
   }
   sim_.run_until(t);
 }

@@ -14,6 +14,7 @@
 
 #include "core/config.h"
 #include "cpu/dvfs.h"
+#include "fault/fault_injector.h"
 #include "cpu/host_core.h"
 #include "cpu/io_device.h"
 #include "monitor/collectl.h"
@@ -62,6 +63,8 @@ class NTierSystem {
   monitor::Collectl* collectl() { return collectl_.get(); }
   cpu::FreezeInjector* gc_injector() { return gc_.get(); }
   cpu::DvfsGovernor* dvfs() { return dvfs_.get(); }
+  // Bound fault schedule; null when cfg.faults is empty.
+  fault::FaultInjector* faults() { return fault_injector_.get(); }
 
   const server::AppProfile& profile() const { return cfg_.profile; }
 
@@ -70,6 +73,7 @@ class NTierSystem {
   void build_servers();
   void build_workload();
   void build_monitoring();
+  void build_faults();
 
   ExperimentConfig cfg_;
   sim::Simulation sim_;
@@ -89,6 +93,7 @@ class NTierSystem {
   std::unique_ptr<monitor::Collectl> collectl_;
   std::unique_ptr<cpu::FreezeInjector> gc_;
   std::unique_ptr<cpu::DvfsGovernor> dvfs_;
+  std::unique_ptr<fault::FaultInjector> fault_injector_;
 
   monitor::Sampler sampler_;
   monitor::LatencyCollector latency_;

@@ -1,0 +1,68 @@
+// FaultInjector: binds a FaultPlan to a live system and executes it.
+//
+// Deterministic by construction: every window is scheduled up front from
+// the plan's absolute times, and the only randomness (packet-loss draws
+// on degraded links) comes from an injector-owned sim::Rng forked from
+// the experiment master seed — so the same config + seed produces a
+// bit-identical fault timeline and loss pattern.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/host_core.h"
+#include "fault/fault_plan.h"
+#include "net/transport.h"
+#include "server/server_base.h"
+#include "sim/random.h"
+#include "sim/simulation.h"
+
+namespace ntier::fault {
+
+// Live attachment points, in tier order (0=web, 1=app, 2=db for the
+// canonical 3-tier system; chains may be longer). `hops[0]` is the
+// client's transport toward the front tier, `hops[i]` the transport of
+// tier i-1 toward tier i.
+struct FaultTargets {
+  std::vector<server::Server*> tiers;
+  std::vector<cpu::HostCpu*> hosts;
+  std::vector<net::Transport*> hops;
+};
+
+class FaultInjector {
+ public:
+  struct Counters {
+    std::uint64_t crashes = 0;       // crash windows begun
+    std::uint64_t restarts = 0;      // crash windows ended
+    std::uint64_t link_windows = 0;  // degradation windows begun
+    std::uint64_t slow_windows = 0;  // slow-node windows begun
+  };
+
+  // Validates the plan against the targets (tier/hop indices in range);
+  // asserts on mismatch. `rng` should be forked from the master seed.
+  FaultInjector(sim::Simulation& sim, sim::Rng rng, FaultPlan plan, FaultTargets targets);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Schedules every window; call once before the run starts.
+  void arm();
+
+  const FaultPlan& plan() const { return plan_; }
+  const Counters& counters() const { return counters_; }
+
+ private:
+  sim::Simulation& sim_;
+  sim::Rng rng_;
+  FaultPlan plan_;
+  FaultTargets targets_;
+  Counters counters_;
+  bool armed_ = false;
+  // Original host capacities, captured when a slow-node window begins.
+  std::vector<double> base_capacity_;
+  // Nested-window bookkeeping: restore only when the last window ends.
+  std::vector<int> down_depth_;
+  std::vector<int> degraded_depth_;
+  std::vector<int> slow_depth_;
+};
+
+}  // namespace ntier::fault

@@ -1,0 +1,71 @@
+// FaultPlan: a declarative, replayable schedule of infrastructure faults.
+//
+// Pure value types — no pointers into the system — so a plan can live
+// inside an ExperimentConfig and the same config + seed replays the
+// exact same fault timeline (DESIGN.md invariant 9). The FaultInjector
+// binds a plan to live targets at build time.
+//
+// Faults are the paper's "very short bottlenecks" pushed one level up:
+// instead of transient CPU/I/O contention, whole components misbehave
+// for bounded windows — a tier crashes and refuses connections, a link
+// loses packets and stretches latency, a node runs at a fraction of its
+// speed. Tail-tolerance policies are evaluated against these.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ntier::fault {
+
+// Tier index convention everywhere in this module: 0=web, 1=app, 2=db.
+
+// The tier's server process is down for [at, at+down_for): every packet
+// is refused (the sender's TCP stack retransmits, exactly like an
+// admission drop), and queued-but-unstarted work is either reset with
+// failure replies at crash time (kAbort: in-flight work lost) or left to
+// drain through the still-running workers (kDrain: a graceful stop).
+struct CrashWindow {
+  int tier = 0;
+  sim::Time at;
+  sim::Duration down_for = sim::Duration::seconds(1);
+  enum class InFlight { kAbort, kDrain };
+  InFlight in_flight = InFlight::kAbort;
+};
+
+// The hop's link is degraded for [at, at+duration): each request packet
+// is lost with `loss_prob` (drawn from the injector's own rng stream)
+// and every traversal costs `extra_latency` more. hop 0 = client->web,
+// hop i = tier i-1 -> tier i.
+struct LinkDegradeWindow {
+  int hop = 0;
+  sim::Time at;
+  sim::Duration duration = sim::Duration::seconds(1);
+  double loss_prob = 0.1;
+  sim::Duration extra_latency{};
+};
+
+// The tier's host runs at `speed_factor` of its capacity for
+// [at, at+duration) — a slow node (thermal throttling, noisy neighbor,
+// failing disk controller eating cycles).
+struct SlowNodeWindow {
+  int tier = 0;
+  sim::Time at;
+  sim::Duration duration = sim::Duration::seconds(1);
+  double speed_factor = 0.25;
+};
+
+struct FaultPlan {
+  std::vector<CrashWindow> crashes;
+  std::vector<LinkDegradeWindow> links;
+  std::vector<SlowNodeWindow> slow_nodes;
+
+  bool empty() const { return crashes.empty() && links.empty() && slow_nodes.empty(); }
+};
+
+// Human-readable reason a plan is invalid; empty when fine. Used by
+// core::validate().
+std::string invalid_reason(const FaultPlan& plan);
+
+}  // namespace ntier::fault

@@ -21,8 +21,10 @@ void Sampler::track_vm(const std::string& prefix, cpu::VmCpu* vm) {
 }
 
 void Sampler::track_server(const std::string& prefix, server::Server* srv) {
-  servers_.emplace_back(prefix, srv);
+  servers_.push_back(ServerTrack{prefix, srv, 0, 0});
   line(prefix + ".queue");
+  line(prefix + ".offered");
+  line(prefix + ".completed");
 }
 
 void Sampler::track_io(const std::string& prefix, cpu::IoDevice* dev) {
@@ -54,8 +56,15 @@ void Sampler::tick() {
     t.last_want = want;
     t.last_stall = stall;
   }
-  for (auto& [prefix, srv] : servers_) {
-    line(prefix + ".queue").set(wstart, static_cast<double>(srv->queued_requests()));
+  for (auto& t : servers_) {
+    line(t.prefix + ".queue").set(wstart, static_cast<double>(t.srv->queued_requests()));
+    const std::uint64_t off = t.srv->stats().offered;
+    const std::uint64_t comp = t.srv->stats().completed;
+    line(t.prefix + ".offered").set(wstart, static_cast<double>(off - t.last_offered) / win_s);
+    line(t.prefix + ".completed")
+        .set(wstart, static_cast<double>(comp - t.last_completed) / win_s);
+    t.last_offered = off;
+    t.last_completed = comp;
   }
   for (auto& t : ios_) {
     const double busy = t.dev->busy_seconds_until(now);

@@ -7,6 +7,10 @@
 //                  millibottleneck: the "CPU util" lines of Fig 3/7/8/9)
 //   <vm>.stall   — % of window frozen with work pending
 //   <srv>.queue  — queued requests inside the server (Fig 3(b), 5(b), ...)
+//   <srv>.offered   — admission attempts/s, incl. TCP retransmits and
+//                     policy retries (the retry-storm detector's input)
+//   <srv>.completed — replies/s (the drain rate the offered rate must
+//                     stay below for queues to shrink)
 //   <io>.busy    — % of window the disk was busy (the I/O wait of Fig 5(a))
 #pragma once
 
@@ -57,6 +61,12 @@ class Sampler {
     cpu::IoDevice* dev;
     double last_busy = 0.0;
   };
+  struct ServerTrack {
+    std::string prefix;
+    server::Server* srv;
+    std::uint64_t last_offered = 0;
+    std::uint64_t last_completed = 0;
+  };
 
   void tick();
   metrics::Timeline& line(const std::string& name);
@@ -65,7 +75,7 @@ class Sampler {
   sim::Duration window_;
   bool started_ = false;
   std::vector<VmTrack> vms_;
-  std::vector<std::pair<std::string, server::Server*>> servers_;
+  std::vector<ServerTrack> servers_;
   std::vector<IoTrack> ios_;
   std::map<std::string, metrics::Timeline> lines_;
 };

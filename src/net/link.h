@@ -1,4 +1,11 @@
 // Network link latency model (LAN between tiers).
+//
+// A link can be placed into a degraded episode by the fault injector:
+// while degraded it adds `extra_latency` to every traversal and loses
+// each request packet with probability `loss_prob` (the sender's TCP
+// stack then retransmits per its RtoPolicy, exactly as for an admission
+// drop — lost-in-network and refused-at-the-door are indistinguishable
+// to the sender).
 #pragma once
 
 #include "sim/random.h"
@@ -17,16 +24,39 @@ class Link {
       : latency_(latency), jitter_(jitter), rng_(&rng) {}
 
   sim::Duration sample() {
-    if (!rng_ || jitter_ <= sim::Duration::zero()) return latency_;
-    return latency_ + sim::Duration::from_seconds(rng_->uniform() * jitter_.to_seconds());
+    sim::Duration d = latency_ + extra_latency_;
+    if (rng_ != nullptr && jitter_ > sim::Duration::zero())
+      d += sim::Duration::from_seconds(rng_->uniform() * jitter_.to_seconds());
+    return d;
   }
 
   sim::Duration base_latency() const { return latency_; }
+
+  // --- fault-injection hooks (see fault::FaultInjector) ------------------
+  // `rng` drives the loss draws and must outlive the degraded episode.
+  void degrade(double loss_prob, sim::Duration extra_latency, sim::Rng* rng) {
+    loss_prob_ = loss_prob;
+    extra_latency_ = extra_latency;
+    loss_rng_ = rng;
+  }
+  void restore() {
+    loss_prob_ = 0.0;
+    extra_latency_ = sim::Duration::zero();
+    loss_rng_ = nullptr;
+  }
+  bool degraded() const { return loss_prob_ > 0.0 || extra_latency_ > sim::Duration::zero(); }
+  // Draws whether the packet currently traversing the link is lost.
+  bool lose_packet() {
+    return loss_prob_ > 0.0 && loss_rng_ != nullptr && loss_rng_->chance(loss_prob_);
+  }
 
  private:
   sim::Duration latency_;
   sim::Duration jitter_{};
   sim::Rng* rng_ = nullptr;
+  double loss_prob_ = 0.0;
+  sim::Duration extra_latency_{};
+  sim::Rng* loss_rng_ = nullptr;
 };
 
 }  // namespace ntier::net

@@ -33,9 +33,13 @@ struct TxOutcome {
 struct TxStats {
   std::uint64_t sent = 0;        // logical sends initiated
   std::uint64_t delivered = 0;   // logical sends eventually accepted
-  std::uint64_t drops = 0;       // individual dropped attempts
+  std::uint64_t drops = 0;       // attempts refused at the receiver's door
+  std::uint64_t link_lost = 0;   // attempts lost in the network (degraded link)
   std::uint64_t retransmits = 0; // retransmission attempts issued
   std::uint64_t failed = 0;      // sends abandoned after max retries
+  // Sends that hit RtoPolicy::max_retries (the kernel-style retry cap)
+  // with every attempt refused or lost — the "connection timed out" case.
+  std::uint64_t retransmit_exhausted = 0;
 };
 
 }  // namespace ntier::net

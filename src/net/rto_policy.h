@@ -19,7 +19,11 @@ struct RtoPolicy {
   sim::Duration initial = sim::Duration::seconds(3);
   Backoff backoff = Backoff::kExponential;
   double multiplier = 2.0;  // used by kExponential
-  int max_retries = 6;      // give up afterwards (connection failure)
+  // Kernel-style retransmission cap (tcp_syn_retries = 5 on the paper's
+  // RHEL 6.3 kernel): after this many retransmissions the connection
+  // attempt is abandoned and surfaced as TxStats::retransmit_exhausted.
+  // Without the cap a persistently-full accept queue retransmits forever.
+  int max_retries = 5;
 
   // Timeout before retransmission number `retry` (0-based: the delay
   // after the first drop is rto(0)).

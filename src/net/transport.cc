@@ -21,16 +21,25 @@ void Transport::send(AttemptFn attempt, ResultFn on_result) {
 void Transport::attempt_at(std::shared_ptr<Pending> p, sim::Duration delay) {
   sim_.after(delay, [this, p] {
     ++p->attempts;
-    if (p->attempt()) {
+    // A degraded link may lose the packet in flight; the sender cannot
+    // tell a loss from an admission refusal — both go unacked and
+    // retransmit after the same RTO.
+    const bool lost_in_network = link_.lose_packet();
+    if (!lost_in_network && p->attempt()) {
       ++stats_.delivered;
       if (p->on_result) {
         p->on_result(TxOutcome{true, p->attempts, p->drops, p->retrans_delay});
       }
       return;
     }
-    ++stats_.drops;
+    if (lost_in_network) {
+      ++stats_.link_lost;
+    } else {
+      ++stats_.drops;
+    }
     if (p->drops >= rto_.max_retries) {
       ++stats_.failed;
+      ++stats_.retransmit_exhausted;
       if (p->on_result) {
         p->on_result(TxOutcome{false, p->attempts, p->drops + 1, p->retrans_delay});
       }

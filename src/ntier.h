@@ -14,5 +14,7 @@
 #include "core/system.h"         // the 3-tier testbed (NX=0..3)
 #include "core/trace_analysis.h" // per-hop latency breakdowns
 #include "core/validation.h"     // queueing-law sanity checks
+#include "fault/fault_injector.h"  // deterministic crash/link/slow-node faults
 #include "monitor/trace_store.h"
+#include "policy/tail_policy.h"  // deadlines, retries, hedging, breakers
 #include "workload/session_model.h"

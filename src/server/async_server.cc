@@ -12,7 +12,7 @@ AsyncServer::AsyncServer(sim::Simulation& sim, std::string name, cpu::VmCpu* vm,
   assert(cfg.max_active > 0);
 }
 
-bool AsyncServer::offer(Job job) {
+bool AsyncServer::do_offer(Job job) {
   note_offer();
   if (in_system_ >= cfg_.lite_q_depth) {
     note_drop();
@@ -27,6 +27,14 @@ bool AsyncServer::offer(Job job) {
   wait_q_.push_back(std::move(ctx));
   pump();
   return true;
+}
+
+void AsyncServer::abort_queued() {
+  while (!wait_q_.empty()) {
+    CtxPtr ctx = std::move(wait_q_.front());
+    wait_q_.pop_front();
+    abort_job(std::move(ctx->job));
+  }
 }
 
 void AsyncServer::pump() {

@@ -34,13 +34,17 @@ class AsyncServer : public Server {
               std::function<Program(const RequestClassProfile&)> program_fn,
               AsyncConfig cfg);
 
-  bool offer(Job job) override;
-
   std::size_t busy_workers() const override { return active_; }
   std::size_t backlog_depth() const override { return wait_q_.size() + resume_q_.size(); }
   std::size_t max_sys_q_depth() const override { return cfg_.lite_q_depth; }
   std::size_t lite_q_depth() const { return cfg_.lite_q_depth; }
   const AsyncConfig& config() const { return cfg_; }
+
+ protected:
+  bool do_offer(Job job) override;
+  // Crash: parked-but-unstarted connections are reset with a failure
+  // reply; work already in a processing step drains.
+  void abort_queued() override;
 
  private:
   struct Ctx {

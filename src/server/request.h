@@ -24,6 +24,17 @@ struct Request {
   int total_drops = 0;          // packet drops suffered across all hops
   bool failed = false;          // abandoned after max retransmissions
 
+  // --- tail-tolerance metadata (see policy/tail_policy.h) ---------------
+  // Absolute completion budget, propagated across every tier: a server
+  // admitting the request after this instant cancels it instead of
+  // queueing it. Time::max() = no deadline.
+  sim::Time deadline = sim::Time::max();
+  bool deadline_expired = false;  // cancelled because the budget ran out
+  int app_retries = 0;            // policy-layer re-sends (not TCP retransmits)
+  int hedge_copies = 0;           // duplicate copies issued by hedging
+
+  bool has_deadline() const { return deadline != sim::Time::max(); }
+
   // Micro-level event trace (enabled per experiment; costs memory).
   struct Stamp {
     std::string where;  // "apache:admit", "tomcat:drop", "client:send", ...

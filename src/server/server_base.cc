@@ -1,8 +1,15 @@
 #include "server/server_base.h"
 
 #include <cassert>
+#include <utility>
 
 namespace ntier::server {
+
+struct Server::DispatchState {
+  bool settled = false;  // a reply (or permanent failure) already unwound
+  int attempts = 1;      // primary attempts started (1 = the first send)
+  int hedges = 0;        // duplicate copies issued
+};
 
 Server::Server(sim::Simulation& sim, std::string name, cpu::VmCpu* vm,
                const AppProfile* profile,
@@ -20,28 +27,217 @@ void Server::connect_downstream(Server* next, net::RtoPolicy rto, net::Link link
   transport_ = std::make_unique<net::Transport>(sim_, rto, link);
 }
 
+void Server::enable_tail_policy(const policy::TailPolicy& p, sim::Rng rng) {
+  if (!p.any()) return;
+  governor_ = std::make_unique<policy::HopGovernor>(sim_, std::move(rng), p);
+}
+
+bool Server::offer(Job job) {
+  if (down_) {
+    // Crashed: the connection is refused. To the sender this is the same
+    // unacked packet as a full accept queue — it retransmits per its RTO.
+    note_offer();
+    ++stats_.refused_down;
+    job.req->stamp(name_ + ":refused", sim_.now());
+    note_drop();
+    return false;
+  }
+  if (job.req->has_deadline() && sim_.now() >= job.req->deadline) {
+    // Over budget: cancel instead of queueing. The packet is *accepted*
+    // (returning true) so the sender does not retransmit cancelled work;
+    // the failure reply unwinds the chain immediately.
+    note_offer();
+    ++stats_.expired;
+    job.req->failed = true;
+    job.req->deadline_expired = true;
+    job.req->stamp(name_ + ":expired", sim_.now());
+    sim_.after(sim::Duration::zero(), [job = std::move(job)] { job.reply(job.req); });
+    return true;
+  }
+  return do_offer(std::move(job));
+}
+
+void Server::set_down(bool down, bool abort_queued_work) {
+  down_ = down;
+  if (down && abort_queued_work) abort_queued();
+}
+
+void Server::abort_job(Job job) {
+  ++stats_.aborted;
+  job.req->failed = true;
+  job.req->stamp(name_ + ":aborted", sim_.now());
+  // The aborted job still gets a (failure) reply, preserving the
+  // conservation invariant accepted == completed + in-system.
+  note_reply();
+  job.reply(job.req);
+}
+
 void Server::dispatch_downstream(const RequestPtr& req, std::function<void()> on_reply) {
   assert(downstream_ != nullptr && transport_ != nullptr);
   auto reply_cb = std::make_shared<std::function<void()>>(std::move(on_reply));
+
+  if (!governor_) {
+    // Plain path: single send, retransmission handled inside Transport.
+    Job down;
+    down.req = req;
+    // The downstream tier calls this at its completion instant; the
+    // return-path link latency belongs to this (sending) side.
+    down.reply = [this, reply_cb](const RequestPtr&) {
+      sim_.after(transport_->link().sample(), [reply_cb] { (*reply_cb)(); });
+    };
+    transport_->send(
+        [next = downstream_, down](/*attempt*/) { return next->offer(down); },
+        [this, req, reply_cb](const net::TxOutcome& out) {
+          req->total_drops += out.drops;
+          if (!out.delivered) {
+            // Connection abandoned after max retries: fail the request and
+            // unwind so upstream threads/clients are released.
+            req->failed = true;
+            ++stats_.failed;
+            (*reply_cb)();
+          }
+        });
+    return;
+  }
+
+  const policy::TailPolicy& pol = governor_->policy();
+  governor_->on_request();
+  auto st = std::make_shared<DispatchState>();
+
+  if (req->has_deadline() && sim_.now() >= req->deadline) {
+    // Budget already spent before the hop: cancel without sending.
+    ++governor_->stats().deadline_cancels;
+    st->settled = true;
+    req->failed = true;
+    req->deadline_expired = true;
+    ++stats_.failed;
+    sim_.after(sim::Duration::zero(), [reply_cb] { (*reply_cb)(); });
+    return;
+  }
+  if (!governor_->allow_send()) {
+    // Breaker open: fast-fail instead of queueing onto a sick downstream.
+    st->settled = true;
+    req->failed = true;
+    ++stats_.failed;
+    sim_.after(sim::Duration::zero(), [reply_cb] { (*reply_cb)(); });
+    return;
+  }
+
+  send_attempt(req, reply_cb, st, /*is_hedge=*/false);
+
+  if (pol.hedge.enabled) {
+    // Hedge copies fire at multiples of the current percentile delay
+    // (scheduled up front: deterministic, no self-referential timers).
+    const sim::Duration d = governor_->hedge_delay();
+    for (int i = 1; i <= pol.hedge.max_hedges; ++i) {
+      sim_.after(d * i, [this, req, reply_cb, st] {
+        if (st->settled) return;
+        if (req->has_deadline() && sim_.now() >= req->deadline) return;
+        ++st->hedges;
+        ++req->hedge_copies;
+        ++governor_->stats().hedges;
+        ++stats_.hedges_sent;
+        send_attempt(req, reply_cb, st, /*is_hedge=*/true);
+      });
+    }
+  }
+}
+
+void Server::send_attempt(const RequestPtr& req,
+                          const std::shared_ptr<std::function<void()>>& reply_cb,
+                          const std::shared_ptr<DispatchState>& st, bool is_hedge) {
+  // Per-attempt conclusion guard: an attempt concludes exactly once for
+  // breaker/latency accounting (timeout, transport failure, or reply).
+  auto concluded = std::make_shared<bool>(false);
+  const sim::Time sent_at = sim_.now();
+
   Job down;
   down.req = req;
-  // The downstream tier calls this at its completion instant; the
-  // return-path link latency belongs to this (sending) side.
-  down.reply = [this, reply_cb](const RequestPtr&) {
-    sim_.after(transport_->link().sample(), [reply_cb] { (*reply_cb)(); });
+  down.reply = [this, req, reply_cb, st, concluded, sent_at, is_hedge](const RequestPtr&) {
+    sim_.after(transport_->link().sample(),
+               [this, req, reply_cb, st, concluded, sent_at, is_hedge] {
+                 if (!*concluded) {
+                   *concluded = true;
+                   governor_->on_outcome(!req->failed);
+                   if (!req->failed) governor_->record_latency(sim_.now() - sent_at);
+                 }
+                 if (st->settled) return;  // another copy already unwound
+                 st->settled = true;
+                 if (is_hedge) ++governor_->stats().hedge_wins;
+                 (*reply_cb)();
+               });
   };
+
   transport_->send(
       [next = downstream_, down](/*attempt*/) { return next->offer(down); },
-      [this, req, reply_cb](const net::TxOutcome& out) {
+      [this, req, reply_cb, st, concluded, is_hedge](const net::TxOutcome& out) {
         req->total_drops += out.drops;
-        if (!out.delivered) {
-          // Connection abandoned after max retries: fail the request and
-          // unwind so upstream threads/clients are released.
-          req->failed = true;
-          ++stats_.failed;
-          (*reply_cb)();
-        }
+        if (out.delivered) return;  // conclusion arrives with the reply
+        if (*concluded) return;     // attempt_timeout already took over
+        *concluded = true;
+        governor_->on_outcome(false);
+        // Hedge copies never settle on failure — the primary chain owns
+        // the retry/fail decision and a surviving copy may still win.
+        if (!is_hedge) retry_or_fail(req, reply_cb, st);
       });
+
+  const sim::Duration at = governor_->policy().attempt_timeout;
+  if (!is_hedge && at > sim::Duration::zero()) {
+    sim_.after(at, [this, req, reply_cb, st, concluded] {
+      if (st->settled || *concluded) return;
+      *concluded = true;
+      governor_->on_outcome(false);
+      // The timed-out attempt stays in flight downstream (its work is not
+      // recalled); if it lands before the retry it still wins via `st`.
+      retry_or_fail(req, reply_cb, st);
+    });
+  }
+}
+
+void Server::retry_or_fail(const RequestPtr& req,
+                           const std::shared_ptr<std::function<void()>>& reply_cb,
+                           const std::shared_ptr<DispatchState>& st) {
+  if (st->settled) return;
+  const policy::RetryPolicy& rp = governor_->policy().retry;
+  if (!rp.enabled() || st->attempts >= rp.max_attempts) {
+    fail_dispatch(req, reply_cb, st);
+    return;
+  }
+  if (req->has_deadline() && sim_.now() >= req->deadline) {
+    ++governor_->stats().deadline_cancels;
+    req->deadline_expired = true;
+    fail_dispatch(req, reply_cb, st);
+    return;
+  }
+  if (!governor_->try_retry_token()) {
+    fail_dispatch(req, reply_cb, st);
+    return;
+  }
+  const sim::Duration backoff = governor_->next_backoff(st->attempts);
+  ++governor_->stats().retries;
+  ++stats_.ds_retries;
+  sim_.after(backoff, [this, req, reply_cb, st] {
+    if (st->settled) return;
+    if (req->has_deadline() && sim_.now() >= req->deadline) {
+      ++governor_->stats().deadline_cancels;
+      req->deadline_expired = true;
+      fail_dispatch(req, reply_cb, st);
+      return;
+    }
+    ++st->attempts;
+    ++req->app_retries;
+    send_attempt(req, reply_cb, st, /*is_hedge=*/false);
+  });
+}
+
+void Server::fail_dispatch(const RequestPtr& req,
+                           const std::shared_ptr<std::function<void()>>& reply_cb,
+                           const std::shared_ptr<DispatchState>& st) {
+  if (st->settled) return;
+  st->settled = true;
+  req->failed = true;
+  ++stats_.failed;
+  (*reply_cb)();
 }
 
 }  // namespace ntier::server

@@ -4,6 +4,13 @@
 // packet, the central event of the paper. Each server runs on a VmCpu,
 // may own an IoDevice for its disk steps, and may have one downstream
 // server reached through a retransmitting Transport (the RPC chain).
+//
+// Two cross-cutting layers hang off this base:
+//  - the fault gate (set_down): a crashed server refuses every packet
+//    (counted as drops -> sender retransmits) and can abort queued work;
+//  - the tail-tolerance policy layer (enable_tail_policy): deadline
+//    enforcement at admission, and deadline/retry/hedge/breaker logic on
+//    the downstream hop inside dispatch_downstream.
 #pragma once
 
 #include <cstdint>
@@ -17,8 +24,10 @@
 #include "net/link.h"
 #include "net/rto_policy.h"
 #include "net/transport.h"
+#include "policy/tail_policy.h"
 #include "server/app_profile.h"
 #include "server/request.h"
+#include "sim/random.h"
 #include "sim/simulation.h"
 
 namespace ntier::server {
@@ -31,6 +40,12 @@ class Server {
     std::uint64_t dropped = 0;    // admission refusals (dropped packets)
     std::uint64_t completed = 0;  // jobs replied
     std::uint64_t failed = 0;     // downstream sends abandoned
+    // --- resilience layer ---
+    std::uint64_t refused_down = 0;  // packets refused while crashed
+    std::uint64_t expired = 0;       // cancelled at admission: deadline passed
+    std::uint64_t aborted = 0;       // queued work reset by a crash
+    std::uint64_t ds_retries = 0;    // policy-layer downstream re-sends
+    std::uint64_t hedges_sent = 0;   // duplicate downstream copies
   };
 
   // `program_fn` maps a request class to this tier's work program.
@@ -41,13 +56,27 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   // Attempts to admit one job. Returns false when the packet is dropped
-  // (sender will retransmit per its RtoPolicy).
-  virtual bool offer(Job job) = 0;
+  // (sender will retransmit per its RtoPolicy). Applies the crash gate
+  // and deadline cancellation before the model-specific admission.
+  bool offer(Job job);
 
   // Wires the downstream hop of the RPC/async chain.
   void connect_downstream(Server* next, net::RtoPolicy rto, net::Link link);
   // Attaches a disk for kDisk steps (DB tier, collectl flush target).
   void attach_io(cpu::IoDevice* dev) { io_ = dev; }
+
+  // --- fault gate (driven by fault::FaultInjector) ------------------------
+  // A down server refuses every connection; with abort_queued, work that
+  // was admitted but not yet started is answered with a connection-reset
+  // failure at crash time (in-flight work lost), otherwise it drains.
+  void set_down(bool down, bool abort_queued_work = false);
+  bool is_down() const { return down_; }
+
+  // --- tail-tolerance policy for the downstream hop -----------------------
+  // `rng` feeds backoff jitter; fork it from the experiment master seed.
+  void enable_tail_policy(const policy::TailPolicy& p, sim::Rng rng);
+  policy::HopGovernor* governor() { return governor_ ? governor_.get() : nullptr; }
+  const policy::HopGovernor* governor() const { return governor_ ? governor_.get() : nullptr; }
 
   // --- observability -----------------------------------------------------
   const std::string& name() const { return name_; }
@@ -68,6 +97,12 @@ class Server {
   Server* downstream() const { return downstream_; }
 
  protected:
+  // Model-specific admission (thread pool, lite queue, staged ingress).
+  virtual bool do_offer(Job job) = 0;
+  // Crash hook: fail-and-reply every admitted-but-unstarted job. Models
+  // in-flight work lost on crash; implementations call abort_job().
+  virtual void abort_queued() {}
+
   Program program_for(const Request& r) const {
     return program_fn_(profile_->at(r.class_index));
   }
@@ -80,10 +115,16 @@ class Server {
   }
   void note_reply() { ++stats_.completed; --in_system_; }
 
+  // Answers `job` with a connection-reset failure right now (used by
+  // abort_queued implementations; keeps accepted = completed + in-system).
+  void abort_job(Job job);
+
   // Sends the request downstream with retransmission-on-drop; `on_reply`
   // fires after the downstream tier replies (return-link latency
   // included). On permanent failure the request is marked failed and
-  // `on_reply` still fires so the chain unwinds.
+  // `on_reply` still fires so the chain unwinds. When a tail policy is
+  // enabled this also applies deadline fast-fail, breaker fast-fail,
+  // retries with backoff, and hedged duplicates (first reply wins).
   void dispatch_downstream(const RequestPtr& req, std::function<void()> on_reply);
 
   sim::Simulation& sim_;
@@ -95,10 +136,24 @@ class Server {
 
   Server* downstream_ = nullptr;
   std::unique_ptr<net::Transport> transport_;
+  std::unique_ptr<policy::HopGovernor> governor_;
+  bool down_ = false;
 
   Stats stats_;
   std::size_t in_system_ = 0;
   std::vector<sim::Time> drop_times_;
+
+ private:
+  struct DispatchState;
+  void send_attempt(const RequestPtr& req,
+                    const std::shared_ptr<std::function<void()>>& reply_cb,
+                    const std::shared_ptr<DispatchState>& st, bool is_hedge);
+  void retry_or_fail(const RequestPtr& req,
+                     const std::shared_ptr<std::function<void()>>& reply_cb,
+                     const std::shared_ptr<DispatchState>& st);
+  void fail_dispatch(const RequestPtr& req,
+                     const std::shared_ptr<std::function<void()>>& reply_cb,
+                     const std::shared_ptr<DispatchState>& st);
 };
 
 }  // namespace ntier::server

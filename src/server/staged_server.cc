@@ -12,7 +12,7 @@ StagedServer::StagedServer(sim::Simulation& sim, std::string name, cpu::VmCpu* v
   assert(cfg.ingress.threads > 0 && cfg.continuation.threads > 0);
 }
 
-bool StagedServer::offer(Job job) {
+bool StagedServer::do_offer(Job job) {
   note_offer();
   if (ingress_q_.size() >= cfg_.ingress.queue_cap) {
     note_drop();
@@ -27,6 +27,14 @@ bool StagedServer::offer(Job job) {
   ingress_q_.push_back(std::move(ctx));
   pump();
   return true;
+}
+
+void StagedServer::abort_queued() {
+  while (!ingress_q_.empty()) {
+    CtxPtr ctx = std::move(ingress_q_.front());
+    ingress_q_.pop_front();
+    abort_job(std::move(ctx->job));
+  }
 }
 
 void StagedServer::pump() {

@@ -42,8 +42,6 @@ class StagedServer : public Server {
                std::function<Program(const RequestClassProfile&)> program_fn,
                StagedConfig cfg);
 
-  bool offer(Job job) override;
-
   std::size_t busy_workers() const override { return ingress_active_ + cont_active_; }
   std::size_t backlog_depth() const override {
     return ingress_q_.size() + cont_q_.size();
@@ -52,6 +50,12 @@ class StagedServer : public Server {
     return cfg_.ingress.queue_cap + cfg_.ingress.threads;
   }
   const StagedConfig& config() const { return cfg_; }
+
+ protected:
+  bool do_offer(Job job) override;
+  // Crash: the bounded ingress queue is dropped with failure replies;
+  // continuation work (already past a downstream round trip) drains.
+  void abort_queued() override;
 
  private:
   struct Ctx {

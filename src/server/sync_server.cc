@@ -17,7 +17,7 @@ SyncServer::SyncServer(sim::Simulation& sim, std::string name, cpu::VmCpu* vm,
   arm_gc(sim_, *vm_, cfg_.overhead, [this] { return busy_; });
 }
 
-bool SyncServer::offer(Job job) {
+bool SyncServer::do_offer(Job job) {
   note_offer();
   if (busy_ < threads_) {
     note_accept();
@@ -125,6 +125,18 @@ void SyncServer::worker_freed() {
   // The pool stays "exhausted" if the backlog immediately refilled the
   // freed worker; the timer only resets when capacity truly opened up.
   if (busy_ < threads_) exhausted_since_ = sim::Time::max();
+}
+
+void SyncServer::abort_queued() {
+  while (!backlog_q_.empty()) {
+    Job job = std::move(backlog_q_.front());
+    backlog_q_.pop_front();
+    accept_q_.pop();
+    abort_job(std::move(job));
+  }
+  // Workers currently executing keep running (their state is lost to the
+  // client anyway once the reply path refuses, but the simulation lets
+  // them drain to keep CPU accounting simple).
 }
 
 void SyncServer::check_spawn() {

@@ -43,8 +43,6 @@ class SyncServer : public Server {
              std::function<Program(const RequestClassProfile&)> program_fn,
              SyncConfig cfg);
 
-  bool offer(Job job) override;
-
   std::size_t busy_workers() const override { return busy_; }
   std::size_t backlog_depth() const override { return accept_q_.depth(); }
   std::size_t max_sys_q_depth() const override { return threads_ + accept_q_.capacity(); }
@@ -54,6 +52,12 @@ class SyncServer : public Server {
   std::uint64_t shed_count() const { return shed_; }
   ConnectionPool* pool() { return pool_ ? pool_.get() : nullptr; }
   const SyncConfig& config() const { return cfg_; }
+
+ protected:
+  bool do_offer(Job job) override;
+  // Crash: the TCP backlog is lost with the process — every queued-but-
+  // unstarted job is answered with a connection-reset failure.
+  void abort_queued() override;
 
  private:
   struct Ctx {

@@ -2,6 +2,11 @@
 
 namespace ntier::workload {
 
+struct ClientPool::Flight {
+  bool done = false;  // the logical request has been settled
+  int attempts = 1;   // primary attempts issued (1 = the first)
+};
+
 ClientPool::ClientPool(sim::Simulation& sim, sim::Rng rng,
                        const server::AppProfile* profile, server::Server* front,
                        ClientConfig cfg, BurstClock* burst)
@@ -15,6 +20,11 @@ ClientPool::ClientPool(sim::Simulation& sim, sim::Rng rng,
   if (cfg_.session_model != nullptr) {
     session_class_.resize(cfg_.sessions);
     for (auto& s : session_class_) s = profile_->pick(rng_);
+  }
+  if (cfg_.policy.any()) {
+    // Dedicated jitter stream so policy randomness never perturbs the
+    // think/class draws of a policy-free run with the same seed.
+    governor_ = std::make_unique<policy::HopGovernor>(sim_, rng_.fork(0x7A11), cfg_.policy);
   }
 }
 
@@ -60,6 +70,11 @@ void ClientPool::issue(std::size_t session) {
   req->stamp("client:send", sim_.now());
   ++issued_;
 
+  if (governor_) {
+    issue_governed(session, req);
+    return;
+  }
+
   // First of {reply, timeout, connection-failure} wins.
   auto settled = std::make_shared<bool>(false);
 
@@ -97,6 +112,151 @@ void ClientPool::issue(std::size_t session) {
           settle(session, req);
         }
       });
+}
+
+void ClientPool::issue_governed(std::size_t session, const server::RequestPtr& req) {
+  const policy::TailPolicy& pol = governor_->policy();
+  governor_->on_request();
+  if (pol.deadline > sim::Duration::zero()) req->deadline = sim_.now() + pol.deadline;
+
+  auto fl = std::make_shared<Flight>();
+
+  if (!governor_->allow_send()) {
+    // Breaker open: the request fails instantly, no packet is sent.
+    req->failed = true;
+    req->stamp("client:breaker", sim_.now());
+    fl->done = true;
+    settle(session, req);
+    return;
+  }
+
+  if (cfg_.timeout > sim::Duration::zero()) {
+    sim_.after(cfg_.timeout, [this, session, fl, req] {
+      if (fl->done) return;
+      fl->done = true;
+      ++timeouts_;
+      req->failed = true;
+      req->stamp("client:timeout", sim_.now());
+      settle(session, req);
+    });
+  }
+  if (req->has_deadline()) {
+    // The deadline bounds the client's patience too: at expiry the
+    // request is abandoned (every tier will also refuse to queue it).
+    sim_.after(req->deadline - sim_.now(), [this, session, fl, req] {
+      if (fl->done) return;
+      fl->done = true;
+      ++governor_->stats().deadline_cancels;
+      req->failed = true;
+      req->deadline_expired = true;
+      req->stamp("client:deadline", sim_.now());
+      settle(session, req);
+    });
+  }
+
+  send_attempt(session, req, fl, /*is_hedge=*/false);
+
+  if (pol.hedge.enabled) {
+    const sim::Duration d = governor_->hedge_delay();
+    for (int i = 1; i <= pol.hedge.max_hedges; ++i) {
+      sim_.after(d * i, [this, session, fl, req] {
+        if (fl->done) return;
+        if (req->has_deadline() && sim_.now() >= req->deadline) return;
+        ++req->hedge_copies;
+        ++governor_->stats().hedges;
+        send_attempt(session, req, fl, /*is_hedge=*/true);
+      });
+    }
+  }
+}
+
+void ClientPool::send_attempt(std::size_t session, const server::RequestPtr& req,
+                              const std::shared_ptr<Flight>& fl, bool is_hedge) {
+  // Per-attempt conclusion guard for breaker/latency accounting.
+  auto concluded = std::make_shared<bool>(false);
+  const sim::Time sent_at = sim_.now();
+
+  server::Job job;
+  job.req = req;
+  job.reply = [this, session, req, fl, concluded, sent_at,
+               is_hedge](const server::RequestPtr& r) {
+    sim_.after(transport_.link().sample(),
+               [this, session, r, fl, concluded, sent_at, is_hedge] {
+                 if (!*concluded) {
+                   *concluded = true;
+                   governor_->on_outcome(!r->failed);
+                   if (!r->failed) governor_->record_latency(sim_.now() - sent_at);
+                 }
+                 if (fl->done) return;  // stale/duplicate response
+                 fl->done = true;
+                 if (is_hedge) ++governor_->stats().hedge_wins;
+                 settle(session, r);
+               });
+  };
+
+  transport_.send(
+      [front = front_, job]() { return front->offer(job); },
+      [this, req, session, fl, concluded, is_hedge](const net::TxOutcome& out) {
+        req->total_drops += out.drops;
+        if (out.delivered) return;
+        if (*concluded) return;
+        *concluded = true;
+        governor_->on_outcome(false);
+        if (!is_hedge) retry_or_fail(session, req, fl);
+      });
+
+  const sim::Duration at = governor_->policy().attempt_timeout;
+  if (!is_hedge && at > sim::Duration::zero()) {
+    sim_.after(at, [this, session, req, fl, concluded] {
+      if (fl->done || *concluded) return;
+      *concluded = true;
+      governor_->on_outcome(false);
+      retry_or_fail(session, req, fl);
+    });
+  }
+}
+
+void ClientPool::retry_or_fail(std::size_t session, const server::RequestPtr& req,
+                               const std::shared_ptr<Flight>& fl) {
+  if (fl->done) return;
+  const policy::RetryPolicy& rp = governor_->policy().retry;
+  if (!rp.enabled() || fl->attempts >= rp.max_attempts) {
+    settle_failed(session, req, fl);
+    return;
+  }
+  if (req->has_deadline() && sim_.now() >= req->deadline) {
+    ++governor_->stats().deadline_cancels;
+    req->deadline_expired = true;
+    settle_failed(session, req, fl);
+    return;
+  }
+  if (!governor_->try_retry_token()) {
+    settle_failed(session, req, fl);
+    return;
+  }
+  const sim::Duration backoff = governor_->next_backoff(fl->attempts);
+  ++governor_->stats().retries;
+  sim_.after(backoff, [this, session, req, fl] {
+    if (fl->done) return;
+    if (req->has_deadline() && sim_.now() >= req->deadline) {
+      ++governor_->stats().deadline_cancels;
+      req->deadline_expired = true;
+      settle_failed(session, req, fl);
+      return;
+    }
+    ++fl->attempts;
+    ++req->app_retries;
+    req->stamp("client:retry", sim_.now());
+    send_attempt(session, req, fl, /*is_hedge=*/false);
+  });
+}
+
+void ClientPool::settle_failed(std::size_t session, const server::RequestPtr& req,
+                               const std::shared_ptr<Flight>& fl) {
+  if (fl->done) return;
+  fl->done = true;
+  req->failed = true;
+  settle(session, req);
 }
 
 }  // namespace ntier::workload

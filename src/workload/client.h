@@ -5,6 +5,13 @@
 // think time 7 s puts WL 4000/7000/8000 at ~572/990/1103 req/s. Client
 // packets refused by the web tier retransmit per the client RtoPolicy —
 // these retransmissions ARE the paper's VLRT requests.
+//
+// An optional TailPolicy turns the naive browser into a tail-tolerant
+// one: the request is stamped with an end-to-end deadline (propagated
+// through every tier), failed or timed-out attempts are re-issued with
+// backoff under a retry budget, duplicate (hedged) copies go out after a
+// percentile delay, and a circuit breaker fast-fails while the front
+// tier looks sick.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +21,7 @@
 #include "net/link.h"
 #include "net/rto_policy.h"
 #include "net/transport.h"
+#include "policy/tail_policy.h"
 #include "server/app_profile.h"
 #include "server/request.h"
 #include "server/server_base.h"
@@ -39,6 +47,10 @@ struct ClientConfig {
   // Optional Markov page-navigation model (see workload/session_model.h);
   // null = independent draws from the profile weights.
   const SessionModel* session_model = nullptr;
+  // Tail-tolerance policy applied at the client hop (deadline stamping,
+  // retries, hedging, circuit breaking). Default: all disabled — the
+  // naive browser of the paper.
+  policy::TailPolicy policy{};
 };
 
 class ClientPool {
@@ -62,10 +74,24 @@ class ClientPool {
   std::uint64_t timeouts() const { return timeouts_; }
   std::uint64_t in_flight() const { return issued_ - completed_; }
   const net::TxStats& tx_stats() const { return transport_.stats(); }
+  // The client's TCP stack toward the web tier (fault-injection target).
+  net::Transport& transport() { return transport_; }
+  // Policy runtime; null when no policy is configured.
+  policy::HopGovernor* governor() { return governor_ ? governor_.get() : nullptr; }
+  const policy::HopGovernor* governor() const { return governor_ ? governor_.get() : nullptr; }
 
  private:
+  struct Flight;  // per-logical-request policy state
+
   void session_think(std::size_t session);
   void issue(std::size_t session);
+  void issue_governed(std::size_t session, const server::RequestPtr& req);
+  void send_attempt(std::size_t session, const server::RequestPtr& req,
+                    const std::shared_ptr<Flight>& fl, bool is_hedge);
+  void retry_or_fail(std::size_t session, const server::RequestPtr& req,
+                     const std::shared_ptr<Flight>& fl);
+  void settle_failed(std::size_t session, const server::RequestPtr& req,
+                     const std::shared_ptr<Flight>& fl);
 
   sim::Simulation& sim_;
   sim::Rng rng_;
@@ -74,6 +100,7 @@ class ClientPool {
   ClientConfig cfg_;
   BurstClock* burst_;
   net::Transport transport_;
+  std::unique_ptr<policy::HopGovernor> governor_;
 
   void notify(const server::RequestPtr& r) {
     if (r->completed < cfg_.measure_from) return;

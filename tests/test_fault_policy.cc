@@ -1,0 +1,338 @@
+// Tests of the resilience layer: tail-tolerance policies (deadlines,
+// retries, hedging, circuit breaking) and deterministic fault injection.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/scenarios.h"
+#include "helpers.h"
+#include "policy/tail_policy.h"
+#include "server/sync_server.h"
+#include "sim/random.h"
+#include "sim/simulation.h"
+
+namespace ntier {
+namespace {
+
+using sim::Duration;
+using sim::Simulation;
+using sim::Time;
+
+// --- policy value types ----------------------------------------------------
+
+TEST(RetryPolicy, ExponentialBackoffIsCappedAtMax) {
+  policy::RetryPolicy p;
+  p.max_attempts = 6;
+  p.base_backoff = Duration::millis(100);
+  p.max_backoff = Duration::millis(500);
+  p.decorrelated_jitter = false;
+  sim::Rng rng(1);
+  EXPECT_EQ(p.backoff(1, Duration::zero(), rng), Duration::millis(100));
+  EXPECT_EQ(p.backoff(2, Duration::millis(100), rng), Duration::millis(200));
+  EXPECT_EQ(p.backoff(4, Duration::millis(400), rng), Duration::millis(500));  // capped
+}
+
+TEST(RetryPolicy, DecorrelatedJitterStaysInsideEnvelope) {
+  policy::RetryPolicy p;
+  p.max_attempts = 6;
+  p.base_backoff = Duration::millis(50);
+  p.max_backoff = Duration::seconds(2);
+  p.decorrelated_jitter = true;
+  sim::Rng rng(7);
+  Duration prev = p.base_backoff;
+  for (int attempt = 1; attempt <= 20; ++attempt) {
+    const Duration b = p.backoff(attempt, prev, rng);
+    EXPECT_GE(b, p.base_backoff);
+    EXPECT_LE(b, std::max(p.max_backoff, prev * 3));
+    EXPECT_LE(b, p.max_backoff);
+    prev = b;
+  }
+}
+
+TEST(RetryBudget, TokensGateRetries) {
+  policy::RetryBudget budget(/*ratio=*/0.5, /*capacity=*/2.0);
+  // Fresh bucket is full: two retries are affordable, the third is not.
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_FALSE(budget.try_spend());
+  // Two new requests earn one token back.
+  budget.on_request();
+  budget.on_request();
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_FALSE(budget.try_spend());
+}
+
+TEST(LatencyEstimator, TracksWindowQuantiles) {
+  policy::LatencyEstimator est(100);
+  EXPECT_EQ(est.quantile(0.95), Duration::zero());
+  for (int i = 1; i <= 100; ++i) est.record(Duration::millis(i));
+  EXPECT_EQ(est.count(), 100u);
+  EXPECT_GE(est.quantile(0.95), Duration::millis(94));
+  EXPECT_LE(est.quantile(0.95), Duration::millis(97));
+  EXPECT_EQ(est.quantile(1.0), Duration::millis(100));
+}
+
+// --- circuit breaker state machine -----------------------------------------
+
+policy::BreakerPolicy tight_breaker() {
+  policy::BreakerPolicy p;
+  p.enabled = true;
+  p.failure_threshold = 0.5;
+  p.min_samples = 4;
+  p.window = Duration::seconds(1);
+  p.open_for = Duration::seconds(2);
+  p.half_open_probes = 1;
+  return p;
+}
+
+TEST(CircuitBreaker, OpensAtFailureThresholdAndFastFails) {
+  Simulation sim;
+  policy::CircuitBreaker br(sim, tight_breaker());
+  EXPECT_EQ(br.state(), policy::CircuitBreaker::State::kClosed);
+  br.record_success();
+  br.record_success();
+  br.record_failure();
+  EXPECT_EQ(br.state(), policy::CircuitBreaker::State::kClosed);  // 1/3 < 0.5
+  br.record_failure();  // 2/4 >= 0.5 with min_samples met -> open
+  EXPECT_EQ(br.state(), policy::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(br.opens(), 1u);
+  EXPECT_FALSE(br.allow());
+  EXPECT_EQ(br.rejects(), 1u);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeClosesOnSuccess) {
+  Simulation sim;
+  policy::CircuitBreaker br(sim, tight_breaker());
+  for (int i = 0; i < 4; ++i) br.record_failure();
+  ASSERT_EQ(br.state(), policy::CircuitBreaker::State::kOpen);
+  sim.after(Duration::seconds(2), [] {});
+  sim.run_all();
+  EXPECT_TRUE(br.allow());  // the single half-open probe slot
+  EXPECT_EQ(br.state(), policy::CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(br.allow());  // second concurrent send still rejected
+  br.record_success();
+  EXPECT_EQ(br.state(), policy::CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(br.allow());
+}
+
+TEST(CircuitBreaker, HalfOpenProbeReopensOnFailure) {
+  Simulation sim;
+  policy::CircuitBreaker br(sim, tight_breaker());
+  for (int i = 0; i < 4; ++i) br.record_failure();
+  sim.after(Duration::seconds(2), [] {});
+  sim.run_all();
+  EXPECT_TRUE(br.allow());
+  br.record_failure();
+  EXPECT_EQ(br.state(), policy::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(br.opens(), 2u);
+  EXPECT_FALSE(br.allow());
+}
+
+// --- deadline admission at a tier ------------------------------------------
+
+struct ServerFixture {
+  Simulation sim;
+  cpu::HostCpu host{sim, 1.0};
+  cpu::VmCpu* vm = host.add_vm("srv");
+  server::AppProfile profile = test::one_class_profile();
+  test::ReplySink sink{sim};
+
+  std::unique_ptr<server::SyncServer> make() {
+    server::SyncConfig cfg;
+    cfg.threads_per_process = 2;
+    auto prog = test::cpu_only(Duration::millis(10));
+    return std::make_unique<server::SyncServer>(
+        sim, "srv", vm, &profile,
+        [prog](const server::RequestClassProfile&) { return prog; }, cfg);
+  }
+};
+
+TEST(DeadlineAdmission, ExpiredRequestIsRefusedWithoutQueueing) {
+  ServerFixture f;
+  auto srv = f.make();
+  auto job = f.sink.job(1);
+  job.req->deadline = Time::from_seconds(0.0);  // already due
+  f.sim.after(Duration::millis(5), [&] {
+    // Accepted at the TCP level (no retransmit storm for cancelled work)
+    // but never queued: it comes back immediately as a failure.
+    EXPECT_TRUE(srv->offer(std::move(job)));
+  });
+  f.sim.run_all();
+  ASSERT_EQ(f.sink.replies.size(), 1u);
+  EXPECT_TRUE(f.sink.replies[0].second < Time::from_seconds(0.006));
+  EXPECT_EQ(srv->stats().expired, 1u);
+  EXPECT_EQ(srv->stats().accepted, 0u);
+  EXPECT_EQ(srv->stats().completed, 0u);
+}
+
+TEST(DeadlineAdmission, FutureDeadlineProceedsNormally) {
+  ServerFixture f;
+  auto srv = f.make();
+  auto job = f.sink.job(2);
+  job.req->deadline = Time::from_seconds(1.0);
+  EXPECT_TRUE(srv->offer(std::move(job)));
+  f.sim.run_all();
+  ASSERT_EQ(f.sink.replies.size(), 1u);
+  EXPECT_EQ(srv->stats().expired, 0u);
+  EXPECT_EQ(srv->stats().completed, 1u);
+  EXPECT_FALSE(f.sink.replies.empty());
+}
+
+// --- crash windows at a tier -----------------------------------------------
+
+TEST(CrashWindow, DownServerRefusesAndAbortsQueuedWork) {
+  ServerFixture f;
+  auto srv = f.make();
+  // Two jobs on workers, one queued in the backlog.
+  EXPECT_TRUE(srv->offer(f.sink.job(1)));
+  EXPECT_TRUE(srv->offer(f.sink.job(2)));
+  EXPECT_TRUE(srv->offer(f.sink.job(3)));
+  srv->set_down(true, /*abort_queued_work=*/true);
+  EXPECT_EQ(srv->stats().aborted, 1u);  // the backlog entry
+  EXPECT_FALSE(srv->offer(f.sink.job(4)));  // refused at the door
+  EXPECT_EQ(srv->stats().refused_down, 1u);
+  srv->set_down(false);
+  EXPECT_TRUE(srv->offer(f.sink.job(5)));
+  f.sim.run_all();
+  // 1,2 ran; 3 aborted (failed reply); 4 refused (no reply); 5 ran.
+  EXPECT_EQ(f.sink.replies.size(), 4u);
+  // Aborts count into completed so accepted == completed + in-system holds.
+  EXPECT_EQ(srv->stats().completed, 4u);
+  EXPECT_EQ(srv->stats().accepted, 4u);
+}
+
+// --- system-level: fault plan replay ---------------------------------------
+
+TEST(FaultInjection, ScheduleFiresAndDisturbsTheRun) {
+  auto cfg = core::scenarios::ext_fault_injection(core::Architecture::kSync);
+  auto sys = core::run_system(cfg);
+  const auto& fc = sys->faults()->counters();
+  EXPECT_EQ(fc.crashes, 1u);
+  EXPECT_EQ(fc.restarts, 1u);
+  EXPECT_EQ(fc.link_windows, 1u);
+  EXPECT_EQ(fc.slow_windows, 1u);
+  auto s = core::summarize(*sys);
+  // The DB crash refuses packets at the door -> drops + VLRT tail.
+  EXPECT_GT(s.total_drops, 0u);
+  EXPECT_GT(s.latency.vlrt_count, 0u);
+  EXPECT_GT(sys->db()->stats().refused_down, 0u);
+}
+
+TEST(FaultInjection, SameSeedReplaysBitIdentically) {
+  auto cfg = core::scenarios::ext_fault_injection(core::Architecture::kSync);
+  cfg.duration = Duration::seconds(20);  // covers the crash window
+  auto a = core::run_system(cfg);
+  auto b = core::run_system(cfg);
+  EXPECT_EQ(core::summarize(*a).to_string(), core::summarize(*b).to_string());
+}
+
+// --- system-level: the policy layer under a millibottleneck ----------------
+
+TEST(TailPolicy, RetryBudgetCapsAmplification) {
+  auto naive_cfg = core::scenarios::ext_tail_tolerance(
+      core::Architecture::kSync, core::scenarios::TailPolicyChoice::kNaiveRetry);
+  auto budget_cfg = core::scenarios::ext_tail_tolerance(
+      core::Architecture::kSync, core::scenarios::TailPolicyChoice::kBudgetedRetry);
+  naive_cfg.duration = budget_cfg.duration = Duration::seconds(18);
+  auto naive_sys = core::run_system(naive_cfg);
+  auto budget_sys = core::run_system(budget_cfg);
+  auto naive = core::summarize(*naive_sys);
+  auto budget = core::summarize(*budget_sys);
+  // Unbudgeted retries amplify the overflow; the budget caps retry load.
+  EXPECT_GT(naive.client_retries, 4 * budget.client_retries);
+  EXPECT_GT(naive.total_drops, 2 * budget.total_drops);
+  EXPECT_GT(budget_sys->clients().governor()->stats().retries_suppressed, 0u);
+}
+
+TEST(TailPolicy, NaiveRetriesStormNearSaturation) {
+  auto cfg = core::scenarios::ext_tail_tolerance(
+      core::Architecture::kSync, core::scenarios::TailPolicyChoice::kNaiveRetry);
+  auto base_cfg = core::scenarios::ext_tail_tolerance(
+      core::Architecture::kSync, core::scenarios::TailPolicyChoice::kNone);
+  auto sys = core::run_system(cfg);
+  auto base_sys = core::run_system(base_cfg);
+  auto s = core::summarize(*sys);
+  auto base = core::summarize(*base_sys);
+  EXPECT_GT(s.latency.vlrt_count, base.latency.vlrt_count);  // retries made it WORSE
+  EXPECT_GT(s.total_drops, 5 * base.total_drops);
+  EXPECT_GT(s.ctqo.retry_storm_episodes, 0u);  // and the analyzer says why
+}
+
+TEST(TailPolicy, DeadlinePropagationBoundsTheTail) {
+  auto cfg = core::scenarios::ext_tail_tolerance(
+      core::Architecture::kSync, core::scenarios::TailPolicyChoice::kDeadline);
+  cfg.duration = Duration::seconds(18);
+  cfg.tier_policy = cfg.workload.client_policy;  // tiers enforce it too
+  auto sys = core::run_system(cfg);
+  auto s = core::summarize(*sys);
+  EXPECT_GT(s.deadline_cancels, 0u);
+  // Nothing outlives the 2.5 s budget (3 s would mean an RTO slipped by).
+  EXPECT_LE(s.latency.max.to_millis(), 2600.0);
+  EXPECT_EQ(s.latency.vlrt_count, 0u);
+}
+
+TEST(TailPolicy, HedgingRescuesLossyLinkTailWithoutDrops) {
+  auto none = core::summarize(*core::run_system(core::scenarios::ext_lossy_link(
+      core::Architecture::kNx3, core::scenarios::TailPolicyChoice::kNone)));
+  auto dh = core::summarize(*core::run_system(core::scenarios::ext_lossy_link(
+      core::Architecture::kNx3, core::scenarios::TailPolicyChoice::kDeadlineHedge)));
+  EXPECT_GT(none.latency.vlrt_count, 0u);    // baseline tail sits at the RTO
+  EXPECT_EQ(none.total_drops, 0u);           // ...with zero server-side drops
+  EXPECT_EQ(dh.total_drops, 0u);             // hedging adds none either
+  EXPECT_LT(dh.latency.p999, none.latency.p999);
+  EXPECT_EQ(dh.latency.vlrt_count, 0u);
+  EXPECT_GT(dh.client_hedges, 0u);
+}
+
+TEST(TailPolicy, PolicyRunsReplayBitIdentically) {
+  auto cfg = core::scenarios::ext_tail_tolerance(
+      core::Architecture::kSync, core::scenarios::TailPolicyChoice::kFull);
+  cfg.duration = Duration::seconds(15);
+  auto a = core::run_system(cfg);
+  auto b = core::run_system(cfg);
+  EXPECT_EQ(core::summarize(*a).to_string(), core::summarize(*b).to_string());
+}
+
+// --- validate() rejects nonsense with context ------------------------------
+
+TEST(Validate, RejectsBadConfigsDescriptively) {
+  auto good = core::scenarios::fig3_consolidation_sync();
+  EXPECT_NO_THROW(core::validate(good));
+
+  auto bad = good;
+  bad.system.backlog = 0;
+  EXPECT_THROW(core::validate(bad), std::invalid_argument);
+
+  bad = good;
+  bad.workload.client_policy.retry.max_attempts = 0;
+  EXPECT_THROW(core::validate(bad), std::invalid_argument);
+
+  bad = good;
+  bad.workload.client_policy.hedge.enabled = true;
+  bad.workload.client_policy.hedge.percentile = 1.5;
+  EXPECT_THROW(core::validate(bad), std::invalid_argument);
+
+  bad = good;
+  fault::LinkDegradeWindow w;
+  w.hop = 0;
+  w.at = Time::from_seconds(1.0);
+  w.loss_prob = 1.5;  // not a probability
+  bad.faults.links.push_back(w);
+  EXPECT_THROW(core::validate(bad), std::invalid_argument);
+
+  bad = good;
+  fault::CrashWindow c;
+  c.tier = 7;  // beyond the 3-tier system
+  c.at = Time::from_seconds(1.0);
+  bad.faults.crashes.push_back(c);
+  EXPECT_THROW(core::validate(bad), std::invalid_argument);
+
+  try {
+    core::validate(bad);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("crash tier"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ntier
