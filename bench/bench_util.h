@@ -1,9 +1,20 @@
 // Shared rendering for the per-figure bench binaries: each binary runs a
 // canned scenario and prints the series the corresponding paper figure
 // plots, plus the summary rows the paper quotes in its captions.
+//
+// Every figure binary accepts the tracing flags:
+//   --trace=all|vlrt|1inN|off   sampling mode (N an integer, e.g. 1in100)
+//   --trace-out=DIR             artifact directory (default trace_out/)
+// With tracing on, the run writes <DIR>/<name>.trace.json (Chrome
+// trace_event format — load in chrome://tracing or ui.perfetto.dev) and
+// <DIR>/<name>.trace_spans.csv, then prints the per-VLRT critical-path
+// attribution table (docs/TRACING.md).
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,8 +22,100 @@
 #include "core/experiment.h"
 #include "core/report.h"
 #include "core/scenarios.h"
+#include "metrics/csv.h"
+#include "trace/chrome_trace.h"
+#include "trace/critical_path.h"
 
 namespace ntier::bench {
+
+struct TraceFlags {
+  trace::TraceConfig config;        // mode kOff unless --trace given
+  std::string out_dir = "trace_out";
+  bool bad = false;                 // an unparsable flag was seen
+};
+
+// Parses --trace= / --trace-out= from argv; prints usage on a bad flag.
+inline TraceFlags parse_trace_flags(int argc, char** argv) {
+  TraceFlags f;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      f.out_dir = arg.substr(12);
+      if (f.out_dir.empty()) f.bad = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      const std::string mode = arg.substr(8);
+      if (mode == "off") {
+        f.config.mode = trace::TraceMode::kOff;
+      } else if (mode == "all") {
+        f.config.mode = trace::TraceMode::kAll;
+      } else if (mode == "vlrt") {
+        f.config.mode = trace::TraceMode::kVlrtOnly;
+      } else if (mode.rfind("1in", 0) == 0) {
+        const long n = std::strtol(mode.c_str() + 3, nullptr, 10);
+        if (n >= 1) {
+          f.config.mode = trace::TraceMode::kSampled;
+          f.config.sample_every_n = static_cast<std::uint64_t>(n);
+        } else {
+          f.bad = true;
+        }
+      } else {
+        f.bad = true;
+      }
+    } else {
+      f.bad = true;
+    }
+  }
+  if (f.bad) {
+    std::fprintf(stderr,
+                 "usage: %s [--trace=all|vlrt|1inN|off] [--trace-out=DIR]\n",
+                 argc > 0 ? argv[0] : "fig");
+  }
+  return f;
+}
+
+// Post-run trace artifacts: writes the Chrome JSON + span CSV and prints
+// the per-VLRT attribution against the run's CTQO episodes. No-op when
+// tracing was off.
+inline void export_traces(core::NTierSystem& sys, const TraceFlags& flags) {
+  trace::Tracer* tracer = sys.tracer();
+  if (tracer == nullptr) return;
+
+  std::error_code ec;
+  std::filesystem::create_directories(flags.out_dir, ec);
+  const std::string base = flags.out_dir + "/" + sys.config().name;
+  const std::string json_path = base + ".trace.json";
+  const std::string csv_path = base + ".trace_spans.csv";
+  const bool ok =
+      metrics::write_file(json_path, trace::chrome_trace_json(tracer->traces())) &&
+      metrics::write_file(csv_path, trace::spans_csv(tracer->traces()));
+
+  std::printf("--- tracing (%s) ---\n", trace::to_string(tracer->config().mode));
+  std::printf("requests traced %llu, retained %llu, discarded %llu%s\n",
+              static_cast<unsigned long long>(tracer->begun()),
+              static_cast<unsigned long long>(tracer->retained()),
+              static_cast<unsigned long long>(tracer->discarded()),
+              tracer->dropped_by_cap() > 0 ? " (retention cap hit)" : "");
+  if (ok) {
+    std::printf("wrote %s and %s\n", json_path.c_str(), csv_path.c_str());
+  } else {
+    std::printf("FAILED writing trace artifacts under %s\n", flags.out_dir.c_str());
+  }
+
+  const auto report = core::analyze_ctqo(sys);
+  const auto table = core::attribute_vlrt(tracer->traces(), report,
+                                          tracer->config().vlrt_threshold);
+  std::puts(table.to_string().c_str());
+
+  // A few full critical paths, so the figure's headline number ("~3 s of
+  // RTO at the drop tier") is visible without opening the JSON.
+  std::size_t shown = 0;
+  for (const auto& tr : tracer->traces()) {
+    if (!tr || tr->empty() || !tr->root().closed()) continue;
+    if (tr->total() < tracer->config().vlrt_threshold) continue;
+    std::puts(trace::critical_path(*tr).to_string().c_str());
+    if (++shown >= 3) break;
+  }
+}
 
 // Runs cfg and prints the standard three-panel figure layout:
 //   (a) CPU demand of the named VMs (the millibottleneck evidence),

@@ -6,10 +6,13 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ntier;
+  const auto tf = ntier::bench::parse_trace_flags(argc, argv);
+  if (tf.bad) return 2;
   for (std::size_t wl : {4000u, 7000u, 8000u}) {
     auto cfg = core::scenarios::fig1_multimodal(wl);
+    cfg.trace = tf.config;
     std::puts(core::config_banner(cfg).c_str());
     auto sys = core::run_system(cfg);
     auto s = core::summarize(*sys);
@@ -24,6 +27,7 @@ int main() {
                 static_cast<unsigned long long>(s.latency.vlrt_count),
                 static_cast<unsigned long long>(s.latency.count));
     std::puts(core::histogram_panel(sys->latency()).c_str());
+    bench::export_traces(*sys, tf);
     std::puts("");
   }
   return 0;

@@ -5,9 +5,12 @@
 // second-process level 428; (c) VLRT bursts at the drop instants.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ntier;
+  const auto tf = bench::parse_trace_flags(argc, argv);
+  if (tf.bad) return 2;
   auto cfg = core::scenarios::fig3_consolidation_sync();
+  cfg.trace = tf.config;
   auto sys = bench::run_figure(
       cfg, {"tomcat.demand", "sysbursty.demand", "apache.demand"});
   std::printf("burst marks (SysBursty batches):");
@@ -15,5 +18,6 @@ int main() {
     std::printf(" %.1fs", t.to_seconds());
   std::printf("\nApache processes spawned: second level MaxSysQDepth=%zu\n",
               sys->web()->max_sys_q_depth());
+  bench::export_traces(*sys, tf);
   return 0;
 }

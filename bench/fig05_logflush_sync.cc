@@ -3,13 +3,17 @@
 // stalling MySQL; queues cascade MySQL -> Tomcat -> Apache; Apache drops.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ntier;
+  const auto tf = bench::parse_trace_flags(argc, argv);
+  if (tf.bad) return 2;
   auto cfg = core::scenarios::fig5_logflush_sync();
+  cfg.trace = tf.config;
   auto sys = bench::run_figure(
       cfg, {"mysql.demand", "dbdisk.busy", "tomcat.demand", "apache.demand"});
   std::printf("collectl flushes:");
   for (auto t : sys->collectl()->flush_times()) std::printf(" %.0fs", t.to_seconds());
   std::printf("  (paper: 10s 40s 70s)\n");
+  bench::export_traces(*sys, tf);
   return 0;
 }

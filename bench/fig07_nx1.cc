@@ -3,13 +3,17 @@
 // exceed MaxSysQDepth(Tomcat)=165+128=293; Tomcat drops, Nginx never.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ntier;
+  const auto tf = bench::parse_trace_flags(argc, argv);
+  if (tf.bad) return 2;
   auto cfg = core::scenarios::fig7_nx1();
+  cfg.trace = tf.config;
   auto sys = bench::run_figure(cfg, {"tomcat.demand", "sysbursty.demand"});
   std::printf("drops: nginx=%llu tomcat=%llu mysql=%llu (paper: only Tomcat drops)\n",
               static_cast<unsigned long long>(sys->web()->stats().dropped),
               static_cast<unsigned long long>(sys->app()->stats().dropped),
               static_cast<unsigned long long>(sys->db()->stats().dropped));
+  bench::export_traces(*sys, tf);
   return 0;
 }

@@ -4,13 +4,17 @@
 // requests arrive during the millibottleneck.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ntier;
+  const auto tf = bench::parse_trace_flags(argc, argv);
+  if (tf.bad) return 2;
   auto cfg = core::scenarios::fig8_nx2_mysql();
+  cfg.trace = tf.config;
   auto sys = bench::run_figure(cfg, {"mysql.demand", "sysbursty.demand"});
   std::printf("drops: nginx=%llu xtomcat=%llu mysql=%llu (paper: only MySQL drops)\n",
               static_cast<unsigned long long>(sys->web()->stats().dropped),
               static_cast<unsigned long long>(sys->app()->stats().dropped),
               static_cast<unsigned long long>(sys->db()->stats().dropped));
+  bench::export_traces(*sys, tf);
   return 0;
 }

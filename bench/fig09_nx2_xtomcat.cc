@@ -4,14 +4,18 @@
 // with drops at MySQL although the bottleneck is in XTomcat.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ntier;
+  const auto tf = bench::parse_trace_flags(argc, argv);
+  if (tf.bad) return 2;
   auto cfg = core::scenarios::fig9_nx2_xtomcat();
+  cfg.trace = tf.config;
   auto sys = bench::run_figure(cfg, {"xtomcat.demand", "sysbursty.demand"});
   std::printf("drops: nginx=%llu xtomcat=%llu mysql=%llu "
               "(paper: MySQL drops, bottleneck in XTomcat)\n",
               static_cast<unsigned long long>(sys->web()->stats().dropped),
               static_cast<unsigned long long>(sys->app()->stats().dropped),
               static_cast<unsigned long long>(sys->db()->stats().dropped));
+  bench::export_traces(*sys, tf);
   return 0;
 }

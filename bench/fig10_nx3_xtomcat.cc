@@ -3,9 +3,12 @@
 // bursts but no CTQO and no dropped packets anywhere.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ntier;
+  const auto tf = bench::parse_trace_flags(argc, argv);
+  if (tf.bad) return 2;
   auto cfg = core::scenarios::fig10_nx3_xtomcat();
+  cfg.trace = tf.config;
   auto sys = bench::run_figure(cfg, {"xtomcat.demand", "sysbursty.demand"});
   const auto drops = sys->web()->stats().dropped + sys->app()->stats().dropped +
                      sys->db()->stats().dropped;
@@ -14,5 +17,6 @@ int main() {
               static_cast<unsigned long long>(sys->latency().vlrt_count()));
   std::printf("millibottlenecks observed in xtomcat: %zu saturated 50ms windows\n",
               sys->sampler().saturated_windows("xtomcat").size());
+  bench::export_traces(*sys, tf);
   return 0;
 }

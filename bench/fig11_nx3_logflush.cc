@@ -3,14 +3,18 @@
 // servers buffer in lightweight queues; no CTQO, no dropped packets.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ntier;
+  const auto tf = bench::parse_trace_flags(argc, argv);
+  if (tf.bad) return 2;
   auto cfg = core::scenarios::fig11_nx3_logflush();
+  cfg.trace = tf.config;
   auto sys = bench::run_figure(cfg, {"xmysql.demand", "dbdisk.busy"});
   const auto drops = sys->web()->stats().dropped + sys->app()->stats().dropped +
                      sys->db()->stats().dropped;
   std::printf("total drops across tiers: %llu (paper: 0), VLRT: %llu (paper: 0)\n",
               static_cast<unsigned long long>(drops),
               static_cast<unsigned long long>(sys->latency().vlrt_count()));
+  bench::export_traces(*sys, tf);
   return 0;
 }

@@ -5,12 +5,13 @@
 // JVM GC); the asynchronous system stays high across the sweep.
 #include <cstdio>
 
-#include "core/experiment.h"
-#include "core/scenarios.h"
+#include "bench_util.h"
 #include "metrics/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ntier;
+  const auto tf = bench::parse_trace_flags(argc, argv);
+  if (tf.bad) return 2;
   metrics::Table table({"concurrency", "sync_rps", "async_rps", "paper_sync"});
   const char* paper_sync[] = {"1159", "~1000", "~800", "~550", "374"};
   int row = 0;
@@ -19,8 +20,10 @@ int main() {
     int i = 0;
     for (auto arch : {core::Architecture::kSync, core::Architecture::kNx3}) {
       auto cfg = core::scenarios::fig12_point(arch, conc);
+      cfg.trace = tf.config;
       auto sys = core::run_system(cfg);
       rps[i++] = core::summarize(*sys).throughput_rps;
+      bench::export_traces(*sys, tf);
     }
     table.add_row({metrics::Table::num(std::uint64_t{conc}), metrics::Table::num(rps[0], 0),
                    metrics::Table::num(rps[1], 0), paper_sync[row++]});

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Fail on dead intra-repo links in the project's markdown files.
+
+Checks every [text](target) and bare reference-style link in *.md files
+tracked in the repository. Targets that are URLs (scheme://, mailto:) or
+pure in-page anchors (#...) are ignored; everything else must resolve to
+an existing file or directory relative to the markdown file (or to the
+repo root when the link starts with '/'). Anchors on file links are
+stripped before the existence check.
+
+Usage: scripts/check_md_links.py [root]      (default: repo root)
+Exit status: 0 when all links resolve, 1 otherwise (dead links listed).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_DIRS = {".git", "build", "trace_out", ".github"}
+
+
+def md_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def is_external(target: str) -> bool:
+    return (
+        "://" in target
+        or target.startswith("mailto:")
+        or target.startswith("#")
+    )
+
+
+def check(root: Path):
+    dead = []
+    for md in md_files(root):
+        text = md.read_text(encoding="utf-8")
+        # Ignore links inside fenced code blocks (CLI examples etc.).
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if is_external(target):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            if path_part.startswith("/"):
+                resolved = root / path_part.lstrip("/")
+            else:
+                resolved = md.parent / path_part
+            if not resolved.exists():
+                dead.append((md.relative_to(root), target))
+    return dead
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    dead = check(root)
+    for md, target in dead:
+        print(f"DEAD LINK: {md}: ({target})")
+    if dead:
+        print(f"{len(dead)} dead intra-repo link(s).")
+        return 1
+    print(f"All intra-repo markdown links resolve ({root}).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Validate exported trace JSON against the Chrome trace_event schema.
+
+Checks the subset of the trace_event format this project emits
+(docs/METRICS.md, docs/TRACING.md):
+
+  - top level: {"traceEvents": [...], "displayTimeUnit": "ms"}
+  - every event has string `name`/`cat`/`ph` and integer `pid`/`tid`
+  - `ph` is one of "M" (metadata), "X" (complete), "i" (instant)
+  - "X" events carry integer `ts` >= 0 and `dur` >= 0
+  - "i" events carry `ts` and thread scope `"s": "t"`
+  - span events carry args.span / args.parent / args.detail integers,
+    with parent == -1 only for root spans (cat == "request")
+  - per request (tid): span ids are unique, every non-root parent id
+    references an earlier span of the same request — the tree is
+    recoverable from the file
+  - at least one "X" event (an export with zero retained traces is
+    almost certainly a wiring bug in a --trace smoke test)
+
+Usage: scripts/validate_chrome_trace.py FILE.json [FILE.json ...]
+Exit status: 0 when every file validates, 1 otherwise.
+"""
+
+import json
+import sys
+
+PHASES = {"M", "X", "i"}
+
+
+def fail(errors, path, msg):
+    errors.append(f"{path}: {msg}")
+
+
+def validate(path: str, errors: list) -> None:
+    before = len(errors)
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(errors, path, f"unreadable or invalid JSON: {e}")
+        return
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(errors, path, "top level must be an object with 'traceEvents'")
+        return
+    if doc.get("displayTimeUnit") != "ms":
+        fail(errors, path, "displayTimeUnit must be 'ms'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(errors, path, "'traceEvents' must be a list")
+        return
+
+    spans_by_request = {}  # tid -> set of span ids seen so far
+    complete_events = 0
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(errors, path, f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in PHASES:
+            fail(errors, path, f"{where}: ph {ph!r} not in {sorted(PHASES)}")
+            continue
+        for key, typ in (("name", str), ("pid", int)):
+            if not isinstance(ev.get(key), typ):
+                fail(errors, path, f"{where}: missing/ill-typed {key!r}")
+        if ph == "M":
+            continue
+        for key in ("cat", "tid", "ts"):
+            if key not in ev:
+                fail(errors, path, f"{where}: missing {key!r}")
+        if not isinstance(ev.get("ts"), int) or ev.get("ts", -1) < 0:
+            fail(errors, path, f"{where}: ts must be a non-negative integer (µs)")
+        if ph == "X":
+            complete_events += 1
+            if not isinstance(ev.get("dur"), int) or ev.get("dur", -1) < 0:
+                fail(errors, path, f"{where}: X event needs integer dur >= 0")
+        if ph == "i" and ev.get("s") != "t":
+            fail(errors, path, f"{where}: instant events must be thread-scoped (s='t')")
+
+        args = ev.get("args")
+        if not isinstance(args, dict):
+            fail(errors, path, f"{where}: span events must carry args")
+            continue
+        span, parent = args.get("span"), args.get("parent")
+        if not isinstance(span, int) or not isinstance(parent, int):
+            fail(errors, path, f"{where}: args.span/args.parent must be integers")
+            continue
+        if not isinstance(args.get("detail"), int):
+            fail(errors, path, f"{where}: args.detail must be an integer")
+        if (parent == -1) != (ev.get("cat") == "request"):
+            fail(errors, path,
+                 f"{where}: parent -1 iff root 'request' span (cat={ev.get('cat')!r})")
+        seen = spans_by_request.setdefault(ev.get("tid"), set())
+        if span in seen:
+            fail(errors, path, f"{where}: duplicate span id {span} in request {ev.get('tid')}")
+        if parent != -1 and parent not in seen:
+            fail(errors, path,
+                 f"{where}: parent {parent} not seen before span {span} "
+                 f"(parents must precede children)")
+        seen.add(span)
+
+    if complete_events == 0:
+        fail(errors, path, "no complete ('X') events — empty trace export")
+    if len(errors) == before:
+        print(f"OK: {path}: {len(events)} events, "
+              f"{len(spans_by_request)} traced requests, {complete_events} spans")
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    errors = []
+    for path in sys.argv[1:]:
+        validate(path, errors)
+    for e in errors:
+        print(f"INVALID: {e}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,6 +72,14 @@ void validate(const ExperimentConfig& cfg) {
   check_policy(cfg.name, "client_policy", w.client_policy);
   check_policy(cfg.name, "tier_policy", cfg.tier_policy);
 
+  if (cfg.trace.mode == trace::TraceMode::kSampled && cfg.trace.sample_every_n == 0)
+    reject(cfg.name, "trace: sample_every_n must be positive in sampled mode");
+  if (cfg.trace.mode != trace::TraceMode::kOff && cfg.trace.max_traces == 0)
+    reject(cfg.name, "trace: max_traces must be positive when tracing is on");
+  if (cfg.trace.mode == trace::TraceMode::kVlrtOnly &&
+      cfg.trace.vlrt_threshold <= sim::Duration::zero())
+    reject(cfg.name, "trace: vlrt_threshold must be positive in vlrt-only mode");
+
   const std::string fault_why = fault::invalid_reason(cfg.faults);
   if (!fault_why.empty()) reject(cfg.name, fault_why);
   for (const auto& c : cfg.faults.crashes)

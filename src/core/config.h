@@ -15,6 +15,7 @@
 #include "policy/tail_policy.h"
 #include "server/app_profile.h"
 #include "sim/time.h"
+#include "trace/tracer.h"
 #include "workload/sysbursty.h"
 
 namespace ntier::core {
@@ -123,6 +124,11 @@ struct ExperimentConfig {
   // Deterministic fault schedule (crashes, link degradation, slow
   // nodes); empty = no faults. Replayed bit-identically from the seed.
   fault::FaultPlan faults{};
+  // Distributed tracing (trace/tracer.h): which requests carry span
+  // trees and which finished trees are retained. Default kOff — no
+  // request allocates a tree and the run is bit-identical to a build
+  // without the trace layer.
+  trace::TraceConfig trace{};
 };
 
 // Rejects nonsensical configurations (zero-sized pools, negative

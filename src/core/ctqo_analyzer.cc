@@ -168,6 +168,97 @@ CtqoReport analyze_tiers(const std::vector<TierView>& tiers,
   return report;
 }
 
+std::string VlrtAttributionRow::to_string() const {
+  char buf[320];
+  std::snprintf(buf, sizeof buf,
+                "req %8llu  %9.1f ms  dominant %s at %s %.1f ms (%4.1f%%)  "
+                "rto %.1f ms (%4.1f%%)",
+                static_cast<unsigned long long>(request_id),
+                latency.to_millis(), trace::to_string(dominant.kind),
+                dominant.site.c_str(), dominant.time.to_millis(),
+                dominant.share * 100.0, rto_time.to_millis(),
+                rto_share * 100.0);
+  std::string out = buf;
+  if (!drop_tier.empty()) {
+    out += "  drop tier " + drop_tier;
+    if (episode >= 0) {
+      std::snprintf(buf, sizeof buf, " (episode %d)", episode);
+      out += buf;
+    } else {
+      out += " (no episode matched)";
+    }
+  }
+  return out;
+}
+
+std::string VlrtAttributionTable::to_string() const {
+  std::string out = "VLRT attribution (" + std::to_string(rows.size()) + " requests)\n";
+  for (const auto& r : rows) out += "  " + r.to_string() + "\n";
+  // Tier summary: how many VLRTs each dropping tier accounts for.
+  std::vector<std::pair<std::string, std::size_t>> per_tier;
+  for (const auto& r : rows) {
+    const std::string key = r.drop_tier.empty() ? "(no rto)" : r.drop_tier;
+    auto it = std::find_if(per_tier.begin(), per_tier.end(),
+                           [&](const auto& p) { return p.first == key; });
+    if (it == per_tier.end()) per_tier.emplace_back(key, 1);
+    else ++it->second;
+  }
+  for (const auto& [tier, n] : per_tier)
+    out += "  " + std::to_string(n) + " VLRT at " + tier + "\n";
+  return out;
+}
+
+VlrtAttributionTable attribute_vlrt(
+    const std::vector<std::shared_ptr<trace::RequestTrace>>& traces,
+    const CtqoReport& report, sim::Duration vlrt_threshold) {
+  VlrtAttributionTable table;
+  for (const auto& tr : traces) {
+    if (!tr || tr->empty() || !tr->root().closed()) continue;
+    if (tr->total() < vlrt_threshold) continue;
+
+    const trace::CriticalPath cp = trace::critical_path(*tr);
+    VlrtAttributionRow row;
+    row.request_id = tr->request_id();
+    row.latency = cp.total;
+    if (!cp.items.empty()) row.dominant = cp.dominant();
+    row.rto_time = cp.by_kind(trace::SpanKind::kRtoGap);
+    if (cp.total > sim::Duration::zero())
+      row.rto_share = static_cast<double>(row.rto_time.count_micros()) /
+                      static_cast<double>(cp.total.count_micros());
+
+    // Largest rto_gap bucket names the hop whose receiver dropped.
+    const trace::CriticalPath::Item* rto_item = nullptr;
+    for (const auto& item : cp.items) {
+      if (item.kind == trace::SpanKind::kRtoGap) { rto_item = &item; break; }
+    }
+    if (rto_item != nullptr) {
+      const auto arrow = rto_item->site.find("->");
+      row.drop_tier = arrow == std::string::npos
+                          ? rto_item->site
+                          : rto_item->site.substr(arrow + 2);
+      // The first retransmission at that hop begins AT the drop instant,
+      // so it falls inside the episode that clustered the drop.
+      sim::Time first_gap = sim::Time::max();
+      for (const auto& s : tr->spans()) {
+        if (s.kind == trace::SpanKind::kRtoGap && s.site == rto_item->site &&
+            s.begin < first_gap) {
+          first_gap = s.begin;
+        }
+      }
+      for (std::size_t e = 0; e < report.episodes.size(); ++e) {
+        const auto& ep = report.episodes[e];
+        if (ep.drop_tier_name == row.drop_tier && first_gap >= ep.start &&
+            first_gap <= ep.end) {
+          row.episode = static_cast<int>(e);
+          break;
+        }
+      }
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
 CtqoReport analyze_ctqo(NTierSystem& sys, AnalyzerOptions opt) {
   std::vector<TierView> tiers;
   for (int t = 0; t < 3; ++t) {

@@ -20,11 +20,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "monitor/sampler.h"
 #include "server/server_base.h"
+#include "trace/critical_path.h"
 
 namespace ntier::core {
 
@@ -96,5 +98,40 @@ CtqoReport analyze_tiers(const std::vector<TierView>& tiers,
 
 // Convenience for the paper's 3-tier system.
 CtqoReport analyze_ctqo(NTierSystem& sys, AnalyzerOptions opt = AnalyzerOptions());
+
+// --- per-VLRT attribution (closes the loop: VLRT -> episode -> tier) ----
+//
+// For each retained trace above the VLRT line, the critical path names
+// where the request's seconds went; when the dominant cost is an RTO
+// retransmission gap, the gap's receiver tier is the dropping tier and
+// the gap's start instant (== the drop instant) is matched against the
+// drop episodes above. The table is the paper's Fig 2/3 narrative, one
+// row per request: "this 3.2 s request spent 3.0 s retransmitting into
+// mysql during episode 0".
+struct VlrtAttributionRow {
+  std::uint64_t request_id = 0;
+  sim::Duration latency;           // end-to-end (root span duration)
+  trace::CriticalPath::Item dominant;  // largest critical-path bucket
+  sim::Duration rto_time;          // total rto_gap time across all hops
+  double rto_share = 0.0;          // rto_time / latency
+  // Receiver side of the largest rto_gap hop ("mysql" from
+  // "tomcat->mysql"); empty when the request lost no time to RTO gaps.
+  std::string drop_tier;
+  // Index into CtqoReport::episodes containing the first retransmission
+  // at that tier; -1 when unmatched (e.g. drops outside every episode
+  // window, or no RTO involvement at all).
+  int episode = -1;
+  std::string to_string() const;
+};
+
+struct VlrtAttributionTable {
+  std::vector<VlrtAttributionRow> rows;  // completion order
+  std::string to_string() const;         // header + rows + tier summary
+};
+
+VlrtAttributionTable attribute_vlrt(
+    const std::vector<std::shared_ptr<trace::RequestTrace>>& traces,
+    const CtqoReport& report,
+    sim::Duration vlrt_threshold = sim::Duration::seconds(3));
 
 }  // namespace ntier::core

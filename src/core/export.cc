@@ -1,6 +1,7 @@
 #include "core/export.h"
 
 #include "metrics/csv.h"
+#include "trace/chrome_trace.h"
 
 namespace ntier::core {
 
@@ -24,6 +25,10 @@ ExportResult export_run_csv(NTierSystem& sys, const std::string& dir) {
   emit("latency_q.csv",
        metrics::timelines_to_csv({&sys.latency().latency_quantile_series(50.0),
                                   &sys.latency().latency_quantile_series(99.0)}));
+  if (sys.tracer() != nullptr) {
+    emit("trace.json", trace::chrome_trace_json(sys.tracer()->traces()));
+    emit("trace_spans.csv", trace::spans_csv(sys.tracer()->traces()));
+  }
   return result;
 }
 

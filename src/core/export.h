@@ -15,10 +15,15 @@ struct ExportResult {
 };
 
 // Writes into `dir` (must exist):
-//   series.csv     — all 50 ms sampler series, merged
-//   histogram.csv  — response-time frequency bins
-//   vlrt.csv       — VLRT counts per 50 ms window
-//   latency_q.csv  — per-second p50/p99 latency
+//   series.csv       — all 50 ms sampler series, merged
+//   histogram.csv    — response-time frequency bins
+//   vlrt.csv         — VLRT counts per 50 ms window
+//   latency_q.csv    — per-second p50/p99 latency
+// and, when the run had tracing enabled (cfg.trace.mode != kOff):
+//   trace.json       — retained span trees in Chrome trace_event format
+//                      (load in chrome://tracing or ui.perfetto.dev)
+//   trace_spans.csv  — the same spans flat, one row per span
+// Column-by-column documentation for every file: docs/METRICS.md.
 ExportResult export_run_csv(NTierSystem& sys, const std::string& dir);
 
 }  // namespace ntier::core

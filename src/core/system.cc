@@ -107,6 +107,8 @@ void NTierSystem::build_servers() {
 
 void NTierSystem::build_workload() {
   const WorkloadConfig& w = cfg_.workload;
+  if (cfg_.trace.mode != trace::TraceMode::kOff)
+    tracer_ = std::make_unique<trace::Tracer>(cfg_.trace);
   if (w.burst_index > 1.0) {
     workload::BurstClock::Config bc;
     bc.burst_index = w.burst_index;
@@ -123,6 +125,7 @@ void NTierSystem::build_workload() {
   cc.measure_from = w.measure_from;
   cc.timeout = w.client_timeout;
   cc.policy = w.client_policy;
+  cc.tracer = tracer_.get();
   if (w.markov_sessions) {
     session_model_ = std::make_unique<workload::SessionModel>(
         workload::SessionModel::rubbos_browse());

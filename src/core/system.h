@@ -23,6 +23,7 @@
 #include "server/server_base.h"
 #include "sim/random.h"
 #include "sim/simulation.h"
+#include "trace/tracer.h"
 #include "workload/client.h"
 #include "workload/sysbursty.h"
 
@@ -65,6 +66,9 @@ class NTierSystem {
   cpu::DvfsGovernor* dvfs() { return dvfs_.get(); }
   // Bound fault schedule; null when cfg.faults is empty.
   fault::FaultInjector* faults() { return fault_injector_.get(); }
+  // Distributed-tracing collector; null when cfg.trace.mode is kOff.
+  trace::Tracer* tracer() { return tracer_.get(); }
+  const trace::Tracer* tracer() const { return tracer_.get(); }
 
   const server::AppProfile& profile() const { return cfg_.profile; }
 
@@ -94,6 +98,7 @@ class NTierSystem {
   std::unique_ptr<cpu::FreezeInjector> gc_;
   std::unique_ptr<cpu::DvfsGovernor> dvfs_;
   std::unique_ptr<fault::FaultInjector> fault_injector_;
+  std::unique_ptr<trace::Tracer> tracer_;
 
   monitor::Sampler sampler_;
   monitor::LatencyCollector latency_;

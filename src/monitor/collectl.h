@@ -6,6 +6,12 @@
 // a few hundred ms, stalling MySQL's I/O and creating the Fig 5 / Fig 11
 // millibottleneck. The sampling itself is Sampler; this class models the
 // flush side effect against the node's IoDevice.
+//
+// Contract: construction schedules the first flush at `first_flush`
+// (simulated time) and every `flush_period` after it; each flush
+// enqueues `bytes_per_flush` of FIFO disk work, whose occupancy time is
+// bytes / the device's bandwidth (36 MiB ≈ 0.72 s at the Fig 5
+// calibration). flush_times() records when each flush was issued.
 #pragma once
 
 #include <cstdint>

@@ -12,6 +12,14 @@
 //   <srv>.completed — replies/s (the drain rate the offered rate must
 //                     stay below for queues to shrink)
 //   <io>.busy    — % of window the disk was busy (the I/O wait of Fig 5(a))
+//
+// Contract: call track_vm/track_server/track_io before start(); start()
+// schedules a self-re-arming tick every `window` of simulated time (the
+// paper's 50 ms). Each sample summarizes the window that just ended and
+// is stamped at the window's START, so series indices align with wall
+// time. Utilization values are percentages (0-100); rate series are
+// per-second. Series are exposed as metrics::Timeline by name
+// ("tomcat.queue") — docs/METRICS.md documents every one.
 #pragma once
 
 #include <map>

@@ -1,8 +1,21 @@
-// TraceStore: retains traced requests for post-run micro analysis.
+// TraceStore: retains completed requests for post-run micro analysis.
 //
 // Keeps a bounded reservoir of normal requests plus every anomalous one
 // (dropped/failed/VLRT), so per-hop breakdowns can compare the two
 // populations without holding the whole run in memory.
+//
+// Contract: feed every completed request once; `normal_capacity` bounds
+// the clean-request sample (first-come, deterministic), anomalous
+// requests are always kept. Thresholds and the per-hop timestamps it
+// aggregates are simulated durations (µs resolution).
+//
+// Relation to src/trace/: this store predates the span-tree tracer and
+// keeps only the coarse per-hop enter/leave timestamps already carried
+// by every Request — enough for the population-level "time outside all
+// tiers" comparison in examples/microanalysis, with zero sampling
+// configuration. For per-request cause attribution (which queue, which
+// RTO gap, which policy event) use trace::Tracer + critical_path
+// instead (docs/TRACING.md).
 #pragma once
 
 #include <cstdint>

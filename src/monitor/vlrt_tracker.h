@@ -4,6 +4,15 @@
 // produces the paper's three per-run artifacts: the Fig 1 frequency
 // histogram, the Fig 3(c)-style "# VLRT requests per 50 ms window"
 // series, and throughput.
+//
+// Contract: record() must be called exactly once per finished request,
+// at its completion instant; latencies are simulated durations. Window
+// series are stamped at the window start, in completion time (a drop at
+// t surfaces as VLRT mass near t + 3 s, when the retransmission
+// returns): vlrt_per_window uses `vlrt_window` (50 ms) windows,
+// throughput and the p50/p99 quantile series use `throughput_window`
+// (1 s). A request counts as VLRT iff latency >= vlrt_threshold
+// (the paper's 3 s line); counters are monotonic over one run.
 #pragma once
 
 #include <cstdint>

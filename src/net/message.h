@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "sim/time.h"
 
@@ -28,6 +29,14 @@ struct TxOutcome {
   int drops = 0;               // attempts rejected by the receiver
   sim::Duration retrans_delay; // extra latency caused purely by drops
 };
+
+// Per-message trace observer: fired by the transport at each dropped or
+// lost attempt with the drop instant and the RTO wait that follows —
+// exactly the per-retransmission timestamps the paper aligns across
+// tiers; the tracing layer records them as rto_gap spans. Must be a
+// pure observer (no event scheduling, no RNG).
+using TxRetransmitObserver =
+    std::function<void(sim::Time at, sim::Duration rto, int attempt)>;
 
 // Counters for a sender or receiver side.
 struct TxStats {

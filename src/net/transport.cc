@@ -5,16 +5,19 @@ namespace ntier::net {
 struct Pending {
   AttemptFn attempt;
   ResultFn on_result;
+  RetransmitFn on_retransmit;
   int attempts = 0;
   int drops = 0;
   sim::Duration retrans_delay;
 };
 
-void Transport::send(AttemptFn attempt, ResultFn on_result) {
+void Transport::send(AttemptFn attempt, ResultFn on_result,
+                     RetransmitFn on_retransmit) {
   ++stats_.sent;
   auto p = std::make_shared<Pending>();
   p->attempt = std::move(attempt);
   p->on_result = std::move(on_result);
+  p->on_retransmit = std::move(on_retransmit);
   attempt_at(std::move(p), link_.sample());
 }
 
@@ -49,6 +52,7 @@ void Transport::attempt_at(std::shared_ptr<Pending> p, sim::Duration delay) {
     ++p->drops;
     ++stats_.retransmits;
     p->retrans_delay += rto;
+    if (p->on_retransmit) p->on_retransmit(sim_.now(), rto, p->attempts);
     attempt_at(p, rto + link_.sample());
   });
 }

@@ -22,6 +22,9 @@ namespace ntier::net {
 using AttemptFn = std::function<bool()>;
 // Invoked once per logical send, after final success or abandonment.
 using ResultFn = std::function<void(const TxOutcome&)>;
+// Trace observer at each refused/lost attempt that will be retried
+// (see net/message.h for the contract).
+using RetransmitFn = TxRetransmitObserver;
 
 class Transport {
  public:
@@ -29,8 +32,10 @@ class Transport {
       : sim_(sim), rto_(rto), link_(link) {}
 
   // Fire-and-track send. `attempt` is called after each link traversal;
-  // `on_result` (optional) after delivery or failure.
-  void send(AttemptFn attempt, ResultFn on_result = {});
+  // `on_result` (optional) after delivery or failure; `on_retransmit`
+  // (optional) at each drop that leads to a retransmission.
+  void send(AttemptFn attempt, ResultFn on_result = {},
+            RetransmitFn on_retransmit = {});
 
   const TxStats& stats() const { return stats_; }
   const RtoPolicy& rto_policy() const { return rto_; }

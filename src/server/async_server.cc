@@ -17,6 +17,8 @@ bool AsyncServer::do_offer(Job job) {
   if (in_system_ >= cfg_.lite_q_depth) {
     note_drop();
     job.req->stamp(name_ + ":drop", sim_.now());
+    trace_instant(job.req, trace::SpanKind::kDrop, name_, job.parent_span,
+                  sim_.now(), /*detail=*/0);
     return false;
   }
   note_accept();
@@ -24,6 +26,10 @@ bool AsyncServer::do_offer(Job job) {
   auto ctx = std::make_shared<Ctx>();
   ctx->prog = program_for(*job.req);
   ctx->job = std::move(job);
+  ctx->hop = trace_open(ctx->job.req, trace::SpanKind::kHop, name_,
+                        ctx->job.parent_span, sim_.now());
+  ctx->qspan = trace_open(ctx->job.req, trace::SpanKind::kPoolQueue, name_,
+                          ctx->hop, sim_.now());
   wait_q_.push_back(std::move(ctx));
   pump();
   return true;
@@ -33,6 +39,8 @@ void AsyncServer::abort_queued() {
   while (!wait_q_.empty()) {
     CtxPtr ctx = std::move(wait_q_.front());
     wait_q_.pop_front();
+    trace_close(ctx->job.req, ctx->qspan, sim_.now());
+    trace_close(ctx->job.req, ctx->hop, sim_.now());
     abort_job(std::move(ctx->job));
   }
 }
@@ -48,6 +56,8 @@ void AsyncServer::pump() {
       wait_q_.pop_front();
     }
     ++active_;
+    trace_close(ctx->job.req, ctx->qspan, sim_.now());
+    ctx->qspan = trace::kNoSpan;
     run_step(ctx);
   }
 }
@@ -56,6 +66,7 @@ void AsyncServer::run_step(const CtxPtr& ctx) {
   if (ctx->pc >= ctx->prog.size()) {
     note_reply();
     ctx->job.req->stamp(name_ + ":reply", sim_.now());
+    trace_close(ctx->job.req, ctx->hop, sim_.now());
     ctx->job.reply(ctx->job.req);
     release_slot();
     pump();
@@ -69,7 +80,10 @@ void AsyncServer::run_step(const CtxPtr& ctx) {
         run_step(ctx);
         return;
       }
-      vm_->submit(step.amount, [this, ctx] {
+      const std::uint64_t sp = trace_open(ctx->job.req, trace::SpanKind::kService,
+                                          name_, ctx->hop, sim_.now());
+      vm_->submit(step.amount, [this, ctx, sp] {
+        trace_close(ctx->job.req, sp, sim_.now());
         ++ctx->pc;
         run_step(ctx);
       });
@@ -77,7 +91,10 @@ void AsyncServer::run_step(const CtxPtr& ctx) {
     }
     case WorkStep::Kind::kDisk: {
       assert(io_ != nullptr && "kDisk step requires attach_io()");
-      io_->submit_service(step.amount, [this, ctx] {
+      const std::uint64_t sp = trace_open(ctx->job.req, trace::SpanKind::kDisk,
+                                          name_, ctx->hop, sim_.now());
+      io_->submit_service(step.amount, [this, ctx, sp] {
+        trace_close(ctx->job.req, sp, sim_.now());
         ++ctx->pc;
         run_step(ctx);
       });
@@ -87,8 +104,12 @@ void AsyncServer::run_step(const CtxPtr& ctx) {
       // Event-driven call: park the request, free the slot, continue via
       // the callback when the reply lands (Fig 14's eventHandler).
       release_slot();
-      dispatch_downstream(ctx->job.req, [this, ctx] {
+      dispatch_downstream(ctx->job.req, ctx->hop, [this, ctx] {
         ++ctx->pc;
+        // The reply landed but the event loop may be saturated: the wait
+        // for an active slot is another run-queue span.
+        ctx->qspan = trace_open(ctx->job.req, trace::SpanKind::kPoolQueue,
+                                name_, ctx->hop, sim_.now());
         resume_q_.push_back(ctx);
         pump();
       });

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "trace/span.h"
 
 namespace ntier::server {
 
@@ -47,6 +48,15 @@ struct Request {
     if (tracing) trace.push_back(Stamp{std::move(where), at});
   }
 
+  // --- distributed-tracing span tree (see trace/span.h) ------------------
+  // Null unless the run's Tracer sampled this request. The tree is the
+  // trace context: it travels with the request across every tier, and
+  // each layer hangs its spans under the parent span id carried by the
+  // Job that delivered the request (W3C-style propagation, in-process).
+  std::shared_ptr<trace::RequestTrace> spans;
+
+  bool traced() const { return spans != nullptr; }
+
   sim::Duration latency() const { return completed - issued; }
 };
 
@@ -59,6 +69,37 @@ using RequestPtr = std::shared_ptr<Request>;
 struct Job {
   RequestPtr req;
   std::function<void(const RequestPtr&)> reply;
+  // Trace-context propagation: the sender's span this hop nests under
+  // (the client's root span, or the sender's downstream-wait span).
+  // trace::kNoSpan when the request is untraced.
+  std::uint64_t parent_span = trace::kNoSpan;
 };
+
+// No-op-safe span helpers: every instrumentation site goes through
+// these, so untraced requests pay one pointer test and nothing else.
+inline std::uint64_t trace_open(const RequestPtr& r, trace::SpanKind k,
+                                std::string site, std::uint64_t parent,
+                                sim::Time begin, int detail = 0) {
+  if (!r->traced()) return trace::kNoSpan;
+  return r->spans->open(k, std::move(site), parent, begin, detail);
+}
+inline void trace_close(const RequestPtr& r, std::uint64_t id, sim::Time end) {
+  if (r->traced()) r->spans->close(id, end);
+}
+inline void trace_add(const RequestPtr& r, trace::SpanKind k, std::string site,
+                      std::uint64_t parent, sim::Time begin, sim::Time end,
+                      int detail = 0) {
+  if (r->traced()) r->spans->add(k, std::move(site), parent, begin, end, detail);
+}
+inline void trace_instant(const RequestPtr& r, trace::SpanKind k,
+                          std::string site, std::uint64_t parent, sim::Time at,
+                          int detail = 0) {
+  if (r->traced()) r->spans->instant(k, std::move(site), parent, at, detail);
+}
+// The request's root span id (the client opens it first), or kNoSpan.
+inline std::uint64_t trace_root(const RequestPtr& r) {
+  return (r->traced() && !r->spans->empty()) ? r->spans->root().id
+                                             : trace::kNoSpan;
+}
 
 }  // namespace ntier::server

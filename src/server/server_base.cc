@@ -9,6 +9,10 @@ struct Server::DispatchState {
   bool settled = false;  // a reply (or permanent failure) already unwound
   int attempts = 1;      // primary attempts started (1 = the first send)
   int hedges = 0;        // duplicate copies issued
+  // Tracing: the downstream-wait span all attempts/gaps/policy events of
+  // this dispatch nest under, and its site label ("tomcat->mysql").
+  std::uint64_t ds_span = trace::kNoSpan;
+  std::string site;
 };
 
 Server::Server(sim::Simulation& sim, std::string name, cpu::VmCpu* vm,
@@ -39,6 +43,8 @@ bool Server::offer(Job job) {
     note_offer();
     ++stats_.refused_down;
     job.req->stamp(name_ + ":refused", sim_.now());
+    trace_instant(job.req, trace::SpanKind::kDrop, name_, job.parent_span,
+                  sim_.now(), /*detail=*/1);
     note_drop();
     return false;
   }
@@ -51,6 +57,8 @@ bool Server::offer(Job job) {
     job.req->failed = true;
     job.req->deadline_expired = true;
     job.req->stamp(name_ + ":expired", sim_.now());
+    trace_instant(job.req, trace::SpanKind::kDeadlineCancel, name_,
+                  job.parent_span, sim_.now());
     sim_.after(sim::Duration::zero(), [job = std::move(job)] { job.reply(job.req); });
     return true;
   }
@@ -72,14 +80,28 @@ void Server::abort_job(Job job) {
   job.reply(job.req);
 }
 
-void Server::dispatch_downstream(const RequestPtr& req, std::function<void()> on_reply) {
+void Server::dispatch_downstream(const RequestPtr& req, std::uint64_t parent_span,
+                                 std::function<void()> on_reply) {
   assert(downstream_ != nullptr && transport_ != nullptr);
-  auto reply_cb = std::make_shared<std::function<void()>>(std::move(on_reply));
+
+  // Tracing: one downstream-wait span covers this dispatch from first
+  // send to unwind; RTO gaps and policy events nest under it, and the
+  // downstream tier's hop span nests under it via Job::parent_span.
+  auto st = std::make_shared<DispatchState>();
+  st->site = name_ + "->" + downstream_->name();
+  st->ds_span = trace_open(req, trace::SpanKind::kDownstream, st->site,
+                           parent_span, sim_.now());
+  auto reply_cb = std::make_shared<std::function<void()>>(
+      [this, req, st, cb = std::move(on_reply)] {
+        trace_close(req, st->ds_span, sim_.now());
+        cb();
+      });
 
   if (!governor_) {
     // Plain path: single send, retransmission handled inside Transport.
     Job down;
     down.req = req;
+    down.parent_span = st->ds_span;
     // The downstream tier calls this at its completion instant; the
     // return-path link latency belongs to this (sending) side.
     down.reply = [this, reply_cb](const RequestPtr&) {
@@ -96,13 +118,13 @@ void Server::dispatch_downstream(const RequestPtr& req, std::function<void()> on
             ++stats_.failed;
             (*reply_cb)();
           }
-        });
+        },
+        retransmit_observer(req, st));
     return;
   }
 
   const policy::TailPolicy& pol = governor_->policy();
   governor_->on_request();
-  auto st = std::make_shared<DispatchState>();
 
   if (req->has_deadline() && sim_.now() >= req->deadline) {
     // Budget already spent before the hop: cancel without sending.
@@ -111,6 +133,8 @@ void Server::dispatch_downstream(const RequestPtr& req, std::function<void()> on
     req->failed = true;
     req->deadline_expired = true;
     ++stats_.failed;
+    trace_instant(req, trace::SpanKind::kDeadlineCancel, st->site, st->ds_span,
+                  sim_.now());
     sim_.after(sim::Duration::zero(), [reply_cb] { (*reply_cb)(); });
     return;
   }
@@ -119,6 +143,8 @@ void Server::dispatch_downstream(const RequestPtr& req, std::function<void()> on
     st->settled = true;
     req->failed = true;
     ++stats_.failed;
+    trace_instant(req, trace::SpanKind::kBreakerReject, st->site, st->ds_span,
+                  sim_.now());
     sim_.after(sim::Duration::zero(), [reply_cb] { (*reply_cb)(); });
     return;
   }
@@ -130,17 +156,30 @@ void Server::dispatch_downstream(const RequestPtr& req, std::function<void()> on
     // (scheduled up front: deterministic, no self-referential timers).
     const sim::Duration d = governor_->hedge_delay();
     for (int i = 1; i <= pol.hedge.max_hedges; ++i) {
-      sim_.after(d * i, [this, req, reply_cb, st] {
+      sim_.after(d * i, [this, req, reply_cb, st, i] {
         if (st->settled) return;
         if (req->has_deadline() && sim_.now() >= req->deadline) return;
         ++st->hedges;
         ++req->hedge_copies;
         ++governor_->stats().hedges;
         ++stats_.hedges_sent;
+        trace_instant(req, trace::SpanKind::kHedge, st->site, st->ds_span,
+                      sim_.now(), /*detail=*/i);
         send_attempt(req, reply_cb, st, /*is_hedge=*/true);
       });
     }
   }
+}
+
+net::RetransmitFn Server::retransmit_observer(
+    const RequestPtr& req, const std::shared_ptr<DispatchState>& st) {
+  if (!req->traced()) return {};
+  // Each refused/lost attempt costs the sender one whole RTO before the
+  // next attempt — the paper's 3 s mechanism, recorded verbatim.
+  return [req, st](sim::Time at, sim::Duration rto, int attempt) {
+    req->spans->add(trace::SpanKind::kRtoGap, st->site, st->ds_span, at,
+                    at + rto, attempt);
+  };
 }
 
 void Server::send_attempt(const RequestPtr& req,
@@ -153,6 +192,7 @@ void Server::send_attempt(const RequestPtr& req,
 
   Job down;
   down.req = req;
+  down.parent_span = st->ds_span;
   down.reply = [this, req, reply_cb, st, concluded, sent_at, is_hedge](const RequestPtr&) {
     sim_.after(transport_->link().sample(),
                [this, req, reply_cb, st, concluded, sent_at, is_hedge] {
@@ -179,7 +219,8 @@ void Server::send_attempt(const RequestPtr& req,
         // Hedge copies never settle on failure — the primary chain owns
         // the retry/fail decision and a surviving copy may still win.
         if (!is_hedge) retry_or_fail(req, reply_cb, st);
-      });
+      },
+      retransmit_observer(req, st));
 
   const sim::Duration at = governor_->policy().attempt_timeout;
   if (!is_hedge && at > sim::Duration::zero()) {
@@ -206,6 +247,8 @@ void Server::retry_or_fail(const RequestPtr& req,
   if (req->has_deadline() && sim_.now() >= req->deadline) {
     ++governor_->stats().deadline_cancels;
     req->deadline_expired = true;
+    trace_instant(req, trace::SpanKind::kDeadlineCancel, st->site, st->ds_span,
+                  sim_.now());
     fail_dispatch(req, reply_cb, st);
     return;
   }
@@ -216,11 +259,17 @@ void Server::retry_or_fail(const RequestPtr& req,
   const sim::Duration backoff = governor_->next_backoff(st->attempts);
   ++governor_->stats().retries;
   ++stats_.ds_retries;
+  // The backoff interval itself is a trace span: idle wall-clock the
+  // request spends between attempts, charged to the policy layer.
+  trace_add(req, trace::SpanKind::kRetry, st->site, st->ds_span, sim_.now(),
+            sim_.now() + backoff, /*detail=*/st->attempts);
   sim_.after(backoff, [this, req, reply_cb, st] {
     if (st->settled) return;
     if (req->has_deadline() && sim_.now() >= req->deadline) {
       ++governor_->stats().deadline_cancels;
       req->deadline_expired = true;
+      trace_instant(req, trace::SpanKind::kDeadlineCancel, st->site,
+                    st->ds_span, sim_.now());
       fail_dispatch(req, reply_cb, st);
       return;
     }

@@ -5,12 +5,22 @@
 // may own an IoDevice for its disk steps, and may have one downstream
 // server reached through a retransmitting Transport (the RPC chain).
 //
-// Two cross-cutting layers hang off this base:
+// Three cross-cutting layers hang off this base:
 //  - the fault gate (set_down): a crashed server refuses every packet
 //    (counted as drops -> sender retransmits) and can abort queued work;
 //  - the tail-tolerance policy layer (enable_tail_policy): deadline
 //    enforcement at admission, and deadline/retry/hedge/breaker logic on
-//    the downstream hop inside dispatch_downstream.
+//    the downstream hop inside dispatch_downstream — note that with a
+//    policy enabled a "failed" request can be a breaker fast-fail or a
+//    deadline cancel, not only an exhausted retransmission;
+//  - the tracing layer (trace/span.h): when a request carries a span
+//    tree, every admission records a hop span under the sender-provided
+//    Job::parent_span, dispatch_downstream records the downstream-wait
+//    span plus RTO-gap and policy-event child spans, and the concrete
+//    server models add queue-wait and service spans. Untraced requests
+//    skip all of it (null-pointer test per site), and tracing schedules
+//    no events and draws no randomness — a traced run is event-for-event
+//    identical to an untraced one at the same seed.
 #pragma once
 
 #include <cstdint>
@@ -39,7 +49,10 @@ class Server {
     std::uint64_t accepted = 0;   // jobs admitted
     std::uint64_t dropped = 0;    // admission refusals (dropped packets)
     std::uint64_t completed = 0;  // jobs replied
-    std::uint64_t failed = 0;     // downstream sends abandoned
+    // Downstream dispatches that settled as failures: retransmission
+    // exhausted, or (policy layer) breaker fast-fail / deadline cancel /
+    // retry budget exhausted.
+    std::uint64_t failed = 0;
     // --- resilience layer ---
     std::uint64_t refused_down = 0;  // packets refused while crashed
     std::uint64_t expired = 0;       // cancelled at admission: deadline passed
@@ -125,7 +138,12 @@ class Server {
   // `on_reply` still fires so the chain unwinds. When a tail policy is
   // enabled this also applies deadline fast-fail, breaker fast-fail,
   // retries with backoff, and hedged duplicates (first reply wins).
-  void dispatch_downstream(const RequestPtr& req, std::function<void()> on_reply);
+  // `parent_span` is the caller's hop span (trace::kNoSpan when the
+  // request is untraced): the downstream-wait span, RTO gaps, and policy
+  // events recorded here nest under it, and the downstream tier's hop
+  // nests under the downstream-wait span via Job::parent_span.
+  void dispatch_downstream(const RequestPtr& req, std::uint64_t parent_span,
+                           std::function<void()> on_reply);
 
   sim::Simulation& sim_;
   std::string name_;
@@ -145,6 +163,8 @@ class Server {
 
  private:
   struct DispatchState;
+  net::RetransmitFn retransmit_observer(const RequestPtr& req,
+                                        const std::shared_ptr<DispatchState>& st);
   void send_attempt(const RequestPtr& req,
                     const std::shared_ptr<std::function<void()>>& reply_cb,
                     const std::shared_ptr<DispatchState>& st, bool is_hedge);

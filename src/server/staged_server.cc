@@ -17,6 +17,8 @@ bool StagedServer::do_offer(Job job) {
   if (ingress_q_.size() >= cfg_.ingress.queue_cap) {
     note_drop();
     job.req->stamp(name_ + ":drop", sim_.now());
+    trace_instant(job.req, trace::SpanKind::kDrop, name_, job.parent_span,
+                  sim_.now(), /*detail=*/0);
     return false;
   }
   note_accept();
@@ -24,6 +26,10 @@ bool StagedServer::do_offer(Job job) {
   auto ctx = std::make_shared<Ctx>();
   ctx->prog = program_for(*job.req);
   ctx->job = std::move(job);
+  ctx->hop = trace_open(ctx->job.req, trace::SpanKind::kHop, name_,
+                        ctx->job.parent_span, sim_.now());
+  ctx->qspan = trace_open(ctx->job.req, trace::SpanKind::kPoolQueue,
+                          name_ + ":ingress", ctx->hop, sim_.now());
   ingress_q_.push_back(std::move(ctx));
   pump();
   return true;
@@ -33,6 +39,8 @@ void StagedServer::abort_queued() {
   while (!ingress_q_.empty()) {
     CtxPtr ctx = std::move(ingress_q_.front());
     ingress_q_.pop_front();
+    trace_close(ctx->job.req, ctx->qspan, sim_.now());
+    trace_close(ctx->job.req, ctx->hop, sim_.now());
     abort_job(std::move(ctx->job));
   }
 }
@@ -44,12 +52,16 @@ void StagedServer::pump() {
     CtxPtr ctx = std::move(cont_q_.front());
     cont_q_.pop_front();
     ++cont_active_;
+    trace_close(ctx->job.req, ctx->qspan, sim_.now());
+    ctx->qspan = trace::kNoSpan;
     run_step(ctx, /*continuation_stage=*/true);
   }
   while (ingress_active_ < cfg_.ingress.threads && !ingress_q_.empty()) {
     CtxPtr ctx = std::move(ingress_q_.front());
     ingress_q_.pop_front();
     ++ingress_active_;
+    trace_close(ctx->job.req, ctx->qspan, sim_.now());
+    ctx->qspan = trace::kNoSpan;
     run_step(ctx, /*continuation_stage=*/false);
   }
 }
@@ -67,7 +79,10 @@ void StagedServer::run_step(const CtxPtr& ctx, bool continuation_stage) {
         run_step(ctx, continuation_stage);
         return;
       }
-      vm_->submit(step.amount, [this, ctx, continuation_stage] {
+      const std::uint64_t sp = trace_open(ctx->job.req, trace::SpanKind::kService,
+                                          name_, ctx->hop, sim_.now());
+      vm_->submit(step.amount, [this, ctx, sp, continuation_stage] {
+        trace_close(ctx->job.req, sp, sim_.now());
         ++ctx->pc;
         run_step(ctx, continuation_stage);
       });
@@ -75,7 +90,10 @@ void StagedServer::run_step(const CtxPtr& ctx, bool continuation_stage) {
     }
     case WorkStep::Kind::kDisk: {
       assert(io_ != nullptr && "kDisk step requires attach_io()");
-      io_->submit_service(step.amount, [this, ctx, continuation_stage] {
+      const std::uint64_t sp = trace_open(ctx->job.req, trace::SpanKind::kDisk,
+                                          name_, ctx->hop, sim_.now());
+      io_->submit_service(step.amount, [this, ctx, sp, continuation_stage] {
+        trace_close(ctx->job.req, sp, sim_.now());
         ++ctx->pc;
         run_step(ctx, continuation_stage);
       });
@@ -89,8 +107,10 @@ void StagedServer::run_step(const CtxPtr& ctx, bool continuation_stage) {
       } else {
         --ingress_active_;
       }
-      dispatch_downstream(ctx->job.req, [this, ctx] {
+      dispatch_downstream(ctx->job.req, ctx->hop, [this, ctx] {
         ++ctx->pc;
+        ctx->qspan = trace_open(ctx->job.req, trace::SpanKind::kPoolQueue,
+                                name_ + ":cont", ctx->hop, sim_.now());
         cont_q_.push_back(ctx);
         pump();
       });
@@ -103,6 +123,7 @@ void StagedServer::run_step(const CtxPtr& ctx, bool continuation_stage) {
 void StagedServer::finish(const CtxPtr& ctx, bool continuation_stage) {
   note_reply();
   ctx->job.req->stamp(name_ + ":reply", sim_.now());
+  trace_close(ctx->job.req, ctx->hop, sim_.now());
   ctx->job.reply(ctx->job.req);
   if (continuation_stage) {
     --cont_active_;

@@ -62,6 +62,8 @@ class StagedServer : public Server {
     Job job;
     Program prog;
     std::size_t pc = 0;
+    std::uint64_t hop = trace::kNoSpan;    // this server's visit span
+    std::uint64_t qspan = trace::kNoSpan;  // open stage-queue wait, if parked
   };
   using CtxPtr = std::shared_ptr<Ctx>;
 

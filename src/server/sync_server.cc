@@ -22,13 +22,21 @@ bool SyncServer::do_offer(Job job) {
   if (busy_ < threads_) {
     note_accept();
     job.req->stamp(name_ + ":admit", sim_.now());
-    start(std::move(job));
+    const std::uint64_t hop = trace_open(job.req, trace::SpanKind::kHop, name_,
+                                         job.parent_span, sim_.now());
+    start(std::move(job), hop);
     return true;
   }
   if (accept_q_.try_push(sim_.now())) {
     note_accept();
     job.req->stamp(name_ + ":backlog", sim_.now());
-    backlog_q_.push_back(std::move(job));
+    Queued q;
+    q.hop = trace_open(job.req, trace::SpanKind::kHop, name_, job.parent_span,
+                       sim_.now());
+    q.qspan = trace_open(job.req, trace::SpanKind::kAcceptQueue, name_, q.hop,
+                         sim_.now());
+    q.job = std::move(job);
+    backlog_q_.push_back(std::move(q));
     check_spawn();
     return true;
   }
@@ -38,6 +46,8 @@ bool SyncServer::do_offer(Job job) {
     ++shed_;
     job.req->failed = true;
     job.req->stamp(name_ + ":shed", sim_.now());
+    trace_instant(job.req, trace::SpanKind::kDrop, name_, job.parent_span,
+                  sim_.now(), /*detail=*/2);
     sim_.after(sim::Duration::micros(50),
                [job = std::move(job)] { job.reply(job.req); });
     check_spawn();
@@ -45,18 +55,26 @@ bool SyncServer::do_offer(Job job) {
   }
   note_drop();
   job.req->stamp(name_ + ":drop", sim_.now());
+  trace_instant(job.req, trace::SpanKind::kDrop, name_, job.parent_span,
+                sim_.now(), /*detail=*/0);
   check_spawn();
   return false;
 }
 
-void SyncServer::start(Job job) {
+void SyncServer::start(Job job, std::uint64_t hop) {
   ++busy_;
   if (busy_ == threads_ && exhausted_since_ == sim::Time::max())
     exhausted_since_ = sim_.now();
   auto ctx = std::make_shared<Ctx>();
   ctx->prog = program_for(*job.req);
   ctx->job = std::move(job);
+  ctx->hop = hop;
   run_step(ctx);
+}
+
+void SyncServer::start_queued(Queued q) {
+  trace_close(q.job.req, q.qspan, sim_.now());
+  start(std::move(q.job), q.hop);
 }
 
 void SyncServer::run_step(const std::shared_ptr<Ctx>& ctx) {
@@ -73,7 +91,12 @@ void SyncServer::run_step(const std::shared_ptr<Ctx>& ctx) {
         return;
       }
       const auto demand = cfg_.overhead.inflate(step.amount, busy_);
-      vm_->submit(demand, [this, ctx] {
+      // The service span includes CPU-contention stall (demand vs wall
+      // time inside VmCpu) — it measures occupancy, not pure work.
+      const std::uint64_t sp = trace_open(ctx->job.req, trace::SpanKind::kService,
+                                          name_, ctx->hop, sim_.now());
+      vm_->submit(demand, [this, ctx, sp] {
+        trace_close(ctx->job.req, sp, sim_.now());
         ++ctx->pc;
         run_step(ctx);
       });
@@ -81,7 +104,10 @@ void SyncServer::run_step(const std::shared_ptr<Ctx>& ctx) {
     }
     case WorkStep::Kind::kDisk: {
       assert(io_ != nullptr && "kDisk step requires attach_io()");
-      io_->submit_service(step.amount, [this, ctx] {
+      const std::uint64_t sp = trace_open(ctx->job.req, trace::SpanKind::kDisk,
+                                          name_, ctx->hop, sim_.now());
+      io_->submit_service(step.amount, [this, ctx, sp] {
+        trace_close(ctx->job.req, sp, sim_.now());
         ++ctx->pc;
         run_step(ctx);
       });
@@ -89,7 +115,7 @@ void SyncServer::run_step(const std::shared_ptr<Ctx>& ctx) {
     }
     case WorkStep::Kind::kDownstream: {
       auto go = [this, ctx] {
-        dispatch_downstream(ctx->job.req, [this, ctx] {
+        dispatch_downstream(ctx->job.req, ctx->hop, [this, ctx] {
           if (pool_) pool_->release();
           ++ctx->pc;
           run_step(ctx);
@@ -98,7 +124,13 @@ void SyncServer::run_step(const std::shared_ptr<Ctx>& ctx) {
       if (pool_) {
         // The worker thread blocks until a DB connection frees — this
         // wait is still *inside* the server (counted in queued_requests).
-        pool_->acquire(std::move(go));
+        const std::uint64_t sp =
+            trace_open(ctx->job.req, trace::SpanKind::kPoolQueue,
+                       name_ + ":dbpool", ctx->hop, sim_.now());
+        pool_->acquire([this, ctx, sp, go = std::move(go)] {
+          trace_close(ctx->job.req, sp, sim_.now());
+          go();
+        });
       } else {
         go();
       }
@@ -110,6 +142,7 @@ void SyncServer::run_step(const std::shared_ptr<Ctx>& ctx) {
 void SyncServer::finish(const std::shared_ptr<Ctx>& ctx) {
   note_reply();
   ctx->job.req->stamp(name_ + ":reply", sim_.now());
+  trace_close(ctx->job.req, ctx->hop, sim_.now());
   ctx->job.reply(ctx->job.req);
   worker_freed();
 }
@@ -117,10 +150,10 @@ void SyncServer::finish(const std::shared_ptr<Ctx>& ctx) {
 void SyncServer::worker_freed() {
   --busy_;
   if (!backlog_q_.empty()) {
-    Job next = std::move(backlog_q_.front());
+    Queued next = std::move(backlog_q_.front());
     backlog_q_.pop_front();
     accept_q_.pop();
-    start(std::move(next));
+    start_queued(std::move(next));
   }
   // The pool stays "exhausted" if the backlog immediately refilled the
   // freed worker; the timer only resets when capacity truly opened up.
@@ -129,10 +162,12 @@ void SyncServer::worker_freed() {
 
 void SyncServer::abort_queued() {
   while (!backlog_q_.empty()) {
-    Job job = std::move(backlog_q_.front());
+    Queued q = std::move(backlog_q_.front());
     backlog_q_.pop_front();
     accept_q_.pop();
-    abort_job(std::move(job));
+    trace_close(q.job.req, q.qspan, sim_.now());
+    trace_close(q.job.req, q.hop, sim_.now());
+    abort_job(std::move(q.job));
   }
   // Workers currently executing keep running (their state is lost to the
   // client anyway once the reply path refuses, but the simulation lets
@@ -149,10 +184,10 @@ void SyncServer::check_spawn() {
   threads_ += cfg_.threads_per_process;
   exhausted_since_ = sim_.now();  // exhaustion timer restarts for the larger pool
   while (busy_ < threads_ && !backlog_q_.empty()) {
-    Job next = std::move(backlog_q_.front());
+    Queued next = std::move(backlog_q_.front());
     backlog_q_.pop_front();
     accept_q_.pop();
-    start(std::move(next));
+    start_queued(std::move(next));
   }
 }
 

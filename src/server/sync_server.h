@@ -64,20 +64,29 @@ class SyncServer : public Server {
     Job job;
     Program prog;
     std::size_t pc = 0;
+    std::uint64_t hop = trace::kNoSpan;  // this server's visit span
+  };
+  // A job parked in the TCP backlog, with its open trace spans: the hop
+  // span (whole visit) and the accept-queue wait nested under it.
+  struct Queued {
+    Job job;
+    std::uint64_t hop = trace::kNoSpan;
+    std::uint64_t qspan = trace::kNoSpan;
   };
 
-  void start(Job job);
+  void start(Job job, std::uint64_t hop);
   void run_step(const std::shared_ptr<Ctx>& ctx);
   void finish(const std::shared_ptr<Ctx>& ctx);
   void worker_freed();
   void check_spawn();
+  void start_queued(Queued q);
 
   SyncConfig cfg_;
   std::size_t threads_;     // current total across processes
   std::size_t processes_ = 1;
   std::size_t busy_ = 0;
   net::TcpQueue accept_q_;
-  std::deque<Job> backlog_q_;
+  std::deque<Queued> backlog_q_;
   std::unique_ptr<ConnectionPool> pool_;
   sim::Time exhausted_since_ = sim::Time::max();
   std::uint64_t shed_ = 0;

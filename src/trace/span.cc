@@ -1,0 +1,66 @@
+#include "trace/span.h"
+
+#include <cassert>
+
+namespace ntier::trace {
+
+const char* to_string(SpanKind k) {
+  switch (k) {
+    case SpanKind::kRequest: return "request";
+    case SpanKind::kHop: return "hop";
+    case SpanKind::kAcceptQueue: return "accept_queue";
+    case SpanKind::kPoolQueue: return "pool_queue";
+    case SpanKind::kService: return "service";
+    case SpanKind::kDisk: return "disk";
+    case SpanKind::kDownstream: return "downstream";
+    case SpanKind::kRtoGap: return "rto_gap";
+    case SpanKind::kRetry: return "retry_backoff";
+    case SpanKind::kHedge: return "hedge";
+    case SpanKind::kDeadlineCancel: return "deadline_cancel";
+    case SpanKind::kBreakerReject: return "breaker_reject";
+    case SpanKind::kDrop: return "drop";
+  }
+  return "?";
+}
+
+std::uint64_t RequestTrace::open(SpanKind kind, std::string site,
+                                 std::uint64_t parent, sim::Time begin,
+                                 int detail) {
+  assert(parent == kNoSpan ? spans_.empty() : parent < spans_.size());
+  Span s;
+  s.id = spans_.size();
+  s.parent = parent;
+  s.kind = kind;
+  s.site = std::move(site);
+  s.begin = begin;
+  s.end = begin;
+  s.detail = detail;
+  spans_.push_back(std::move(s));
+  return spans_.back().id;
+}
+
+void RequestTrace::close(std::uint64_t id, sim::Time end) {
+  if (id == kNoSpan) return;
+  assert(id < spans_.size());
+  Span& s = spans_[id];
+  if (s.closed_) return;
+  assert(end >= s.begin);
+  s.end = end;
+  s.closed_ = true;
+}
+
+std::uint64_t RequestTrace::add(SpanKind kind, std::string site,
+                                std::uint64_t parent, sim::Time begin,
+                                sim::Time end, int detail) {
+  const std::uint64_t id = open(kind, std::move(site), parent, begin, detail);
+  close(id, end);
+  return id;
+}
+
+std::uint64_t RequestTrace::instant(SpanKind kind, std::string site,
+                                    std::uint64_t parent, sim::Time at,
+                                    int detail) {
+  return add(kind, std::move(site), parent, at, at, detail);
+}
+
+}  // namespace ntier::trace

@@ -1,0 +1,45 @@
+#include "trace/tracer.h"
+
+namespace ntier::trace {
+
+const char* to_string(TraceMode m) {
+  switch (m) {
+    case TraceMode::kOff: return "off";
+    case TraceMode::kAll: return "all";
+    case TraceMode::kVlrtOnly: return "vlrt";
+    case TraceMode::kSampled: return "sampled";
+  }
+  return "?";
+}
+
+std::shared_ptr<RequestTrace> Tracer::begin(std::uint64_t request_id) {
+  switch (cfg_.mode) {
+    case TraceMode::kOff:
+      return nullptr;
+    case TraceMode::kSampled:
+      if (request_id % cfg_.sample_every_n != 1 % cfg_.sample_every_n)
+        return nullptr;
+      break;
+    case TraceMode::kAll:
+    case TraceMode::kVlrtOnly:
+      break;
+  }
+  ++begun_;
+  return std::make_shared<RequestTrace>(request_id);
+}
+
+void Tracer::finish(const std::shared_ptr<RequestTrace>& trace,
+                    sim::Duration latency) {
+  if (!trace) return;
+  if (cfg_.mode == TraceMode::kVlrtOnly && latency < cfg_.vlrt_threshold) {
+    ++discarded_;
+    return;
+  }
+  if (traces_.size() >= cfg_.max_traces) {
+    ++dropped_by_cap_;
+    return;
+  }
+  traces_.push_back(trace);
+}
+
+}  // namespace ntier::trace

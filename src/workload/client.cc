@@ -55,10 +55,25 @@ std::size_t ClientPool::pick_class(std::size_t session) {
 void ClientPool::settle(std::size_t session, const server::RequestPtr& r) {
   r->completed = sim_.now();
   r->stamp("client:recv", sim_.now());
+  if (r->traced()) {
+    server::trace_close(r, server::trace_root(r), sim_.now());
+    cfg_.tracer->finish(r->spans, r->latency());
+  }
   ++completed_;
   if (r->failed) ++failed_;
   notify(r);
   session_think(session);
+}
+
+// Trace observer for the client->web TCP stack; null for untraced
+// requests so the transport skips the call entirely.
+net::RetransmitFn ClientPool::retransmit_observer(const server::RequestPtr& req) {
+  if (!req->traced()) return {};
+  const std::string site = "client->" + front_->name();
+  const std::uint64_t root = server::trace_root(req);
+  return [req, site, root](sim::Time at, sim::Duration rto, int attempt) {
+    req->spans->add(trace::SpanKind::kRtoGap, site, root, at, at + rto, attempt);
+  };
 }
 
 void ClientPool::issue(std::size_t session) {
@@ -69,6 +84,11 @@ void ClientPool::issue(std::size_t session) {
   req->tracing = cfg_.trace_requests;
   req->stamp("client:send", sim_.now());
   ++issued_;
+  if (cfg_.tracer) {
+    req->spans = cfg_.tracer->begin(req->id);
+    server::trace_open(req, trace::SpanKind::kRequest, "client", trace::kNoSpan,
+                       sim_.now());
+  }
 
   if (governor_) {
     issue_governed(session, req);
@@ -80,6 +100,7 @@ void ClientPool::issue(std::size_t session) {
 
   server::Job job;
   job.req = req;
+  job.parent_span = server::trace_root(req);
   job.reply = [this, session, settled](const server::RequestPtr& r) {
     // Response travels the return link before the client sees it.
     sim_.after(transport_.link().sample(), [this, session, settled, r] {
@@ -111,7 +132,8 @@ void ClientPool::issue(std::size_t session) {
           req->failed = true;
           settle(session, req);
         }
-      });
+      },
+      retransmit_observer(req));
 }
 
 void ClientPool::issue_governed(std::size_t session, const server::RequestPtr& req) {
@@ -125,6 +147,8 @@ void ClientPool::issue_governed(std::size_t session, const server::RequestPtr& r
     // Breaker open: the request fails instantly, no packet is sent.
     req->failed = true;
     req->stamp("client:breaker", sim_.now());
+    server::trace_instant(req, trace::SpanKind::kBreakerReject, "client",
+                          server::trace_root(req), sim_.now());
     fl->done = true;
     settle(session, req);
     return;
@@ -150,6 +174,8 @@ void ClientPool::issue_governed(std::size_t session, const server::RequestPtr& r
       req->failed = true;
       req->deadline_expired = true;
       req->stamp("client:deadline", sim_.now());
+      server::trace_instant(req, trace::SpanKind::kDeadlineCancel, "client",
+                            server::trace_root(req), sim_.now());
       settle(session, req);
     });
   }
@@ -159,11 +185,13 @@ void ClientPool::issue_governed(std::size_t session, const server::RequestPtr& r
   if (pol.hedge.enabled) {
     const sim::Duration d = governor_->hedge_delay();
     for (int i = 1; i <= pol.hedge.max_hedges; ++i) {
-      sim_.after(d * i, [this, session, fl, req] {
+      sim_.after(d * i, [this, session, fl, req, i] {
         if (fl->done) return;
         if (req->has_deadline() && sim_.now() >= req->deadline) return;
         ++req->hedge_copies;
         ++governor_->stats().hedges;
+        server::trace_instant(req, trace::SpanKind::kHedge, "client",
+                              server::trace_root(req), sim_.now(), /*detail=*/i);
         send_attempt(session, req, fl, /*is_hedge=*/true);
       });
     }
@@ -178,6 +206,7 @@ void ClientPool::send_attempt(std::size_t session, const server::RequestPtr& req
 
   server::Job job;
   job.req = req;
+  job.parent_span = server::trace_root(req);
   job.reply = [this, session, req, fl, concluded, sent_at,
                is_hedge](const server::RequestPtr& r) {
     sim_.after(transport_.link().sample(),
@@ -203,7 +232,8 @@ void ClientPool::send_attempt(std::size_t session, const server::RequestPtr& req
         *concluded = true;
         governor_->on_outcome(false);
         if (!is_hedge) retry_or_fail(session, req, fl);
-      });
+      },
+      retransmit_observer(req));
 
   const sim::Duration at = governor_->policy().attempt_timeout;
   if (!is_hedge && at > sim::Duration::zero()) {
@@ -236,6 +266,9 @@ void ClientPool::retry_or_fail(std::size_t session, const server::RequestPtr& re
   }
   const sim::Duration backoff = governor_->next_backoff(fl->attempts);
   ++governor_->stats().retries;
+  server::trace_add(req, trace::SpanKind::kRetry, "client",
+                    server::trace_root(req), sim_.now(), sim_.now() + backoff,
+                    /*detail=*/fl->attempts);
   sim_.after(backoff, [this, session, req, fl] {
     if (fl->done) return;
     if (req->has_deadline() && sim_.now() >= req->deadline) {

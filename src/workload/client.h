@@ -27,6 +27,7 @@
 #include "server/server_base.h"
 #include "sim/random.h"
 #include "sim/simulation.h"
+#include "trace/tracer.h"
 #include "workload/burst_model.h"
 #include "workload/session_model.h"
 
@@ -51,6 +52,10 @@ struct ClientConfig {
   // retries, hedging, circuit breaking). Default: all disabled — the
   // naive browser of the paper.
   policy::TailPolicy policy{};
+  // Distributed-tracing collector (owned by the experiment); null = no
+  // span trees. The client opens the root span at issue, closes it at
+  // settle, and hands the finished tree back via Tracer::finish.
+  trace::Tracer* tracer = nullptr;
 };
 
 class ClientPool {
@@ -84,6 +89,7 @@ class ClientPool {
   struct Flight;  // per-logical-request policy state
 
   void session_think(std::size_t session);
+  net::RetransmitFn retransmit_observer(const server::RequestPtr& req);
   void issue(std::size_t session);
   void issue_governed(std::size_t session, const server::RequestPtr& req);
   void send_attempt(std::size_t session, const server::RequestPtr& req,
