@@ -9,6 +9,7 @@
 //      the latency modes sit, not whether drops happen.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "core/ctqo_analyzer.h"
 #include "core/experiment.h"
 #include "core/scenarios.h"
@@ -24,7 +25,7 @@ core::ExperimentConfig base() {
   return cfg;
 }
 
-void sweep_threads() {
+void sweep_threads(const bench::BenchFlags& tf, bench::BenchPerf& perf) {
   std::puts(
       "(1) thread pool sweep in every tier, with the concurrency-overhead\n"
       "    model active (paper SV-E: bigger MaxSysQDepth postpones CTQO\n"
@@ -42,10 +43,14 @@ void sweep_threads() {
       cfg.system.db_threads = threads;
       cfg.system.db_pool = threads;
       if (with_overhead != 0) cfg.system.sync_overhead.alpha_per_thread = 1.3e-3;
+      cfg.name = "abl-threads-" + std::to_string(threads) +
+                 (with_overhead != 0 ? "-overhead" : "-ideal");
       auto sys = core::run_system(cfg);
       auto s = core::summarize(*sys);
       drops[with_overhead] = s.total_drops;
       if (with_overhead != 0) rps = s.throughput_rps;
+      bench::maybe_dashboard(*sys, tf);
+      perf.add_events(sys->simulation().events_executed());
     }
     t.add_row({metrics::Table::num(std::uint64_t{threads}),
                metrics::Table::num(std::uint64_t{threads + base().system.backlog}),
@@ -59,14 +64,17 @@ void sweep_threads() {
       "SV-E argument against the 'RPC purist' fix.\n");
 }
 
-void sweep_weight() {
+void sweep_weight(const bench::BenchFlags& tf, bench::BenchPerf& perf) {
   std::puts("(2) interference weight sweep (how hard SysBursty starves SysSteady)");
   metrics::Table t({"weight", "steady_share_%", "drops", "vlrt"});
   for (double w : {1.0, 3.0, 9.0, 20.0, 50.0}) {
     auto cfg = base();
     cfg.bottleneck.interference_weight = w;
+    cfg.name = "abl-weight-" + std::to_string(static_cast<int>(w));
     auto sys = core::run_system(cfg);
     auto s = core::summarize(*sys);
+    bench::maybe_dashboard(*sys, tf);
+    perf.add_events(sys->simulation().events_executed());
     t.add_row({metrics::Table::num(w, 0), metrics::Table::num(100.0 / (1.0 + w), 0),
                metrics::Table::num(s.total_drops),
                metrics::Table::num(s.latency.vlrt_count)});
@@ -74,7 +82,7 @@ void sweep_weight() {
   std::puts(t.to_string().c_str());
 }
 
-void sweep_backlog() {
+void sweep_backlog(const bench::BenchFlags& tf, bench::BenchPerf& perf) {
   // §V-E's second component: the TCP buffer. Larger backlogs postpone
   // drops but queue more requests — the bufferbloat trade-off that made
   // the networking community keep the buffer small.
@@ -84,8 +92,11 @@ void sweep_backlog() {
     auto cfg = base();
     cfg.system.backlog = backlog;
     cfg.system.web_processes = 1;
+    cfg.name = "abl-backlog-" + std::to_string(backlog);
     auto sys = core::run_system(cfg);
     auto s = core::summarize(*sys);
+    bench::maybe_dashboard(*sys, tf);
+    perf.add_events(sys->simulation().events_executed());
     t.add_row({metrics::Table::num(std::uint64_t{backlog}),
                metrics::Table::num(std::uint64_t{cfg.system.web_threads + backlog}),
                metrics::Table::num(s.total_drops),
@@ -98,7 +109,7 @@ void sweep_backlog() {
             "request behind the bottleneck (bufferbloat), and still drop once full.\n");
 }
 
-void sweep_rto() {
+void sweep_rto(const bench::BenchFlags& tf, bench::BenchPerf& perf) {
   std::puts("(3) RTO policy: latency mode positions");
   for (bool exponential : {false, true}) {
     auto cfg = base();
@@ -107,7 +118,10 @@ void sweep_rto() {
         exponential ? net::RtoPolicy::rhel6() : net::RtoPolicy::fixed3s();
     cfg.workload.client_rto = policy;
     cfg.system.tier_rto = policy;
+    cfg.name = exponential ? "abl-rto-exponential" : "abl-rto-fixed3s";
     auto sys = core::run_system(cfg);
+    bench::maybe_dashboard(*sys, tf);
+    perf.add_events(sys->simulation().events_executed());
     std::printf("%s backoff: modes at", exponential ? "exponential" : "fixed-3s");
     for (auto m : sys->latency().histogram().modes(3))
       std::printf(" %.1fs", m.to_seconds());
@@ -119,10 +133,14 @@ void sweep_rto() {
 
 }  // namespace
 
-int main() {
-  sweep_threads();
-  sweep_weight();
-  sweep_backlog();
-  sweep_rto();
+int main(int argc, char** argv) {
+  const auto tf = bench::parse_bench_flags(argc, argv);
+  if (tf.bad) return 2;
+  bench::BenchPerf perf("ablation_qdepth");
+  sweep_threads(tf, perf);
+  sweep_weight(tf, perf);
+  sweep_backlog(tf, perf);
+  sweep_rto(tf, perf);
+  perf.print();
   return 0;
 }

@@ -2,15 +2,19 @@
 // canned scenario and prints the series the corresponding paper figure
 // plots, plus the summary rows the paper quotes in its captions.
 //
-// Every figure binary accepts the tracing flags:
+// Every figure binary accepts the shared bench flags:
 //   --trace=all|vlrt|1inN|off   sampling mode (N an integer, e.g. 1in100)
-//   --trace-out=DIR             artifact directory (default trace_out/)
+//   --trace-out=DIR             trace artifact directory (default trace_out/)
+//   --dashboard=DIR             write <DIR>/<name>.dashboard.html per run
 // With tracing on, the run writes <DIR>/<name>.trace.json (Chrome
 // trace_event format — load in chrome://tracing or ui.perfetto.dev) and
 // <DIR>/<name>.trace_spans.csv, then prints the per-VLRT critical-path
-// attribution table (docs/TRACING.md).
+// attribution table (docs/TRACING.md). With --dashboard, each run also
+// renders the single-file HTML dashboard (report/dashboard.h) with the
+// CTQO episodes and the correlation engine's verdict inlined.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -18,30 +22,39 @@
 #include <string>
 #include <vector>
 
+#include "core/chain.h"
+#include "core/correlate.h"
 #include "core/ctqo_analyzer.h"
 #include "core/experiment.h"
+#include "core/manifest.h"
 #include "core/report.h"
 #include "core/scenarios.h"
 #include "metrics/csv.h"
+#include "report/dashboard.h"
 #include "trace/chrome_trace.h"
 #include "trace/critical_path.h"
 
 namespace ntier::bench {
 
-struct TraceFlags {
+struct BenchFlags {
   trace::TraceConfig config;        // mode kOff unless --trace given
   std::string out_dir = "trace_out";
+  std::string dashboard_dir;        // empty = no dashboard
   bool bad = false;                 // an unparsable flag was seen
 };
 
-// Parses --trace= / --trace-out= from argv; prints usage on a bad flag.
-inline TraceFlags parse_trace_flags(int argc, char** argv) {
-  TraceFlags f;
+// Parses --trace= / --trace-out= / --dashboard= from argv; prints usage
+// on a bad flag.
+inline BenchFlags parse_bench_flags(int argc, char** argv) {
+  BenchFlags f;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace-out=", 0) == 0) {
       f.out_dir = arg.substr(12);
       if (f.out_dir.empty()) f.bad = true;
+    } else if (arg.rfind("--dashboard=", 0) == 0) {
+      f.dashboard_dir = arg.substr(12);
+      if (f.dashboard_dir.empty()) f.bad = true;
     } else if (arg.rfind("--trace=", 0) == 0) {
       const std::string mode = arg.substr(8);
       if (mode == "off") {
@@ -67,16 +80,66 @@ inline TraceFlags parse_trace_flags(int argc, char** argv) {
   }
   if (f.bad) {
     std::fprintf(stderr,
-                 "usage: %s [--trace=all|vlrt|1inN|off] [--trace-out=DIR]\n",
+                 "usage: %s [--trace=all|vlrt|1inN|off] [--trace-out=DIR] "
+                 "[--dashboard=DIR]\n",
                  argc > 0 ? argv[0] : "fig");
   }
   return f;
 }
 
+// Wall-clock + engine-throughput accounting for one bench binary. The
+// wall clock lives only in the bench harness — simulated runs never read
+// it — so determinism of the artifacts is untouched; the [perf] line is
+// the one intentionally run-varying output (scripts/run_benches.py
+// collects it into BENCH_ntier.json).
+class BenchPerf {
+ public:
+  explicit BenchPerf(std::string bench)
+      : bench_(std::move(bench)), t0_(std::chrono::steady_clock::now()) {}
+  void add_events(std::uint64_t n) { events_ += n; }
+  void print() const {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
+    std::printf("[perf] bench=%s events=%llu wall_s=%.3f events_per_s=%.0f\n",
+                bench_.c_str(), static_cast<unsigned long long>(events_), wall,
+                wall > 0.0 ? static_cast<double>(events_) / wall : 0.0);
+  }
+
+ private:
+  std::string bench_;
+  std::uint64_t events_ = 0;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+// Writes <dir>/<name>.dashboard.html when --dashboard was given: the
+// whole run (histogram, tier timelines, VLRT strip, CTQO episodes, and
+// the correlation engine's causal-chain ranking) in one self-contained
+// file, plus the <name>.manifest.json sidecar. Byte-identical for a
+// fixed seed.
+inline void maybe_dashboard(core::NTierSystem& sys, const BenchFlags& flags) {
+  if (flags.dashboard_dir.empty()) return;
+  const auto ctqo = core::analyze_ctqo(sys);
+  const auto corr = core::correlate(sys);
+  const std::string path = report::write_dashboard(sys, ctqo, corr, flags.dashboard_dir,
+                                                   sys.config().name);
+  core::write_manifest(sys, flags.dashboard_dir);
+  std::printf("wrote %s (%s)\n", path.c_str(), core::to_string(corr.propagation));
+}
+
+inline void maybe_dashboard(core::ChainSystem& sys, const BenchFlags& flags) {
+  if (flags.dashboard_dir.empty()) return;
+  const auto ctqo = core::analyze_ctqo(sys);
+  const auto corr = core::correlate(sys);
+  const std::string path = report::write_dashboard(sys, ctqo, corr, flags.dashboard_dir,
+                                                   sys.config().name);
+  core::write_manifest(sys, flags.dashboard_dir);
+  std::printf("wrote %s (%s)\n", path.c_str(), core::to_string(corr.propagation));
+}
+
 // Post-run trace artifacts: writes the Chrome JSON + span CSV and prints
 // the per-VLRT attribution against the run's CTQO episodes. No-op when
 // tracing was off.
-inline void export_traces(core::NTierSystem& sys, const TraceFlags& flags) {
+inline void export_traces(core::NTierSystem& sys, const BenchFlags& flags) {
   trace::Tracer* tracer = sys.tracer();
   if (tracer == nullptr) return;
 

@@ -11,6 +11,7 @@
 //      mitted stragglers turn into user-visible failures.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "core/chain.h"
 #include "core/experiment.h"
 #include "core/scenarios.h"
@@ -27,6 +28,9 @@ enum class Style { kSync, kStaged, kAsync };
 
 core::ChainConfig chain_of(Style style) {
   core::ChainConfig cfg;
+  cfg.name = style == Style::kSync    ? "alt-sync"
+             : style == Style::kStaged ? "alt-staged"
+                                       : "alt-async";
   auto tier = [&](std::string name, std::size_t threads, auto fn) {
     core::ChainTierSpec t;
     t.name = std::move(name);
@@ -54,7 +58,7 @@ core::ChainConfig chain_of(Style style) {
   return cfg;
 }
 
-void part_a() {
+void part_a(const bench::BenchFlags& tf, bench::BenchPerf& perf) {
   std::puts("(A) sync vs SEDA-staged vs async under the same app millibottleneck");
   metrics::Table t({"architecture", "admission_bound", "drops", "vlrt", "p99.9_ms"});
   for (auto [style, name] : {std::pair{Style::kSync, "thread-per-request"},
@@ -66,6 +70,8 @@ void part_a() {
                metrics::Table::num(sys.total_drops()),
                metrics::Table::num(sys.latency().vlrt_count()),
                metrics::Table::num(sys.latency().histogram().percentile(99.9).to_millis(), 0)});
+    bench::maybe_dashboard(sys, tf);
+    perf.add_events(sys.simulation().events_executed());
   }
   std::puts(t.to_string().c_str());
   std::puts(
@@ -75,11 +81,12 @@ void part_a() {
       "removes the retransmission cliff, not the backlog itself.\n");
 }
 
-void part_b() {
+void part_b(const bench::BenchFlags& tf, bench::BenchPerf& perf) {
   std::puts("(B) web-tier load shedding vs TCP drop (Fig 3 scenario)");
   metrics::Table t({"policy", "drops", "shed", "failed_requests", "vlrt", "rps"});
   for (bool shed : {false, true}) {
     auto cfg = core::scenarios::fig3_consolidation_sync();
+    cfg.name = shed ? "altb-shed" : "altb-drop";
     cfg.system.web_shed_on_overload = shed;
     auto sys = core::run_system(cfg);
     auto s = core::summarize(*sys);
@@ -90,33 +97,42 @@ void part_b() {
                metrics::Table::num(sys->clients().failed()),
                metrics::Table::num(s.latency.vlrt_count),
                metrics::Table::num(s.throughput_rps, 0)});
+    bench::maybe_dashboard(*sys, tf);
+    perf.add_events(sys->simulation().events_executed());
   }
   std::puts(t.to_string().c_str());
   std::puts("shedding converts multi-second VLRT into immediate failures.\n");
 }
 
-void part_c() {
+void part_c(const bench::BenchFlags& tf, bench::BenchPerf& perf) {
   std::puts("(C) browser timeouts over the dropping system (Fig 3 scenario)");
   metrics::Table t({"client_timeout", "vlrt", "timeouts", "failed", "p99.9_ms"});
   for (auto [timeout, label] : {std::pair{Duration::zero(), "none"},
                                 std::pair{Duration::seconds(10), "10s"},
                                 std::pair{Duration::seconds(3), "3s"}}) {
     auto cfg = core::scenarios::fig3_consolidation_sync();
+    cfg.name = std::string("altc-timeout-") + label;
     cfg.workload.client_timeout = timeout;
     auto sys = core::run_system(cfg);
     t.add_row({label, metrics::Table::num(sys->latency().vlrt_count()),
                metrics::Table::num(sys->clients().timeouts()),
                metrics::Table::num(sys->clients().failed()),
                metrics::Table::num(sys->latency().histogram().percentile(99.9).to_millis(), 0)});
+    bench::maybe_dashboard(*sys, tf);
+    perf.add_events(sys->simulation().events_executed());
   }
   std::puts(t.to_string().c_str());
 }
 
 }  // namespace
 
-int main() {
-  part_a();
-  part_b();
-  part_c();
+int main(int argc, char** argv) {
+  const auto tf = bench::parse_bench_flags(argc, argv);
+  if (tf.bad) return 2;
+  bench::BenchPerf perf("ext_alternative_designs");
+  part_a(tf, perf);
+  part_b(tf, perf);
+  part_c(tf, perf);
+  perf.print();
   return 0;
 }

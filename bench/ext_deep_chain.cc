@@ -6,6 +6,7 @@
 // the cascade. The all-async chain absorbs the burst at every depth.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "core/chain.h"
 #include "metrics/table.h"
 
@@ -40,7 +41,10 @@ core::ChainConfig make_chain(std::size_t depth, bool all_async) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto tf = bench::parse_bench_flags(argc, argv);
+  if (tf.bad) return 2;
+  bench::BenchPerf perf("ext_deep_chain");
   metrics::Table t({"depth", "stack", "front_drops", "other_drops", "vlrt",
                     "cascade"});
   for (std::size_t depth : {3u, 4u, 5u, 6u}) {
@@ -56,10 +60,13 @@ int main() {
       t.add_row({std::to_string(depth), all_async ? "async" : "sync",
                  metrics::Table::num(front), metrics::Table::num(other),
                  metrics::Table::num(sys.latency().vlrt_count()), cascade});
+      bench::maybe_dashboard(sys, tf);
+      perf.add_events(sys.simulation().events_executed());
     }
   }
   std::puts("CTQO vs chain depth (millibottleneck in the leaf, 900 ms freeze):");
   std::puts(t.to_string().c_str());
   std::puts("expected: sync drops at the front at every depth; async never drops.");
+  perf.print();
   return 0;
 }

@@ -6,6 +6,7 @@
 // injections.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "core/ctqo_analyzer.h"
 #include "core/experiment.h"
 #include "core/scenarios.h"
@@ -16,7 +17,8 @@ using namespace ntier;
 namespace {
 
 void run_pair(const char* title, core::ExperimentConfig sync_cfg,
-              core::ExperimentConfig async_cfg) {
+              core::ExperimentConfig async_cfg, const bench::BenchFlags& tf,
+              bench::BenchPerf& perf) {
   std::printf("=== %s ===\n", title);
   metrics::Table t({"stack", "drops", "vlrt", "p99.9_ms", "episodes"});
   for (auto* cfg : {&sync_cfg, &async_cfg}) {
@@ -28,24 +30,31 @@ void run_pair(const char* title, core::ExperimentConfig sync_cfg,
                metrics::Table::num(std::uint64_t{s.ctqo.episodes.size()})});
     if (cfg->system.arch == core::Architecture::kSync && !s.ctqo.episodes.empty())
       std::fputs(s.ctqo.to_string().c_str(), stdout);
+    bench::maybe_dashboard(*sys, tf);
+    perf.add_events(sys->simulation().events_executed());
   }
   std::puts(t.to_string().c_str());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto tf = bench::parse_bench_flags(argc, argv);
+  if (tf.bad) return 2;
+  bench::BenchPerf perf("ext_millibottleneck_causes");
   run_pair("GC-pause millibottlenecks in the app tier (450 ms every 12 s)",
            core::scenarios::ext_gc_pause(core::Architecture::kSync),
-           core::scenarios::ext_gc_pause(core::Architecture::kNx3));
+           core::scenarios::ext_gc_pause(core::Architecture::kNx3), tf, perf);
 
   run_pair("DVFS governor lag in the app tier (min 30% freq, 2 s governor interval)",
            core::scenarios::ext_dvfs(core::Architecture::kSync),
-           core::scenarios::ext_dvfs(core::Architecture::kNx3));
+           core::scenarios::ext_dvfs(core::Architecture::kNx3), tf, perf);
 
   // Governor detail for the DVFS case.
   auto sys = core::run_system(core::scenarios::ext_dvfs(core::Architecture::kSync));
   std::printf("DVFS(sync): %.1fs throttled below max frequency, %zu freq changes\n",
               sys->dvfs()->throttled_seconds(), sys->dvfs()->history().size());
+  perf.add_events(sys->simulation().events_executed());
+  perf.print();
   return 0;
 }

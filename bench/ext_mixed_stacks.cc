@@ -8,6 +8,7 @@
 // exactly one combination — all-async — is drop-free.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "core/chain.h"
 #include "metrics/table.h"
 
@@ -19,6 +20,8 @@ namespace {
 
 core::ChainConfig combo(bool web_async, bool app_async, bool db_async) {
   core::ChainConfig cfg;
+  cfg.name = std::string("mixed-") + (web_async ? "a" : "s") +
+             (app_async ? "a" : "s") + (db_async ? "a" : "s");
   auto tier = [](std::string name, bool async, std::size_t threads, auto fn) {
     core::ChainTierSpec t;
     t.name = std::move(name);
@@ -48,7 +51,10 @@ core::ChainConfig combo(bool web_async, bool app_async, bool db_async) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto tf = bench::parse_bench_flags(argc, argv);
+  if (tf.bad) return 2;
+  bench::BenchPerf perf("ext_mixed_stacks");
   metrics::Table t({"web", "app", "db", "web_drops", "app_drops", "db_drops",
                     "vlrt", "ctqo_free"});
   for (int mask = 0; mask < 8; ++mask) {
@@ -63,9 +69,12 @@ int main() {
                metrics::Table::num(sys.tier(2)->stats().dropped),
                metrics::Table::num(sys.latency().vlrt_count()),
                sys.total_drops() == 0 ? "YES" : "no"});
+    bench::maybe_dashboard(sys, tf);
+    perf.add_events(sys.simulation().events_executed());
   }
   std::puts("All 8 sync/async combinations under the same app-tier millibottleneck:");
   std::puts(t.to_string().c_str());
   std::puts("paper claim: CTQO disappears if and only if all servers are async.");
+  perf.print();
   return 0;
 }

@@ -19,6 +19,7 @@
 //      end on both stacks.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "core/ctqo_analyzer.h"
 #include "core/experiment.h"
 #include "core/scenarios.h"
@@ -30,7 +31,8 @@ using core::scenarios::TailPolicyChoice;
 namespace {
 
 core::ExperimentSummary run_row(metrics::Table& t, const core::ExperimentConfig& cfg,
-                                const char* label) {
+                                const char* label, const bench::BenchFlags& tf,
+                                bench::BenchPerf& perf) {
   auto sys = core::run_system(cfg);
   auto s = core::summarize(*sys);
   t.add_row({label, metrics::Table::num(s.latency.vlrt_count),
@@ -40,6 +42,8 @@ core::ExperimentSummary run_row(metrics::Table& t, const core::ExperimentConfig&
              metrics::Table::num(s.deadline_cancels),
              metrics::Table::num(std::uint64_t{s.ctqo.episodes.size()}),
              metrics::Table::num(s.ctqo.retry_storm_episodes)});
+  bench::maybe_dashboard(*sys, tf);
+  perf.add_events(sys->simulation().events_executed());
   return s;
 }
 
@@ -56,7 +60,10 @@ metrics::Table make_table() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto tf = bench::parse_bench_flags(argc, argv);
+  if (tf.bad) return 2;
+  bench::BenchPerf perf("ext_tail_tolerance");
   // --- 1: retry amplification against Fig 3's millibottleneck (NX=0) ---
   std::puts("=== consolidation millibottleneck (fig 3), sync stack (NX=0) ===");
   {
@@ -64,7 +71,7 @@ int main() {
     core::ExperimentSummary naive, none;
     for (auto c : kSweep) {
       auto s = run_row(t, core::scenarios::ext_tail_tolerance(core::Architecture::kSync, c),
-                       core::scenarios::to_string(c));
+                       core::scenarios::to_string(c), tf, perf);
       if (c == TailPolicyChoice::kNone) none = s;
       if (c == TailPolicyChoice::kNaiveRetry) {
         naive = s;
@@ -86,7 +93,7 @@ int main() {
     core::ExperimentSummary none, full;
     for (auto c : kSweep) {
       auto s = run_row(t, core::scenarios::ext_lossy_link(core::Architecture::kNx3, c),
-                       core::scenarios::to_string(c));
+                       core::scenarios::to_string(c), tf, perf);
       if (c == TailPolicyChoice::kNone) none = s;
       if (c == TailPolicyChoice::kDeadlineHedge) full = s;
     }
@@ -119,8 +126,11 @@ int main() {
                   static_cast<unsigned long long>(fc.restarts),
                   static_cast<unsigned long long>(fc.link_windows),
                   static_cast<unsigned long long>(fc.slow_windows));
+      bench::maybe_dashboard(*sys, tf);
+      perf.add_events(sys->simulation().events_executed());
     }
     std::puts(t.to_string().c_str());
   }
+  perf.print();
   return 0;
 }

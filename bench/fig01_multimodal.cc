@@ -8,8 +8,9 @@
 
 int main(int argc, char** argv) {
   using namespace ntier;
-  const auto tf = ntier::bench::parse_trace_flags(argc, argv);
+  const auto tf = ntier::bench::parse_bench_flags(argc, argv);
   if (tf.bad) return 2;
+  bench::BenchPerf perf("fig01_multimodal");
   for (std::size_t wl : {4000u, 7000u, 8000u}) {
     auto cfg = core::scenarios::fig1_multimodal(wl);
     cfg.trace = tf.config;
@@ -28,7 +29,10 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.latency.count));
     std::puts(core::histogram_panel(sys->latency()).c_str());
     bench::export_traces(*sys, tf);
+    bench::maybe_dashboard(*sys, tf);
+    perf.add_events(sys->simulation().events_executed());
     std::puts("");
   }
+  perf.print();
   return 0;
 }

@@ -7,8 +7,9 @@
 
 int main(int argc, char** argv) {
   using namespace ntier;
-  const auto tf = bench::parse_trace_flags(argc, argv);
+  const auto tf = bench::parse_bench_flags(argc, argv);
   if (tf.bad) return 2;
+  bench::BenchPerf perf("fig03_consolidation_sync");
   auto cfg = core::scenarios::fig3_consolidation_sync();
   cfg.trace = tf.config;
   auto sys = bench::run_figure(
@@ -19,5 +20,8 @@ int main(int argc, char** argv) {
   std::printf("\nApache processes spawned: second level MaxSysQDepth=%zu\n",
               sys->web()->max_sys_q_depth());
   bench::export_traces(*sys, tf);
+  bench::maybe_dashboard(*sys, tf);
+  perf.add_events(sys->simulation().events_executed());
+  perf.print();
   return 0;
 }

@@ -5,8 +5,9 @@
 
 int main(int argc, char** argv) {
   using namespace ntier;
-  const auto tf = bench::parse_trace_flags(argc, argv);
+  const auto tf = bench::parse_bench_flags(argc, argv);
   if (tf.bad) return 2;
+  bench::BenchPerf perf("fig05_logflush_sync");
   auto cfg = core::scenarios::fig5_logflush_sync();
   cfg.trace = tf.config;
   auto sys = bench::run_figure(
@@ -15,5 +16,8 @@ int main(int argc, char** argv) {
   for (auto t : sys->collectl()->flush_times()) std::printf(" %.0fs", t.to_seconds());
   std::printf("  (paper: 10s 40s 70s)\n");
   bench::export_traces(*sys, tf);
+  bench::maybe_dashboard(*sys, tf);
+  perf.add_events(sys->simulation().events_executed());
+  perf.print();
   return 0;
 }

@@ -5,8 +5,9 @@
 
 int main(int argc, char** argv) {
   using namespace ntier;
-  const auto tf = bench::parse_trace_flags(argc, argv);
+  const auto tf = bench::parse_bench_flags(argc, argv);
   if (tf.bad) return 2;
+  bench::BenchPerf perf("fig07_nx1");
   auto cfg = core::scenarios::fig7_nx1();
   cfg.trace = tf.config;
   auto sys = bench::run_figure(cfg, {"tomcat.demand", "sysbursty.demand"});
@@ -15,5 +16,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(sys->app()->stats().dropped),
               static_cast<unsigned long long>(sys->db()->stats().dropped));
   bench::export_traces(*sys, tf);
+  bench::maybe_dashboard(*sys, tf);
+  perf.add_events(sys->simulation().events_executed());
+  perf.print();
   return 0;
 }

@@ -6,8 +6,9 @@
 
 int main(int argc, char** argv) {
   using namespace ntier;
-  const auto tf = bench::parse_trace_flags(argc, argv);
+  const auto tf = bench::parse_bench_flags(argc, argv);
   if (tf.bad) return 2;
+  bench::BenchPerf perf("fig09_nx2_xtomcat");
   auto cfg = core::scenarios::fig9_nx2_xtomcat();
   cfg.trace = tf.config;
   auto sys = bench::run_figure(cfg, {"xtomcat.demand", "sysbursty.demand"});
@@ -17,5 +18,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(sys->app()->stats().dropped),
               static_cast<unsigned long long>(sys->db()->stats().dropped));
   bench::export_traces(*sys, tf);
+  bench::maybe_dashboard(*sys, tf);
+  perf.add_events(sys->simulation().events_executed());
+  perf.print();
   return 0;
 }

@@ -5,8 +5,9 @@
 
 int main(int argc, char** argv) {
   using namespace ntier;
-  const auto tf = bench::parse_trace_flags(argc, argv);
+  const auto tf = bench::parse_bench_flags(argc, argv);
   if (tf.bad) return 2;
+  bench::BenchPerf perf("fig10_nx3_xtomcat");
   auto cfg = core::scenarios::fig10_nx3_xtomcat();
   cfg.trace = tf.config;
   auto sys = bench::run_figure(cfg, {"xtomcat.demand", "sysbursty.demand"});
@@ -18,5 +19,8 @@ int main(int argc, char** argv) {
   std::printf("millibottlenecks observed in xtomcat: %zu saturated 50ms windows\n",
               sys->sampler().saturated_windows("xtomcat").size());
   bench::export_traces(*sys, tf);
+  bench::maybe_dashboard(*sys, tf);
+  perf.add_events(sys->simulation().events_executed());
+  perf.print();
   return 0;
 }

@@ -5,8 +5,9 @@
 
 int main(int argc, char** argv) {
   using namespace ntier;
-  const auto tf = bench::parse_trace_flags(argc, argv);
+  const auto tf = bench::parse_bench_flags(argc, argv);
   if (tf.bad) return 2;
+  bench::BenchPerf perf("fig11_nx3_logflush");
   auto cfg = core::scenarios::fig11_nx3_logflush();
   cfg.trace = tf.config;
   auto sys = bench::run_figure(cfg, {"xmysql.demand", "dbdisk.busy"});
@@ -16,5 +17,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(drops),
               static_cast<unsigned long long>(sys->latency().vlrt_count()));
   bench::export_traces(*sys, tf);
+  bench::maybe_dashboard(*sys, tf);
+  perf.add_events(sys->simulation().events_executed());
+  perf.print();
   return 0;
 }

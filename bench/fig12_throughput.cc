@@ -10,8 +10,9 @@
 
 int main(int argc, char** argv) {
   using namespace ntier;
-  const auto tf = bench::parse_trace_flags(argc, argv);
+  const auto tf = bench::parse_bench_flags(argc, argv);
   if (tf.bad) return 2;
+  bench::BenchPerf perf("fig12_throughput");
   metrics::Table table({"concurrency", "sync_rps", "async_rps", "paper_sync"});
   const char* paper_sync[] = {"1159", "~1000", "~800", "~550", "374"};
   int row = 0;
@@ -24,6 +25,8 @@ int main(int argc, char** argv) {
       auto sys = core::run_system(cfg);
       rps[i++] = core::summarize(*sys).throughput_rps;
       bench::export_traces(*sys, tf);
+      bench::maybe_dashboard(*sys, tf);
+      perf.add_events(sys->simulation().events_executed());
     }
     table.add_row({metrics::Table::num(std::uint64_t{conc}), metrics::Table::num(rps[0], 0),
                    metrics::Table::num(rps[1], 0), paper_sync[row++]});
@@ -31,5 +34,6 @@ int main(int argc, char** argv) {
   std::puts("Fig 12: system throughput vs workload concurrency (req/s)");
   std::puts(table.to_string().c_str());
   std::puts("expected shape: sync declines steeply with concurrency; async stays flat.");
+  perf.print();
   return 0;
 }

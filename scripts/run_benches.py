@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Run the figure/extension bench binaries and collect their [perf] lines.
+
+Every scenario bench prints one final line
+
+    [perf] bench=<name> events=<N> wall_s=<S> events_per_s=<R>
+
+summing the simulation events it executed across all of its runs
+(bench/bench_util.h, class BenchPerf). This script runs each binary,
+scrapes that line, and writes one aggregate JSON report — the repo's
+engine-throughput record (BENCH_ntier.json, uploaded as a CI artifact).
+
+Usage: scripts/run_benches.py [--build-dir build] [--out BENCH_ntier.json]
+                              [--only SUBSTR] [--list]
+
+  --build-dir DIR   cmake build tree containing bench/ (default: build)
+  --out FILE        output JSON path (default: BENCH_ntier.json)
+  --only SUBSTR     run only benches whose name contains SUBSTR
+  --list            print the discovered bench binaries and exit
+
+Exit status: 0 when every selected bench ran and produced a [perf]
+line, 1 otherwise (the report still records the failures).
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+
+# google-benchmark microbenches have their own output format.
+SKIP = {"micro_engine"}
+
+PERF_RE = re.compile(
+    r"^\[perf\] bench=(?P<name>\S+) events=(?P<events>\d+) "
+    r"wall_s=(?P<wall>[0-9.]+) events_per_s=(?P<rate>[0-9.]+)\s*$",
+    re.MULTILINE,
+)
+
+
+def discover(bench_dir: str) -> list:
+    names = []
+    for entry in sorted(os.listdir(bench_dir)):
+        path = os.path.join(bench_dir, entry)
+        if entry in SKIP or entry.startswith("."):
+            continue
+        if os.path.isfile(path) and os.access(path, os.X_OK):
+            names.append(entry)
+    return names
+
+
+def run_one(bench_dir: str, name: str) -> dict:
+    path = os.path.join(bench_dir, name)
+    try:
+        proc = subprocess.run(
+            [path], capture_output=True, text=True, timeout=1800, check=False
+        )
+    except subprocess.TimeoutExpired:
+        return {"name": name, "ok": False, "error": "timeout"}
+    if proc.returncode != 0:
+        return {"name": name, "ok": False, "error": f"exit {proc.returncode}"}
+    m = None
+    for m in PERF_RE.finditer(proc.stdout):
+        pass  # keep the last match (the binary's final summary line)
+    if m is None:
+        return {"name": name, "ok": False, "error": "no [perf] line in output"}
+    return {
+        "name": m.group("name"),
+        "ok": True,
+        "events": int(m.group("events")),
+        "wall_s": float(m.group("wall")),
+        "events_per_s": float(m.group("rate")),
+    }
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--out", default="BENCH_ntier.json")
+    ap.add_argument("--only", default="")
+    ap.add_argument("--list", action="store_true")
+    args = ap.parse_args()
+
+    bench_dir = os.path.join(args.build_dir, "bench")
+    if not os.path.isdir(bench_dir):
+        print(f"error: {bench_dir} does not exist (build the project first)")
+        return 1
+    names = [n for n in discover(bench_dir) if args.only in n]
+    if args.list:
+        print("\n".join(names))
+        return 0
+    if not names:
+        print(f"error: no bench binaries match {args.only!r} under {bench_dir}")
+        return 1
+
+    results = []
+    for name in names:
+        print(f"running {name} ...", flush=True)
+        r = run_one(bench_dir, name)
+        if r["ok"]:
+            print(f"  events={r['events']} wall_s={r['wall_s']:.3f} "
+                  f"events_per_s={r['events_per_s']:.0f}")
+        else:
+            print(f"  FAILED: {r['error']}")
+        results.append(r)
+
+    ok = [r for r in results if r["ok"]]
+    report = {
+        "schema": "ntier.bench/1",
+        "benches": results,
+        "total_events": sum(r["events"] for r in ok),
+        "total_wall_s": round(sum(r["wall_s"] for r in ok), 3),
+        "failed": [r["name"] for r in results if not r["ok"]],
+    }
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}: {len(ok)}/{len(results)} benches, "
+          f"{report['total_events']} events in {report['total_wall_s']}s")
+    return 0 if len(ok) == len(results) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Validate a single-file run dashboard (report/dashboard.h output).
+
+Structural checks — no browser needed:
+
+  - the file is non-empty UTF-8 HTML with the run header
+  - it is fully self-contained: no external stylesheet/script/image
+    references (every href/src is either absent or an in-page anchor)
+  - every inline <svg> block parses as well-formed XML
+  - at least 3 SVG panels (tier timelines, VLRT strip, histogram)
+  - the required sections are present: per-tier panels, VLRT windows,
+    latency histogram, correlation engine verdict, registry counters
+  - the correlation verdict names one of the three propagation classes
+
+Usage: scripts/validate_dashboard.py FILE.dashboard.html [...]
+Exit status: 0 when every file validates, 1 otherwise.
+"""
+
+import re
+import sys
+import xml.etree.ElementTree as ET
+
+REQUIRED = [
+    "<h1>ntier-ctqo run:",
+    "<h3>VLRT windows",
+    "<h3>Latency histogram",
+    "<h3>Correlation engine</h3>",
+    "queue-depth propagation:",
+    "Registry counters",
+]
+
+EXTERNAL_REF = re.compile(r"""(?:href|src)\s*=\s*['"](?!#)[^'"]+['"]""", re.I)
+
+
+def validate(path: str, errors: list) -> None:
+    before = len(errors)
+    try:
+        with open(path, encoding="utf-8") as f:
+            html = f.read()
+    except (OSError, UnicodeDecodeError) as e:
+        errors.append(f"{path}: unreadable: {e}")
+        return
+
+    if not html.lstrip().lower().startswith("<!doctype html"):
+        errors.append(f"{path}: missing <!doctype html> prologue")
+    for token in REQUIRED:
+        if token not in html:
+            errors.append(f"{path}: missing required section {token!r}")
+    if not re.search(r"\b(upstream|downstream|absent)\b", html):
+        errors.append(f"{path}: no propagation verdict (upstream/downstream/absent)")
+    for m in EXTERNAL_REF.finditer(html):
+        errors.append(f"{path}: external reference breaks self-containment: {m.group(0)}")
+
+    svgs = re.findall(r"<svg\b.*?</svg>", html, re.S)
+    if len(svgs) < 3:
+        errors.append(f"{path}: only {len(svgs)} <svg> panels (expected >= 3)")
+    for i, svg in enumerate(svgs):
+        try:
+            ET.fromstring(svg)
+        except ET.ParseError as e:
+            errors.append(f"{path}: svg[{i}] is not well-formed XML: {e}")
+
+    if len(errors) == before:
+        print(f"OK: {path}: {len(html)} bytes, {len(svgs)} SVG panels")
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    errors = []
+    for path in sys.argv[1:]:
+        validate(path, errors)
+    for e in errors:
+        print(f"INVALID: {e}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "telemetry/publish.h"
+
 namespace ntier::core {
 
 std::function<server::Program(const server::RequestClassProfile&)> relay_fn(
@@ -26,7 +28,10 @@ std::function<server::Program(const server::RequestClassProfile&)> leaf_fn(
 }
 
 ChainSystem::ChainSystem(ChainConfig cfg)
-    : cfg_(std::move(cfg)), rng_(cfg_.seed), sampler_(sim_, cfg_.sample_window) {
+    : cfg_(std::move(cfg)),
+      rng_(cfg_.seed),
+      registry_(cfg_.sample_window),
+      sampler_(sim_, registry_, cfg_.sample_window) {
   assert(!cfg_.tiers.empty());
   const std::size_t n = cfg_.tiers.size();
 
@@ -89,7 +94,10 @@ ChainSystem::ChainSystem(ChainConfig cfg)
   cc.policy = w.client_policy;
   clients_ = std::make_unique<workload::ClientPool>(
       sim_, rng_.fork(1), &cfg_.profile, servers_[0].get(), cc, burst_.get());
-  clients_->on_complete([this](const server::RequestPtr& r) { latency_.record(r); });
+  clients_->on_complete([this](const server::RequestPtr& r) {
+    latency_.record(r);
+    registry_.quantile("client.latency_ms").record(r->latency().to_millis());
+  });
 
   if (cfg_.freeze_tier >= 0) {
     assert(static_cast<std::size_t>(cfg_.freeze_tier) < n);
@@ -101,6 +109,19 @@ ChainSystem::ChainSystem(ChainConfig cfg)
     sampler_.track_vm(vms_[i]->name(), vms_[i]);
     sampler_.track_server(servers_[i]->name(), servers_[i].get());
     if (disks_[i]) sampler_.track_io(disks_[i]->name(), disks_[i].get());
+  }
+
+  telemetry::publish_simulation(registry_, sim_);
+  for (auto& srv : servers_) telemetry::publish_server(registry_, *srv);
+  telemetry::publish_transport(registry_, "client", clients_->transport());
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (auto* t = servers_[i]->downstream_transport())
+      telemetry::publish_transport(registry_, servers_[i]->name(), *t);
+  }
+  if (const auto* g = clients_->governor()) telemetry::publish_governor(registry_, "client", *g);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (const auto* g = servers_[i]->governor())
+      telemetry::publish_governor(registry_, servers_[i]->name(), *g);
   }
 
   if (!cfg_.faults.empty()) {

@@ -27,6 +27,7 @@
 #include "server/sync_server.h"
 #include "sim/random.h"
 #include "sim/simulation.h"
+#include "telemetry/registry.h"
 #include "workload/client.h"
 
 namespace ntier::core {
@@ -85,12 +86,18 @@ class ChainSystem {
   server::Server* tier(std::size_t i) { return servers_.at(i).get(); }
   const server::Server* tier(std::size_t i) const { return servers_.at(i).get(); }
   cpu::VmCpu* tier_vm(std::size_t i) { return vms_.at(i); }
+  const cpu::VmCpu* tier_vm(std::size_t i) const { return vms_.at(i); }
   cpu::IoDevice* tier_disk(std::size_t i) { return disks_.at(i).get(); }
+  const cpu::IoDevice* tier_disk(std::size_t i) const { return disks_.at(i).get(); }
 
   sim::Simulation& simulation() { return sim_; }
+  const sim::Simulation& simulation() const { return sim_; }
   monitor::Sampler& sampler() { return sampler_; }
   const monitor::Sampler& sampler() const { return sampler_; }
+  telemetry::Registry& registry() { return registry_; }
+  const telemetry::Registry& registry() const { return registry_; }
   monitor::LatencyCollector& latency() { return latency_; }
+  const monitor::LatencyCollector& latency() const { return latency_; }
   workload::ClientPool& clients() { return *clients_; }
   cpu::FreezeInjector* injector() { return injector_.get(); }
   fault::FaultInjector* faults() { return fault_injector_.get(); }
@@ -101,6 +108,7 @@ class ChainSystem {
   ChainConfig cfg_;
   sim::Simulation sim_;
   sim::Rng rng_;
+  telemetry::Registry registry_;
   std::vector<std::unique_ptr<cpu::HostCpu>> hosts_;
   std::vector<cpu::VmCpu*> vms_;
   std::vector<std::unique_ptr<cpu::IoDevice>> disks_;

@@ -1,5 +1,6 @@
 #include "core/export.h"
 
+#include "core/manifest.h"
 #include "metrics/csv.h"
 #include "trace/chrome_trace.h"
 
@@ -22,9 +23,11 @@ ExportResult export_run_csv(NTierSystem& sys, const std::string& dir) {
   emit("series.csv", metrics::timelines_to_csv(series));
   emit("histogram.csv", metrics::histogram_to_csv(sys.latency().histogram()));
   emit("vlrt.csv", metrics::timelines_to_csv({&sys.latency().vlrt_per_window()}));
+  sys.latency().flush();  // close the open quantile window before reading
   emit("latency_q.csv",
        metrics::timelines_to_csv({&sys.latency().latency_quantile_series(50.0),
                                   &sys.latency().latency_quantile_series(99.0)}));
+  emit("manifest.json", run_manifest_json(sys));
   if (sys.tracer() != nullptr) {
     emit("trace.json", trace::chrome_trace_json(sys.tracer()->traces()));
     emit("trace_spans.csv", trace::spans_csv(sys.tracer()->traces()));

@@ -19,6 +19,8 @@ struct ExportResult {
 //   histogram.csv    — response-time frequency bins
 //   vlrt.csv         — VLRT counts per 50 ms window
 //   latency_q.csv    — per-second p50/p99 latency
+//   manifest.json    — run manifest (core/manifest.h): scenario, seed,
+//                      and the telemetry registry's scalar snapshot
 // and, when the run had tracing enabled (cfg.trace.mode != kOff):
 //   trace.json       — retained span trees in Chrome trace_event format
 //                      (load in chrome://tracing or ui.perfetto.dev)

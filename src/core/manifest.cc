@@ -1,0 +1,134 @@
+#include "core/manifest.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "metrics/csv.h"
+
+namespace ntier::core {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+void append_num(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+// Shared tail: totals from the latency collector + the registry's
+// scalar snapshot. Keys are emitted in a fixed order (snapshot() is
+// name-sorted), keeping the manifest byte-deterministic.
+void append_common(std::string& out, const monitor::LatencyCollector& lat,
+                   std::uint64_t total_drops, std::uint64_t events,
+                   const telemetry::Registry& reg) {
+  out += "  \"totals\": {\n    \"completed\": ";
+  append_u64(out, lat.completed());
+  out += ",\n    \"vlrt\": ";
+  append_u64(out, lat.vlrt_count());
+  out += ",\n    \"dropped_requests\": ";
+  append_u64(out, lat.dropped_request_count());
+  out += ",\n    \"failed\": ";
+  append_u64(out, lat.failed_count());
+  out += ",\n    \"dropped_packets\": ";
+  append_u64(out, total_drops);
+  out += ",\n    \"events_executed\": ";
+  append_u64(out, events);
+  out += "\n  },\n  \"registry\": {";
+  bool first = true;
+  for (const auto& [name, value] : reg.snapshot()) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": ";
+    append_num(out, value);
+  }
+  out += "\n  }\n}\n";
+}
+
+std::string write_to(const std::string& json, const std::string& dir,
+                     const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = dir + "/" + name + ".manifest.json";
+  return metrics::write_file(path, json) ? path : std::string();
+}
+
+}  // namespace
+
+std::string run_manifest_json(const NTierSystem& sys) {
+  const auto& cfg = sys.config();
+  std::string out = "{\n  \"schema\": \"ntier.run-manifest/1\",\n  \"kind\": \"ntier\",\n";
+  out += "  \"name\": ";
+  append_escaped(out, cfg.name);
+  out += ",\n  \"arch\": ";
+  append_escaped(out, to_string(cfg.system.arch));
+  out += ",\n  \"seed\": ";
+  append_u64(out, cfg.seed);
+  out += ",\n  \"duration_s\": ";
+  append_num(out, cfg.duration.to_seconds());
+  out += ",\n  \"sample_window_ms\": ";
+  append_num(out, cfg.sample_window.to_millis());
+  out += ",\n  \"sessions\": ";
+  append_u64(out, cfg.workload.sessions);
+  out += ",\n  \"tiers\": [";
+  std::uint64_t drops = 0;
+  for (int i = 0; i < 3; ++i) {
+    const auto* srv = sys.tier(static_cast<Tier>(i));
+    if (i > 0) out += ", ";
+    append_escaped(out, srv->name());
+    drops += srv->stats().dropped;
+  }
+  out += "],\n";
+  append_common(out, sys.latency(), drops, sys.simulation().events_executed(),
+                sys.registry());
+  return out;
+}
+
+std::string run_manifest_json(const ChainSystem& sys) {
+  const auto& cfg = sys.config();
+  std::string out = "{\n  \"schema\": \"ntier.run-manifest/1\",\n  \"kind\": \"chain\",\n";
+  out += "  \"name\": ";
+  append_escaped(out, cfg.name);
+  out += ",\n  \"seed\": ";
+  append_u64(out, cfg.seed);
+  out += ",\n  \"duration_s\": ";
+  append_num(out, cfg.duration.to_seconds());
+  out += ",\n  \"sample_window_ms\": ";
+  append_num(out, cfg.sample_window.to_millis());
+  out += ",\n  \"sessions\": ";
+  append_u64(out, cfg.workload.sessions);
+  out += ",\n  \"tiers\": [";
+  for (std::size_t i = 0; i < sys.tier_count(); ++i) {
+    if (i > 0) out += ", ";
+    append_escaped(out, sys.tier(i)->name());
+  }
+  out += "],\n";
+  append_common(out, sys.latency(), sys.total_drops(),
+                sys.simulation().events_executed(), sys.registry());
+  return out;
+}
+
+std::string write_manifest(const NTierSystem& sys, const std::string& dir) {
+  return write_to(run_manifest_json(sys), dir, sys.config().name);
+}
+
+std::string write_manifest(const ChainSystem& sys, const std::string& dir) {
+  return write_to(run_manifest_json(sys), dir, sys.config().name);
+}
+
+}  // namespace ntier::core

@@ -1,0 +1,26 @@
+// Run manifest: the reproducibility sidecar written next to every
+// exported artifact (CSV bundles, dashboards).
+//
+// One small JSON object answering "what run produced this file?": the
+// scenario name, seed, duration, sampling window, stack shape, and the
+// telemetry registry's full scalar snapshot (every counter, gauge, and
+// probe total). Deterministic — same config + seed yields a
+// byte-identical manifest, so sidecars diff cleanly across runs.
+#pragma once
+
+#include <string>
+
+#include "core/chain.h"
+#include "core/system.h"
+
+namespace ntier::core {
+
+std::string run_manifest_json(const NTierSystem& sys);
+std::string run_manifest_json(const ChainSystem& sys);
+
+// Writes <dir>/<name>.manifest.json (creating dir if needed); returns
+// the path, or "" on write failure.
+std::string write_manifest(const NTierSystem& sys, const std::string& dir);
+std::string write_manifest(const ChainSystem& sys, const std::string& dir);
+
+}  // namespace ntier::core

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "server/tiers.h"
+#include "telemetry/publish.h"
 
 namespace ntier::core {
 
@@ -11,7 +12,8 @@ namespace st = server::tiers;
 NTierSystem::NTierSystem(ExperimentConfig cfg)
     : cfg_(std::move(cfg)),
       rng_(cfg_.seed),
-      sampler_(sim_, cfg_.sample_window),
+      registry_(cfg_.sample_window),
+      sampler_(sim_, registry_, cfg_.sample_window),
       latency_() {
   build_hosts();
   build_servers();
@@ -133,7 +135,10 @@ void NTierSystem::build_workload() {
   }
   clients_ = std::make_unique<workload::ClientPool>(
       sim_, rng_.fork(1), &cfg_.profile, servers_[0].get(), cc, client_burst_.get());
-  clients_->on_complete([this](const server::RequestPtr& r) { latency_.record(r); });
+  clients_->on_complete([this](const server::RequestPtr& r) {
+    latency_.record(r);
+    registry_.quantile("client.latency_ms").record(r->latency().to_millis());
+  });
 
   switch (cfg_.bottleneck.kind) {
     case MillibottleneckSpec::Kind::kNone:
@@ -168,6 +173,21 @@ void NTierSystem::build_monitoring() {
   }
   if (bursty_vm_ != nullptr) sampler_.track_vm("sysbursty", bursty_vm_);
   sampler_.track_io("dbdisk", db_disk_.get());
+
+  // Pull-probes: every layer publishes into the shared registry, sampled
+  // at the Sampler tick (no events, no randomness — invariant 10).
+  telemetry::publish_simulation(registry_, sim_);
+  for (auto& srv : servers_) telemetry::publish_server(registry_, *srv);
+  telemetry::publish_transport(registry_, "client", clients_->transport());
+  for (int i = 0; i < 2; ++i) {
+    if (auto* t = servers_[i]->downstream_transport())
+      telemetry::publish_transport(registry_, servers_[i]->name(), *t);
+  }
+  if (const auto* g = clients_->governor()) telemetry::publish_governor(registry_, "client", *g);
+  for (int i = 0; i < 2; ++i) {
+    if (const auto* g = servers_[i]->governor())
+      telemetry::publish_governor(registry_, servers_[i]->name(), *g);
+  }
 }
 
 void NTierSystem::build_faults() {

@@ -23,6 +23,7 @@
 #include "server/server_base.h"
 #include "sim/random.h"
 #include "sim/simulation.h"
+#include "telemetry/registry.h"
 #include "trace/tracer.h"
 #include "workload/client.h"
 #include "workload/sysbursty.h"
@@ -43,6 +44,7 @@ class NTierSystem {
   // --- access ------------------------------------------------------------
   const ExperimentConfig& config() const { return cfg_; }
   sim::Simulation& simulation() { return sim_; }
+  const sim::Simulation& simulation() const { return sim_; }
   server::Server* tier(Tier t) { return servers_[index(t)].get(); }
   const server::Server* tier(Tier t) const { return servers_[index(t)].get(); }
   server::Server* web() { return tier(Tier::kWeb); }
@@ -50,11 +52,17 @@ class NTierSystem {
   server::Server* db() { return tier(Tier::kDb); }
   // Steady VM of a tier ("apache"/"nginx", "tomcat"/"xtomcat", ...).
   cpu::VmCpu* tier_vm(Tier t) { return vms_[index(t)]; }
+  const cpu::VmCpu* tier_vm(Tier t) const { return vms_[index(t)]; }
   cpu::VmCpu* bursty_vm() { return bursty_vm_; }
   cpu::IoDevice* db_disk() { return db_disk_.get(); }
+  const cpu::IoDevice* db_disk() const { return db_disk_.get(); }
 
   monitor::Sampler& sampler() { return sampler_; }
   const monitor::Sampler& sampler() const { return sampler_; }
+  // Unified metric plane: every layer's counters/gauges/series/probes
+  // (telemetry/registry.h; schema in docs/TELEMETRY.md).
+  telemetry::Registry& registry() { return registry_; }
+  const telemetry::Registry& registry() const { return registry_; }
   monitor::LatencyCollector& latency() { return latency_; }
   const monitor::LatencyCollector& latency() const { return latency_; }
   workload::ClientPool& clients() { return *clients_; }
@@ -82,6 +90,7 @@ class NTierSystem {
   ExperimentConfig cfg_;
   sim::Simulation sim_;
   sim::Rng rng_;
+  telemetry::Registry registry_;
 
   std::array<std::unique_ptr<cpu::HostCpu>, 3> hosts_;
   std::array<cpu::VmCpu*, 3> vms_{};

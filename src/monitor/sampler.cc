@@ -1,17 +1,22 @@
 #include "monitor/sampler.h"
 
+#include <cassert>
 #include <stdexcept>
 
 namespace ntier::monitor {
 
-Sampler::Sampler(sim::Simulation& sim, sim::Duration window) : sim_(sim), window_(window) {}
-
-metrics::Timeline& Sampler::line(const std::string& name) {
-  auto it = lines_.find(name);
-  if (it == lines_.end())
-    it = lines_.emplace(name, metrics::Timeline(name, window_)).first;
-  return it->second;
+Sampler::Sampler(sim::Simulation& sim, telemetry::Registry& registry, sim::Duration window)
+    : sim_(sim), window_(window), registry_(&registry) {
+  assert(registry.window() == window);
 }
+
+Sampler::Sampler(sim::Simulation& sim, sim::Duration window)
+    : sim_(sim),
+      window_(window),
+      owned_registry_(std::make_unique<telemetry::Registry>(window)),
+      registry_(owned_registry_.get()) {}
+
+metrics::Timeline& Sampler::line(const std::string& name) { return registry_->series(name); }
 
 void Sampler::track_vm(const std::string& prefix, cpu::VmCpu* vm) {
   vms_.push_back(VmTrack{prefix, vm, 0.0, 0.0, 0.0});
@@ -21,10 +26,11 @@ void Sampler::track_vm(const std::string& prefix, cpu::VmCpu* vm) {
 }
 
 void Sampler::track_server(const std::string& prefix, server::Server* srv) {
-  servers_.push_back(ServerTrack{prefix, srv, 0, 0});
+  servers_.push_back(ServerTrack{prefix, srv, 0, 0, 0});
   line(prefix + ".queue");
   line(prefix + ".offered");
   line(prefix + ".completed");
+  line(prefix + ".dropped");
 }
 
 void Sampler::track_io(const std::string& prefix, cpu::IoDevice* dev) {
@@ -60,34 +66,35 @@ void Sampler::tick() {
     line(t.prefix + ".queue").set(wstart, static_cast<double>(t.srv->queued_requests()));
     const std::uint64_t off = t.srv->stats().offered;
     const std::uint64_t comp = t.srv->stats().completed;
+    const std::uint64_t drop = t.srv->stats().dropped;
     line(t.prefix + ".offered").set(wstart, static_cast<double>(off - t.last_offered) / win_s);
     line(t.prefix + ".completed")
         .set(wstart, static_cast<double>(comp - t.last_completed) / win_s);
+    line(t.prefix + ".dropped").set(wstart, static_cast<double>(drop - t.last_dropped));
     t.last_offered = off;
     t.last_completed = comp;
+    t.last_dropped = drop;
   }
   for (auto& t : ios_) {
     const double busy = t.dev->busy_seconds_until(now);
     line(t.prefix + ".busy").set(wstart, 100.0 * (busy - t.last_busy) / win_s);
     t.last_busy = busy;
   }
+  // Materialize every registered pull-probe for this window (sim.events,
+  // headroom, retransmit rates, ... — see telemetry/publish.h).
+  registry_->sample(wstart, win_s);
   sim_.after(window_, [this] { tick(); });
 }
 
 const metrics::Timeline& Sampler::series(const std::string& name) const {
-  auto it = lines_.find(name);
-  if (it == lines_.end()) throw std::out_of_range("Sampler: unknown series " + name);
-  return it->second;
+  const metrics::Timeline* tl = registry_->find_series(name);
+  if (tl == nullptr) throw std::out_of_range("Sampler: unknown series " + name);
+  return *tl;
 }
 
-bool Sampler::has_series(const std::string& name) const { return lines_.count(name) > 0; }
+bool Sampler::has_series(const std::string& name) const { return registry_->has_series(name); }
 
-std::vector<std::string> Sampler::series_names() const {
-  std::vector<std::string> out;
-  out.reserve(lines_.size());
-  for (const auto& [k, v] : lines_) out.push_back(k);
-  return out;
-}
+std::vector<std::string> Sampler::series_names() const { return registry_->series_names(); }
 
 std::vector<sim::Time> Sampler::saturated_windows(const std::string& vm_prefix,
                                                   double threshold_pct) const {

@@ -11,7 +11,17 @@
 //                     policy retries (the retry-storm detector's input)
 //   <srv>.completed — replies/s (the drain rate the offered rate must
 //                     stay below for queues to shrink)
+//   <srv>.dropped   — admission drops per window (count, not a rate:
+//                     the correlation engine's drop-impulse series)
 //   <io>.busy    — % of window the disk was busy (the I/O wait of Fig 5(a))
+//
+// All series live in the unified telemetry::Registry (telemetry/
+// registry.h): the Sampler writes its lines there, and at each tick it
+// also materializes every registered pull-probe (sim.events, headroom,
+// retransmit rates, ...), so one registry holds the whole metric plane.
+// Construct the Sampler over an external registry to share it with other
+// publishers, or use the two-argument constructor for a self-contained
+// one.
 //
 // Contract: call track_vm/track_server/track_io before start(); start()
 // schedules a self-re-arming tick every `window` of simulated time (the
@@ -22,7 +32,7 @@
 // ("tomcat.queue") — docs/METRICS.md documents every one.
 #pragma once
 
-#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,12 +41,17 @@
 #include "metrics/timeline.h"
 #include "server/server_base.h"
 #include "sim/simulation.h"
+#include "telemetry/registry.h"
 
 namespace ntier::monitor {
 
 class Sampler {
  public:
-  Sampler(sim::Simulation& sim, sim::Duration window = sim::Duration::millis(50));
+  // Shares an externally owned registry (its window must match).
+  Sampler(sim::Simulation& sim, telemetry::Registry& registry,
+          sim::Duration window = sim::Duration::millis(50));
+  // Self-contained: owns a private registry of the same window.
+  explicit Sampler(sim::Simulation& sim, sim::Duration window = sim::Duration::millis(50));
 
   void track_vm(const std::string& prefix, cpu::VmCpu* vm);
   void track_server(const std::string& prefix, server::Server* srv);
@@ -46,6 +61,8 @@ class Sampler {
   void start();
 
   sim::Duration window() const { return window_; }
+  telemetry::Registry& registry() { return *registry_; }
+  const telemetry::Registry& registry() const { return *registry_; }
   // Series access by full name (e.g. "tomcat.queue"); throws if unknown.
   const metrics::Timeline& series(const std::string& name) const;
   bool has_series(const std::string& name) const;
@@ -74,6 +91,7 @@ class Sampler {
     server::Server* srv;
     std::uint64_t last_offered = 0;
     std::uint64_t last_completed = 0;
+    std::uint64_t last_dropped = 0;
   };
 
   void tick();
@@ -82,10 +100,11 @@ class Sampler {
   sim::Simulation& sim_;
   sim::Duration window_;
   bool started_ = false;
+  std::unique_ptr<telemetry::Registry> owned_registry_;
+  telemetry::Registry* registry_;
   std::vector<VmTrack> vms_;
   std::vector<ServerTrack> servers_;
   std::vector<IoTrack> ios_;
-  std::map<std::string, metrics::Timeline> lines_;
 };
 
 }  // namespace ntier::monitor

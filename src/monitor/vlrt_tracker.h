@@ -45,9 +45,12 @@ class LatencyCollector {
   const metrics::LinearHistogram& histogram() const { return hist_; }
   const metrics::Timeline& vlrt_per_window() const { return vlrt_; }
   const metrics::Timeline& throughput_per_window() const { return thpt_; }
-  // Per-second p50/p99 latency series (flushes the open window).
-  const metrics::Timeline& latency_quantile_series(double q) {
-    quantiles_.flush();
+  // Finalizes the open quantile window. Call once after the run, before
+  // reading latency_quantile_series; idempotent.
+  void flush() { quantiles_.flush(); }
+  // Per-second p50/p99 latency series. The last partial window is only
+  // included after flush().
+  const metrics::Timeline& latency_quantile_series(double q) const {
     return quantiles_.series(q);
   }
 

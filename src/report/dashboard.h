@@ -1,0 +1,33 @@
+// Single-file HTML run dashboard (inline SVG, no external assets).
+#pragma once
+
+#include <string>
+
+#include "core/correlate.h"
+#include "core/ctqo_analyzer.h"
+
+namespace ntier::core {
+class NTierSystem;
+class ChainSystem;
+}  // namespace ntier::core
+
+namespace ntier::report {
+
+// Renders the full run dashboard as one self-contained HTML document:
+// latency histogram, per-tier saturation and queue timelines with CTQO
+// episode shading, the VLRT strip, the ranked correlation table, and the
+// registry counter snapshot. Deterministic: same run, same bytes.
+std::string render_dashboard(const core::NTierSystem& sys, const core::CtqoReport& ctqo,
+                             const core::CorrelationReport& corr);
+std::string render_dashboard(const core::ChainSystem& sys, const core::CtqoReport& ctqo,
+                             const core::CorrelationReport& corr);
+
+// Renders and writes `<dir>/<name>.dashboard.html`; returns the path.
+std::string write_dashboard(const core::NTierSystem& sys, const core::CtqoReport& ctqo,
+                            const core::CorrelationReport& corr, const std::string& dir,
+                            const std::string& name);
+std::string write_dashboard(const core::ChainSystem& sys, const core::CtqoReport& ctqo,
+                            const core::CorrelationReport& corr, const std::string& dir,
+                            const std::string& name);
+
+}  // namespace ntier::report

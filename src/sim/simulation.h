@@ -40,6 +40,10 @@ class Simulation {
   // Events executed so far; useful for microbenchmarks and loop guards.
   std::uint64_t events_executed() const { return executed_; }
 
+  // Upper bound on the future-event-list size (includes lazily-cancelled
+  // entries) — the "heap depth" gauge the telemetry registry samples.
+  std::size_t pending_events() const { return queue_.size_upper_bound(); }
+
  private:
   EventQueue queue_;
   Time now_ = Time::origin();

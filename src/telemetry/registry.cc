@@ -1,0 +1,86 @@
+#include "telemetry/registry.h"
+
+namespace ntier::telemetry {
+
+Registry::Registry(sim::Duration window) : window_(window) {}
+
+Counter& Registry::counter(const std::string& name) { return counters_[name]; }
+
+Gauge& Registry::gauge(const std::string& name) { return gauges_[name]; }
+
+GkQuantile& Registry::quantile(const std::string& name, double eps) {
+  auto it = quantiles_.find(name);
+  if (it == quantiles_.end()) it = quantiles_.emplace(name, GkQuantile(eps)).first;
+  return it->second;
+}
+
+metrics::Timeline& Registry::series(const std::string& name) {
+  auto it = series_.find(name);
+  if (it == series_.end()) it = series_.emplace(name, metrics::Timeline(name, window_)).first;
+  return it->second;
+}
+
+void Registry::add_probe(const std::string& name, ProbeKind kind,
+                         std::function<double()> fn) {
+  series(name);  // the series exists even before the first sample
+  double initial = kind == ProbeKind::kCumulative ? fn() : 0.0;
+  probes_.push_back(Probe{name, kind, std::move(fn), initial});
+}
+
+void Registry::sample(sim::Time wstart, double window_seconds) {
+  for (auto& p : probes_) {
+    const double cur = p.fn();
+    if (p.kind == ProbeKind::kCumulative) {
+      series(p.name).set(wstart, (cur - p.last) / window_seconds);
+      p.last = cur;
+    } else {
+      series(p.name).set(wstart, cur);
+    }
+  }
+}
+
+bool Registry::has_series(const std::string& name) const { return series_.count(name) > 0; }
+
+const metrics::Timeline* Registry::find_series(const std::string& name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+const Counter* Registry::find_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* Registry::find_gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const GkQuantile* Registry::find_quantile(const std::string& name) const {
+  auto it = quantiles_.find(name);
+  return it == quantiles_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Registry::series_names() const {
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [k, v] : series_) out.push_back(k);
+  return out;
+}
+
+std::vector<std::string> Registry::counter_names() const {
+  std::vector<std::string> out;
+  out.reserve(counters_.size());
+  for (const auto& [k, v] : counters_) out.push_back(k);
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::snapshot() const {
+  std::map<std::string, double> flat;
+  for (const auto& [k, c] : counters_) flat[k] = static_cast<double>(c.value());
+  for (const auto& [k, g] : gauges_) flat[k] = g.value();
+  for (const auto& p : probes_) flat[p.name + (p.kind == ProbeKind::kCumulative ? ".total" : "")] = p.fn();
+  return {flat.begin(), flat.end()};
+}
+
+}  // namespace ntier::telemetry

@@ -1,0 +1,98 @@
+// Unified telemetry registry: the one metric plane every layer
+// publishes into.
+//
+// Before this registry existed the instruments were scattered — the
+// Sampler kept its own timeline map, servers kept Stats structs,
+// transports kept TxStats, governors kept PolicyStats — and every
+// consumer (CTQO analyzer, exports, figure benches) stitched them
+// together by hand. The registry gives them one namespace:
+//
+//   * counter(name)  — monotonic totals (drops, retransmits, events);
+//   * gauge(name)    — instantaneous levels (heap depth, breaker state);
+//   * quantile(name) — streaming GK latency summaries (metric.h);
+//   * series(name)   — fixed-window metrics::Timeline (the 50 ms plane
+//                      the paper's figures and the correlation engine
+//                      consume; monitor::Sampler stores its lines here);
+//   * add_probe(...) — pull-model publishing: a layer registers a
+//                      closure over its own cumulative or instantaneous
+//                      statistic, and sample() materializes one window
+//                      per tick into the matching series.
+//
+// Non-perturbation guarantee (DESIGN.md invariant 10): the registry
+// schedules no events and draws no randomness. Probes are pure reads;
+// sample() runs inside the Sampler tick that exists in every run
+// anyway. A run with every publish point live is event-identical — and
+// therefore latency/drop bit-identical — to the same seed without them.
+// docs/TELEMETRY.md documents the full schema and every publish point.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "metrics/timeline.h"
+#include "sim/time.h"
+#include "telemetry/metric.h"
+
+namespace ntier::telemetry {
+
+class Registry {
+ public:
+  explicit Registry(sim::Duration window = sim::Duration::millis(50));
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  sim::Duration window() const { return window_; }
+
+  // --- create-or-get (references are stable for the registry's life) ---
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  GkQuantile& quantile(const std::string& name, double eps = 0.005);
+  metrics::Timeline& series(const std::string& name);
+
+  // --- probes -------------------------------------------------------------
+  // kCumulative: fn() is a monotonically non-decreasing total; sample()
+  //   writes the per-second rate over each window into series `name`.
+  // kGauge: fn() is an instantaneous level; sample() writes it verbatim.
+  enum class ProbeKind { kCumulative, kGauge };
+  void add_probe(const std::string& name, ProbeKind kind, std::function<double()> fn);
+
+  // Materializes one window for every probe (called by the Sampler tick;
+  // `wstart` is the window's start stamp, `window_seconds` its width).
+  void sample(sim::Time wstart, double window_seconds);
+
+  // --- read access --------------------------------------------------------
+  bool has_series(const std::string& name) const;
+  const metrics::Timeline* find_series(const std::string& name) const;
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const GkQuantile* find_quantile(const std::string& name) const;
+  std::vector<std::string> series_names() const;
+  std::vector<std::string> counter_names() const;
+
+  // Flat name->value view of every scalar (counters, gauges, and probe
+  // totals), name-sorted — the manifest/dashboard "counter totals"
+  // block. Probe totals appear under their probe name (cumulative reads
+  // fn() now; gauge probes report the current level).
+  std::vector<std::pair<std::string, double>> snapshot() const;
+
+ private:
+  struct Probe {
+    std::string name;
+    ProbeKind kind;
+    std::function<double()> fn;
+    double last = 0.0;
+  };
+
+  sim::Duration window_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, GkQuantile> quantiles_;
+  std::map<std::string, metrics::Timeline> series_;
+  std::vector<Probe> probes_;
+};
+
+}  // namespace ntier::telemetry

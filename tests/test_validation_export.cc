@@ -59,6 +59,7 @@ TEST(QuantileTimeline, CollectorP99SpikesDuringMillibottleneck) {
   auto cfg = core::scenarios::fig3_consolidation_sync();
   cfg.duration = Duration::seconds(12);
   auto sys = core::run_system(cfg);
+  sys->latency().flush();
   const auto& p99 = sys->latency().latency_quantile_series(99.0);
   // Quiet early second vs the burst at ~6.5-7.5 s.
   EXPECT_LT(p99.value_at(1), 50.0);
@@ -109,7 +110,12 @@ TEST(Export, WritesAllArtifacts) {
   const std::string dir = ::testing::TempDir();
   const auto result = core::export_run_csv(*sys, dir);
   EXPECT_TRUE(result.ok);
-  ASSERT_EQ(result.files_written.size(), 4u);
+  // series, histogram, vlrt, latency_q, manifest.
+  ASSERT_EQ(result.files_written.size(), 5u);
+  bool has_manifest = false;
+  for (const auto& f : result.files_written)
+    if (f.find("manifest.json") != std::string::npos) has_manifest = true;
+  EXPECT_TRUE(has_manifest);
   // series.csv has a header with every sampler series.
   std::ifstream in(dir + "/series.csv");
   std::string header;
