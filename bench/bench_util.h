@@ -6,6 +6,11 @@
 //   --trace=all|vlrt|1inN|off   sampling mode (N an integer, e.g. 1in100)
 //   --trace-out=DIR             trace artifact directory (default trace_out/)
 //   --dashboard=DIR             write <DIR>/<name>.dashboard.html per run
+// Sweep-capable benches (bench/sweep_ctqo_surface) additionally accept
+//   --replications=R            seed-replications per grid point (default 3)
+//   --jobs=J                    worker threads; artifacts are J-invariant
+//   --sweep-out=DIR             reduced CSV + sweep manifest directory
+//   --quick                     shrunken grid for CI smoke runs
 // With tracing on, the run writes <DIR>/<name>.trace.json (Chrome
 // trace_event format — load in chrome://tracing or ui.perfetto.dev) and
 // <DIR>/<name>.trace_spans.csv, then prints the per-VLRT critical-path
@@ -40,16 +45,34 @@ struct BenchFlags {
   trace::TraceConfig config;        // mode kOff unless --trace given
   std::string out_dir = "trace_out";
   std::string dashboard_dir;        // empty = no dashboard
+  // Sweep controls (sweep-capable benches only; sweep/engine.h):
+  std::size_t replications = 3;     // --replications=R seed-replications/point
+  std::size_t jobs = 1;             // --jobs=J worker threads (artifact-invariant)
+  std::string sweep_out = "sweep_out";  // --sweep-out=DIR for CSV + manifest
+  bool quick = false;               // --quick: shrunken grid for smoke runs
   bool bad = false;                 // an unparsable flag was seen
 };
 
-// Parses --trace= / --trace-out= / --dashboard= from argv; prints usage
-// on a bad flag.
+// Parses --trace= / --trace-out= / --dashboard= / --replications= /
+// --jobs= / --sweep-out= / --quick from argv; prints usage on a bad flag.
 inline BenchFlags parse_bench_flags(int argc, char** argv) {
   BenchFlags f;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--trace-out=", 0) == 0) {
+    if (arg.rfind("--replications=", 0) == 0) {
+      const long r = std::strtol(arg.c_str() + 15, nullptr, 10);
+      if (r >= 1) f.replications = static_cast<std::size_t>(r);
+      else f.bad = true;
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      const long j = std::strtol(arg.c_str() + 7, nullptr, 10);
+      if (j >= 1) f.jobs = static_cast<std::size_t>(j);
+      else f.bad = true;
+    } else if (arg.rfind("--sweep-out=", 0) == 0) {
+      f.sweep_out = arg.substr(12);
+      if (f.sweep_out.empty()) f.bad = true;
+    } else if (arg == "--quick") {
+      f.quick = true;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
       f.out_dir = arg.substr(12);
       if (f.out_dir.empty()) f.bad = true;
     } else if (arg.rfind("--dashboard=", 0) == 0) {
@@ -81,7 +104,8 @@ inline BenchFlags parse_bench_flags(int argc, char** argv) {
   if (f.bad) {
     std::fprintf(stderr,
                  "usage: %s [--trace=all|vlrt|1inN|off] [--trace-out=DIR] "
-                 "[--dashboard=DIR]\n",
+                 "[--dashboard=DIR] [--replications=R] [--jobs=J] "
+                 "[--sweep-out=DIR] [--quick]\n",
                  argc > 0 ? argv[0] : "fig");
   }
   return f;

@@ -1,6 +1,18 @@
 // google-benchmark microbenchmarks of the simulation substrates: these
 // bound how much simulated time per wall-second the harness sustains.
+//
+// The CancelHeavy pair compares the current indexed 4-ary heap
+// (O(log n) erase on cancel) against the previous lazy-cancellation
+// std::priority_queue, replicated below as LazyEventQueue: the workload
+// is the processor-sharing core's reschedule pattern (cancel the
+// pending completion event, push a new one) where lazy cancellation
+// accumulates dead entries. scripts/run_benches.py records the
+// indexed-over-lazy delta into BENCH_ntier.json.
 #include <benchmark/benchmark.h>
+
+#include <memory>
+#include <queue>
+#include <vector>
 
 #include "cpu/host_core.h"
 #include "metrics/histogram.h"
@@ -12,6 +24,84 @@ namespace {
 
 using namespace ntier;
 using sim::Duration;
+
+// The pre-indexed-heap EventQueue, verbatim in behaviour: a
+// std::priority_queue with shared-flag lazy cancellation — cancel() is
+// O(1) but dead entries stay in the heap until pop reaches them.
+class LazyEventQueue {
+ public:
+  struct Handle {
+    std::shared_ptr<bool> done;
+    void cancel() { if (done) *done = true; }
+  };
+
+  Handle push(sim::Time when, sim::EventFn fn) {
+    auto done = std::make_shared<bool>(false);
+    heap_.push(Entry{when, next_seq_++, std::move(fn), done});
+    return Handle{std::move(done)};
+  }
+
+  bool pop_and_run() {
+    while (!heap_.empty() && *heap_.top().done) heap_.pop();
+    if (heap_.empty()) return false;
+    Entry e = heap_.top();
+    heap_.pop();
+    *e.done = true;
+    e.fn();
+    return true;
+  }
+
+  std::size_t size_upper_bound() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    sim::Time when;
+    std::uint64_t seq;
+    sim::EventFn fn;
+    std::shared_ptr<bool> done;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+// Cancel-heavy churn: 256 standing "timers" that are constantly
+// rescheduled (cancel + re-push) with an occasional pop — how every
+// tier server's next-completion event behaves under load.
+template <typename Queue, typename Handle>
+void cancel_heavy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Queue q;
+    std::vector<Handle> slots(256);
+    sim::Rng rng(7);
+    for (int i = 0; i < n; ++i) {
+      auto& slot = slots[rng.next_u64() % 256];
+      slot.cancel();
+      slot = q.push(sim::Time::from_micros(
+                        1 + static_cast<std::int64_t>(rng.next_u64() % 1000000)),
+                    [] {});
+      if (i % 8 == 0) q.pop_and_run();
+    }
+    benchmark::DoNotOptimize(q);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_CancelHeavy_LazyPQ(benchmark::State& state) {
+  cancel_heavy<LazyEventQueue, LazyEventQueue::Handle>(state);
+}
+BENCHMARK(BM_CancelHeavy_LazyPQ)->Arg(100000);
+
+void BM_CancelHeavy_IndexedHeap(benchmark::State& state) {
+  cancel_heavy<sim::EventQueue, sim::EventHandle>(state);
+}
+BENCHMARK(BM_CancelHeavy_IndexedHeap)->Arg(100000);
 
 void BM_EventQueuePushPop(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -10,6 +10,12 @@ summing the simulation events it executed across all of its runs
 scrapes that line, and writes one aggregate JSON report — the repo's
 engine-throughput record (BENCH_ntier.json, uploaded as a CI artifact).
 
+The report also carries a "micro_engine" section with the event-queue
+CancelHeavy comparison (bench/micro_engine.cc): items/s of the old
+lazy-cancellation priority_queue vs. the current indexed 4-ary heap,
+plus the indexed_over_lazy speedup ratio — the repo's record of the
+engine-hot-path delta.
+
 Usage: scripts/run_benches.py [--build-dir build] [--out BENCH_ntier.json]
                               [--only SUBSTR] [--list]
 
@@ -19,7 +25,8 @@ Usage: scripts/run_benches.py [--build-dir build] [--out BENCH_ntier.json]
   --list            print the discovered bench binaries and exit
 
 Exit status: 0 when every selected bench ran and produced a [perf]
-line, 1 otherwise (the report still records the failures).
+line (and the micro_engine comparison parsed), 1 otherwise (the report
+still records the failures).
 """
 
 import argparse
@@ -74,6 +81,44 @@ def run_one(bench_dir: str, name: str) -> dict:
     }
 
 
+def run_micro_engine(bench_dir: str) -> dict:
+    """Old-vs-new event-queue comparison from the CancelHeavy benchmarks."""
+    path = os.path.join(bench_dir, "micro_engine")
+    if not (os.path.isfile(path) and os.access(path, os.X_OK)):
+        return {"ok": False, "error": "micro_engine binary not found"}
+    try:
+        proc = subprocess.run(
+            [path, "--benchmark_filter=CancelHeavy", "--benchmark_format=json"],
+            capture_output=True, text=True, timeout=600, check=False,
+        )
+    except subprocess.TimeoutExpired:
+        return {"ok": False, "error": "timeout"}
+    if proc.returncode != 0:
+        return {"ok": False, "error": f"exit {proc.returncode}"}
+    try:
+        data = json.loads(proc.stdout)
+    except ValueError:
+        return {"ok": False, "error": "unparsable google-benchmark JSON"}
+    rates = {}
+    for b in data.get("benchmarks", []):
+        name = b.get("name", "")
+        rate = b.get("items_per_second")
+        if "CancelHeavy_LazyPQ" in name:
+            rates["lazy_pq_items_per_s"] = rate
+        elif "CancelHeavy_IndexedHeap" in name:
+            rates["indexed_heap_items_per_s"] = rate
+    lazy = rates.get("lazy_pq_items_per_s")
+    indexed = rates.get("indexed_heap_items_per_s")
+    if not lazy or not indexed:
+        return {"ok": False, "error": "CancelHeavy benchmarks missing from output"}
+    return {
+        "ok": True,
+        "lazy_pq_items_per_s": round(lazy),
+        "indexed_heap_items_per_s": round(indexed),
+        "indexed_over_lazy": round(indexed / lazy, 3),
+    }
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build")
@@ -90,7 +135,8 @@ def main() -> int:
     if args.list:
         print("\n".join(names))
         return 0
-    if not names:
+    want_micro = args.only in "micro_engine"
+    if not names and not want_micro:
         print(f"error: no bench binaries match {args.only!r} under {bench_dir}")
         return 1
 
@@ -105,20 +151,34 @@ def main() -> int:
             print(f"  FAILED: {r['error']}")
         results.append(r)
 
+    micro = None
+    if want_micro:
+        print("running micro_engine (CancelHeavy old-vs-new heap) ...", flush=True)
+        micro = run_micro_engine(bench_dir)
+        if micro["ok"]:
+            print(f"  lazy_pq={micro['lazy_pq_items_per_s']}/s "
+                  f"indexed_heap={micro['indexed_heap_items_per_s']}/s "
+                  f"speedup={micro['indexed_over_lazy']}x")
+        else:
+            print(f"  FAILED: {micro['error']}")
+
     ok = [r for r in results if r["ok"]]
     report = {
-        "schema": "ntier.bench/1",
+        "schema": "ntier.bench/2",
         "benches": results,
+        "micro_engine": micro,
         "total_events": sum(r["events"] for r in ok),
         "total_wall_s": round(sum(r["wall_s"] for r in ok), 3),
         "failed": [r["name"] for r in results if not r["ok"]],
     }
+    if micro is not None and not micro["ok"]:
+        report["failed"].append("micro_engine")
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(report, f, indent=2)
         f.write("\n")
     print(f"wrote {args.out}: {len(ok)}/{len(results)} benches, "
           f"{report['total_events']} events in {report['total_wall_s']}s")
-    return 0 if len(ok) == len(results) else 1
+    return 0 if not report["failed"] else 1
 
 
 if __name__ == "__main__":

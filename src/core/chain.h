@@ -32,11 +32,16 @@
 
 namespace ntier::core {
 
+// One tier of a chain: server kind, pool sizing, and its per-request
+// work program.
 struct ChainTierSpec {
+  // Tier name (reports/telemetry) and server model: sync by default.
   std::string name;
   bool async = false;
   // SEDA-style staged tier (takes precedence over `async` when set).
   bool staged = false;
+  // Per-kind server configuration (only the active kind's is read) and
+  // the tier host's vCPU count.
   server::SyncConfig sync{};
   server::AsyncConfig async_cfg{};
   server::StagedConfig staged_cfg{};
@@ -53,10 +58,15 @@ std::function<server::Program(const server::RequestClassProfile&)> relay_fn(
 std::function<server::Program(const server::RequestClassProfile&)> leaf_fn(
     sim::Duration cpu, sim::Duration disk = sim::Duration::zero());
 
+// A whole chain experiment: tiers plus the workload/fault/policy knobs
+// shared with ExperimentConfig. Pure value; same config + seed => same
+// artifacts.
 struct ChainConfig {
+  // Run name, the tier stack, and the request-class profile.
   std::string name = "chain";
   std::vector<ChainTierSpec> tiers;  // front (client-facing) first
   server::AppProfile profile = server::AppProfile::rubbos();
+  // Load, inter-tier networking, monitoring cadence, run length, seed.
   WorkloadConfig workload{};
   net::RtoPolicy tier_rto = net::RtoPolicy::fixed3s();
   sim::Duration link_latency = sim::Duration::micros(200);
@@ -72,15 +82,23 @@ struct ChainConfig {
   fault::FaultPlan faults{};
 };
 
+// A built chain: owns the simulation, hosts, servers, clients, and
+// monitors for one run. Construction validates and wires; run() drives.
 class ChainSystem {
  public:
+  // Builds the whole chain from a validated config; non-copyable (every
+  // component holds pointers into this system's Simulation).
   explicit ChainSystem(ChainConfig cfg);
   ChainSystem(const ChainSystem&) = delete;
   ChainSystem& operator=(const ChainSystem&) = delete;
 
+  // Runs to cfg.duration (run) or an arbitrary instant (run_until);
+  // both start the workload on first call and may be resumed.
   void run();
   void run_until(sim::Time t);
 
+  // The config the system was built from, and per-tier component access
+  // (index 0 = front tier; tier_disk is null for diskless tiers).
   const ChainConfig& config() const { return cfg_; }
   std::size_t tier_count() const { return servers_.size(); }
   server::Server* tier(std::size_t i) { return servers_.at(i).get(); }
@@ -90,6 +108,8 @@ class ChainSystem {
   cpu::IoDevice* tier_disk(std::size_t i) { return disks_.at(i).get(); }
   const cpu::IoDevice* tier_disk(std::size_t i) const { return disks_.at(i).get(); }
 
+  // Shared infrastructure: clock, sampler, telemetry, latency
+  // collector, client pool, and the optional injectors.
   sim::Simulation& simulation() { return sim_; }
   const sim::Simulation& simulation() const { return sim_; }
   monitor::Sampler& sampler() { return sampler_; }
@@ -102,6 +122,7 @@ class ChainSystem {
   cpu::FreezeInjector* injector() { return injector_.get(); }
   fault::FaultInjector* faults() { return fault_injector_.get(); }
 
+  // Dropped packets summed over every tier listen queue.
   std::uint64_t total_drops() const;
 
  private:

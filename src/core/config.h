@@ -29,6 +29,7 @@ enum class Architecture {
 };
 const char* to_string(Architecture a);
 
+// The 3-tier testbed's tier positions, and their array index.
 enum class Tier : int { kWeb = 0, kApp = 1, kDb = 2 };
 constexpr int index(Tier t) { return static_cast<int>(t); }
 
@@ -57,7 +58,10 @@ struct MillibottleneckSpec {
   cpu::DvfsGovernor::Config dvfs{};     // kDvfs, on `target`'s host
 };
 
+// The server side: architecture, pool/queue sizing, hardware, and
+// inter-tier networking (paper §III testbed parameters).
 struct SystemConfig {
+  // Which NX architecture to build.
   Architecture arch = Architecture::kSync;
   // Thread pools (sync tiers) — paper defaults.
   std::size_t web_threads = 150;
@@ -87,7 +91,10 @@ struct SystemConfig {
   bool web_shed_on_overload = false;
 };
 
+// The client side: session count, think/burst behaviour, client-hop
+// networking, and the measurement window.
 struct WorkloadConfig {
+  // SysBursty/SysSteady load shape (paper §II-A defaults).
   std::size_t sessions = 7000;
   sim::Duration mean_think = sim::Duration::seconds(7);
   double burst_index = 1.0;  // SysSteady's own client burstiness
@@ -108,7 +115,10 @@ struct WorkloadConfig {
   policy::TailPolicy client_policy{};
 };
 
+// One complete run: system + workload + millibottleneck + run length.
+// The sweep engine's ConfigBinder produces one of these per grid point.
 struct ExperimentConfig {
+  // Run name (artifact prefix) and the component configs above.
   std::string name = "experiment";
   SystemConfig system{};
   WorkloadConfig workload{};

@@ -73,9 +73,11 @@ struct CausalChain {
   std::string to_string() const;
 };
 
+// Which way queue pressure travelled (kAbsent = no CTQO evidence).
 enum class Propagation { kUpstream, kDownstream, kAbsent };
 const char* to_string(Propagation p);
 
+// The correlation engine's full answer over one run's telemetry.
 struct CorrelationReport {
   // All chains, best first (score desc; enumeration order breaks ties).
   std::vector<CausalChain> chains;
@@ -96,6 +98,7 @@ struct CorrelationReport {
   // shows back-to-front onset, downstream shows front-to-back.
   std::vector<std::pair<std::string, double>> queue_onsets;
 
+  // Multi-line human-readable rendering.
   std::string to_string() const;
 };
 
@@ -107,13 +110,17 @@ struct TierSignals {
   std::string dropped;                  // "<name>.dropped"
   std::string queue;                    // "<name>.queue"
 };
+// The bundle of series the correlator reads: one registry, the VLRT
+// timeline, and the per-tier signal names.
 struct SignalSet {
+  // Non-owning; both must outlive the correlate() call.
   const telemetry::Registry* registry = nullptr;
   const metrics::Timeline* vlrt = nullptr;  // 50 ms VLRT counts
   std::vector<TierSignals> tiers;
   sim::Duration window = sim::Duration::millis(50);
 };
 
+// Tuning knobs for the lag-correlation search.
 struct CorrelateOptions {
   // Saturation candidates are correlated as 0/1 pegged-window indicators
   // (value >= this %), the paper's millibottleneck definition — raw

@@ -32,7 +32,11 @@ namespace ntier::core {
 
 class NTierSystem;
 
+// One drop cluster with its attributed millibottleneck: where packets
+// were lost, which tier was saturated just before, and which way the
+// queue pressure travelled.
 struct CtqoEpisode {
+  // Episode extent and the tier that dropped.
   sim::Time start;  // first drop of the cluster
   sim::Time end;    // last drop of the cluster
   int drop_tier = 0;
@@ -54,7 +58,9 @@ struct CtqoEpisode {
   std::string to_string() const;
 };
 
+// All episodes of one run plus the headline counters.
 struct CtqoReport {
+  // Episodes in start order; counters aggregate their classifications.
   std::vector<CtqoEpisode> episodes;
   std::uint64_t total_drops = 0;
   std::uint64_t upstream_episodes = 0;
@@ -63,6 +69,7 @@ struct CtqoReport {
   std::string to_string() const;
 };
 
+// Episode clustering and bottleneck-attribution thresholds.
 struct AnalyzerOptions {
   // Drops separated by more than this belong to different episodes.
   sim::Duration episode_gap = sim::Duration::seconds(2);
@@ -124,11 +131,13 @@ struct VlrtAttributionRow {
   std::string to_string() const;
 };
 
+// The attribution rows for every traced VLRT request of a run.
 struct VlrtAttributionTable {
   std::vector<VlrtAttributionRow> rows;  // completion order
   std::string to_string() const;         // header + rows + tier summary
 };
 
+// Builds the table from the retained traces and the episode report.
 VlrtAttributionTable attribute_vlrt(
     const std::vector<std::shared_ptr<trace::RequestTrace>>& traces,
     const CtqoReport& report,

@@ -11,7 +11,9 @@
 
 namespace ntier::core {
 
+// One tier's line in the run summary.
 struct TierSummary {
+  // Server name plus its accept/drop/complete counters and peaks.
   std::string server;
   std::uint64_t accepted = 0;
   std::uint64_t dropped = 0;
@@ -21,7 +23,11 @@ struct TierSummary {
   double mean_cpu_pct = 0.0;   // mean busy% over the run
 };
 
+// Everything a finished run reports: throughput, the latency digest,
+// drops, per-tier lines, and the CTQO episode analysis. This is the
+// value the sweep engine reduces over replications.
 struct ExperimentSummary {
+  // Identity and the headline numbers.
   std::string name;
   double duration_s = 0.0;
   double throughput_rps = 0.0;

@@ -9,6 +9,7 @@
 
 namespace ntier::core {
 
+// What export_run_csv managed to write (ok = every file succeeded).
 struct ExportResult {
   std::vector<std::string> files_written;
   bool ok = true;

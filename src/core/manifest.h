@@ -15,6 +15,7 @@
 
 namespace ntier::core {
 
+// Renders the manifest for a finished run (3-tier or chain).
 std::string run_manifest_json(const NTierSystem& sys);
 std::string run_manifest_json(const ChainSystem& sys);
 

@@ -30,8 +30,13 @@
 
 namespace ntier::core {
 
+// The paper's 3-tier testbed, fully built: one Simulation owning hosts,
+// servers, clients, the millibottleneck source, and every monitor.
+// Distinct instances share nothing (sweep replications run in parallel).
 class NTierSystem {
  public:
+  // Builds the whole stack from a validated config; non-copyable (all
+  // components hold pointers into this system's Simulation).
   explicit NTierSystem(ExperimentConfig cfg);
   NTierSystem(const NTierSystem&) = delete;
   NTierSystem& operator=(const NTierSystem&) = delete;
@@ -57,6 +62,8 @@ class NTierSystem {
   cpu::IoDevice* db_disk() { return db_disk_.get(); }
   const cpu::IoDevice* db_disk() const { return db_disk_.get(); }
 
+  // Monitors, clients, and the optional bottleneck/fault components
+  // (null when the config doesn't enable them).
   monitor::Sampler& sampler() { return sampler_; }
   const monitor::Sampler& sampler() const { return sampler_; }
   // Unified metric plane: every layer's counters/gauges/series/probes
@@ -78,6 +85,7 @@ class NTierSystem {
   trace::Tracer* tracer() { return tracer_.get(); }
   const trace::Tracer* tracer() const { return tracer_.get(); }
 
+  // The request-class profile the system was built with.
   const server::AppProfile& profile() const { return cfg_.profile; }
 
  private:

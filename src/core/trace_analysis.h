@@ -17,6 +17,7 @@
 
 namespace ntier::core {
 
+// Aggregate in-tier time for one tier across the analyzed requests.
 struct HopStats {
   std::string tier;
   std::uint64_t count = 0;
@@ -25,6 +26,7 @@ struct HopStats {
   std::uint64_t drops = 0;      // drop stamps in front of this tier
 };
 
+// The full per-hop decomposition of a request population.
 struct TraceBreakdown {
   std::vector<HopStats> hops;   // in first-visit order
   std::uint64_t requests = 0;
@@ -33,6 +35,7 @@ struct TraceBreakdown {
   // minus the time covered inside tiers, clamped at zero).
   sim::Duration mean_outside_tiers;
 
+  // Fixed-width table rendering for reports.
   std::string to_table() const;
 };
 

@@ -17,6 +17,7 @@
 
 namespace ntier::core {
 
+// One conservation/consistency check: expected vs. measured.
 struct ValidationCheck {
   std::string name;
   double expected = 0.0;
@@ -25,6 +26,7 @@ struct ValidationCheck {
   bool ok = false;
 };
 
+// All checks for one run; all_ok is their conjunction.
 struct ValidationReport {
   std::vector<ValidationCheck> checks;
   bool all_ok = true;

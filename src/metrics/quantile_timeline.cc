@@ -51,6 +51,10 @@ void QuantileTimeline::close_window() {
 void QuantileTimeline::flush() { close_window(); }
 
 const Timeline& QuantileTimeline::series(double q) const {
+  // Reading with a window still open means the caller forgot flush():
+  // the final partial window would silently be missing from the series
+  // (the PR-3 API change every caller was audited against).
+  assert(!open_ && "QuantileTimeline::series() read before flush()");
   for (std::size_t i = 0; i < qs_.size(); ++i)
     if (qs_[i] == q) return lines_[i];
   throw std::out_of_range("QuantileTimeline: quantile not configured");

@@ -21,11 +21,16 @@ class QuantileTimeline {
 
   void record(sim::Time at, sim::Duration value);
 
-  // Finalizes any open window (call once after the run).
+  // Finalizes any open window (call once after the run). Idempotent.
   void flush();
 
+  // True when no window is open, i.e. the series are safe to read.
+  bool flushed() const { return !open_; }
+
   // Timeline of quantile q (must be one of the configured values); values
-  // are milliseconds.
+  // are milliseconds. Contract: call flush() first — a debug build
+  // asserts on a pre-flush read, which would silently drop the final
+  // partial window.
   const Timeline& series(double q) const;
   const std::vector<double>& quantiles() const { return qs_; }
 

@@ -48,8 +48,12 @@ class LatencyCollector {
   // Finalizes the open quantile window. Call once after the run, before
   // reading latency_quantile_series; idempotent.
   void flush() { quantiles_.flush(); }
-  // Per-second p50/p99 latency series. The last partial window is only
-  // included after flush().
+  // True when there is no open quantile window (flush() ran, or nothing
+  // was recorded since) — the precondition for reading the series.
+  bool flushed() const { return quantiles_.flushed(); }
+  // Per-second p50/p99 latency series. Contract: flush() first — the
+  // last partial window is only included after flush(), and debug
+  // builds assert on a pre-flush read.
   const metrics::Timeline& latency_quantile_series(double q) const {
     return quantiles_.series(q);
   }

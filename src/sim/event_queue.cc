@@ -4,29 +4,85 @@
 
 namespace ntier::sim {
 
+void EventHandle::cancel() {
+  if (state_ && state_->owner != nullptr) state_->owner->erase(state_->pos);
+}
+
+EventQueue::~EventQueue() {
+  // Detach every live handle so cancel()/pending() on a handle that
+  // outlives the queue stays a safe no-op.
+  for (Entry& e : heap_) e.state->owner = nullptr;
+}
+
+void EventQueue::place(Entry&& e, std::size_t i) {
+  e.state->pos = i;
+  heap_[i] = std::move(e);
+}
+
+void EventQueue::sift_up(Entry&& e, std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(e, heap_[parent])) break;
+    place(std::move(heap_[parent]), i);
+    i = parent;
+  }
+  place(std::move(e), i);
+}
+
+void EventQueue::sift_down(Entry&& e, std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = first + 4 < n ? first + 4 : n;
+    for (std::size_t c = first + 1; c < last; ++c)
+      if (before(heap_[c], heap_[best])) best = c;
+    if (!before(heap_[best], e)) break;
+    place(std::move(heap_[best]), i);
+    i = best;
+  }
+  place(std::move(e), i);
+}
+
 EventHandle EventQueue::push(Time when, EventFn fn) {
-  auto done = std::make_shared<bool>(false);
-  heap_.push(Entry{when, next_seq_++, std::move(fn), done});
-  return EventHandle{std::move(done)};
+  auto state = std::make_shared<EventHandle::State>();
+  state->owner = this;
+  heap_.emplace_back();  // make room; sift_up fills the final slot
+  sift_up(Entry{when, next_seq_++, std::move(fn), state}, heap_.size() - 1);
+  return EventHandle{std::move(state)};
 }
 
-void EventQueue::drop_dead() {
-  while (!heap_.empty() && *heap_.top().done) heap_.pop();
+void EventQueue::erase(std::size_t pos) {
+  heap_[pos].state->owner = nullptr;
+  Entry tail = std::move(heap_.back());
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // erased the last slot
+  // Reposition the relocated tail: it may need to move either way.
+  if (pos > 0 && before(tail, heap_[(pos - 1) / 4])) {
+    sift_up(std::move(tail), pos);
+  } else {
+    sift_down(std::move(tail), pos);
+  }
 }
 
-Time EventQueue::next_time() {
-  drop_dead();
-  return heap_.empty() ? Time::max() : heap_.top().when;
+Time EventQueue::next_time() const {
+  return heap_.empty() ? Time::max() : heap_.front().when;
 }
 
 bool EventQueue::pop_and_run() {
-  drop_dead();
   if (heap_.empty()) return false;
   // Move the entry out before running: fn may push new events and
-  // invalidate the top reference.
-  Entry e = heap_.top();
-  heap_.pop();
-  *e.done = true;
+  // invalidate references into the heap.
+  Entry e = std::move(heap_.front());
+  e.state->owner = nullptr;
+  if (heap_.size() > 1) {
+    Entry tail = std::move(heap_.back());
+    heap_.pop_back();
+    sift_down(std::move(tail), 0);
+  } else {
+    heap_.pop_back();
+  }
   e.fn();
   return true;
 }

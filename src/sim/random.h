@@ -13,14 +13,18 @@
 
 namespace ntier::sim {
 
+// A deterministic generator stream: xoshiro256++ state plus the
+// distribution samplers every model component draws from.
 class Rng {
  public:
+  // Seeds the stream (SplitMix64 expansion of `seed` into the state).
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
   // Derives an independent stream; children of distinct indices from the
   // same parent are decorrelated (SplitMix64 over seed ^ golden*index).
   Rng fork(std::uint64_t stream_index);
 
+  // Next raw 64-bit draw; all samplers below consume these.
   std::uint64_t next_u64();
   // Uniform in [0, 1).
   double uniform();

@@ -10,12 +10,17 @@
 
 namespace ntier::sim {
 
+// One discrete-event world: a monotonic clock and its event queue.
+// Distinct Simulation instances share nothing, so independent runs can
+// execute on separate threads (the sweep engine relies on this).
 class Simulation {
  public:
+  // Non-copyable: events capture pointers into this world.
   Simulation() = default;
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
+  // Current simulated instant (starts at Time::origin()).
   Time now() const { return now_; }
 
   // Schedules fn at an absolute instant (>= now()).
@@ -40,9 +45,10 @@ class Simulation {
   // Events executed so far; useful for microbenchmarks and loop guards.
   std::uint64_t events_executed() const { return executed_; }
 
-  // Upper bound on the future-event-list size (includes lazily-cancelled
-  // entries) — the "heap depth" gauge the telemetry registry samples.
-  std::size_t pending_events() const { return queue_.size_upper_bound(); }
+  // Exact number of live future events — the "heap depth" gauge the
+  // telemetry registry samples. (Cancelled events are erased eagerly by
+  // the indexed heap, so this is no longer an upper bound.)
+  std::size_t pending_events() const { return queue_.size(); }
 
  private:
   EventQueue queue_;

@@ -15,8 +15,10 @@
 
 namespace ntier::sim {
 
+// A signed span of simulated time (integral microseconds).
 class Duration {
  public:
+  // Zero by default; named factories for each unit.
   constexpr Duration() = default;
   static constexpr Duration micros(std::int64_t us) { return Duration{us}; }
   static constexpr Duration millis(std::int64_t ms) { return Duration{ms * 1000}; }
@@ -30,10 +32,13 @@ class Duration {
     return Duration{std::numeric_limits<std::int64_t>::max()};
   }
 
+  // Unit accessors (exact in µs; float in coarser units).
   constexpr std::int64_t count_micros() const { return us_; }
   constexpr double to_seconds() const { return static_cast<double>(us_) / 1e6; }
   constexpr double to_millis() const { return static_cast<double>(us_) / 1e3; }
 
+  // Closed arithmetic on durations; integral scaling stays exact,
+  // double scaling rounds to the nearest microsecond.
   friend constexpr Duration operator+(Duration a, Duration b) { return Duration{a.us_ + b.us_}; }
   friend constexpr Duration operator-(Duration a, Duration b) { return Duration{a.us_ - b.us_}; }
   template <std::integral T>
@@ -60,8 +65,10 @@ class Duration {
   std::int64_t us_ = 0;
 };
 
+// An absolute simulated instant (µs since Time::origin()).
 class Time {
  public:
+  // The origin by default; named factories for absolute instants.
   constexpr Time() = default;
   static constexpr Time origin() { return Time{0}; }
   static constexpr Time from_micros(std::int64_t us) { return Time{us}; }
@@ -70,10 +77,12 @@ class Time {
   }
   static constexpr Time max() { return Time{std::numeric_limits<std::int64_t>::max()}; }
 
+  // Unit accessors, measured from the origin.
   constexpr std::int64_t count_micros() const { return us_; }
   constexpr double to_seconds() const { return static_cast<double>(us_) / 1e6; }
   constexpr double to_millis() const { return static_cast<double>(us_) / 1e3; }
 
+  // Instant ± span arithmetic; instant − instant yields a Duration.
   friend constexpr Time operator+(Time t, Duration d) { return Time{t.us_ + d.count_micros()}; }
   friend constexpr Time operator-(Time t, Duration d) { return Time{t.us_ - d.count_micros()}; }
   friend constexpr Duration operator-(Time a, Time b) { return Duration::micros(a.us_ - b.us_); }

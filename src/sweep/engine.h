@@ -1,0 +1,130 @@
+// Deterministic parallel experiment engine: a grid of configurations ×
+// R seed-replications fanned out over a worker thread pool, reduced to
+// per-point means with Student-t confidence intervals and CTQO-onset
+// detection.
+//
+// Execution model: every (point, replication) pair is one independent
+// job running its own isolated core::NTierSystem/Simulation — workers
+// share nothing but the job counter, so replication r of a point is
+// bit-identical to a solo run of the same config with seed
+// `cfg.seed + r` (DESIGN.md invariants 9/10 carry over unchanged).
+//
+// Determinism contract (tested in tests/test_sweep.cc): results land in
+// slots indexed by (point, replication), never by completion order, and
+// the reduction runs sequentially after all workers join — so the
+// reduced CSV, manifest, and report are byte-identical for any
+// `jobs` value, and the worker count appears in no artifact.
+// docs/SWEEPS.md is the full spec.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.h"
+#include "sweep/grid.h"
+#include "sweep/stats.h"
+
+namespace ntier::sweep {
+
+// Builds the configuration for one grid point. Called once per point on
+// the calling thread, before any worker starts; the returned config's
+// `seed` is the replication-0 seed (replication r adds r to it) and its
+// `name` names the point in every artifact.
+using ConfigBinder = std::function<core::ExperimentConfig(const GridPoint&)>;
+
+// Optional per-run hook, called on the worker thread while the finished
+// system is still alive (e.g. to render a dashboard). Runs concurrently
+// for distinct runs, so it must only touch per-run state or perform
+// independent file writes.
+using RunHook =
+    std::function<void(const GridPoint&, std::size_t replication, core::NTierSystem&)>;
+
+// Execution knobs for one run_sweep call.
+struct SweepOptions {
+  // Seed-replications per grid point (>= 1).
+  std::size_t replications = 3;
+  // Worker threads (>= 1). Artifacts are invariant in this value; it
+  // only trades wall-clock for cores.
+  std::size_t jobs = 1;
+};
+
+// Everything retained from one finished replication.
+struct ReplicationResult {
+  std::uint64_t seed = 0;    // the seed this replication ran with
+  std::uint64_t events = 0;  // simulation events executed
+  core::ExperimentSummary summary;  // incl. the CtqoReport
+  // Registry scalar snapshot (name-sorted) of this run's private
+  // telemetry registry; merged across replications at reduce time.
+  std::vector<std::pair<std::string, double>> registry;
+};
+
+// One grid point after reduction over its replications.
+struct PointResult {
+  GridPoint point;
+  std::string name;            // cfg.name from the binder
+  std::uint64_t base_seed = 0; // replication-0 seed
+  std::vector<ReplicationResult> reps;  // by replication index
+
+  // 95 % Student-t intervals over the replications.
+  Interval throughput_rps;
+  Interval latency_mean_ms;
+  Interval p99_ms;
+  Interval p999_ms;
+  Interval vlrt_fraction;  // vlrt_count / completed per replication
+  Interval drops;          // dropped packets
+  Interval episodes;       // CTQO episodes found by the analyzer
+  Interval upstream_episodes;
+  Interval downstream_episodes;
+  double completed_mean = 0.0;
+
+  // True when at least half the replications show >= 1 CTQO episode —
+  // the point sits past the CTQO onset.
+  bool ctqo = false;
+
+  // Per-worker registries merged at reduce: sum over replications of
+  // each scalar, name-sorted.
+  std::vector<std::pair<std::string, double>> registry_totals;
+};
+
+// CTQO onset along axis 0, one entry per combination ("slice") of the
+// remaining axes: the smallest axis-0 value (in axis insertion order)
+// whose point has `ctqo` set.
+struct CtqoOnset {
+  std::vector<double> slice;  // values of axes 1..k-1
+  std::string slice_label;    // "qdepth=278 nx=0" ("" when 1-axis grid)
+  bool found = false;
+  double onset_value = 0.0;   // axis-0 value at onset, when found
+};
+
+// The whole sweep after reduction, plus its artifact renderers.
+struct SweepResult {
+  std::vector<Axis> axes;           // the grid's axes, echoed
+  std::size_t replications = 0;
+  std::vector<PointResult> points;  // grid (row-major) order
+  std::vector<CtqoOnset> onsets;    // slice order = first appearance
+  std::uint64_t runs = 0;           // points × replications
+  std::uint64_t total_events = 0;   // summed over every run
+
+  // Reduced per-point CSV: one row per grid point, axes first, then the
+  // means and 95 % CI half-widths (docs/SWEEPS.md documents every
+  // column). Byte-identical for any SweepOptions::jobs.
+  std::string csv() const;
+  // Sweep manifest JSON: schema ntier.sweep-manifest/1 — axes, R, and
+  // per-point reductions incl. merged registry totals. Deterministic;
+  // deliberately excludes the worker count.
+  std::string manifest_json() const;
+  // Human-readable table + onset lines for bench output.
+  std::string to_string() const;
+};
+
+// Runs the full grid × replications sweep. Binds and validates every
+// config up front (throwing std::invalid_argument on a bad one), then
+// fans the runs out over `opt.jobs` workers. Throws std::runtime_error
+// if any run fails.
+SweepResult run_sweep(const Grid& grid, const ConfigBinder& bind,
+                      const SweepOptions& opt, const RunHook& hook = nullptr);
+
+}  // namespace ntier::sweep

@@ -1,0 +1,65 @@
+// Parameter grids for multi-configuration experiments.
+//
+// A Grid is an ordered list of named axes; enumerating it yields the
+// full cartesian product in deterministic row-major order (first axis
+// slowest, last axis fastest) — the iteration order every sweep artifact
+// (CSV row order, manifest entries) is defined in. Axis values are plain
+// doubles; the sweep's ConfigBinder (engine.h) interprets them into an
+// ExperimentConfig, so an axis can drive any config field (workload
+// intensity, queue bounds, NX level, ...). docs/SWEEPS.md describes the
+// grammar with worked examples.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ntier::sweep {
+
+// One sweep dimension: a parameter name and the values it takes.
+// Values keep their insertion order (they need not be sorted, but
+// CTQO-onset detection scans axis 0 in insertion order).
+struct Axis {
+  std::string name;
+  std::vector<double> values;
+};
+
+// One cell of the cartesian product.
+struct GridPoint {
+  // Row-major rank in [0, Grid::size()); also the point's position in
+  // every sweep artifact.
+  std::size_t index = 0;
+  // One value per axis, aligned with Grid::axes() order.
+  std::vector<double> values;
+
+  // Value of the axis at `axis_index` (bounds-checked by the vector).
+  double value(std::size_t axis_index) const { return values.at(axis_index); }
+
+  // "wl=7000 qdepth=278 nx=0"-style rendering for names and logs, using
+  // the axis names of `axes` (must be the grid that produced the point).
+  std::string label(const std::vector<Axis>& axes) const;
+};
+
+// An ordered set of axes plus cartesian enumeration over them.
+class Grid {
+ public:
+  // Appends an axis. Name must be non-empty and unique within the grid;
+  // values must be non-empty. Throws std::invalid_argument otherwise.
+  Grid& add_axis(std::string name, std::vector<double> values);
+
+  // Axes in insertion order.
+  const std::vector<Axis>& axes() const { return axes_; }
+  // Number of axes.
+  std::size_t axis_count() const { return axes_.size(); }
+  // Total number of grid points (product of axis sizes; 0 when no axes).
+  std::size_t size() const;
+
+  // The full cartesian product, row-major (axis 0 slowest). Point i of
+  // the result has index == i.
+  std::vector<GridPoint> points() const;
+
+ private:
+  std::vector<Axis> axes_;
+};
+
+}  // namespace ntier::sweep

@@ -1,0 +1,38 @@
+#include "sweep/stats.h"
+
+#include <cmath>
+
+namespace ntier::sweep {
+
+double t_critical_95(std::size_t df) {
+  // Two-sided 95 % (alpha/2 = 0.025) Student-t critical values.
+  static constexpr double kTable[31] = {
+      0.0,     12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+      2.306,   2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+      2.120,   2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+      2.064,   2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return kTable[df];
+  if (df < 60) return 2.021;   // df 40 row
+  if (df < 120) return 2.000;  // df 60 row
+  if (df < 1000) return 1.980; // df 120 row
+  return 1.960;                // Normal limit
+}
+
+Interval t_interval(const std::vector<double>& samples) {
+  Interval out;
+  out.n = samples.size();
+  if (samples.empty()) return out;
+  double sum = 0.0;
+  for (double x : samples) sum += x;
+  out.mean = sum / static_cast<double>(samples.size());
+  if (samples.size() < 2) return out;
+  double ss = 0.0;
+  for (double x : samples) ss += (x - out.mean) * (x - out.mean);
+  out.stddev = std::sqrt(ss / static_cast<double>(samples.size() - 1));
+  out.half_width = t_critical_95(samples.size() - 1) * out.stddev /
+                   std::sqrt(static_cast<double>(samples.size()));
+  return out;
+}
+
+}  // namespace ntier::sweep

@@ -1,0 +1,40 @@
+// Replication statistics: Student-t confidence intervals over the R
+// per-seed results of one grid point.
+//
+// The math (docs/SWEEPS.md §"Replication math"): with R independent
+// replications x_1..x_R, the 95 % two-sided confidence interval for the
+// mean is  x̄ ± t_{0.975, R-1} · s/√R  where s is the *sample* standard
+// deviation (n-1 denominator). Replications are independent simulations
+// with distinct seeds, so the i.i.d. assumption holds by construction —
+// this is the textbook replication/CI method the Poloczek & Ciucu
+// replication study (PAPERS.md) analyzes the sample-efficiency of.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ntier::sweep {
+
+// Two-sided 95 % Student-t critical value t_{0.975, df}. Exact table
+// values for df <= 30; above that the next *smaller* tabulated df
+// (40/60/120) is used, which rounds the interval conservatively wide;
+// 1.96 (the Normal limit) beyond 120. df == 0 returns 0.
+double t_critical_95(std::size_t df);
+
+// A reduced statistic over one grid point's replications.
+struct Interval {
+  double mean = 0.0;        // sample mean x̄
+  double half_width = 0.0;  // t_{0.975, n-1} · s/√n; 0 when n < 2
+  double stddev = 0.0;      // sample standard deviation s
+  std::uint64_t n = 0;      // number of replications
+
+  // Interval endpoints: mean ∓ half_width.
+  double lo() const { return mean - half_width; }
+  double hi() const { return mean + half_width; }
+};
+
+// Mean and 95 % t-interval of `samples`. Empty input yields all zeros;
+// a single sample yields its value with zero width.
+Interval t_interval(const std::vector<double>& samples);
+
+}  // namespace ntier::sweep
