@@ -10,23 +10,32 @@ summing the simulation events it executed across all of its runs
 scrapes that line, and writes one aggregate JSON report — the repo's
 engine-throughput record (BENCH_ntier.json, uploaded as a CI artifact).
 
-The report also carries a "micro_engine" section with the event-queue
-CancelHeavy comparison (bench/micro_engine.cc): items/s of the old
-lazy-cancellation priority_queue vs. the current indexed 4-ary heap,
-plus the indexed_over_lazy speedup ratio — the repo's record of the
-engine-hot-path delta.
+The report also carries two microbench sections:
+
+  * "micro_engine" — the event-queue CancelHeavy comparison
+    (bench/micro_engine.cc): items/s of the old lazy-cancellation
+    priority_queue vs. the current indexed 4-ary heap, plus the
+    indexed_over_lazy speedup ratio.
+  * "micro_hotpath" — the allocation-discipline comparison
+    (bench/micro_hotpath.cc): events/s of the pre-pooling substrate
+    (shared_ptr requests/contexts + std::function events + per-push
+    handle control block) vs. the current slab-pooled/InlineFn engine,
+    plus the pooled_over_legacy speedup ratio (expected >= 2x).
 
 Usage: scripts/run_benches.py [--build-dir build] [--out BENCH_ntier.json]
-                              [--only SUBSTR] [--list]
+                              [--only SUBSTR] [--list] [--baseline FILE]
 
   --build-dir DIR   cmake build tree containing bench/ (default: build)
   --out FILE        output JSON path (default: BENCH_ntier.json)
   --only SUBSTR     run only benches whose name contains SUBSTR
   --list            print the discovered bench binaries and exit
+  --baseline FILE   committed BENCH_ntier.json to compare against: any
+                    scenario bench or microbench losing more than 25%
+                    events/s vs. the baseline fails the run (CI gate)
 
-Exit status: 0 when every selected bench ran and produced a [perf]
-line (and the micro_engine comparison parsed), 1 otherwise (the report
-still records the failures).
+Exit status: 0 when every selected bench ran, produced a [perf] line
+(microbench sections parsed), and no baseline regression was detected;
+1 otherwise (the report still records the failures).
 """
 
 import argparse
@@ -37,7 +46,7 @@ import subprocess
 import sys
 
 # google-benchmark microbenches have their own output format.
-SKIP = {"micro_engine"}
+SKIP = {"micro_engine", "micro_hotpath"}
 
 PERF_RE = re.compile(
     r"^\[perf\] bench=(?P<name>\S+) events=(?P<events>\d+) "
@@ -119,12 +128,88 @@ def run_micro_engine(bench_dir: str) -> dict:
     }
 
 
+def run_micro_hotpath(bench_dir: str) -> dict:
+    """Pooled-vs-legacy allocation comparison from the HotPath benchmarks."""
+    path = os.path.join(bench_dir, "micro_hotpath")
+    if not (os.path.isfile(path) and os.access(path, os.X_OK)):
+        return {"ok": False, "error": "micro_hotpath binary not found"}
+    try:
+        proc = subprocess.run(
+            [path, "--benchmark_filter=HotPath", "--benchmark_format=json"],
+            capture_output=True, text=True, timeout=600, check=False,
+        )
+    except subprocess.TimeoutExpired:
+        return {"ok": False, "error": "timeout"}
+    if proc.returncode != 0:
+        return {"ok": False, "error": f"exit {proc.returncode}"}
+    try:
+        data = json.loads(proc.stdout)
+    except ValueError:
+        return {"ok": False, "error": "unparsable google-benchmark JSON"}
+    rates = {}
+    for b in data.get("benchmarks", []):
+        name = b.get("name", "")
+        rate = b.get("items_per_second")
+        if "HotPath_LegacyAllocating" in name:
+            rates["legacy_events_per_s"] = rate
+        elif "HotPath_PooledInline" in name:
+            rates["pooled_events_per_s"] = rate
+    legacy = rates.get("legacy_events_per_s")
+    pooled = rates.get("pooled_events_per_s")
+    if not legacy or not pooled:
+        return {"ok": False, "error": "HotPath benchmarks missing from output"}
+    return {
+        "ok": True,
+        "legacy_events_per_s": round(legacy),
+        "pooled_events_per_s": round(pooled),
+        "pooled_over_legacy": round(pooled / legacy, 3),
+    }
+
+
+# Events/s may lose at most this fraction vs. the committed baseline.
+REGRESSION_TOLERANCE = 0.25
+
+
+def find_regressions(report: dict, baseline: dict) -> list:
+    """Names of benches whose events/s regressed beyond the tolerance."""
+    floor = 1.0 - REGRESSION_TOLERANCE
+    base_rates = {
+        b["name"]: b["events_per_s"]
+        for b in baseline.get("benches", [])
+        if b.get("ok") and b.get("events_per_s")
+    }
+    for section, key in (("micro_engine", "indexed_heap_items_per_s"),
+                         ("micro_hotpath", "pooled_events_per_s")):
+        sec = baseline.get(section)
+        if sec and sec.get("ok") and sec.get(key):
+            base_rates[section] = sec[key]
+    new_rates = {
+        b["name"]: b["events_per_s"]
+        for b in report.get("benches", [])
+        if b.get("ok") and b.get("events_per_s")
+    }
+    for section, key in (("micro_engine", "indexed_heap_items_per_s"),
+                         ("micro_hotpath", "pooled_events_per_s")):
+        sec = report.get(section)
+        if sec and sec.get("ok") and sec.get(key):
+            new_rates[section] = sec[key]
+    regressions = []
+    for name, new in sorted(new_rates.items()):
+        old = base_rates.get(name)
+        if old and new < floor * old:
+            regressions.append(
+                f"{name}: {new:.0f}/s vs baseline {old:.0f}/s "
+                f"({new / old - 1.0:+.1%}, tolerance -{REGRESSION_TOLERANCE:.0%})")
+    return regressions
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build")
     ap.add_argument("--out", default="BENCH_ntier.json")
     ap.add_argument("--only", default="")
     ap.add_argument("--list", action="store_true")
+    ap.add_argument("--baseline", default="")
     args = ap.parse_args()
 
     bench_dir = os.path.join(args.build_dir, "bench")
@@ -136,7 +221,8 @@ def main() -> int:
         print("\n".join(names))
         return 0
     want_micro = args.only in "micro_engine"
-    if not names and not want_micro:
+    want_hotpath = args.only in "micro_hotpath"
+    if not names and not want_micro and not want_hotpath:
         print(f"error: no bench binaries match {args.only!r} under {bench_dir}")
         return 1
 
@@ -162,17 +248,41 @@ def main() -> int:
         else:
             print(f"  FAILED: {micro['error']}")
 
+    hotpath = None
+    if want_hotpath:
+        print("running micro_hotpath (pooled-vs-legacy allocation) ...", flush=True)
+        hotpath = run_micro_hotpath(bench_dir)
+        if hotpath["ok"]:
+            print(f"  legacy={hotpath['legacy_events_per_s']}/s "
+                  f"pooled={hotpath['pooled_events_per_s']}/s "
+                  f"speedup={hotpath['pooled_over_legacy']}x")
+        else:
+            print(f"  FAILED: {hotpath['error']}")
+
     ok = [r for r in results if r["ok"]]
     report = {
-        "schema": "ntier.bench/2",
+        "schema": "ntier.bench/3",
         "benches": results,
         "micro_engine": micro,
+        "micro_hotpath": hotpath,
         "total_events": sum(r["events"] for r in ok),
         "total_wall_s": round(sum(r["wall_s"] for r in ok), 3),
         "failed": [r["name"] for r in results if not r["ok"]],
     }
     if micro is not None and not micro["ok"]:
         report["failed"].append("micro_engine")
+    if hotpath is not None and not hotpath["ok"]:
+        report["failed"].append("micro_hotpath")
+
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
+        regressions = find_regressions(report, baseline)
+        report["regressions"] = regressions
+        for line in regressions:
+            print(f"REGRESSION {line}")
+        if regressions:
+            report["failed"].append("baseline-comparison")
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(report, f, indent=2)
         f.write("\n")

@@ -209,7 +209,7 @@ std::string VlrtAttributionTable::to_string() const {
 }
 
 VlrtAttributionTable attribute_vlrt(
-    const std::vector<std::shared_ptr<trace::RequestTrace>>& traces,
+    const std::vector<trace::TracePtr>& traces,
     const CtqoReport& report, sim::Duration vlrt_threshold) {
   VlrtAttributionTable table;
   for (const auto& tr : traces) {

@@ -139,7 +139,7 @@ struct VlrtAttributionTable {
 
 // Builds the table from the retained traces and the episode report.
 VlrtAttributionTable attribute_vlrt(
-    const std::vector<std::shared_ptr<trace::RequestTrace>>& traces,
+    const std::vector<trace::TracePtr>& traces,
     const CtqoReport& report,
     sim::Duration vlrt_threshold = sim::Duration::seconds(3));
 

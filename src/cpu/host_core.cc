@@ -56,7 +56,8 @@ void HostCpu::advance() {
 void HostCpu::reschedule() {
   const sim::Time now = sim_.now();
   // Weighted water-filling of n_cores_ across runnable VMs.
-  std::vector<VmCpu*> open;
+  std::vector<VmCpu*>& open = open_scratch_;
+  open.clear();
   for (auto& vmp : vms_) {
     vmp->alloc_ = 0.0;
     if (runnable(*vmp, now)) open.push_back(vmp.get());
@@ -109,7 +110,8 @@ void HostCpu::reschedule() {
 
 void HostCpu::on_completion_event() {
   advance();
-  std::vector<JobDoneFn> done;
+  std::vector<JobDoneFn>& done = done_scratch_;
+  done.clear();
   for (auto& vmp : vms_) {
     VmCpu& vm = *vmp;
     while (!vm.jobs_.empty() && vm.jobs_.top().target <= vm.attained_ + kTargetEps) {

@@ -18,7 +18,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <queue>
 #include <string>
@@ -28,7 +27,9 @@
 
 namespace ntier::cpu {
 
-using JobDoneFn = std::function<void()>;
+// Completion callback. Same inline type as the event queue's EventFn so
+// submit() can forward a caller's closure without re-wrapping it.
+using JobDoneFn = sim::EventFn;
 
 class HostCpu;
 
@@ -133,6 +134,9 @@ class HostCpu {
   sim::Time last_advance_{};
   sim::EventHandle pending_;
   std::uint64_t next_seq_ = 0;
+  // Scratch buffers reused across calls (steady state allocates nothing).
+  std::vector<VmCpu*> open_scratch_;
+  std::vector<JobDoneFn> done_scratch_;
 };
 
 }  // namespace ntier::cpu

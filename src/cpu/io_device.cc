@@ -2,7 +2,20 @@
 
 #include <algorithm>
 
+#include "sim/slab_pool.h"
+
 namespace ntier::cpu {
+namespace {
+
+// Completion callbacks are parked in a slab so the scheduled closure is
+// just {this, ref} — a caller's full-size EventFn cannot nest inside
+// another EventFn's inline buffer.
+sim::SlabPool<sim::EventFn>& done_pool() {
+  thread_local sim::SlabPool<sim::EventFn> pool;
+  return pool;
+}
+
+}  // namespace
 
 IoDevice::IoDevice(sim::Simulation& sim, std::string name, Config cfg)
     : sim_(sim), name_(std::move(name)), cfg_(cfg) {
@@ -12,14 +25,14 @@ IoDevice::IoDevice(sim::Simulation& sim, std::string name, Config cfg)
 IoDevice::IoDevice(sim::Simulation& sim, std::string name)
     : IoDevice(sim, std::move(name), Config()) {}
 
-void IoDevice::submit(std::uint64_t bytes, std::function<void()> done) {
+void IoDevice::submit(std::uint64_t bytes, sim::EventFn done) {
   const auto xfer =
       sim::Duration::from_seconds(static_cast<double>(bytes) / cfg_.bytes_per_second);
   bytes_total_ += bytes;
   submit_service(cfg_.per_op_latency + xfer, std::move(done));
 }
 
-void IoDevice::submit_service(sim::Duration service, std::function<void()> done) {
+void IoDevice::submit_service(sim::Duration service, sim::EventFn done) {
   const sim::Time now = sim_.now();
   if (free_at_ < now) {
     // Device went idle: close the previous busy period.
@@ -29,10 +42,11 @@ void IoDevice::submit_service(sim::Duration service, std::function<void()> done)
   }
   free_at_ += std::max(service, sim::Duration::zero());
   ++in_flight_;
-  sim_.at(free_at_, [this, cb = std::move(done)] {
+  auto cb = done_pool().make(std::move(done));
+  sim_.at(free_at_, [this, cb] {
     --in_flight_;
     ++ops_completed_;
-    cb();
+    (*cb)();
   });
 }
 

@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 
 #include "sim/simulation.h"
@@ -29,9 +28,9 @@ class IoDevice {
   const std::string& name() const { return name_; }
 
   // Submits an operation of `bytes`; `done` fires at completion.
-  void submit(std::uint64_t bytes, std::function<void()> done);
+  void submit(std::uint64_t bytes, sim::EventFn done);
   // Submits an op with an explicit service time.
-  void submit_service(sim::Duration service, std::function<void()> done);
+  void submit_service(sim::Duration service, sim::EventFn done);
 
   // Ops submitted but not completed (including the one in service).
   std::size_t queue_depth() const { return in_flight_; }

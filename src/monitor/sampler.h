@@ -34,6 +34,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cpu/host_core.h"
@@ -64,9 +65,9 @@ class Sampler {
   telemetry::Registry& registry() { return *registry_; }
   const telemetry::Registry& registry() const { return *registry_; }
   // Series access by full name (e.g. "tomcat.queue"); throws if unknown.
-  const metrics::Timeline& series(const std::string& name) const;
-  bool has_series(const std::string& name) const;
-  std::vector<std::string> series_names() const;
+  const metrics::Timeline& series(std::string_view name) const;
+  bool has_series(std::string_view name) const;
+  const std::vector<std::string_view>& series_names() const;
 
   // Windows where a VM's demand was pegged >= threshold% — the
   // millibottleneck marks used by the CTQO analyzer.
@@ -74,28 +75,31 @@ class Sampler {
                                            double threshold_pct = 99.0) const;
 
  private:
+  // Tracks hold interned series handles (resolved once in track_*), so
+  // the periodic tick writes by array index — no per-tick string
+  // concatenation or map lookups.
   struct VmTrack {
-    std::string prefix;
     cpu::VmCpu* vm;
+    telemetry::SeriesHandle cpu, demand, stall;
     double last_busy = 0.0;
     double last_want = 0.0;
     double last_stall = 0.0;
   };
   struct IoTrack {
-    std::string prefix;
     cpu::IoDevice* dev;
+    telemetry::SeriesHandle busy;
     double last_busy = 0.0;
   };
   struct ServerTrack {
-    std::string prefix;
     server::Server* srv;
+    telemetry::SeriesHandle queue, offered, completed, dropped;
     std::uint64_t last_offered = 0;
     std::uint64_t last_completed = 0;
     std::uint64_t last_dropped = 0;
   };
 
   void tick();
-  metrics::Timeline& line(const std::string& name);
+  metrics::Timeline& line(std::string_view name);
 
   sim::Simulation& sim_;
   sim::Duration window_;

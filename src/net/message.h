@@ -2,8 +2,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
+#include "sim/inline_fn.h"
+#include "sim/slab_pool.h"
 #include "sim/time.h"
 
 namespace ntier::net {
@@ -30,13 +31,42 @@ struct TxOutcome {
   sim::Duration retrans_delay; // extra latency caused purely by drops
 };
 
+// Transport callback types. All are heap-free InlineFn wrappers: the
+// attempt closure carries a whole Job (the payload it re-offers on each
+// retransmission), so it gets a wider inline budget than the result /
+// retransmit observers, which capture only a couple of handles.
+using TxAttemptFn = sim::InlineFn<bool(), 112>;
+using TxResultFn = sim::InlineFn<void(const TxOutcome&), 64>;
+
 // Per-message trace observer: fired by the transport at each dropped or
 // lost attempt with the drop instant and the RTO wait that follows —
 // exactly the per-retransmission timestamps the paper aligns across
 // tiers; the tracing layer records them as rto_gap spans. Must be a
 // pure observer (no event scheduling, no RNG).
 using TxRetransmitObserver =
-    std::function<void(sim::Time at, sim::Duration rto, int attempt)>;
+    sim::InlineFn<void(sim::Time at, sim::Duration rto, int attempt), 64>;
+
+// One logical message in flight: the sender's attempt/result callbacks
+// plus the retransmission bookkeeping the RTO loop accumulates. Slab-
+// pooled — a send costs a free-list pop, never a malloc, once the pool
+// covers the in-flight high-water mark.
+struct Message {
+  TxAttemptFn attempt;
+  TxResultFn on_result;
+  TxRetransmitObserver on_retransmit;
+  int attempts = 0;
+  int drops = 0;
+  sim::Duration retrans_delay;
+};
+
+// Owning handle to a pooled in-flight Message.
+using MessagePtr = sim::PoolRef<Message>;
+
+// Thread-local pool backing Transport::send (one simulation per thread).
+inline sim::SlabPool<Message>& message_pool() {
+  thread_local sim::SlabPool<Message> pool;
+  return pool;
+}
 
 // Counters for a sender or receiver side.
 struct TxStats {

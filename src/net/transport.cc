@@ -1,27 +1,20 @@
 #include "net/transport.h"
 
-namespace ntier::net {
+#include <utility>
 
-struct Pending {
-  AttemptFn attempt;
-  ResultFn on_result;
-  RetransmitFn on_retransmit;
-  int attempts = 0;
-  int drops = 0;
-  sim::Duration retrans_delay;
-};
+namespace ntier::net {
 
 void Transport::send(AttemptFn attempt, ResultFn on_result,
                      RetransmitFn on_retransmit) {
   ++stats_.sent;
-  auto p = std::make_shared<Pending>();
+  MessagePtr p = message_pool().make();
   p->attempt = std::move(attempt);
   p->on_result = std::move(on_result);
   p->on_retransmit = std::move(on_retransmit);
   attempt_at(std::move(p), link_.sample());
 }
 
-void Transport::attempt_at(std::shared_ptr<Pending> p, sim::Duration delay) {
+void Transport::attempt_at(MessagePtr p, sim::Duration delay) {
   sim_.after(delay, [this, p] {
     ++p->attempts;
     // A degraded link may lose the packet in flight; the sender cannot

@@ -8,9 +8,6 @@
 // servers, only delayed by whole RTOs at admission.
 #pragma once
 
-#include <functional>
-#include <memory>
-
 #include "net/link.h"
 #include "net/message.h"
 #include "net/rto_policy.h"
@@ -19,9 +16,9 @@
 namespace ntier::net {
 
 // Returns true when the receiver admits the message now.
-using AttemptFn = std::function<bool()>;
+using AttemptFn = TxAttemptFn;
 // Invoked once per logical send, after final success or abandonment.
-using ResultFn = std::function<void(const TxOutcome&)>;
+using ResultFn = TxResultFn;
 // Trace observer at each refused/lost attempt that will be retried
 // (see net/message.h for the contract).
 using RetransmitFn = TxRetransmitObserver;
@@ -42,7 +39,7 @@ class Transport {
   Link& link() { return link_; }
 
  private:
-  void attempt_at(std::shared_ptr<struct Pending> p, sim::Duration delay);
+  void attempt_at(MessagePtr p, sim::Duration delay);
 
   sim::Simulation& sim_;
   RtoPolicy rto_;

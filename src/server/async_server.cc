@@ -4,6 +4,11 @@
 
 namespace ntier::server {
 
+sim::SlabPool<AsyncServer::Ctx>& AsyncServer::ctx_pool() {
+  thread_local sim::SlabPool<Ctx> pool;
+  return pool;
+}
+
 AsyncServer::AsyncServer(sim::Simulation& sim, std::string name, cpu::VmCpu* vm,
                          const AppProfile* profile,
                          std::function<Program(const RequestClassProfile&)> program_fn,
@@ -16,15 +21,15 @@ bool AsyncServer::do_offer(Job job) {
   note_offer();
   if (in_system_ >= cfg_.lite_q_depth) {
     note_drop();
-    job.req->stamp(name_ + ":drop", sim_.now());
+    job.req->stamp(name_, ":drop", sim_.now());
     trace_instant(job.req, trace::SpanKind::kDrop, name_, job.parent_span,
                   sim_.now(), /*detail=*/0);
     return false;
   }
   note_accept();
-  job.req->stamp(name_ + ":admit", sim_.now());
-  auto ctx = std::make_shared<Ctx>();
-  ctx->prog = program_for(*job.req);
+  job.req->stamp(name_, ":admit", sim_.now());
+  CtxPtr ctx = ctx_pool().make();
+  ctx->prog = &program_for(*job.req);
   ctx->job = std::move(job);
   ctx->hop = trace_open(ctx->job.req, trace::SpanKind::kHop, name_,
                         ctx->job.parent_span, sim_.now());
@@ -63,16 +68,16 @@ void AsyncServer::pump() {
 }
 
 void AsyncServer::run_step(const CtxPtr& ctx) {
-  if (ctx->pc >= ctx->prog.size()) {
+  if (ctx->pc >= ctx->prog->size()) {
     note_reply();
-    ctx->job.req->stamp(name_ + ":reply", sim_.now());
+    ctx->job.req->stamp(name_, ":reply", sim_.now());
     trace_close(ctx->job.req, ctx->hop, sim_.now());
     ctx->job.reply(ctx->job.req);
     release_slot();
     pump();
     return;
   }
-  const WorkStep& step = ctx->prog[ctx->pc];
+  const WorkStep& step = (*ctx->prog)[ctx->pc];
   switch (step.kind) {
     case WorkStep::Kind::kCpu: {
       if (step.amount <= sim::Duration::zero()) {

@@ -47,15 +47,18 @@ class AsyncServer : public Server {
   void abort_queued() override;
 
  private:
+  // Per-admission execution state, slab-pooled (closures capture a
+  // 16-byte CtxPtr; the Program is shared per class).
   struct Ctx {
     Job job;
-    Program prog;
+    const Program* prog = nullptr;
     std::size_t pc = 0;
     std::uint64_t hop = trace::kNoSpan;    // this server's visit span
     std::uint64_t qspan = trace::kNoSpan;  // open run-queue wait, if parked
   };
-  using CtxPtr = std::shared_ptr<Ctx>;
+  using CtxPtr = sim::PoolRef<Ctx>;
 
+  static sim::SlabPool<Ctx>& ctx_pool();
   void pump();
   void run_step(const CtxPtr& ctx);  // holds an active slot
   void release_slot() { --active_; }

@@ -2,7 +2,7 @@
 
 namespace ntier::server {
 
-void ConnectionPool::acquire(std::function<void()> granted) {
+void ConnectionPool::acquire(sim::EventFn granted) {
   if (in_use_ < size_) {
     ++in_use_;
     ++grants_;

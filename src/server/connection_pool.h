@@ -8,7 +8,8 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
+
+#include "sim/event_queue.h"
 
 namespace ntier::server {
 
@@ -18,7 +19,7 @@ class ConnectionPool {
 
   // Calls `granted` when a connection is available (possibly
   // immediately, synchronously). FIFO among waiters.
-  void acquire(std::function<void()> granted);
+  void acquire(sim::EventFn granted);
 
   // Returns a connection; hands it to the oldest waiter if any.
   void release();
@@ -32,7 +33,7 @@ class ConnectionPool {
   std::size_t size_;
   std::size_t in_use_ = 0;
   std::uint64_t grants_ = 0;
-  std::deque<std::function<void()>> waiters_;
+  std::deque<sim::EventFn> waiters_;
 };
 
 }  // namespace ntier::server

@@ -4,16 +4,58 @@
 #include <utility>
 
 namespace ntier::server {
+namespace detail {
 
-struct Server::DispatchState {
+// Per-dispatch bookkeeping, shared by every attempt/hedge/timeout closure
+// of one downstream call. Slab-pooled: closures capture a 16-byte ref.
+struct DispatchState {
+  RequestPtr req;
+  sim::EventFn on_reply;
   bool settled = false;  // a reply (or permanent failure) already unwound
   int attempts = 1;      // primary attempts started (1 = the first send)
   int hedges = 0;        // duplicate copies issued
   // Tracing: the downstream-wait span all attempts/gaps/policy events of
-  // this dispatch nest under, and its site label ("tomcat->mysql").
+  // this dispatch nest under, and its site label ("tomcat->mysql") —
+  // built only for traced requests.
   std::uint64_t ds_span = trace::kNoSpan;
   std::string site;
+
+  // Closes the downstream-wait span and resumes the caller. Runs once
+  // per dispatch (callers guard via `settled`).
+  void unwind(sim::Time now) {
+    trace_close(req, ds_span, now);
+    on_reply();
+  }
 };
+
+// Per-attempt policy state (conclusion guard + latency clock). Pooled so
+// the governed path's reply/timeout/result closures stay within the
+// InlineFn budget.
+struct GovAttempt {
+  sim::PoolRef<DispatchState> st;
+  bool concluded = false;  // this attempt already counted for the breaker
+  sim::Time sent_at{};
+  bool is_hedge = false;
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::DispatchState;
+using detail::GovAttempt;
+
+sim::SlabPool<DispatchState>& dispatch_pool() {
+  thread_local sim::SlabPool<DispatchState> pool;
+  return pool;
+}
+
+sim::SlabPool<GovAttempt>& attempt_pool() {
+  thread_local sim::SlabPool<GovAttempt> pool;
+  return pool;
+}
+
+}  // namespace
 
 Server::Server(sim::Simulation& sim, std::string name, cpu::VmCpu* vm,
                const AppProfile* profile,
@@ -24,6 +66,9 @@ Server::Server(sim::Simulation& sim, std::string name, cpu::VmCpu* vm,
       profile_(profile),
       program_fn_(std::move(program_fn)) {
   assert(profile_ != nullptr);
+  programs_.reserve(profile_->classes.size());
+  for (const RequestClassProfile& c : profile_->classes)
+    programs_.push_back(program_fn_(c));
 }
 
 void Server::connect_downstream(Server* next, net::RtoPolicy rto, net::Link link) {
@@ -42,7 +87,7 @@ bool Server::offer(Job job) {
     // unacked packet as a full accept queue — it retransmits per its RTO.
     note_offer();
     ++stats_.refused_down;
-    job.req->stamp(name_ + ":refused", sim_.now());
+    job.req->stamp(name_, ":refused", sim_.now());
     trace_instant(job.req, trace::SpanKind::kDrop, name_, job.parent_span,
                   sim_.now(), /*detail=*/1);
     note_drop();
@@ -56,10 +101,11 @@ bool Server::offer(Job job) {
     ++stats_.expired;
     job.req->failed = true;
     job.req->deadline_expired = true;
-    job.req->stamp(name_ + ":expired", sim_.now());
+    job.req->stamp(name_, ":expired", sim_.now());
     trace_instant(job.req, trace::SpanKind::kDeadlineCancel, name_,
                   job.parent_span, sim_.now());
-    sim_.after(sim::Duration::zero(), [job = std::move(job)] { job.reply(job.req); });
+    auto jr = job_pool().make(std::move(job));
+    sim_.after(sim::Duration::zero(), [jr] { jr->reply(jr->req); });
     return true;
   }
   return do_offer(std::move(job));
@@ -73,7 +119,7 @@ void Server::set_down(bool down, bool abort_queued_work) {
 void Server::abort_job(Job job) {
   ++stats_.aborted;
   job.req->failed = true;
-  job.req->stamp(name_ + ":aborted", sim_.now());
+  job.req->stamp(name_, ":aborted", sim_.now());
   // The aborted job still gets a (failure) reply, preserving the
   // conservation invariant accepted == completed + in-system.
   note_reply();
@@ -81,21 +127,20 @@ void Server::abort_job(Job job) {
 }
 
 void Server::dispatch_downstream(const RequestPtr& req, std::uint64_t parent_span,
-                                 std::function<void()> on_reply) {
+                                 sim::EventFn on_reply) {
   assert(downstream_ != nullptr && transport_ != nullptr);
 
   // Tracing: one downstream-wait span covers this dispatch from first
   // send to unwind; RTO gaps and policy events nest under it, and the
   // downstream tier's hop span nests under it via Job::parent_span.
-  auto st = std::make_shared<DispatchState>();
-  st->site = name_ + "->" + downstream_->name();
-  st->ds_span = trace_open(req, trace::SpanKind::kDownstream, st->site,
-                           parent_span, sim_.now());
-  auto reply_cb = std::make_shared<std::function<void()>>(
-      [this, req, st, cb = std::move(on_reply)] {
-        trace_close(req, st->ds_span, sim_.now());
-        cb();
-      });
+  StPtr st = dispatch_pool().make();
+  st->req = req;
+  st->on_reply = std::move(on_reply);
+  if (req->traced()) {
+    st->site = name_ + "->" + downstream_->name();
+    st->ds_span = trace_open(req, trace::SpanKind::kDownstream, st->site,
+                             parent_span, sim_.now());
+  }
 
   if (!governor_) {
     // Plain path: single send, retransmission handled inside Transport.
@@ -104,22 +149,24 @@ void Server::dispatch_downstream(const RequestPtr& req, std::uint64_t parent_spa
     down.parent_span = st->ds_span;
     // The downstream tier calls this at its completion instant; the
     // return-path link latency belongs to this (sending) side.
-    down.reply = [this, reply_cb](const RequestPtr&) {
-      sim_.after(transport_->link().sample(), [reply_cb] { (*reply_cb)(); });
+    down.reply = [this, st](const RequestPtr&) {
+      sim_.after(transport_->link().sample(), [this, st] { st->unwind(sim_.now()); });
     };
     transport_->send(
-        [next = downstream_, down](/*attempt*/) { return next->offer(down); },
-        [this, req, reply_cb](const net::TxOutcome& out) {
-          req->total_drops += out.drops;
+        [next = downstream_, down = std::move(down)](/*attempt*/) {
+          return next->offer(down);
+        },
+        [this, st](const net::TxOutcome& out) {
+          st->req->total_drops += out.drops;
           if (!out.delivered) {
             // Connection abandoned after max retries: fail the request and
             // unwind so upstream threads/clients are released.
-            req->failed = true;
+            st->req->failed = true;
             ++stats_.failed;
-            (*reply_cb)();
+            st->unwind(sim_.now());
           }
         },
-        retransmit_observer(req, st));
+        retransmit_observer(st));
     return;
   }
 
@@ -135,7 +182,7 @@ void Server::dispatch_downstream(const RequestPtr& req, std::uint64_t parent_spa
     ++stats_.failed;
     trace_instant(req, trace::SpanKind::kDeadlineCancel, st->site, st->ds_span,
                   sim_.now());
-    sim_.after(sim::Duration::zero(), [reply_cb] { (*reply_cb)(); });
+    sim_.after(sim::Duration::zero(), [this, st] { st->unwind(sim_.now()); });
     return;
   }
   if (!governor_->allow_send()) {
@@ -145,115 +192,114 @@ void Server::dispatch_downstream(const RequestPtr& req, std::uint64_t parent_spa
     ++stats_.failed;
     trace_instant(req, trace::SpanKind::kBreakerReject, st->site, st->ds_span,
                   sim_.now());
-    sim_.after(sim::Duration::zero(), [reply_cb] { (*reply_cb)(); });
+    sim_.after(sim::Duration::zero(), [this, st] { st->unwind(sim_.now()); });
     return;
   }
 
-  send_attempt(req, reply_cb, st, /*is_hedge=*/false);
+  send_attempt(st, /*is_hedge=*/false);
 
   if (pol.hedge.enabled) {
     // Hedge copies fire at multiples of the current percentile delay
     // (scheduled up front: deterministic, no self-referential timers).
     const sim::Duration d = governor_->hedge_delay();
     for (int i = 1; i <= pol.hedge.max_hedges; ++i) {
-      sim_.after(d * i, [this, req, reply_cb, st, i] {
+      sim_.after(d * i, [this, st, i] {
         if (st->settled) return;
-        if (req->has_deadline() && sim_.now() >= req->deadline) return;
+        if (st->req->has_deadline() && sim_.now() >= st->req->deadline) return;
         ++st->hedges;
-        ++req->hedge_copies;
+        ++st->req->hedge_copies;
         ++governor_->stats().hedges;
         ++stats_.hedges_sent;
-        trace_instant(req, trace::SpanKind::kHedge, st->site, st->ds_span,
+        trace_instant(st->req, trace::SpanKind::kHedge, st->site, st->ds_span,
                       sim_.now(), /*detail=*/i);
-        send_attempt(req, reply_cb, st, /*is_hedge=*/true);
+        send_attempt(st, /*is_hedge=*/true);
       });
     }
   }
 }
 
-net::RetransmitFn Server::retransmit_observer(
-    const RequestPtr& req, const std::shared_ptr<DispatchState>& st) {
-  if (!req->traced()) return {};
+net::RetransmitFn Server::retransmit_observer(const StPtr& st) {
+  if (!st->req->traced()) return {};
   // Each refused/lost attempt costs the sender one whole RTO before the
   // next attempt — the paper's 3 s mechanism, recorded verbatim.
-  return [req, st](sim::Time at, sim::Duration rto, int attempt) {
-    req->spans->add(trace::SpanKind::kRtoGap, st->site, st->ds_span, at,
-                    at + rto, attempt);
+  return [st](sim::Time at, sim::Duration rto, int attempt) {
+    st->req->spans->add(trace::SpanKind::kRtoGap, st->site, st->ds_span, at,
+                        at + rto, attempt);
   };
 }
 
-void Server::send_attempt(const RequestPtr& req,
-                          const std::shared_ptr<std::function<void()>>& reply_cb,
-                          const std::shared_ptr<DispatchState>& st, bool is_hedge) {
+void Server::send_attempt(const StPtr& st, bool is_hedge) {
   // Per-attempt conclusion guard: an attempt concludes exactly once for
   // breaker/latency accounting (timeout, transport failure, or reply).
-  auto concluded = std::make_shared<bool>(false);
-  const sim::Time sent_at = sim_.now();
+  GaPtr ga = attempt_pool().make();
+  ga->st = st;
+  ga->sent_at = sim_.now();
+  ga->is_hedge = is_hedge;
 
   Job down;
-  down.req = req;
+  down.req = st->req;
   down.parent_span = st->ds_span;
-  down.reply = [this, req, reply_cb, st, concluded, sent_at, is_hedge](const RequestPtr&) {
-    sim_.after(transport_->link().sample(),
-               [this, req, reply_cb, st, concluded, sent_at, is_hedge] {
-                 if (!*concluded) {
-                   *concluded = true;
-                   governor_->on_outcome(!req->failed);
-                   if (!req->failed) governor_->record_latency(sim_.now() - sent_at);
-                 }
-                 if (st->settled) return;  // another copy already unwound
-                 st->settled = true;
-                 if (is_hedge) ++governor_->stats().hedge_wins;
-                 (*reply_cb)();
-               });
+  down.reply = [this, ga](const RequestPtr&) {
+    sim_.after(transport_->link().sample(), [this, ga] {
+      DispatchState& st = *ga->st;
+      if (!ga->concluded) {
+        ga->concluded = true;
+        governor_->on_outcome(!st.req->failed);
+        if (!st.req->failed) governor_->record_latency(sim_.now() - ga->sent_at);
+      }
+      if (st.settled) return;  // another copy already unwound
+      st.settled = true;
+      if (ga->is_hedge) ++governor_->stats().hedge_wins;
+      st.unwind(sim_.now());
+    });
   };
 
   transport_->send(
-      [next = downstream_, down](/*attempt*/) { return next->offer(down); },
-      [this, req, reply_cb, st, concluded, is_hedge](const net::TxOutcome& out) {
-        req->total_drops += out.drops;
+      [next = downstream_, down = std::move(down)](/*attempt*/) {
+        return next->offer(down);
+      },
+      [this, ga](const net::TxOutcome& out) {
+        ga->st->req->total_drops += out.drops;
         if (out.delivered) return;  // conclusion arrives with the reply
-        if (*concluded) return;     // attempt_timeout already took over
-        *concluded = true;
+        if (ga->concluded) return;  // attempt_timeout already took over
+        ga->concluded = true;
         governor_->on_outcome(false);
         // Hedge copies never settle on failure — the primary chain owns
         // the retry/fail decision and a surviving copy may still win.
-        if (!is_hedge) retry_or_fail(req, reply_cb, st);
+        if (!ga->is_hedge) retry_or_fail(ga->st);
       },
-      retransmit_observer(req, st));
+      retransmit_observer(st));
 
   const sim::Duration at = governor_->policy().attempt_timeout;
   if (!is_hedge && at > sim::Duration::zero()) {
-    sim_.after(at, [this, req, reply_cb, st, concluded] {
-      if (st->settled || *concluded) return;
-      *concluded = true;
+    sim_.after(at, [this, ga] {
+      if (ga->st->settled || ga->concluded) return;
+      ga->concluded = true;
       governor_->on_outcome(false);
       // The timed-out attempt stays in flight downstream (its work is not
       // recalled); if it lands before the retry it still wins via `st`.
-      retry_or_fail(req, reply_cb, st);
+      retry_or_fail(ga->st);
     });
   }
 }
 
-void Server::retry_or_fail(const RequestPtr& req,
-                           const std::shared_ptr<std::function<void()>>& reply_cb,
-                           const std::shared_ptr<DispatchState>& st) {
+void Server::retry_or_fail(const StPtr& st) {
   if (st->settled) return;
   const policy::RetryPolicy& rp = governor_->policy().retry;
   if (!rp.enabled() || st->attempts >= rp.max_attempts) {
-    fail_dispatch(req, reply_cb, st);
+    fail_dispatch(st);
     return;
   }
-  if (req->has_deadline() && sim_.now() >= req->deadline) {
+  if (st->req->has_deadline() && sim_.now() >= st->req->deadline) {
     ++governor_->stats().deadline_cancels;
-    req->deadline_expired = true;
-    trace_instant(req, trace::SpanKind::kDeadlineCancel, st->site, st->ds_span,
-                  sim_.now());
-    fail_dispatch(req, reply_cb, st);
+    st->req->deadline_expired = true;
+    trace_instant(st->req, trace::SpanKind::kDeadlineCancel, st->site,
+                  st->ds_span, sim_.now());
+    fail_dispatch(st);
     return;
   }
   if (!governor_->try_retry_token()) {
-    fail_dispatch(req, reply_cb, st);
+    fail_dispatch(st);
     return;
   }
   const sim::Duration backoff = governor_->next_backoff(st->attempts);
@@ -261,32 +307,30 @@ void Server::retry_or_fail(const RequestPtr& req,
   ++stats_.ds_retries;
   // The backoff interval itself is a trace span: idle wall-clock the
   // request spends between attempts, charged to the policy layer.
-  trace_add(req, trace::SpanKind::kRetry, st->site, st->ds_span, sim_.now(),
+  trace_add(st->req, trace::SpanKind::kRetry, st->site, st->ds_span, sim_.now(),
             sim_.now() + backoff, /*detail=*/st->attempts);
-  sim_.after(backoff, [this, req, reply_cb, st] {
+  sim_.after(backoff, [this, st] {
     if (st->settled) return;
-    if (req->has_deadline() && sim_.now() >= req->deadline) {
+    if (st->req->has_deadline() && sim_.now() >= st->req->deadline) {
       ++governor_->stats().deadline_cancels;
-      req->deadline_expired = true;
-      trace_instant(req, trace::SpanKind::kDeadlineCancel, st->site,
+      st->req->deadline_expired = true;
+      trace_instant(st->req, trace::SpanKind::kDeadlineCancel, st->site,
                     st->ds_span, sim_.now());
-      fail_dispatch(req, reply_cb, st);
+      fail_dispatch(st);
       return;
     }
     ++st->attempts;
-    ++req->app_retries;
-    send_attempt(req, reply_cb, st, /*is_hedge=*/false);
+    ++st->req->app_retries;
+    send_attempt(st, /*is_hedge=*/false);
   });
 }
 
-void Server::fail_dispatch(const RequestPtr& req,
-                           const std::shared_ptr<std::function<void()>>& reply_cb,
-                           const std::shared_ptr<DispatchState>& st) {
+void Server::fail_dispatch(const StPtr& st) {
   if (st->settled) return;
   st->settled = true;
-  req->failed = true;
+  st->req->failed = true;
   ++stats_.failed;
-  (*reply_cb)();
+  st->unwind(sim_.now());
 }
 
 }  // namespace ntier::server

@@ -21,6 +21,10 @@
 //    skip all of it (null-pointer test per site), and tracing schedules
 //    no events and draws no randomness — a traced run is event-for-event
 //    identical to an untraced one at the same seed.
+//
+// Hot-path memory: dispatch bookkeeping (DispatchState, per-attempt
+// policy state) is slab-pooled and every callback is an InlineFn, so a
+// steady-state request costs no allocations here (docs/PERFORMANCE.md).
 #pragma once
 
 #include <cstdint>
@@ -41,6 +45,11 @@
 #include "sim/simulation.h"
 
 namespace ntier::server {
+
+namespace detail {
+struct DispatchState;  // per-dispatch bookkeeping (slab-pooled)
+struct GovAttempt;     // per-attempt policy state (slab-pooled)
+}  // namespace detail
 
 class Server {
  public:
@@ -116,8 +125,11 @@ class Server {
   // in-flight work lost on crash; implementations call abort_job().
   virtual void abort_queued() {}
 
-  Program program_for(const Request& r) const {
-    return program_fn_(profile_->at(r.class_index));
+  // Per-class programs are pure functions of the class profile, so they
+  // are built once at construction and shared by reference — the per-
+  // request Program copy (a vector allocation) is gone.
+  const Program& program_for(const Request& r) const {
+    return programs_[r.class_index];
   }
 
   void note_offer() { ++stats_.offered; }
@@ -143,7 +155,7 @@ class Server {
   // events recorded here nest under it, and the downstream tier's hop
   // nests under the downstream-wait span via Job::parent_span.
   void dispatch_downstream(const RequestPtr& req, std::uint64_t parent_span,
-                           std::function<void()> on_reply);
+                           sim::EventFn on_reply);
 
   sim::Simulation& sim_;
   std::string name_;
@@ -151,6 +163,7 @@ class Server {
   cpu::IoDevice* io_ = nullptr;
   const AppProfile* profile_;
   std::function<Program(const RequestClassProfile&)> program_fn_;
+  std::vector<Program> programs_;  // one per request class, built once
 
   Server* downstream_ = nullptr;
   std::unique_ptr<net::Transport> transport_;
@@ -162,18 +175,12 @@ class Server {
   std::vector<sim::Time> drop_times_;
 
  private:
-  struct DispatchState;
-  net::RetransmitFn retransmit_observer(const RequestPtr& req,
-                                        const std::shared_ptr<DispatchState>& st);
-  void send_attempt(const RequestPtr& req,
-                    const std::shared_ptr<std::function<void()>>& reply_cb,
-                    const std::shared_ptr<DispatchState>& st, bool is_hedge);
-  void retry_or_fail(const RequestPtr& req,
-                     const std::shared_ptr<std::function<void()>>& reply_cb,
-                     const std::shared_ptr<DispatchState>& st);
-  void fail_dispatch(const RequestPtr& req,
-                     const std::shared_ptr<std::function<void()>>& reply_cb,
-                     const std::shared_ptr<DispatchState>& st);
+  using StPtr = sim::PoolRef<detail::DispatchState>;
+  using GaPtr = sim::PoolRef<detail::GovAttempt>;
+  net::RetransmitFn retransmit_observer(const StPtr& st);
+  void send_attempt(const StPtr& st, bool is_hedge);
+  void retry_or_fail(const StPtr& st);
+  void fail_dispatch(const StPtr& st);
 };
 
 }  // namespace ntier::server

@@ -4,11 +4,19 @@
 
 namespace ntier::server {
 
+sim::SlabPool<StagedServer::Ctx>& StagedServer::ctx_pool() {
+  thread_local sim::SlabPool<Ctx> pool;
+  return pool;
+}
+
 StagedServer::StagedServer(sim::Simulation& sim, std::string name, cpu::VmCpu* vm,
                            const AppProfile* profile,
                            std::function<Program(const RequestClassProfile&)> program_fn,
                            StagedConfig cfg)
-    : Server(sim, std::move(name), vm, profile, std::move(program_fn)), cfg_(cfg) {
+    : Server(sim, std::move(name), vm, profile, std::move(program_fn)),
+      cfg_(cfg),
+      site_ingress_(name_ + ":ingress"),
+      site_cont_(name_ + ":cont") {
   assert(cfg.ingress.threads > 0 && cfg.continuation.threads > 0);
 }
 
@@ -16,20 +24,20 @@ bool StagedServer::do_offer(Job job) {
   note_offer();
   if (ingress_q_.size() >= cfg_.ingress.queue_cap) {
     note_drop();
-    job.req->stamp(name_ + ":drop", sim_.now());
+    job.req->stamp(name_, ":drop", sim_.now());
     trace_instant(job.req, trace::SpanKind::kDrop, name_, job.parent_span,
                   sim_.now(), /*detail=*/0);
     return false;
   }
   note_accept();
-  job.req->stamp(name_ + ":admit", sim_.now());
-  auto ctx = std::make_shared<Ctx>();
-  ctx->prog = program_for(*job.req);
+  job.req->stamp(name_, ":admit", sim_.now());
+  CtxPtr ctx = ctx_pool().make();
+  ctx->prog = &program_for(*job.req);
   ctx->job = std::move(job);
   ctx->hop = trace_open(ctx->job.req, trace::SpanKind::kHop, name_,
                         ctx->job.parent_span, sim_.now());
   ctx->qspan = trace_open(ctx->job.req, trace::SpanKind::kPoolQueue,
-                          name_ + ":ingress", ctx->hop, sim_.now());
+                          site_ingress_, ctx->hop, sim_.now());
   ingress_q_.push_back(std::move(ctx));
   pump();
   return true;
@@ -67,11 +75,11 @@ void StagedServer::pump() {
 }
 
 void StagedServer::run_step(const CtxPtr& ctx, bool continuation_stage) {
-  if (ctx->pc >= ctx->prog.size()) {
+  if (ctx->pc >= ctx->prog->size()) {
     finish(ctx, continuation_stage);
     return;
   }
-  const WorkStep& step = ctx->prog[ctx->pc];
+  const WorkStep& step = (*ctx->prog)[ctx->pc];
   switch (step.kind) {
     case WorkStep::Kind::kCpu: {
       if (step.amount <= sim::Duration::zero()) {
@@ -110,7 +118,7 @@ void StagedServer::run_step(const CtxPtr& ctx, bool continuation_stage) {
       dispatch_downstream(ctx->job.req, ctx->hop, [this, ctx] {
         ++ctx->pc;
         ctx->qspan = trace_open(ctx->job.req, trace::SpanKind::kPoolQueue,
-                                name_ + ":cont", ctx->hop, sim_.now());
+                                site_cont_, ctx->hop, sim_.now());
         cont_q_.push_back(ctx);
         pump();
       });
@@ -122,7 +130,7 @@ void StagedServer::run_step(const CtxPtr& ctx, bool continuation_stage) {
 
 void StagedServer::finish(const CtxPtr& ctx, bool continuation_stage) {
   note_reply();
-  ctx->job.req->stamp(name_ + ":reply", sim_.now());
+  ctx->job.req->stamp(name_, ":reply", sim_.now());
   trace_close(ctx->job.req, ctx->hop, sim_.now());
   ctx->job.reply(ctx->job.req);
   if (continuation_stage) {

@@ -58,15 +58,18 @@ class StagedServer : public Server {
   void abort_queued() override;
 
  private:
+  // Per-admission execution state, slab-pooled (closures capture a
+  // 16-byte CtxPtr; the Program is shared per class).
   struct Ctx {
     Job job;
-    Program prog;
+    const Program* prog = nullptr;
     std::size_t pc = 0;
     std::uint64_t hop = trace::kNoSpan;    // this server's visit span
     std::uint64_t qspan = trace::kNoSpan;  // open stage-queue wait, if parked
   };
-  using CtxPtr = std::shared_ptr<Ctx>;
+  using CtxPtr = sim::PoolRef<Ctx>;
 
+  static sim::SlabPool<Ctx>& ctx_pool();
   void pump();
   // Runs steps while holding a slot of the given stage; the downstream
   // step releases the slot and re-enters via the continuation queue.
@@ -74,6 +77,8 @@ class StagedServer : public Server {
   void finish(const CtxPtr& ctx, bool continuation_stage);
 
   StagedConfig cfg_;
+  const std::string site_ingress_;  // "<name>:ingress" (built once)
+  const std::string site_cont_;     // "<name>:cont" (built once)
   std::deque<CtxPtr> ingress_q_;
   std::deque<CtxPtr> cont_q_;
   std::size_t ingress_active_ = 0;

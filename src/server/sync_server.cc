@@ -4,12 +4,18 @@
 
 namespace ntier::server {
 
+sim::SlabPool<SyncServer::Ctx>& SyncServer::ctx_pool() {
+  thread_local sim::SlabPool<Ctx> pool;
+  return pool;
+}
+
 SyncServer::SyncServer(sim::Simulation& sim, std::string name, cpu::VmCpu* vm,
                        const AppProfile* profile,
                        std::function<Program(const RequestClassProfile&)> program_fn,
                        SyncConfig cfg)
     : Server(sim, std::move(name), vm, profile, std::move(program_fn)),
       cfg_(cfg),
+      site_dbpool_(name_ + ":dbpool"),
       threads_(cfg.threads_per_process),
       accept_q_(cfg.backlog) {
   assert(cfg.threads_per_process > 0);
@@ -21,7 +27,7 @@ bool SyncServer::do_offer(Job job) {
   note_offer();
   if (busy_ < threads_) {
     note_accept();
-    job.req->stamp(name_ + ":admit", sim_.now());
+    job.req->stamp(name_, ":admit", sim_.now());
     const std::uint64_t hop = trace_open(job.req, trace::SpanKind::kHop, name_,
                                          job.parent_span, sim_.now());
     start(std::move(job), hop);
@@ -29,7 +35,7 @@ bool SyncServer::do_offer(Job job) {
   }
   if (accept_q_.try_push(sim_.now())) {
     note_accept();
-    job.req->stamp(name_ + ":backlog", sim_.now());
+    job.req->stamp(name_, ":backlog", sim_.now());
     Queued q;
     q.hop = trace_open(job.req, trace::SpanKind::kHop, name_, job.parent_span,
                        sim_.now());
@@ -45,16 +51,16 @@ bool SyncServer::do_offer(Job job) {
     // slot; the sender sees an accepted-and-answered request.
     ++shed_;
     job.req->failed = true;
-    job.req->stamp(name_ + ":shed", sim_.now());
+    job.req->stamp(name_, ":shed", sim_.now());
     trace_instant(job.req, trace::SpanKind::kDrop, name_, job.parent_span,
                   sim_.now(), /*detail=*/2);
-    sim_.after(sim::Duration::micros(50),
-               [job = std::move(job)] { job.reply(job.req); });
+    auto jr = job_pool().make(std::move(job));
+    sim_.after(sim::Duration::micros(50), [jr] { jr->reply(jr->req); });
     check_spawn();
     return true;
   }
   note_drop();
-  job.req->stamp(name_ + ":drop", sim_.now());
+  job.req->stamp(name_, ":drop", sim_.now());
   trace_instant(job.req, trace::SpanKind::kDrop, name_, job.parent_span,
                 sim_.now(), /*detail=*/0);
   check_spawn();
@@ -65,8 +71,8 @@ void SyncServer::start(Job job, std::uint64_t hop) {
   ++busy_;
   if (busy_ == threads_ && exhausted_since_ == sim::Time::max())
     exhausted_since_ = sim_.now();
-  auto ctx = std::make_shared<Ctx>();
-  ctx->prog = program_for(*job.req);
+  CtxPtr ctx = ctx_pool().make();
+  ctx->prog = &program_for(*job.req);
   ctx->job = std::move(job);
   ctx->hop = hop;
   run_step(ctx);
@@ -77,12 +83,12 @@ void SyncServer::start_queued(Queued q) {
   start(std::move(q.job), q.hop);
 }
 
-void SyncServer::run_step(const std::shared_ptr<Ctx>& ctx) {
-  if (ctx->pc >= ctx->prog.size()) {
+void SyncServer::run_step(const CtxPtr& ctx) {
+  if (ctx->pc >= ctx->prog->size()) {
     finish(ctx);
     return;
   }
-  const WorkStep& step = ctx->prog[ctx->pc];
+  const WorkStep& step = (*ctx->prog)[ctx->pc];
   switch (step.kind) {
     case WorkStep::Kind::kCpu: {
       if (step.amount <= sim::Duration::zero()) {
@@ -114,34 +120,35 @@ void SyncServer::run_step(const std::shared_ptr<Ctx>& ctx) {
       return;
     }
     case WorkStep::Kind::kDownstream: {
-      auto go = [this, ctx] {
-        dispatch_downstream(ctx->job.req, ctx->hop, [this, ctx] {
-          if (pool_) pool_->release();
-          ++ctx->pc;
-          run_step(ctx);
-        });
-      };
       if (pool_) {
         // The worker thread blocks until a DB connection frees — this
         // wait is still *inside* the server (counted in queued_requests).
-        const std::uint64_t sp =
-            trace_open(ctx->job.req, trace::SpanKind::kPoolQueue,
-                       name_ + ":dbpool", ctx->hop, sim_.now());
-        pool_->acquire([this, ctx, sp, go = std::move(go)] {
-          trace_close(ctx->job.req, sp, sim_.now());
-          go();
+        ctx->sp = trace_open(ctx->job.req, trace::SpanKind::kPoolQueue,
+                             site_dbpool_, ctx->hop, sim_.now());
+        pool_->acquire([this, ctx] {
+          trace_close(ctx->job.req, ctx->sp, sim_.now());
+          ctx->sp = trace::kNoSpan;
+          begin_downstream(ctx);
         });
       } else {
-        go();
+        begin_downstream(ctx);
       }
       return;
     }
   }
 }
 
-void SyncServer::finish(const std::shared_ptr<Ctx>& ctx) {
+void SyncServer::begin_downstream(const CtxPtr& ctx) {
+  dispatch_downstream(ctx->job.req, ctx->hop, [this, ctx] {
+    if (pool_) pool_->release();
+    ++ctx->pc;
+    run_step(ctx);
+  });
+}
+
+void SyncServer::finish(const CtxPtr& ctx) {
   note_reply();
-  ctx->job.req->stamp(name_ + ":reply", sim_.now());
+  ctx->job.req->stamp(name_, ":reply", sim_.now());
   trace_close(ctx->job.req, ctx->hop, sim_.now());
   ctx->job.reply(ctx->job.req);
   worker_freed();

@@ -60,12 +60,16 @@ class SyncServer : public Server {
   void abort_queued() override;
 
  private:
+  // Per-admission execution state: program counter plus the open trace
+  // spans. Slab-pooled; event closures capture a 16-byte CtxPtr.
   struct Ctx {
     Job job;
-    Program prog;
+    const Program* prog = nullptr;  // shared per-class program
     std::size_t pc = 0;
     std::uint64_t hop = trace::kNoSpan;  // this server's visit span
+    std::uint64_t sp = trace::kNoSpan;   // open step/pool-wait span
   };
+  using CtxPtr = sim::PoolRef<Ctx>;
   // A job parked in the TCP backlog, with its open trace spans: the hop
   // span (whole visit) and the accept-queue wait nested under it.
   struct Queued {
@@ -74,14 +78,17 @@ class SyncServer : public Server {
     std::uint64_t qspan = trace::kNoSpan;
   };
 
+  static sim::SlabPool<Ctx>& ctx_pool();
   void start(Job job, std::uint64_t hop);
-  void run_step(const std::shared_ptr<Ctx>& ctx);
-  void finish(const std::shared_ptr<Ctx>& ctx);
+  void run_step(const CtxPtr& ctx);
+  void begin_downstream(const CtxPtr& ctx);
+  void finish(const CtxPtr& ctx);
   void worker_freed();
   void check_spawn();
   void start_queued(Queued q);
 
   SyncConfig cfg_;
+  const std::string site_dbpool_;  // "<name>:dbpool" (built once)
   std::size_t threads_;     // current total across processes
   std::size_t processes_ = 1;
   std::size_t busy_ = 0;

@@ -4,32 +4,22 @@
 
 namespace ntier::sim {
 
-void EventHandle::cancel() {
-  if (state_ && state_->owner != nullptr) state_->owner->erase(state_->pos);
+void EventQueue::place(const Entry& e, std::size_t i) {
+  slots_[e.slot].pos = static_cast<std::uint32_t>(i);
+  heap_[i] = e;
 }
 
-EventQueue::~EventQueue() {
-  // Detach every live handle so cancel()/pending() on a handle that
-  // outlives the queue stays a safe no-op.
-  for (Entry& e : heap_) e.state->owner = nullptr;
-}
-
-void EventQueue::place(Entry&& e, std::size_t i) {
-  e.state->pos = i;
-  heap_[i] = std::move(e);
-}
-
-void EventQueue::sift_up(Entry&& e, std::size_t i) {
+void EventQueue::sift_up(Entry e, std::size_t i) {
   while (i > 0) {
     const std::size_t parent = (i - 1) / 4;
     if (!before(e, heap_[parent])) break;
-    place(std::move(heap_[parent]), i);
+    place(heap_[parent], i);
     i = parent;
   }
-  place(std::move(e), i);
+  place(e, i);
 }
 
-void EventQueue::sift_down(Entry&& e, std::size_t i) {
+void EventQueue::sift_down(Entry e, std::size_t i) {
   const std::size_t n = heap_.size();
   for (;;) {
     const std::size_t first = 4 * i + 1;
@@ -39,30 +29,47 @@ void EventQueue::sift_down(Entry&& e, std::size_t i) {
     for (std::size_t c = first + 1; c < last; ++c)
       if (before(heap_[c], heap_[best])) best = c;
     if (!before(heap_[best], e)) break;
-    place(std::move(heap_[best]), i);
+    place(heap_[best], i);
     i = best;
   }
-  place(std::move(e), i);
+  place(e, i);
+}
+
+void EventQueue::free_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  ++s.gen;  // invalidate outstanding handles
+  s.next_free = free_head_;
+  free_head_ = slot;
 }
 
 EventHandle EventQueue::push(Time when, EventFn fn) {
-  auto state = std::make_shared<EventHandle::State>();
-  state->owner = this;
+  std::uint32_t idx;
+  if (free_head_ != kNil) {
+    idx = free_head_;
+    free_head_ = slots_[idx].next_free;
+  } else {
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[idx];
+  s.fn = std::move(fn);
   heap_.emplace_back();  // make room; sift_up fills the final slot
-  sift_up(Entry{when, next_seq_++, std::move(fn), state}, heap_.size() - 1);
-  return EventHandle{std::move(state)};
+  sift_up(Entry{when, next_seq_++, idx}, heap_.size() - 1);
+  return EventHandle{this, idx, s.gen};
 }
 
 void EventQueue::erase(std::size_t pos) {
-  heap_[pos].state->owner = nullptr;
-  Entry tail = std::move(heap_.back());
+  const std::uint32_t slot = heap_[pos].slot;
+  slots_[slot].fn.reset();
+  free_slot(slot);
+  const Entry tail = heap_.back();
   heap_.pop_back();
   if (pos == heap_.size()) return;  // erased the last slot
   // Reposition the relocated tail: it may need to move either way.
   if (pos > 0 && before(tail, heap_[(pos - 1) / 4])) {
-    sift_up(std::move(tail), pos);
+    sift_up(tail, pos);
   } else {
-    sift_down(std::move(tail), pos);
+    sift_down(tail, pos);
   }
 }
 
@@ -72,18 +79,19 @@ Time EventQueue::next_time() const {
 
 bool EventQueue::pop_and_run() {
   if (heap_.empty()) return false;
-  // Move the entry out before running: fn may push new events and
-  // invalidate references into the heap.
-  Entry e = std::move(heap_.front());
-  e.state->owner = nullptr;
+  // Move the callback out before running: fn may push new events and
+  // recycle the slot or grow the tables.
+  const std::uint32_t slot = heap_.front().slot;
+  EventFn fn = std::move(slots_[slot].fn);
+  free_slot(slot);
   if (heap_.size() > 1) {
-    Entry tail = std::move(heap_.back());
+    const Entry tail = heap_.back();
     heap_.pop_back();
-    sift_down(std::move(tail), 0);
+    sift_down(tail, 0);
   } else {
     heap_.pop_back();
   }
-  e.fn();
+  fn();
   return true;
 }
 

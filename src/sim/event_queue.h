@@ -2,73 +2,82 @@
 //
 // An *indexed 4-ary min-heap* keyed by (time, sequence) gives
 // deterministic FIFO order among events scheduled for the same instant.
-// Every queue slot back-references its EventHandle's shared state, so
-// cancellation erases the entry in O(log n) instead of leaving a dead
-// tombstone behind (the previous lazily-cancelled std::priority_queue
-// accumulated cancelled entries until pop skipped them — a real cost for
-// the processor-sharing core, which reschedules its next-completion
-// event on every job arrival/departure). 4-ary rather than binary
-// because sift-down does 3/4 fewer levels at ~the same compares per
-// level, and the hot pop path is sift-down dominated;
-// bench/micro_engine.cc measures both against the lazy-cancel baseline.
+// The heap stores 24-byte POD entries; each entry indexes a *slot* in a
+// side table that owns the callback and a generation counter. Handles
+// are plain {queue, slot, generation} triples, so schedule/cancel touch
+// no allocator at all: push is a free-slot pop + heap insert, cancel is
+// a generation check + O(log n) indexed erase (the pre-PR-5 design
+// allocated a shared_ptr<State> per event; before that, a lazily
+// cancelled std::priority_queue accumulated dead tombstones). 4-ary
+// rather than binary because sift-down does 3/4 fewer levels at ~the
+// same compares per level, and the hot pop path is sift-down dominated;
+// bench/micro_engine.cc and bench/micro_hotpath.cc measure the steps.
+//
+// Callbacks are sim::InlineFn (src/sim/inline_fn.h): captures live
+// inline in the slot, never on the heap, and oversized captures fail to
+// compile. Combined with the slot table this makes the steady-state
+// schedule/fire/cancel cycle allocation-free (tests/test_hotpath.cc
+// asserts exactly that).
 //
 // Determinism: live events pop in strict (when, seq) order — a total
-// order — so the pop sequence is identical to the previous binary-heap
-// implementation for any program that never observes dead entries.
+// order — so the pop sequence is identical to both earlier
+// implementations for any program that never observes dead entries.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <vector>
 
+#include "sim/inline_fn.h"
 #include "sim/time.h"
 
 namespace ntier::sim {
 
-// An event's callback. Must be invocable exactly once.
-using EventFn = std::function<void()>;
+// An event's callback. Must be invocable exactly once. Captures beyond
+// kInlineFnCapacity bytes are a compile error — pool bigger state and
+// capture a PoolRef instead (see docs/PERFORMANCE.md).
+using EventFn = InlineFn<void()>;
 
 class EventQueue;
 
-// Handle that outlives the queue entry; safe to cancel after firing, and
-// safe to use after the owning EventQueue has been destroyed (no-ops).
+// Handle to a scheduled event: a POD {queue, slot, generation} triple
+// (no shared state, no allocation). Safe to cancel after the event has
+// fired or been cancelled (generation mismatch makes it a no-op), but —
+// unlike the pre-PR-5 handle — must not be used after the owning
+// EventQueue is destroyed. Every in-tree holder (HostCpu, IoDevice,
+// Sampler, timers) is torn down before its Simulation, so this contract
+// change is invisible to the models.
 class EventHandle {
  public:
   // Default-constructed handles are empty: pending() is false, cancel()
   // is a no-op. Real handles come from EventQueue::push.
   EventHandle() = default;
   // True if the event has neither fired nor been cancelled.
-  bool pending() const { return state_ && state_->owner != nullptr; }
+  bool pending() const;
   // Prevents a pending event from firing, erasing its queue entry in
   // O(log n). Idempotent; a no-op after the event fires.
   void cancel();
 
  private:
   friend class EventQueue;
-  // Shared between the handle and the queue slot. `owner` is null once
-  // the event has fired, been cancelled, or its queue was destroyed;
-  // while non-null, `pos` is the entry's current heap index.
-  struct State {
-    EventQueue* owner = nullptr;
-    std::size_t pos = 0;
-  };
-  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
-  std::shared_ptr<State> state_;
+  EventHandle(EventQueue* q, std::uint32_t slot, std::uint32_t gen)
+      : owner_(q), slot_(slot), gen_(gen) {}
+  EventQueue* owner_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 // The future-event list. Single-threaded; all complexity bounds are in
 // the number of *live* (pending) events — cancelled entries are removed
-// eagerly and never occupy heap slots.
+// eagerly and never occupy heap slots. The slot table and heap arrays
+// grow amortized to the high-water mark and are then reused forever, so
+// a warmed-up queue performs no allocations.
 class EventQueue {
  public:
-  // Non-copyable (queue slots back-reference handle state by address);
-  // destruction detaches every outstanding handle, so handles may
-  // outlive the queue.
+  // Non-copyable (handles and heap entries index into this queue's slot
+  // table by address/index).
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
-  ~EventQueue();
 
   // Enqueues fn to run at `when` in O(log n). Events at equal times fire
   // in scheduling order.
@@ -87,11 +96,24 @@ class EventQueue {
 
  private:
   friend class EventHandle;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  // 24-byte POD heap entry: sifts are plain assignments, no callback
+  // moves. `slot` indexes slots_.
   struct Entry {
     Time when;
     std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  // Callback storage + liveness. `gen` increments when the event fires
+  // or is cancelled, invalidating outstanding handles; `pos` tracks the
+  // entry's heap index while live; `next_free` threads the free list.
+  struct Slot {
     EventFn fn;
-    std::shared_ptr<EventHandle::State> state;
+    std::uint32_t gen = 0;
+    std::uint32_t pos = 0;
+    std::uint32_t next_free = kNil;
   };
 
   // True when a must fire strictly before b: the (when, seq) total order.
@@ -100,15 +122,32 @@ class EventQueue {
     return a.seq < b.seq;
   }
 
-  // Heap maintenance; every move keeps state->pos in sync.
-  void place(Entry&& e, std::size_t i);
-  void sift_up(Entry&& e, std::size_t i);
-  void sift_down(Entry&& e, std::size_t i);
-  // Detaches the handle and removes the entry at heap index `pos`.
+  // Heap maintenance; every move keeps Slot::pos in sync.
+  void place(const Entry& e, std::size_t i);
+  void sift_up(Entry e, std::size_t i);
+  void sift_down(Entry e, std::size_t i);
+  // Invalidates the slot and removes the entry at heap index `pos`.
   void erase(std::size_t pos);
+  // Returns `slot` (callback already moved out or reset) to the free
+  // list with its generation bumped.
+  void free_slot(std::uint32_t slot);
 
   std::vector<Entry> heap_;  // 4-ary: children of i are 4i+1 .. 4i+4
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNil;
   std::uint64_t next_seq_ = 0;
 };
+
+// Liveness = the queue still exists and the slot generation matches
+// (firing or cancelling bumps it, retiring every outstanding handle).
+inline bool EventHandle::pending() const {
+  return owner_ != nullptr && owner_->slots_[slot_].gen == gen_;
+}
+
+// O(log n) eager erase via the slot's tracked heap position; a no-op
+// once the event fired, was cancelled, or outlived its queue.
+inline void EventHandle::cancel() {
+  if (pending()) owner_->erase(owner_->slots_[slot_].pos);
+}
 
 }  // namespace ntier::sim

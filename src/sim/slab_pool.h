@@ -1,0 +1,273 @@
+// SlabPool: generation-checked object pool for the simulation hot path.
+//
+// The steady-state loop creates and retires a Request, several transport
+// sends, and one per-tier context per simulated request; with shared_ptr
+// each of those is a heap allocation (object + control block). SlabPool
+// carves objects out of fixed-size slabs and recycles retired slots
+// through a LIFO free list, so after warm-up the loop allocates nothing:
+// make() is a free-list pop plus placement-new, and release is a
+// destructor call plus a free-list push. The LIFO discipline makes reuse
+// order deterministic (the unit tests rely on this) and keeps recycled
+// slots cache-hot.
+//
+// Safety: every slot carries a generation counter bumped on each
+// release. Handle (a weak, non-owning reference) validates the
+// generation on access, so a stale handle to a recycled slot is caught
+// as an assert in debug builds instead of reading another object's
+// state. Under AddressSanitizer, freed slots are manually poisoned so
+// pooling does not mask use-after-free from raw pointers either.
+//
+// Threading: a pool and all refs into it belong to one thread. Pools are
+// typically thread_local (see server::request_pool), which the sweep
+// engine's one-simulation-per-worker model requires and which guarantees
+// the pool outlives every simulation object that holds refs into it.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define NTIER_SLAB_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define NTIER_SLAB_ASAN 1
+#endif
+#endif
+#ifdef NTIER_SLAB_ASAN
+#include <sanitizer/asan_interface.h>
+#include <sanitizer/lsan_interface.h>
+#endif
+
+namespace ntier::sim {
+
+template <class T>
+class SlabPool;
+template <class T>
+class PoolRef;
+
+namespace detail {
+
+// One pooled slot: refcount + generation header, then inline storage.
+// The header lives outside `storage` so ASan poisoning of a freed slot
+// never covers pool bookkeeping.
+template <class T>
+struct PoolSlot {
+  std::uint32_t refs = 0;
+  std::uint32_t gen = 0;
+  SlabPool<T>* pool = nullptr;
+  PoolSlot* next_free = nullptr;  // intrusive free list (valid when free)
+  alignas(T) unsigned char storage[sizeof(T)];
+
+  // The constructed object living in `storage` (valid while refs > 0).
+  T* obj() { return std::launder(reinterpret_cast<T*>(storage)); }
+};
+
+}  // namespace detail
+
+// Owning, intrusively refcounted handle to a pooled T. Copy bumps the
+// refcount; when the last ref drops, the object is destroyed and its
+// slot returns to the pool's free list. 16 bytes, trivially relocatable
+// — sized to be captured inline by InlineFn closures. Not thread-safe
+// (see the pool's threading contract).
+template <class T>
+class PoolRef {
+ public:
+  // Empty refs compare equal to nullptr and are safe to copy/destroy.
+  PoolRef() noexcept = default;
+  PoolRef(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  // Value semantics over the shared slot (copy = retain, move = steal).
+  PoolRef(const PoolRef& o) noexcept : slot_(o.slot_), gen_(o.gen_) {
+    if (slot_) ++slot_->refs;
+  }
+  PoolRef(PoolRef&& o) noexcept : slot_(o.slot_), gen_(o.gen_) {
+    o.slot_ = nullptr;
+  }
+  PoolRef& operator=(const PoolRef& o) noexcept {
+    PoolRef tmp(o);
+    swap(tmp);
+    return *this;
+  }
+  PoolRef& operator=(PoolRef&& o) noexcept {
+    PoolRef tmp(std::move(o));
+    swap(tmp);
+    return *this;
+  }
+  PoolRef& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+  ~PoolRef() { reset(); }
+
+  // Accessors; debug builds verify the slot generation so a stale ref
+  // (kept across a release cycle by buggy code) asserts instead of
+  // silently aliasing the slot's next tenant.
+  T* get() const noexcept {
+    if (!slot_) return nullptr;
+    assert(slot_->gen == gen_ && "stale PoolRef: slot was recycled");
+    return slot_->obj();
+  }
+  T* operator->() const noexcept { return get(); }
+  T& operator*() const noexcept { return *get(); }
+  explicit operator bool() const noexcept { return slot_ != nullptr; }
+  friend bool operator==(const PoolRef& a, const PoolRef& b) noexcept {
+    return a.slot_ == b.slot_;
+  }
+  friend bool operator==(const PoolRef& a, std::nullptr_t) noexcept {
+    return a.slot_ == nullptr;
+  }
+
+  // Drops this ref (releasing the object if it was the last one).
+  void reset() noexcept {
+    if (slot_ && --slot_->refs == 0) SlabPool<T>::release(slot_);
+    slot_ = nullptr;
+  }
+  // Swaps two refs without touching refcounts.
+  void swap(PoolRef& o) noexcept {
+    std::swap(slot_, o.slot_);
+    std::swap(gen_, o.gen_);
+  }
+  // Current refcount (1 = sole owner); 0 for an empty ref. Debug aid.
+  std::uint32_t use_count() const noexcept { return slot_ ? slot_->refs : 0; }
+
+ private:
+  friend class SlabPool<T>;
+  template <class U>
+  friend class PoolHandle;
+  PoolRef(detail::PoolSlot<T>* s, std::uint32_t g) noexcept
+      : slot_(s), gen_(g) {}
+  detail::PoolSlot<T>* slot_ = nullptr;
+  std::uint32_t gen_ = 0;
+};
+
+// Weak, non-owning view of a pooled slot: unlike PoolRef it does not
+// keep the object alive, so it observes recycling. stale() flips to true
+// the moment the referenced object is released — the unit tests use this
+// to prove the generation check catches use-after-release.
+template <class T>
+class PoolHandle {
+ public:
+  // Empty handles are stale by definition.
+  PoolHandle() noexcept = default;
+  // Snapshots the slot + generation of a live ref.
+  explicit PoolHandle(const PoolRef<T>& ref) noexcept
+      : slot_(ref.slot_), gen_(ref.gen_) {}
+
+  // True once the referenced object has been released (or was never set).
+  bool stale() const noexcept { return !slot_ || slot_->gen != gen_; }
+  // The object, when still live; asserts (debug) on stale access.
+  T* get() const noexcept {
+    assert(!stale() && "stale PoolHandle: slot was recycled");
+    return slot_ ? slot_->obj() : nullptr;
+  }
+
+ private:
+  detail::PoolSlot<T>* slot_ = nullptr;
+  std::uint32_t gen_ = 0;
+};
+
+// The pool itself: slab storage + LIFO free list. Allocates only when
+// the free list is empty (one slab of kSlabSlots at a time), so a
+// warmed-up pool serves make()/release cycles with zero heap traffic.
+template <class T>
+class SlabPool {
+ public:
+  // Slots carved per slab allocation; growth is amortized and stops
+  // once the pool covers the simulation's high-water live-object mark.
+  static constexpr std::size_t kSlabSlots = 256;
+
+  // Pools are address-stable anchors for their slots: non-copyable.
+  SlabPool() = default;
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+  ~SlabPool() {
+#ifdef NTIER_SLAB_ASAN
+    for (auto& slab : slabs_)
+      for (std::size_t i = 0; i < kSlabSlots; ++i)
+        ASAN_UNPOISON_MEMORY_REGION(slab[i].storage, sizeof(T));
+#endif
+    if (live_ != 0) {
+      // Refs can legitimately outlive a thread_local pool: main-thread
+      // TLS destructors run before static destructors, so e.g. a test
+      // fixture cached in a function-static still holds refs here. Leak
+      // the slabs and orphan their slots — a later release then only
+      // runs the object's destructor instead of touching a dead pool.
+      for (auto& slab : slabs_) {
+        for (std::size_t i = 0; i < kSlabSlots; ++i) slab[i].pool = nullptr;
+#ifdef NTIER_SLAB_ASAN
+        __lsan_ignore_object(slab.get());
+#endif
+        slab.release();
+      }
+    }
+  }
+
+  // Constructs a T in a recycled (or freshly carved) slot and returns
+  // the sole owning ref. Reuse order is deterministic LIFO: the most
+  // recently released slot is handed out first.
+  template <class... A>
+  PoolRef<T> make(A&&... args) {
+    Slot* s = free_head_;
+    if (s == nullptr) {
+      grow();
+      s = free_head_;
+    }
+    free_head_ = s->next_free;
+#ifdef NTIER_SLAB_ASAN
+    ASAN_UNPOISON_MEMORY_REGION(s->storage, sizeof(T));
+#endif
+    ::new (static_cast<void*>(s->storage)) T{std::forward<A>(args)...};
+    s->refs = 1;
+    ++live_;
+    return PoolRef<T>(s, s->gen);
+  }
+
+  // Pool occupancy: live objects and total carved slots. Test/debug aid.
+  std::size_t live() const noexcept { return live_; }
+  std::size_t capacity() const noexcept { return slabs_.size() * kSlabSlots; }
+
+ private:
+  friend class PoolRef<T>;
+  using Slot = detail::PoolSlot<T>;
+
+  // Destroys the object, bumps the generation (stale-handle detection),
+  // poisons the vacated storage under ASan, and pushes the slot LIFO.
+  static void release(Slot* s) noexcept {
+    s->obj()->~T();
+    ++s->gen;
+    SlabPool* p = s->pool;
+    if (p == nullptr) return;  // pool already destroyed; slab is leaked
+#ifdef NTIER_SLAB_ASAN
+    ASAN_POISON_MEMORY_REGION(s->storage, sizeof(T));
+#endif
+    s->next_free = p->free_head_;
+    p->free_head_ = s;
+    --p->live_;
+  }
+
+  // Carves one more slab and threads its slots onto the free list in
+  // reverse index order, so slot 0 of the new slab is handed out first.
+  void grow() {
+    slabs_.push_back(std::make_unique<Slot[]>(kSlabSlots));
+    Slot* slab = slabs_.back().get();
+    for (std::size_t i = kSlabSlots; i-- > 0;) {
+      slab[i].pool = this;
+      slab[i].next_free = free_head_;
+      free_head_ = &slab[i];
+#ifdef NTIER_SLAB_ASAN
+      ASAN_POISON_MEMORY_REGION(slab[i].storage, sizeof(T));
+#endif
+    }
+  }
+
+  std::vector<std::unique_ptr<Slot[]>> slabs_;
+  Slot* free_head_ = nullptr;
+  std::size_t live_ = 0;
+};
+
+}  // namespace ntier::sim

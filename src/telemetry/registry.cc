@@ -1,86 +1,141 @@
 #include "telemetry/registry.h"
 
+#include <algorithm>
+
 namespace ntier::telemetry {
 
 Registry::Registry(sim::Duration window) : window_(window) {}
 
-Counter& Registry::counter(const std::string& name) { return counters_[name]; }
+CounterHandle Registry::intern_counter(std::string_view name) {
+  auto it = counter_ix_.find(name);
+  if (it == counter_ix_.end()) {
+    const auto idx = static_cast<std::uint32_t>(counter_store_.size());
+    counter_store_.emplace_back();
+    it = counter_ix_.emplace(std::string(name), idx).first;
+    counter_names_dirty_ = true;
+  }
+  return CounterHandle{it->second};
+}
 
-Gauge& Registry::gauge(const std::string& name) { return gauges_[name]; }
+GaugeHandle Registry::intern_gauge(std::string_view name) {
+  auto it = gauge_ix_.find(name);
+  if (it == gauge_ix_.end()) {
+    const auto idx = static_cast<std::uint32_t>(gauge_store_.size());
+    gauge_store_.emplace_back();
+    it = gauge_ix_.emplace(std::string(name), idx).first;
+  }
+  return GaugeHandle{it->second};
+}
 
-GkQuantile& Registry::quantile(const std::string& name, double eps) {
+SeriesHandle Registry::intern_series(std::string_view name) {
+  auto it = series_ix_.find(name);
+  if (it == series_ix_.end()) {
+    const auto idx = static_cast<std::uint32_t>(series_store_.size());
+    series_store_.emplace_back(std::string(name), window_);
+    it = series_ix_.emplace(std::string(name), idx).first;
+    series_keys_.push_back(it->first);  // map keys are node-stable
+    series_names_dirty_ = true;
+  }
+  return SeriesHandle{it->second};
+}
+
+GkQuantile& Registry::quantile(std::string_view name, double eps) {
   auto it = quantiles_.find(name);
-  if (it == quantiles_.end()) it = quantiles_.emplace(name, GkQuantile(eps)).first;
+  if (it == quantiles_.end())
+    it = quantiles_.emplace(std::string(name), GkQuantile(eps)).first;
   return it->second;
 }
 
-metrics::Timeline& Registry::series(const std::string& name) {
-  auto it = series_.find(name);
-  if (it == series_.end()) it = series_.emplace(name, metrics::Timeline(name, window_)).first;
-  return it->second;
-}
-
-void Registry::add_probe(const std::string& name, ProbeKind kind,
+void Registry::add_probe(std::string_view name, ProbeKind kind,
                          std::function<double()> fn) {
-  series(name);  // the series exists even before the first sample
+  // The series exists even before the first sample; the probe keeps the
+  // interned handle so every tick is an array index, not a map lookup.
+  const SeriesHandle h = intern_series(name);
   double initial = kind == ProbeKind::kCumulative ? fn() : 0.0;
-  probes_.push_back(Probe{name, kind, std::move(fn), initial});
+  probes_.push_back(Probe{h, kind, std::move(fn), initial});
 }
 
 void Registry::sample(sim::Time wstart, double window_seconds) {
   for (auto& p : probes_) {
     const double cur = p.fn();
     if (p.kind == ProbeKind::kCumulative) {
-      series(p.name).set(wstart, (cur - p.last) / window_seconds);
+      at(p.series).set(wstart, (cur - p.last) / window_seconds);
       p.last = cur;
     } else {
-      series(p.name).set(wstart, cur);
+      at(p.series).set(wstart, cur);
     }
   }
 }
 
-bool Registry::has_series(const std::string& name) const { return series_.count(name) > 0; }
-
-const metrics::Timeline* Registry::find_series(const std::string& name) const {
-  auto it = series_.find(name);
-  return it == series_.end() ? nullptr : &it->second;
+bool Registry::has_series(std::string_view name) const {
+  return series_ix_.count(name) > 0;
 }
 
-const Counter* Registry::find_counter(const std::string& name) const {
-  auto it = counters_.find(name);
-  return it == counters_.end() ? nullptr : &it->second;
+const metrics::Timeline* Registry::find_series(std::string_view name) const {
+  auto it = series_ix_.find(name);
+  return it == series_ix_.end() ? nullptr : &series_store_[it->second];
 }
 
-const Gauge* Registry::find_gauge(const std::string& name) const {
-  auto it = gauges_.find(name);
-  return it == gauges_.end() ? nullptr : &it->second;
+const Counter* Registry::find_counter(std::string_view name) const {
+  auto it = counter_ix_.find(name);
+  return it == counter_ix_.end() ? nullptr : &counter_store_[it->second];
 }
 
-const GkQuantile* Registry::find_quantile(const std::string& name) const {
+const Gauge* Registry::find_gauge(std::string_view name) const {
+  auto it = gauge_ix_.find(name);
+  return it == gauge_ix_.end() ? nullptr : &gauge_store_[it->second];
+}
+
+const GkQuantile* Registry::find_quantile(std::string_view name) const {
   auto it = quantiles_.find(name);
   return it == quantiles_.end() ? nullptr : &it->second;
 }
 
-std::vector<std::string> Registry::series_names() const {
-  std::vector<std::string> out;
-  out.reserve(series_.size());
-  for (const auto& [k, v] : series_) out.push_back(k);
-  return out;
+const std::vector<std::string_view>& Registry::series_names() const {
+  if (series_names_dirty_) {
+    series_names_cache_.clear();
+    series_names_cache_.reserve(series_ix_.size());
+    for (const auto& [k, v] : series_ix_) series_names_cache_.push_back(k);
+    series_names_dirty_ = false;
+  }
+  return series_names_cache_;
 }
 
-std::vector<std::string> Registry::counter_names() const {
-  std::vector<std::string> out;
-  out.reserve(counters_.size());
-  for (const auto& [k, v] : counters_) out.push_back(k);
-  return out;
+const std::vector<std::string_view>& Registry::counter_names() const {
+  if (counter_names_dirty_) {
+    counter_names_cache_.clear();
+    counter_names_cache_.reserve(counter_ix_.size());
+    for (const auto& [k, v] : counter_ix_) counter_names_cache_.push_back(k);
+    counter_names_dirty_ = false;
+  }
+  return counter_names_cache_;
 }
 
 std::vector<std::pair<std::string, double>> Registry::snapshot() const {
-  std::map<std::string, double> flat;
-  for (const auto& [k, c] : counters_) flat[k] = static_cast<double>(c.value());
-  for (const auto& [k, g] : gauges_) flat[k] = g.value();
-  for (const auto& p : probes_) flat[p.name + (p.kind == ProbeKind::kCumulative ? ".total" : "")] = p.fn();
-  return {flat.begin(), flat.end()};
+  // Insertion order counters -> gauges -> probes; a stable sort plus a
+  // keep-last dedupe reproduces the old map's overwrite semantics.
+  std::vector<std::pair<std::string, double>> flat;
+  flat.reserve(counter_ix_.size() + gauge_ix_.size() + probes_.size());
+  for (const auto& [k, idx] : counter_ix_)
+    flat.emplace_back(k, static_cast<double>(counter_store_[idx].value()));
+  for (const auto& [k, idx] : gauge_ix_)
+    flat.emplace_back(k, gauge_store_[idx].value());
+  for (const auto& p : probes_) {
+    std::string name(series_name(p.series));
+    if (p.kind == ProbeKind::kCumulative) name += ".total";
+    flat.emplace_back(std::move(name), p.fn());
+  }
+  std::stable_sort(flat.begin(), flat.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(flat.size());
+  for (auto& kv : flat) {
+    if (!out.empty() && out.back().first == kv.first)
+      out.back().second = kv.second;  // later publisher wins
+    else
+      out.push_back(std::move(kv));
+  }
+  return out;
 }
 
 }  // namespace ntier::telemetry

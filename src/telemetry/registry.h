@@ -18,6 +18,12 @@
 //                      statistic, and sample() materializes one window
 //                      per tick into the matching series.
 //
+// Names are interned: intern_*() resolves a name to a stable index
+// handle once, at wiring time, and every later update through the
+// handle is plain array indexing — the periodic sample() tick touches
+// no strings and no maps. The name maps survive only for wiring and
+// export-time resolution (find_*, snapshot, *_names).
+//
 // Non-perturbation guarantee (DESIGN.md invariant 10): the registry
 // schedules no events and draws no randomness. Probes are pure reads;
 // sample() runs inside the Sampler tick that exists in every run
@@ -27,9 +33,11 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -39,6 +47,28 @@
 
 namespace ntier::telemetry {
 
+// Sentinel index of a default-constructed (invalid) metric handle.
+inline constexpr std::uint32_t kNoMetric = 0xffffffffu;
+
+// Stable index of an interned Counter; resolves via Registry::at() with
+// no string or map work. Trivially copyable, 4 bytes.
+struct CounterHandle {
+  std::uint32_t idx = kNoMetric;
+  bool valid() const { return idx != kNoMetric; }
+};
+
+// Stable index of an interned Gauge (see CounterHandle).
+struct GaugeHandle {
+  std::uint32_t idx = kNoMetric;
+  bool valid() const { return idx != kNoMetric; }
+};
+
+// Stable index of an interned Timeline series (see CounterHandle).
+struct SeriesHandle {
+  std::uint32_t idx = kNoMetric;
+  bool valid() const { return idx != kNoMetric; }
+};
+
 class Registry {
  public:
   explicit Registry(sim::Duration window = sim::Duration::millis(50));
@@ -47,52 +77,89 @@ class Registry {
 
   sim::Duration window() const { return window_; }
 
-  // --- create-or-get (references are stable for the registry's life) ---
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
-  GkQuantile& quantile(const std::string& name, double eps = 0.005);
-  metrics::Timeline& series(const std::string& name);
+  // --- interning (create-or-get; handles stay valid for the registry's
+  // life and index in O(1) with no string work) --------------------------
+  CounterHandle intern_counter(std::string_view name);
+  GaugeHandle intern_gauge(std::string_view name);
+  SeriesHandle intern_series(std::string_view name);
+
+  // --- handle resolution (hot path: plain array indexing) ---------------
+  Counter& at(CounterHandle h) { return counter_store_[h.idx]; }
+  Gauge& at(GaugeHandle h) { return gauge_store_[h.idx]; }
+  metrics::Timeline& at(SeriesHandle h) { return series_store_[h.idx]; }
+  const Counter& at(CounterHandle h) const { return counter_store_[h.idx]; }
+  const Gauge& at(GaugeHandle h) const { return gauge_store_[h.idx]; }
+  const metrics::Timeline& at(SeriesHandle h) const { return series_store_[h.idx]; }
+
+  // --- create-or-get by name (references are stable for the registry's
+  // life; prefer interning a handle outside one-shot wiring code) --------
+  Counter& counter(std::string_view name) { return at(intern_counter(name)); }
+  Gauge& gauge(std::string_view name) { return at(intern_gauge(name)); }
+  GkQuantile& quantile(std::string_view name, double eps = 0.005);
+  metrics::Timeline& series(std::string_view name) { return at(intern_series(name)); }
 
   // --- probes -------------------------------------------------------------
   // kCumulative: fn() is a monotonically non-decreasing total; sample()
   //   writes the per-second rate over each window into series `name`.
   // kGauge: fn() is an instantaneous level; sample() writes it verbatim.
   enum class ProbeKind { kCumulative, kGauge };
-  void add_probe(const std::string& name, ProbeKind kind, std::function<double()> fn);
+  void add_probe(std::string_view name, ProbeKind kind, std::function<double()> fn);
 
   // Materializes one window for every probe (called by the Sampler tick;
   // `wstart` is the window's start stamp, `window_seconds` its width).
+  // Touches no strings and no maps: probes hold interned handles.
   void sample(sim::Time wstart, double window_seconds);
 
   // --- read access --------------------------------------------------------
-  bool has_series(const std::string& name) const;
-  const metrics::Timeline* find_series(const std::string& name) const;
-  const Counter* find_counter(const std::string& name) const;
-  const Gauge* find_gauge(const std::string& name) const;
-  const GkQuantile* find_quantile(const std::string& name) const;
-  std::vector<std::string> series_names() const;
-  std::vector<std::string> counter_names() const;
+  bool has_series(std::string_view name) const;
+  const metrics::Timeline* find_series(std::string_view name) const;
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const GkQuantile* find_quantile(std::string_view name) const;
+  // Name lists, sorted; cached between interns so repeated exports do
+  // not rebuild them. Views point at registry-owned storage.
+  const std::vector<std::string_view>& series_names() const;
+  const std::vector<std::string_view>& counter_names() const;
 
   // Flat name->value view of every scalar (counters, gauges, and probe
   // totals), name-sorted — the manifest/dashboard "counter totals"
   // block. Probe totals appear under their probe name (cumulative reads
-  // fn() now; gauge probes report the current level).
+  // fn() now; gauge probes report the current level). Duplicate names
+  // resolve gauge-over-counter, probe-over-both (last write wins).
   std::vector<std::pair<std::string, double>> snapshot() const;
 
  private:
   struct Probe {
-    std::string name;
+    SeriesHandle series;
     ProbeKind kind;
     std::function<double()> fn;
     double last = 0.0;
   };
+  // Name -> store index, heterogeneous lookup (string_view probes the
+  // map without materializing a std::string).
+  using NameIndex = std::map<std::string, std::uint32_t, std::less<>>;
+
+  // The series name an interned handle was registered under (map keys
+  // are node-stable, so the view outlives any rehash/regrow).
+  std::string_view series_name(SeriesHandle h) const { return series_keys_[h.idx]; }
 
   sim::Duration window_;
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, GkQuantile> quantiles_;
-  std::map<std::string, metrics::Timeline> series_;
+  // Metric stores are deques: push_back never moves existing elements,
+  // so counter()/series() references and handle indices stay valid.
+  std::deque<Counter> counter_store_;
+  std::deque<Gauge> gauge_store_;
+  std::deque<metrics::Timeline> series_store_;
+  NameIndex counter_ix_;
+  NameIndex gauge_ix_;
+  NameIndex series_ix_;
+  std::vector<std::string_view> series_keys_;  // store index -> name
+  std::map<std::string, GkQuantile, std::less<>> quantiles_;
   std::vector<Probe> probes_;
+  // Sorted-name caches, invalidated on intern (cold: exports only).
+  mutable std::vector<std::string_view> series_names_cache_;
+  mutable std::vector<std::string_view> counter_names_cache_;
+  mutable bool series_names_dirty_ = true;
+  mutable bool counter_names_dirty_ = true;
 };
 
 }  // namespace ntier::telemetry

@@ -27,7 +27,7 @@
 
 namespace ntier::trace {
 
-using TraceList = std::vector<std::shared_ptr<RequestTrace>>;
+using TraceList = std::vector<TracePtr>;
 
 // Chrome trace_event JSON for all retained traces.
 std::string chrome_trace_json(const TraceList& traces);

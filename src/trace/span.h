@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/slab_pool.h"
 #include "sim/time.h"
 
 namespace ntier::trace {
@@ -108,5 +109,16 @@ class RequestTrace {
   std::uint64_t request_id_;
   std::vector<Span> spans_;
 };
+
+// Span trees are slab-pooled (the per-request object is recycled; span
+// storage itself still grows with the tree — tracing explicitly costs
+// memory). TracePtr replaces the former shared_ptr<RequestTrace>.
+using TracePtr = sim::PoolRef<RequestTrace>;
+
+// Thread-local pool behind Tracer::begin; exposed for tests.
+inline sim::SlabPool<RequestTrace>& trace_pool() {
+  thread_local sim::SlabPool<RequestTrace> pool;
+  return pool;
+}
 
 }  // namespace ntier::trace

@@ -12,7 +12,7 @@ const char* to_string(TraceMode m) {
   return "?";
 }
 
-std::shared_ptr<RequestTrace> Tracer::begin(std::uint64_t request_id) {
+TracePtr Tracer::begin(std::uint64_t request_id) {
   switch (cfg_.mode) {
     case TraceMode::kOff:
       return nullptr;
@@ -25,10 +25,10 @@ std::shared_ptr<RequestTrace> Tracer::begin(std::uint64_t request_id) {
       break;
   }
   ++begun_;
-  return std::make_shared<RequestTrace>(request_id);
+  return trace_pool().make(request_id);
 }
 
-void Tracer::finish(const std::shared_ptr<RequestTrace>& trace,
+void Tracer::finish(const TracePtr& trace,
                     sim::Duration latency) {
   if (!trace) return;
   if (cfg_.mode == TraceMode::kVlrtOnly && latency < cfg_.vlrt_threshold) {

@@ -21,7 +21,6 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "sim/time.h"
@@ -58,14 +57,14 @@ class Tracer {
 
   // Called at request issue: returns a fresh span tree for the request,
   // or null when this request is not sampled.
-  std::shared_ptr<RequestTrace> begin(std::uint64_t request_id);
+  TracePtr begin(std::uint64_t request_id);
 
   // Called at request completion (the root span must be closed by the
   // caller first). Retains or discards per the sampling mode.
-  void finish(const std::shared_ptr<RequestTrace>& trace, sim::Duration latency);
+  void finish(const TracePtr& trace, sim::Duration latency);
 
   // Retained traces, in completion order (deterministic per seed).
-  const std::vector<std::shared_ptr<RequestTrace>>& traces() const {
+  const std::vector<TracePtr>& traces() const {
     return traces_;
   }
 
@@ -76,7 +75,7 @@ class Tracer {
 
  private:
   TraceConfig cfg_;
-  std::vector<std::shared_ptr<RequestTrace>> traces_;
+  std::vector<TracePtr> traces_;
   std::uint64_t begun_ = 0;
   std::uint64_t discarded_ = 0;
   std::uint64_t dropped_by_cap_ = 0;

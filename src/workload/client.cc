@@ -2,10 +2,33 @@
 
 namespace ntier::workload {
 
+// Per-logical-request policy state. Slab-pooled so every policy closure
+// captures a 16-byte ref; the request and session ride inside.
 struct ClientPool::Flight {
+  server::RequestPtr req;
+  std::size_t session = 0;
   bool done = false;  // the logical request has been settled
   int attempts = 1;   // primary attempts issued (1 = the first)
 };
+
+// Per-attempt conclusion guard (breaker/latency accounting), pooled for
+// the same closure-size reason as Flight.
+struct ClientPool::Attempt {
+  FlPtr fl;
+  bool concluded = false;
+  sim::Time sent_at{};
+  bool is_hedge = false;
+};
+
+sim::SlabPool<ClientPool::Flight>& ClientPool::flight_pool() {
+  thread_local sim::SlabPool<Flight> pool;
+  return pool;
+}
+
+sim::SlabPool<ClientPool::Attempt>& ClientPool::attempt_pool() {
+  thread_local sim::SlabPool<Attempt> pool;
+  return pool;
+}
 
 ClientPool::ClientPool(sim::Simulation& sim, sim::Rng rng,
                        const server::AppProfile* profile, server::Server* front,
@@ -69,15 +92,15 @@ void ClientPool::settle(std::size_t session, const server::RequestPtr& r) {
 // requests so the transport skips the call entirely.
 net::RetransmitFn ClientPool::retransmit_observer(const server::RequestPtr& req) {
   if (!req->traced()) return {};
-  const std::string site = "client->" + front_->name();
-  const std::uint64_t root = server::trace_root(req);
+  std::string site = "client->" + front_->name();
+  std::uint64_t root = server::trace_root(req);
   return [req, site, root](sim::Time at, sim::Duration rto, int attempt) {
     req->spans->add(trace::SpanKind::kRtoGap, site, root, at, at + rto, attempt);
   };
 }
 
 void ClientPool::issue(std::size_t session) {
-  auto req = std::make_shared<server::Request>();
+  server::RequestPtr req = server::make_request();
   req->id = next_id_++;
   req->class_index = pick_class(session);
   req->issued = sim_.now();
@@ -95,25 +118,24 @@ void ClientPool::issue(std::size_t session) {
     return;
   }
 
-  // First of {reply, timeout, connection-failure} wins.
-  auto settled = std::make_shared<bool>(false);
-
+  // First of {reply, timeout, connection-failure} wins; the guard lives
+  // on the Request itself (Request::settled) so no heap cell is needed.
   server::Job job;
   job.req = req;
   job.parent_span = server::trace_root(req);
-  job.reply = [this, session, settled](const server::RequestPtr& r) {
+  job.reply = [this, session](const server::RequestPtr& r) {
     // Response travels the return link before the client sees it.
-    sim_.after(transport_.link().sample(), [this, session, settled, r] {
-      if (*settled) return;  // stale response after a timeout
-      *settled = true;
+    sim_.after(transport_.link().sample(), [this, session, r] {
+      if (r->settled) return;  // stale response after a timeout
+      r->settled = true;
       settle(session, r);
     });
   };
 
   if (cfg_.timeout > sim::Duration::zero()) {
-    sim_.after(cfg_.timeout, [this, session, settled, req] {
-      if (*settled) return;
-      *settled = true;
+    sim_.after(cfg_.timeout, [this, session, req] {
+      if (req->settled) return;
+      req->settled = true;
       ++timeouts_;
       req->failed = true;
       req->stamp("client:timeout", sim_.now());
@@ -123,12 +145,12 @@ void ClientPool::issue(std::size_t session) {
 
   transport_.send(
       [front = front_, job]() { return front->offer(job); },
-      [this, req, session, settled](const net::TxOutcome& out) {
+      [this, req, session](const net::TxOutcome& out) {
         req->total_drops += out.drops;
         if (!out.delivered) {
           // Connection never established: the user request fails.
-          if (*settled) return;
-          *settled = true;
+          if (req->settled) return;
+          req->settled = true;
           req->failed = true;
           settle(session, req);
         }
@@ -141,7 +163,9 @@ void ClientPool::issue_governed(std::size_t session, const server::RequestPtr& r
   governor_->on_request();
   if (pol.deadline > sim::Duration::zero()) req->deadline = sim_.now() + pol.deadline;
 
-  auto fl = std::make_shared<Flight>();
+  FlPtr fl = flight_pool().make();
+  fl->req = req;
+  fl->session = session;
 
   if (!governor_->allow_send()) {
     // Breaker open: the request fails instantly, no packet is sent.
@@ -155,141 +179,139 @@ void ClientPool::issue_governed(std::size_t session, const server::RequestPtr& r
   }
 
   if (cfg_.timeout > sim::Duration::zero()) {
-    sim_.after(cfg_.timeout, [this, session, fl, req] {
+    sim_.after(cfg_.timeout, [this, fl] {
       if (fl->done) return;
       fl->done = true;
       ++timeouts_;
-      req->failed = true;
-      req->stamp("client:timeout", sim_.now());
-      settle(session, req);
+      fl->req->failed = true;
+      fl->req->stamp("client:timeout", sim_.now());
+      settle(fl->session, fl->req);
     });
   }
   if (req->has_deadline()) {
     // The deadline bounds the client's patience too: at expiry the
     // request is abandoned (every tier will also refuse to queue it).
-    sim_.after(req->deadline - sim_.now(), [this, session, fl, req] {
+    sim_.after(req->deadline - sim_.now(), [this, fl] {
       if (fl->done) return;
       fl->done = true;
       ++governor_->stats().deadline_cancels;
-      req->failed = true;
-      req->deadline_expired = true;
-      req->stamp("client:deadline", sim_.now());
-      server::trace_instant(req, trace::SpanKind::kDeadlineCancel, "client",
-                            server::trace_root(req), sim_.now());
-      settle(session, req);
+      fl->req->failed = true;
+      fl->req->deadline_expired = true;
+      fl->req->stamp("client:deadline", sim_.now());
+      server::trace_instant(fl->req, trace::SpanKind::kDeadlineCancel, "client",
+                            server::trace_root(fl->req), sim_.now());
+      settle(fl->session, fl->req);
     });
   }
 
-  send_attempt(session, req, fl, /*is_hedge=*/false);
+  send_attempt(fl, /*is_hedge=*/false);
 
   if (pol.hedge.enabled) {
     const sim::Duration d = governor_->hedge_delay();
     for (int i = 1; i <= pol.hedge.max_hedges; ++i) {
-      sim_.after(d * i, [this, session, fl, req, i] {
+      sim_.after(d * i, [this, fl, i] {
         if (fl->done) return;
-        if (req->has_deadline() && sim_.now() >= req->deadline) return;
-        ++req->hedge_copies;
+        if (fl->req->has_deadline() && sim_.now() >= fl->req->deadline) return;
+        ++fl->req->hedge_copies;
         ++governor_->stats().hedges;
-        server::trace_instant(req, trace::SpanKind::kHedge, "client",
-                              server::trace_root(req), sim_.now(), /*detail=*/i);
-        send_attempt(session, req, fl, /*is_hedge=*/true);
+        server::trace_instant(fl->req, trace::SpanKind::kHedge, "client",
+                              server::trace_root(fl->req), sim_.now(), /*detail=*/i);
+        send_attempt(fl, /*is_hedge=*/true);
       });
     }
   }
 }
 
-void ClientPool::send_attempt(std::size_t session, const server::RequestPtr& req,
-                              const std::shared_ptr<Flight>& fl, bool is_hedge) {
+void ClientPool::send_attempt(const FlPtr& fl, bool is_hedge) {
   // Per-attempt conclusion guard for breaker/latency accounting.
-  auto concluded = std::make_shared<bool>(false);
-  const sim::Time sent_at = sim_.now();
+  GaPtr ga = attempt_pool().make();
+  ga->fl = fl;
+  ga->sent_at = sim_.now();
+  ga->is_hedge = is_hedge;
 
   server::Job job;
-  job.req = req;
-  job.parent_span = server::trace_root(req);
-  job.reply = [this, session, req, fl, concluded, sent_at,
-               is_hedge](const server::RequestPtr& r) {
-    sim_.after(transport_.link().sample(),
-               [this, session, r, fl, concluded, sent_at, is_hedge] {
-                 if (!*concluded) {
-                   *concluded = true;
-                   governor_->on_outcome(!r->failed);
-                   if (!r->failed) governor_->record_latency(sim_.now() - sent_at);
-                 }
-                 if (fl->done) return;  // stale/duplicate response
-                 fl->done = true;
-                 if (is_hedge) ++governor_->stats().hedge_wins;
-                 settle(session, r);
-               });
+  job.req = fl->req;
+  job.parent_span = server::trace_root(fl->req);
+  job.reply = [this, ga](const server::RequestPtr& r) {
+    sim_.after(transport_.link().sample(), [this, ga, r] {
+      Flight& fl = *ga->fl;
+      if (!ga->concluded) {
+        ga->concluded = true;
+        governor_->on_outcome(!r->failed);
+        if (!r->failed) governor_->record_latency(sim_.now() - ga->sent_at);
+      }
+      if (fl.done) return;  // stale/duplicate response
+      fl.done = true;
+      if (ga->is_hedge) ++governor_->stats().hedge_wins;
+      settle(fl.session, r);
+    });
   };
 
   transport_.send(
       [front = front_, job]() { return front->offer(job); },
-      [this, req, session, fl, concluded, is_hedge](const net::TxOutcome& out) {
-        req->total_drops += out.drops;
+      [this, ga](const net::TxOutcome& out) {
+        ga->fl->req->total_drops += out.drops;
         if (out.delivered) return;
-        if (*concluded) return;
-        *concluded = true;
+        if (ga->concluded) return;
+        ga->concluded = true;
         governor_->on_outcome(false);
-        if (!is_hedge) retry_or_fail(session, req, fl);
+        if (!ga->is_hedge) retry_or_fail(ga->fl);
       },
-      retransmit_observer(req));
+      retransmit_observer(fl->req));
 
   const sim::Duration at = governor_->policy().attempt_timeout;
   if (!is_hedge && at > sim::Duration::zero()) {
-    sim_.after(at, [this, session, req, fl, concluded] {
-      if (fl->done || *concluded) return;
-      *concluded = true;
+    sim_.after(at, [this, ga] {
+      if (ga->fl->done || ga->concluded) return;
+      ga->concluded = true;
       governor_->on_outcome(false);
-      retry_or_fail(session, req, fl);
+      retry_or_fail(ga->fl);
     });
   }
 }
 
-void ClientPool::retry_or_fail(std::size_t session, const server::RequestPtr& req,
-                               const std::shared_ptr<Flight>& fl) {
+void ClientPool::retry_or_fail(const FlPtr& fl) {
   if (fl->done) return;
   const policy::RetryPolicy& rp = governor_->policy().retry;
   if (!rp.enabled() || fl->attempts >= rp.max_attempts) {
-    settle_failed(session, req, fl);
+    settle_failed(fl);
     return;
   }
-  if (req->has_deadline() && sim_.now() >= req->deadline) {
+  if (fl->req->has_deadline() && sim_.now() >= fl->req->deadline) {
     ++governor_->stats().deadline_cancels;
-    req->deadline_expired = true;
-    settle_failed(session, req, fl);
+    fl->req->deadline_expired = true;
+    settle_failed(fl);
     return;
   }
   if (!governor_->try_retry_token()) {
-    settle_failed(session, req, fl);
+    settle_failed(fl);
     return;
   }
   const sim::Duration backoff = governor_->next_backoff(fl->attempts);
   ++governor_->stats().retries;
-  server::trace_add(req, trace::SpanKind::kRetry, "client",
-                    server::trace_root(req), sim_.now(), sim_.now() + backoff,
+  server::trace_add(fl->req, trace::SpanKind::kRetry, "client",
+                    server::trace_root(fl->req), sim_.now(), sim_.now() + backoff,
                     /*detail=*/fl->attempts);
-  sim_.after(backoff, [this, session, req, fl] {
+  sim_.after(backoff, [this, fl] {
     if (fl->done) return;
-    if (req->has_deadline() && sim_.now() >= req->deadline) {
+    if (fl->req->has_deadline() && sim_.now() >= fl->req->deadline) {
       ++governor_->stats().deadline_cancels;
-      req->deadline_expired = true;
-      settle_failed(session, req, fl);
+      fl->req->deadline_expired = true;
+      settle_failed(fl);
       return;
     }
     ++fl->attempts;
-    ++req->app_retries;
-    req->stamp("client:retry", sim_.now());
-    send_attempt(session, req, fl, /*is_hedge=*/false);
+    ++fl->req->app_retries;
+    fl->req->stamp("client:retry", sim_.now());
+    send_attempt(fl, /*is_hedge=*/false);
   });
 }
 
-void ClientPool::settle_failed(std::size_t session, const server::RequestPtr& req,
-                               const std::shared_ptr<Flight>& fl) {
+void ClientPool::settle_failed(const FlPtr& fl) {
   if (fl->done) return;
   fl->done = true;
-  req->failed = true;
-  settle(session, req);
+  fl->req->failed = true;
+  settle(fl->session, fl->req);
 }
 
 }  // namespace ntier::workload

@@ -86,18 +86,21 @@ class ClientPool {
   const policy::HopGovernor* governor() const { return governor_ ? governor_.get() : nullptr; }
 
  private:
-  struct Flight;  // per-logical-request policy state
+  struct Flight;   // per-logical-request policy state (slab-pooled)
+  struct Attempt;  // per-attempt conclusion guard (slab-pooled)
+  using FlPtr = sim::PoolRef<Flight>;
+  using GaPtr = sim::PoolRef<Attempt>;
+
+  static sim::SlabPool<Flight>& flight_pool();
+  static sim::SlabPool<Attempt>& attempt_pool();
 
   void session_think(std::size_t session);
   net::RetransmitFn retransmit_observer(const server::RequestPtr& req);
   void issue(std::size_t session);
   void issue_governed(std::size_t session, const server::RequestPtr& req);
-  void send_attempt(std::size_t session, const server::RequestPtr& req,
-                    const std::shared_ptr<Flight>& fl, bool is_hedge);
-  void retry_or_fail(std::size_t session, const server::RequestPtr& req,
-                     const std::shared_ptr<Flight>& fl);
-  void settle_failed(std::size_t session, const server::RequestPtr& req,
-                     const std::shared_ptr<Flight>& fl);
+  void send_attempt(const FlPtr& fl, bool is_hedge);
+  void retry_or_fail(const FlPtr& fl);
+  void settle_failed(const FlPtr& fl);
 
   sim::Simulation& sim_;
   sim::Rng rng_;

@@ -28,7 +28,7 @@ inline server::AppProfile one_class_profile() {
 }
 
 inline server::RequestPtr make_request(sim::Time now, std::uint64_t id = 1) {
-  auto r = std::make_shared<server::Request>();
+  auto r = server::make_request();
   r->id = id;
   r->issued = now;
   r->class_index = 0;

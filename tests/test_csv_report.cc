@@ -80,13 +80,13 @@ TEST(Report, TimelinePanelDownsamplesWithPeaks) {
 TEST(Report, HistogramPanelListsModes) {
   monitor::LatencyCollector collector;
   for (int i = 0; i < 100; ++i) {
-    auto r = std::make_shared<server::Request>();
+    auto r = server::make_request();
     r->issued = Time::origin();
     r->completed = Time::from_seconds(0.005);
     collector.record(r);
   }
   for (int i = 0; i < 10; ++i) {
-    auto r = std::make_shared<server::Request>();
+    auto r = server::make_request();
     r->issued = Time::origin();
     r->completed = Time::from_seconds(3.02);
     r->total_drops = 1;
@@ -99,7 +99,7 @@ TEST(Report, HistogramPanelListsModes) {
 
 TEST(Report, VlrtPanelShowsWindows) {
   monitor::LatencyCollector collector;
-  auto r = std::make_shared<server::Request>();
+  auto r = server::make_request();
   r->issued = Time::origin();
   r->completed = Time::from_seconds(6.125);
   collector.record(r);

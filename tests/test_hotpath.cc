@@ -1,0 +1,241 @@
+// Hot-path memory tests: SlabPool reuse/generation semantics, InlineFn
+// inline storage, and the headline zero-allocation guarantee — a warmed
+// closed-loop client/server system executes steady-state events without
+// touching the global allocator (docs/PERFORMANCE.md).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "cpu/host_core.h"
+#include "helpers.h"
+#include "net/rto_policy.h"
+#include "server/request.h"
+#include "server/sync_server.h"
+#include "sim/inline_fn.h"
+#include "sim/simulation.h"
+#include "sim/slab_pool.h"
+#include "workload/client.h"
+
+// Global operator new/delete counting hooks. They are process-wide, but
+// each gtest case runs in its own ctest process, and every other test in
+// this binary only pays two relaxed increments per allocation.
+namespace {
+std::atomic<std::uint64_t> g_news{0};
+std::atomic<std::uint64_t> g_deletes{0};
+
+std::uint64_t news() { return g_news.load(std::memory_order_relaxed); }
+std::uint64_t deletes() { return g_deletes.load(std::memory_order_relaxed); }
+
+void* counted_alloc_nothrow(std::size_t n) noexcept {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+
+void* counted_alloc(std::size_t n) {
+  if (void* p = counted_alloc_nothrow(n)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_alloc_aligned(std::size_t n, std::align_val_t al) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(al);
+  if (void* p = std::aligned_alloc(a, (n + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+
+void counted_free(void* p) noexcept {
+  g_deletes.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+}  // namespace
+
+// Every replaceable form must be covered, or a library allocation can
+// pair one allocator's new with the other's delete (stable_sort's
+// temporary buffer uses the nothrow form; ASan flags the mismatch).
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_alloc_nothrow(n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_alloc_nothrow(n);
+}
+void* operator new(std::size_t n, std::align_val_t al) {
+  return counted_alloc_aligned(n, al);
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return counted_alloc_aligned(n, al);
+}
+void* operator new(std::size_t n, std::align_val_t al, const std::nothrow_t&) noexcept {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(al);
+  return std::aligned_alloc(a, (n + a - 1) / a * a);
+}
+void* operator new[](std::size_t n, std::align_val_t al, const std::nothrow_t& t) noexcept {
+  return operator new(n, al, t);
+}
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { counted_free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { counted_free(p); }
+
+namespace ntier {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+// --- SlabPool unit behaviour ---------------------------------------------
+
+TEST(SlabPool, ReuseOrderIsDeterministicLifo) {
+  sim::SlabPool<int> pool;
+  auto a = pool.make(1);
+  auto b = pool.make(2);
+  auto c = pool.make(3);
+  int* pa = a.get();
+  int* pb = b.get();
+  int* pc = c.get();
+  EXPECT_EQ(pool.live(), 3u);
+  a.reset();
+  b.reset();
+  c.reset();
+  EXPECT_EQ(pool.live(), 0u);
+  // LIFO: the most recently released slot is handed out first.
+  auto r1 = pool.make(4);
+  auto r2 = pool.make(5);
+  auto r3 = pool.make(6);
+  EXPECT_EQ(r1.get(), pc);
+  EXPECT_EQ(r2.get(), pb);
+  EXPECT_EQ(r3.get(), pa);
+}
+
+TEST(SlabPool, CopyRetainsAndLastResetReleases) {
+  sim::SlabPool<int> pool;
+  auto a = pool.make(42);
+  EXPECT_EQ(a.use_count(), 1u);
+  auto b = a;
+  EXPECT_EQ(a.use_count(), 2u);
+  EXPECT_EQ(a.get(), b.get());
+  a.reset();
+  EXPECT_EQ(pool.live(), 1u);  // b still owns the slot
+  EXPECT_EQ(*b, 42);
+  b.reset();
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(SlabPool, MoveStealsWithoutTouchingTheRefcount) {
+  sim::SlabPool<int> pool;
+  auto a = pool.make(7);
+  auto b = std::move(a);
+  EXPECT_EQ(b.use_count(), 1u);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(*b, 7);
+}
+
+TEST(SlabPool, GenerationCheckCatchesStaleHandles) {
+  sim::SlabPool<int> pool;
+  auto a = pool.make(1);
+  sim::PoolHandle<int> h(a);
+  EXPECT_FALSE(h.stale());
+  EXPECT_EQ(*h.get(), 1);
+  a.reset();  // slot released: the generation bumps
+  EXPECT_TRUE(h.stale());
+  // Recycling the slot must not resurrect the old handle.
+  auto b = pool.make(2);
+  EXPECT_TRUE(h.stale());
+  EXPECT_DEBUG_DEATH((void)h.get(), "stale");
+  b.reset();
+}
+
+TEST(SlabPool, WarmedPoolServesMakeReleaseCyclesWithoutAllocating) {
+  sim::SlabPool<int> pool;
+  (void)pool.make(0);  // grows the first slab
+  const std::uint64_t n0 = news();
+  const std::uint64_t d0 = deletes();
+  for (int i = 0; i < 10000; ++i) {
+    auto r = pool.make(i);
+    auto copy = r;
+    copy.reset();
+    r.reset();
+  }
+  EXPECT_EQ(news() - n0, 0u);
+  EXPECT_EQ(deletes() - d0, 0u);
+}
+
+// --- InlineFn ------------------------------------------------------------
+
+TEST(InlineFn, StoresCallablesInlineAndNeverAllocates) {
+  const std::uint64_t n0 = news();
+  int hits = 0;
+  sim::InlineFn<void()> f([&hits] { ++hits; });
+  f();
+  sim::InlineFn<void()> g = std::move(f);
+  g();
+  sim::InlineFn<void()> h = g;  // copyable (the event-queue heap copies)
+  h();
+  EXPECT_EQ(hits, 3);
+  EXPECT_EQ(news() - n0, 0u);
+}
+
+TEST(InlineFn, CapacityFitsTheDocumentedCaptureBudget) {
+  // The uniform EventFn budget: a pooled ref (16 B) + this (8 B) + a
+  // small index still fits; the type itself stays two pointers wide
+  // beyond its buffer.
+  static_assert(sim::kInlineFnCapacity == 48);
+  static_assert(sizeof(sim::EventFn) == sim::kInlineFnCapacity + 2 * sizeof(void*));
+}
+
+// --- The headline guarantee ----------------------------------------------
+
+// A closed-loop client population over a one-tier (NX=0) sync server:
+// after warm-up, executing >= 10k events allocates exactly nothing —
+// requests, transport messages, contexts, and event closures all come
+// from warmed slab pools and inline buffers.
+TEST(HotPath, SteadyStateEventsDoZeroAllocations) {
+  sim::Simulation sim;
+  cpu::HostCpu host(sim, 4.0);
+  cpu::VmCpu* vm = host.add_vm("web", 4);
+  server::AppProfile profile = test::one_class_profile();
+
+  server::SyncConfig scfg;
+  scfg.threads_per_process = 64;
+  server::SyncServer front(
+      sim, "web", vm, &profile,
+      [](const server::RequestClassProfile&) {
+        return test::cpu_only(Duration::micros(100));
+      },
+      scfg);
+
+  workload::ClientConfig ccfg;
+  ccfg.sessions = 32;
+  ccfg.mean_think = Duration::millis(1);
+  workload::ClientPool clients(sim, sim::Rng(1234), &profile, &front, ccfg);
+  clients.start();
+
+  // Warm-up: pools grow to the run's high-water mark, the event heap and
+  // scratch vectors reach steady capacity.
+  sim.run_until(Time::from_seconds(2.0));
+  const std::uint64_t warm_events = sim.events_executed();
+  const std::uint64_t n0 = news();
+  const std::uint64_t d0 = deletes();
+
+  sim.run_until(Time::from_seconds(2.5));
+
+  const std::uint64_t measured = sim.events_executed() - warm_events;
+  EXPECT_GE(measured, 10000u);
+  EXPECT_GT(clients.completed(), 0u);
+  EXPECT_EQ(news() - n0, 0u) << "steady-state events allocated";
+  EXPECT_EQ(deletes() - d0, 0u) << "steady-state events freed";
+}
+
+}  // namespace
+}  // namespace ntier

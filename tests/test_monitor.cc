@@ -175,7 +175,7 @@ TEST(Collectl, SmallDbIoStallsBehindFlush) {
 // --- LatencyCollector ----------------------------------------------------
 
 server::RequestPtr finished(double issued_s, double completed_s, int drops = 0) {
-  auto r = std::make_shared<server::Request>();
+  auto r = server::make_request();
   r->issued = Time::from_seconds(issued_s);
   r->completed = Time::from_seconds(completed_s);
   r->total_drops = drops;

@@ -132,7 +132,7 @@ TEST(ClientTimeout, NoTimeoutsWhenFast) {
 TEST(TraceStore, SeparatesAnomalousFromNormal) {
   monitor::TraceStore store(monitor::TraceStore::Config{.normal_capacity = 2});
   auto mk = [](double lat_s, int drops) {
-    auto r = std::make_shared<server::Request>();
+    auto r = server::make_request();
     r->issued = Time::origin();
     r->completed = Time::from_seconds(lat_s);
     r->total_drops = drops;
@@ -178,7 +178,7 @@ TEST(TraceAnalysis, BreaksDownPerTier) {
 }
 
 TEST(TraceAnalysis, SkipsUntracedRequests) {
-  auto r = std::make_shared<server::Request>();
+  auto r = server::make_request();
   r->issued = Time::origin();
   r->completed = Time::from_seconds(1);
   const auto out = core::analyze_traces({r});
