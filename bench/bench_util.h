@@ -146,7 +146,7 @@ inline void maybe_dashboard(core::NTierSystem& sys, const BenchFlags& flags) {
   const auto corr = core::correlate(sys);
   const std::string path = report::write_dashboard(sys, ctqo, corr, flags.dashboard_dir,
                                                    sys.config().name);
-  core::write_manifest(sys, flags.dashboard_dir);
+  core::write_manifest(sys, flags.dashboard_dir, &ctqo);
   std::printf("wrote %s (%s)\n", path.c_str(), core::to_string(corr.propagation));
 }
 
@@ -156,7 +156,7 @@ inline void maybe_dashboard(core::ChainSystem& sys, const BenchFlags& flags) {
   const auto corr = core::correlate(sys);
   const std::string path = report::write_dashboard(sys, ctqo, corr, flags.dashboard_dir,
                                                    sys.config().name);
-  core::write_manifest(sys, flags.dashboard_dir);
+  core::write_manifest(sys, flags.dashboard_dir, &ctqo);
   std::printf("wrote %s (%s)\n", path.c_str(), core::to_string(corr.propagation));
 }
 

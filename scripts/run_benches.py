@@ -9,6 +9,10 @@ summing the simulation events it executed across all of its runs
 (bench/bench_util.h, class BenchPerf). This script runs each binary,
 scrapes that line, and writes one aggregate JSON report — the repo's
 engine-throughput record (BENCH_ntier.json, uploaded as a CI artifact).
+Schema ntier.bench/4 adds the overload-control study
+(ext_overload_control, a long-horizon metastability run) to the bench
+roster; discovery is automatic, so the schema tag is the record that
+the roster — and therefore the totals — changed.
 
 The report also carries two microbench sections:
 
@@ -261,7 +265,7 @@ def main() -> int:
 
     ok = [r for r in results if r["ok"]]
     report = {
-        "schema": "ntier.bench/3",
+        "schema": "ntier.bench/4",
         "benches": results,
         "micro_engine": micro,
         "micro_hotpath": hotpath,

@@ -73,6 +73,8 @@ ChainSystem::ChainSystem(ChainConfig cfg)
     for (std::size_t i = 0; i + 1 < n; ++i)
       servers_[i]->enable_tail_policy(cfg_.tier_policy, rng_.fork(10 + i));
   }
+  for (std::size_t i = 0; i < n; ++i)
+    servers_[i]->enable_overload_control(cfg_.tiers[i].overload);
 
   // Workload.
   const WorkloadConfig& w = cfg_.workload;
@@ -122,6 +124,10 @@ ChainSystem::ChainSystem(ChainConfig cfg)
   for (std::size_t i = 0; i + 1 < n; ++i) {
     if (const auto* g = servers_[i]->governor())
       telemetry::publish_governor(registry_, servers_[i]->name(), *g);
+  }
+  for (auto& srv : servers_) {
+    if (const auto* c = srv->overload())
+      telemetry::publish_overload(registry_, srv->name(), *c);
   }
 
   if (!cfg_.faults.empty()) {
@@ -178,6 +184,8 @@ void validate(const ChainConfig& cfg) {
         reject("tier '" + t.name + "' has an empty thread pool");
       if (t.sync.backlog == 0) reject("tier '" + t.name + "' has a zero TCP backlog");
     }
+    const std::string ov = policy::overload::invalid_reason(t.overload);
+    if (!ov.empty()) reject("tier '" + t.name + "' overload: " + ov);
   }
   const WorkloadConfig& w = cfg.workload;
   if (w.sessions == 0) reject("workload needs at least one session");

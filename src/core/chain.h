@@ -49,6 +49,9 @@ struct ChainTierSpec {
   // Tier-local work per request class; use relay_fn/leaf_fn helpers.
   std::function<server::Program(const server::RequestClassProfile&)> program_fn;
   bool has_disk = false;  // attach an IoDevice for kDisk steps
+  // Per-tier overload control (policy/overload/overload.h); kNone = the
+  // uncontrolled baseline.
+  policy::overload::OverloadPolicy overload{};
 };
 
 // [cpu(pre), downstream, cpu(post)] regardless of request class.

@@ -72,6 +72,15 @@ void validate(const ExperimentConfig& cfg) {
   check_policy(cfg.name, "client_policy", w.client_policy);
   check_policy(cfg.name, "tier_policy", cfg.tier_policy);
 
+  const struct { const char* where; const policy::overload::OverloadPolicy& p; }
+      overloads[] = {{"overload.web", cfg.overload.web},
+                     {"overload.app", cfg.overload.app},
+                     {"overload.db", cfg.overload.db}};
+  for (const auto& [where, p] : overloads) {
+    const std::string why = policy::overload::invalid_reason(p);
+    if (!why.empty()) reject(cfg.name, std::string(where) + ": " + why);
+  }
+
   if (cfg.trace.mode == trace::TraceMode::kSampled && cfg.trace.sample_every_n == 0)
     reject(cfg.name, "trace: sample_every_n must be positive in sampled mode");
   if (cfg.trace.mode != trace::TraceMode::kOff && cfg.trace.max_traces == 0)

@@ -12,6 +12,7 @@
 #include "fault/fault_plan.h"
 #include "monitor/collectl.h"
 #include "net/rto_policy.h"
+#include "policy/overload/overload.h"
 #include "policy/tail_policy.h"
 #include "server/app_profile.h"
 #include "sim/time.h"
@@ -115,6 +116,19 @@ struct WorkloadConfig {
   policy::TailPolicy client_policy{};
 };
 
+// Per-tier overload control (policy/overload/overload.h): admission
+// policy + queue discipline for each of the three tiers. Default all
+// kNone — no controller is constructed and the run is event-identical
+// to a build without the overload layer.
+struct OverloadConfig {
+  policy::overload::OverloadPolicy web{};
+  policy::overload::OverloadPolicy app{};
+  policy::overload::OverloadPolicy db{};
+
+  // True when any tier has a policy other than kNone.
+  bool any() const { return web.any() || app.any() || db.any(); }
+};
+
 // One complete run: system + workload + millibottleneck + run length.
 // The sweep engine's ConfigBinder produces one of these per grid point.
 struct ExperimentConfig {
@@ -131,6 +145,9 @@ struct ExperimentConfig {
   // app->db): deadline-aware dispatch, downstream retries, hedging,
   // per-downstream circuit breaker. Default: all disabled.
   policy::TailPolicy tier_policy{};
+  // Per-tier overload control (admission + queue management). Default:
+  // all kNone (the paper's uncontrolled baseline).
+  OverloadConfig overload{};
   // Deterministic fault schedule (crashes, link degradation, slow
   // nodes); empty = no faults. Replayed bit-identically from the seed.
   fault::FaultPlan faults{};

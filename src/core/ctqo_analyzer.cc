@@ -35,8 +35,10 @@ std::string CtqoEpisode::to_string() const {
   }
   std::string out = buf;
   if (retry_storm) {
-    std::snprintf(buf, sizeof buf, " [RETRY STORM: offered %.2fx drain]",
-                  storm_amplification);
+    std::snprintf(buf, sizeof buf,
+                  " [RETRY STORM: offered %.2fx drain, %.1fs, peak %.2fx]",
+                  storm_amplification, storm_duration.to_seconds(),
+                  storm_peak_amplification);
     out += buf;
   }
   return out;
@@ -53,6 +55,12 @@ std::string CtqoReport::to_string() const {
                 static_cast<unsigned long long>(downstream_episodes),
                 static_cast<unsigned long long>(retry_storm_episodes));
   out += head;
+  if (retry_storm_episodes > 0) {
+    std::snprintf(head, sizeof head,
+                  "  longest storm %.1fs, peak retry amplification %.2fx\n",
+                  longest_storm.to_seconds(), peak_retry_amplification);
+    out += head;
+  }
   for (const auto& e : episodes) out += "  " + e.to_string() + "\n";
   return out;
 }
@@ -156,11 +164,30 @@ CtqoReport analyze_tiers(const std::vector<TierView>& tiers,
       const double amp = drained > 0.0 ? offered / drained
                                        : (offered > 0.0 ? opt.storm_amplification : 0.0);
       if (amp >= opt.storm_amplification) {
+        // Peak intensity: worst offered/drain ratio over any one-second
+        // slice of the chain (the chain mean hides how hard the worst
+        // retransmission wave hit).
+        const auto& off_tl = sampler.series(prefix + ".offered");
+        const auto& cmp_tl = sampler.series(prefix + ".completed");
+        const sim::Duration slice = sim::Duration::seconds(1);
+        double peak = amp;
+        for (sim::Time t = cstart; t < cend; t = t + slice) {
+          const sim::Time t1 = std::min(t + slice, cend);
+          const double o = off_tl.mean_over(t, t1);
+          const double c = cmp_tl.mean_over(t, t1);
+          if (c > 0.0 && o / c > peak) peak = o / c;
+        }
+        const sim::Duration dur = cend - cstart;
         for (std::size_t j = chain_begin; j < i; ++j) {
           eps[j].retry_storm = true;
           eps[j].storm_amplification = amp;
+          eps[j].storm_duration = dur;
+          eps[j].storm_peak_amplification = peak;
           ++report.retry_storm_episodes;
         }
+        report.longest_storm = std::max(report.longest_storm, dur);
+        report.peak_retry_amplification =
+            std::max(report.peak_retry_amplification, peak);
       }
     }
     chain_begin = i;

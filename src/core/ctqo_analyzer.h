@@ -55,6 +55,14 @@ struct CtqoEpisode {
   // Mean offered / mean completed at the drop tier over the storm chain
   // (only meaningful when retry_storm is set).
   double storm_amplification = 0.0;
+  // Extent of the storm chain this episode belongs to (first drop of the
+  // chain to its last), and the worst offered/drain ratio seen in any
+  // one-second slice of the chain — the storm's peak intensity, which a
+  // long tail of mild overload would otherwise average away. Only
+  // meaningful when retry_storm is set; all episodes of one chain share
+  // the same values.
+  sim::Duration storm_duration = sim::Duration::zero();
+  double storm_peak_amplification = 0.0;
   std::string to_string() const;
 };
 
@@ -66,6 +74,11 @@ struct CtqoReport {
   std::uint64_t upstream_episodes = 0;
   std::uint64_t downstream_episodes = 0;
   std::uint64_t retry_storm_episodes = 0;
+  // Storm aggregates across every chain of the run (zero when no storm):
+  // duration of the longest chain and the worst one-second peak
+  // amplification anywhere. Surfaced in the run manifest.
+  sim::Duration longest_storm = sim::Duration::zero();
+  double peak_retry_amplification = 0.0;
   std::string to_string() const;
 };
 

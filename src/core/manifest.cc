@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "core/ctqo_analyzer.h"
 #include "metrics/csv.h"
 
 namespace ntier::core {
@@ -35,7 +36,19 @@ void append_u64(std::string& out, std::uint64_t v) {
 // name-sorted), keeping the manifest byte-deterministic.
 void append_common(std::string& out, const monitor::LatencyCollector& lat,
                    std::uint64_t total_drops, std::uint64_t events,
-                   const telemetry::Registry& reg) {
+                   const telemetry::Registry& reg,
+                   const CtqoReport* ctqo) {
+  // Storm aggregates ride along only when the analyzer flagged storms,
+  // so storm-free manifests stay byte-identical to pre-report ones.
+  if (ctqo != nullptr && ctqo->retry_storm_episodes > 0) {
+    out += "  \"ctqo_storm\": {\n    \"episodes\": ";
+    append_u64(out, ctqo->retry_storm_episodes);
+    out += ",\n    \"longest_storm_s\": ";
+    append_num(out, ctqo->longest_storm.to_seconds());
+    out += ",\n    \"peak_retry_amplification\": ";
+    append_num(out, ctqo->peak_retry_amplification);
+    out += "\n  },\n";
+  }
   out += "  \"totals\": {\n    \"completed\": ";
   append_u64(out, lat.completed());
   out += ",\n    \"vlrt\": ";
@@ -70,7 +83,7 @@ std::string write_to(const std::string& json, const std::string& dir,
 
 }  // namespace
 
-std::string run_manifest_json(const NTierSystem& sys) {
+std::string run_manifest_json(const NTierSystem& sys, const CtqoReport* ctqo) {
   const auto& cfg = sys.config();
   std::string out = "{\n  \"schema\": \"ntier.run-manifest/1\",\n  \"kind\": \"ntier\",\n";
   out += "  \"name\": ";
@@ -95,11 +108,11 @@ std::string run_manifest_json(const NTierSystem& sys) {
   }
   out += "],\n";
   append_common(out, sys.latency(), drops, sys.simulation().events_executed(),
-                sys.registry());
+                sys.registry(), ctqo);
   return out;
 }
 
-std::string run_manifest_json(const ChainSystem& sys) {
+std::string run_manifest_json(const ChainSystem& sys, const CtqoReport* ctqo) {
   const auto& cfg = sys.config();
   std::string out = "{\n  \"schema\": \"ntier.run-manifest/1\",\n  \"kind\": \"chain\",\n";
   out += "  \"name\": ";
@@ -119,16 +132,18 @@ std::string run_manifest_json(const ChainSystem& sys) {
   }
   out += "],\n";
   append_common(out, sys.latency(), sys.total_drops(),
-                sys.simulation().events_executed(), sys.registry());
+                sys.simulation().events_executed(), sys.registry(), ctqo);
   return out;
 }
 
-std::string write_manifest(const NTierSystem& sys, const std::string& dir) {
-  return write_to(run_manifest_json(sys), dir, sys.config().name);
+std::string write_manifest(const NTierSystem& sys, const std::string& dir,
+                           const CtqoReport* ctqo) {
+  return write_to(run_manifest_json(sys, ctqo), dir, sys.config().name);
 }
 
-std::string write_manifest(const ChainSystem& sys, const std::string& dir) {
-  return write_to(run_manifest_json(sys), dir, sys.config().name);
+std::string write_manifest(const ChainSystem& sys, const std::string& dir,
+                           const CtqoReport* ctqo) {
+  return write_to(run_manifest_json(sys, ctqo), dir, sys.config().name);
 }
 
 }  // namespace ntier::core

@@ -15,13 +15,22 @@
 
 namespace ntier::core {
 
-// Renders the manifest for a finished run (3-tier or chain).
-std::string run_manifest_json(const NTierSystem& sys);
-std::string run_manifest_json(const ChainSystem& sys);
+struct CtqoReport;
+
+// Renders the manifest for a finished run (3-tier or chain). When a
+// CTQO report is supplied and it detected retry storms, a "ctqo_storm"
+// block (episode count, longest storm, peak retry amplification) is
+// included; storm-free runs emit byte-identical manifests either way.
+std::string run_manifest_json(const NTierSystem& sys,
+                              const CtqoReport* ctqo = nullptr);
+std::string run_manifest_json(const ChainSystem& sys,
+                              const CtqoReport* ctqo = nullptr);
 
 // Writes <dir>/<name>.manifest.json (creating dir if needed); returns
 // the path, or "" on write failure.
-std::string write_manifest(const NTierSystem& sys, const std::string& dir);
-std::string write_manifest(const ChainSystem& sys, const std::string& dir);
+std::string write_manifest(const NTierSystem& sys, const std::string& dir,
+                           const CtqoReport* ctqo = nullptr);
+std::string write_manifest(const ChainSystem& sys, const std::string& dir,
+                           const CtqoReport* ctqo = nullptr);
 
 }  // namespace ntier::core

@@ -1,0 +1,101 @@
+// Metastability verdict engine: did the system recover after the fault?
+//
+// The overload-control literature (and this repo's PR 1 naive-retry
+// experiments) distinguishes two post-fault regimes. In the *recovered*
+// regime, clearing the fault lets queues drain and throughput return to
+// its pre-fault band within a bounded horizon. In the *metastable*
+// regime, the trigger is gone but the storm persists: retransmissions
+// and policy retries keep the offered rate above the drain rate, so the
+// queues the fault built never empty — the sustaining feedback loop has
+// replaced the trigger as the cause of the outage.
+//
+// This module turns that distinction into a mechanical verdict over the
+// Sampler's per-tier series. For each tier it establishes a pre-fault
+// baseline (queue peak and goodput mean over the window preceding the
+// fault), then scans the post-clear horizon for the first settle period
+// in which the queue stayed inside the baseline band AND goodput was
+// back at baseline. All tiers recovered => kRecovered with a
+// time-to-recovery; any tier still outside its band at the end of the
+// horizon => kMetastable, with the offered/drain amplification that
+// sustained the storm.
+//
+// Pure analysis: reads finished timelines, schedules nothing, and is
+// deterministic for a given run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "monitor/sampler.h"
+#include "sim/time.h"
+
+namespace ntier::core {
+
+// The two post-fault regimes: queues drained and throughput returned
+// (kRecovered), or the storm outlived its trigger (kMetastable).
+enum class Regime { kRecovered, kMetastable };
+const char* to_string(Regime r);
+
+// Knobs for one verdict: the fault window under judgment and the
+// baseline/settle bands that define "back to normal".
+struct RecoveryOptions {
+  // The fault window being judged (from the injector's plan).
+  sim::Time fault_start;
+  sim::Time fault_clear;
+  // Baseline period: [fault_start - pre_window, fault_start).
+  sim::Duration pre_window = sim::Duration::seconds(5);
+  // How long after fault_clear the system gets to come back.
+  sim::Duration horizon = sim::Duration::seconds(20);
+  // A tier counts as recovered only after staying in band this long.
+  sim::Duration settle = sim::Duration::seconds(2);
+  // Queue band: recovered when the settle-period queue peak is at most
+  // max(queue_floor, queue_band * pre-fault queue peak). The floor keeps
+  // a near-empty baseline (peak ~0) from demanding a literally empty
+  // queue.
+  double queue_band = 1.25;
+  double queue_floor = 5.0;
+  // Goodput band: settle-period completion rate must reach this fraction
+  // of the pre-fault mean.
+  double goodput_band = 0.8;
+};
+
+// Per-tier verdict detail.
+struct TierRecovery {
+  std::string name;          // sampler prefix ("apache", "tomcat", ...)
+  double pre_queue_peak = 0.0;
+  double pre_goodput = 0.0;  // completed/s, pre-fault mean
+  bool recovered = false;
+  // Start of the first settle period with queue and goodput in band
+  // (valid iff recovered).
+  sim::Time recovered_at;
+  double post_queue_peak = 0.0;  // queue peak over the post-clear horizon
+  // Mean offered / mean completed over the post-clear horizon: >1
+  // sustained means retries are feeding the queue faster than it drains.
+  double amplification = 0.0;
+  std::string to_string() const;
+};
+
+// The whole-system verdict: per-tier detail plus the headline regime,
+// time-to-recovery (kRecovered) or storm amplification (kMetastable).
+struct MetastabilityVerdict {
+  Regime regime = Regime::kMetastable;
+  std::vector<TierRecovery> tiers;  // front-to-back order of the input
+  // Slowest tier's (recovered_at - fault_clear); valid iff kRecovered.
+  sim::Duration time_to_recovery = sim::Duration::zero();
+  // Max per-tier amplification over the post-clear horizon.
+  double storm_amplification = 0.0;
+  // The tier that decided the verdict: last to recover, or the
+  // unrecovered tier with the highest amplification.
+  std::string worst_tier;
+  std::string to_string() const;
+};
+
+// Judges one fault window. `tier_prefixes` are the Sampler server
+// prefixes front-to-back (each must have .queue/.offered/.completed
+// series). The scan steps by the sampler window so same-run calls are
+// exactly reproducible.
+MetastabilityVerdict classify_recovery(
+    const std::vector<std::string>& tier_prefixes,
+    const monitor::Sampler& sampler, const RecoveryOptions& opt);
+
+}  // namespace ntier::core

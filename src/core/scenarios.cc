@@ -338,4 +338,94 @@ ExperimentConfig ext_fault_injection(Architecture arch) {
   return cfg;
 }
 
+const char* to_string(OverloadChoice c) {
+  switch (c) {
+    case OverloadChoice::kNone: return "none";
+    case OverloadChoice::kQueueCap: return "queue-cap";
+    case OverloadChoice::kTokenBucket: return "token-bucket";
+    case OverloadChoice::kCoDel: return "codel";
+    case OverloadChoice::kAdaptiveLifo: return "adaptive-lifo";
+    case OverloadChoice::kBrownout: return "brownout";
+  }
+  return "?";
+}
+
+policy::overload::OverloadPolicy make_overload_policy(OverloadChoice c) {
+  using policy::overload::OverloadPolicy;
+  using OK = policy::overload::Kind;
+  OverloadPolicy p;
+  switch (c) {
+    case OverloadChoice::kNone:
+      break;
+    case OverloadChoice::kQueueCap:
+      // Shed as errors well before MaxSysQDepth (278 at the web tier)
+      // would start dropping packets into 3 s retransmission limbo.
+      p.kind = OK::kQueueCap;
+      p.queue_cap = 100;
+      break;
+    case OverloadChoice::kTokenBucket:
+      // Provisioned near the healthy operating point (~1.1k req/s at WL
+      // 8000 with 7 s think); the burst absorbs sampling noise only.
+      p.kind = OK::kTokenBucket;
+      p.bucket_rate = 1400.0;
+      p.bucket_burst = 150.0;
+      break;
+    case OverloadChoice::kCoDel:
+      // Classic parameters scaled to this stack: healthy queue waits are
+      // sub-millisecond, so a 20 ms sojourn sustained for 100 ms is
+      // unambiguous standing queue.
+      p.kind = OK::kCoDel;
+      p.codel_target = Duration::millis(20);
+      p.codel_interval = Duration::millis(100);
+      break;
+    case OverloadChoice::kAdaptiveLifo:
+      // Newest-first once the backlog passes 16. The stale-shed bound
+      // must sit below the storm's standing backlog wait (~120 ms here:
+      // MaxSysQDepth minus the thread pool, over the drain rate) or the
+      // age gate never fires and the full front door keeps TCP-dropping;
+      // healthy waits are sub-millisecond, so 50 ms is far out of band.
+      p.kind = OK::kAdaptiveLifo;
+      p.lifo_threshold = 16;
+      p.lifo_max_sojourn = Duration::millis(50);
+      break;
+    case OverloadChoice::kBrownout:
+      // Degrade (skip the downstream call) once 32 requests are in
+      // system; hard-shed above 200 so the queue stays bounded even if
+      // degraded service alone cannot keep up.
+      p.kind = OK::kBrownout;
+      p.degrade_above = 32;
+      p.brownout_cap = 200;
+      break;
+  }
+  return p;
+}
+
+ExperimentConfig ext_overload_control(OverloadChoice choice) {
+  ExperimentConfig cfg = base_sync();
+  cfg.name = std::string("ext-overload-") + to_string(choice);
+  // Near saturation, with the storm-prone client configuration of the
+  // tail-tolerance study: tight 1 s attempt timeout, 4 attempts, tiny
+  // synchronized backoff, no budget.
+  cfg.workload.sessions = 8000;
+  cfg.workload.client_policy = make_tail_policy(TailPolicyChoice::kNaiveRetry);
+  cfg.duration = Duration::seconds(45);
+  // The trigger: the app host throttles to 15% speed for 2 s. During the
+  // window the app tier accumulates far more work than two seconds'
+  // worth; what happens after the window ends is the experiment.
+  {
+    fault::SlowNodeWindow s;
+    s.tier = 1;
+    s.at = Time::from_seconds(12.0);
+    s.duration = Duration::seconds(2);
+    s.speed_factor = 0.15;
+    cfg.faults.slow_nodes.push_back(s);
+  }
+  // Server-side control at the tiers that queue (web front door and the
+  // app tier behind it); the leaf DB never sees overload the app tier
+  // has not already admitted.
+  cfg.overload.web = make_overload_policy(choice);
+  cfg.overload.app = make_overload_policy(choice);
+  return cfg;
+}
+
 }  // namespace ntier::core::scenarios

@@ -100,4 +100,30 @@ ExperimentConfig ext_lossy_link(Architecture arch, TailPolicyChoice choice);
 // of fault-driven (rather than consolidation-driven) drop episodes.
 ExperimentConfig ext_fault_injection(Architecture arch);
 
+// --- Overload-control study (server side of the storm) --------------------
+
+// One knob per admission/queue-management policy; kNone is the
+// uncontrolled baseline that goes metastable.
+enum class OverloadChoice {
+  kNone,          // no controller: naive retries + TCP retransmits rule
+  kQueueCap,      // explicit in-system cap, shed the excess as errors
+  kTokenBucket,   // rate-limit admissions to provisioned throughput
+  kCoDel,         // sojourn-target shedding at dequeue (CoDel control law)
+  kAdaptiveLifo,  // newest-first under backlog + stale-entry shedding
+  kBrownout,      // degraded responses (skip downstream) under pressure
+};
+const char* to_string(OverloadChoice c);
+policy::overload::OverloadPolicy make_overload_policy(OverloadChoice c);
+
+// The metastability experiment: near-saturation sync stack under
+// kNaiveRetry clients, with a 2 s slow-node window throttling the app
+// tier mid-run. With OverloadChoice::kNone the backlog built during the
+// window outlives the fault indefinitely — retries and retransmits keep
+// offered load above drain rate (a metastable failure). Shedding
+// policies (applied at the web and app tiers) convert the excess into
+// fast failures, failed clients back off into think time, and the
+// system returns to its pre-fault operating point; the verdict engine
+// (core/metastability.h) classifies each run.
+ExperimentConfig ext_overload_control(OverloadChoice choice);
+
 }  // namespace ntier::core::scenarios

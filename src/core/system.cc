@@ -105,6 +105,11 @@ void NTierSystem::build_servers() {
     servers_[0]->enable_tail_policy(cfg_.tier_policy, rng_.fork(10));
     servers_[1]->enable_tail_policy(cfg_.tier_policy, rng_.fork(11));
   }
+  // Per-tier overload control (no rng: the controllers are deterministic
+  // state machines; enable_overload_control is a no-op for kNone).
+  servers_[0]->enable_overload_control(cfg_.overload.web);
+  servers_[1]->enable_overload_control(cfg_.overload.app);
+  servers_[2]->enable_overload_control(cfg_.overload.db);
 }
 
 void NTierSystem::build_workload() {
@@ -187,6 +192,10 @@ void NTierSystem::build_monitoring() {
   for (int i = 0; i < 2; ++i) {
     if (const auto* g = servers_[i]->governor())
       telemetry::publish_governor(registry_, servers_[i]->name(), *g);
+  }
+  for (auto& srv : servers_) {
+    if (const auto* c = srv->overload())
+      telemetry::publish_overload(registry_, srv->name(), *c);
   }
 }
 

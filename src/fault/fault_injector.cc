@@ -1,8 +1,46 @@
 #include "fault/fault_injector.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 namespace ntier::fault {
+
+namespace {
+
+// One (target, [at, end)) extent, for the overlap scan below.
+struct Extent {
+  int target;
+  sim::Time at;
+  sim::Time end;
+};
+
+// Two windows of the same kind on the same target must not overlap: the
+// injector applies "latest settings win" within a window, so overlap
+// would make the replayed timeline depend on schedule order rather than
+// the plan. Touching windows (one ends exactly where the next starts)
+// are fine. Returns the reason, or "" when disjoint.
+std::string overlap_reason(std::vector<Extent> ws, const char* what) {
+  std::sort(ws.begin(), ws.end(), [](const Extent& a, const Extent& b) {
+    return a.target != b.target ? a.target < b.target : a.at < b.at;
+  });
+  for (std::size_t i = 1; i < ws.size(); ++i) {
+    const Extent& prev = ws[i - 1];
+    const Extent& next = ws[i];
+    if (prev.target == next.target && next.at < prev.end) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "fault: overlapping %s windows on target %d "
+                    "([%.3fs, %.3fs) vs one starting at %.3fs)",
+                    what, prev.target, prev.at.to_seconds(),
+                    prev.end.to_seconds(), next.at.to_seconds());
+      return buf;
+    }
+  }
+  return {};
+}
+
+}  // namespace
 
 std::string invalid_reason(const FaultPlan& plan) {
   for (const auto& c : plan.crashes) {
@@ -30,7 +68,18 @@ std::string invalid_reason(const FaultPlan& plan) {
       return "fault: slow-node speed_factor must be in (0, 1] "
              "(0 would halt the host forever; use a crash window instead)";
   }
-  return {};
+
+  std::vector<Extent> ws;
+  for (const auto& c : plan.crashes) ws.push_back({c.tier, c.at, c.at + c.down_for});
+  std::string why = overlap_reason(std::move(ws), "crash");
+  if (!why.empty()) return why;
+  ws.clear();
+  for (const auto& l : plan.links) ws.push_back({l.hop, l.at, l.at + l.duration});
+  why = overlap_reason(std::move(ws), "link-degrade");
+  if (!why.empty()) return why;
+  ws.clear();
+  for (const auto& s : plan.slow_nodes) ws.push_back({s.tier, s.at, s.at + s.duration});
+  return overlap_reason(std::move(ws), "slow-node");
 }
 
 FaultInjector::FaultInjector(sim::Simulation& sim, sim::Rng rng, FaultPlan plan,

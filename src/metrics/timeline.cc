@@ -49,6 +49,15 @@ double Timeline::mean_over(sim::Time from, sim::Time to) const {
   return acc / static_cast<double>(hi - lo);
 }
 
+double Timeline::max_over(sim::Time from, sim::Time to) const {
+  if (to <= from || values_.empty()) return 0.0;
+  std::size_t lo = index_of(from);
+  std::size_t hi = std::min(index_of(to - sim::Duration::micros(1)) + 1, values_.size());
+  double m = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) m = std::max(m, values_[i]);
+  return m;
+}
+
 sim::Time Timeline::first_time_at_least(double threshold, sim::Time from, sim::Time to) const {
   std::size_t lo = index_of(from);
   for (std::size_t i = lo; i < values_.size(); ++i) {

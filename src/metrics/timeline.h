@@ -34,6 +34,8 @@ class Timeline {
 
   double max_value() const;
   double mean_over(sim::Time from, sim::Time to) const;
+  // Max value over windows intersecting [from, to); 0 when empty.
+  double max_over(sim::Time from, sim::Time to) const;
   // Earliest window start in [from, to) whose value >= threshold, or
   // Time::max() if none — used by the CTQO analyzer to order queue growth
   // across tiers.

@@ -35,6 +35,7 @@ bool AsyncServer::do_offer(Job job) {
                         ctx->job.parent_span, sim_.now());
   ctx->qspan = trace_open(ctx->job.req, trace::SpanKind::kPoolQueue, name_,
                           ctx->hop, sim_.now());
+  ctx->enq = sim_.now();
   wait_q_.push_back(std::move(ctx));
   pump();
   return true;
@@ -57,8 +58,19 @@ void AsyncServer::pump() {
       ctx = std::move(resume_q_.front());
       resume_q_.pop_front();
     } else {
-      ctx = std::move(wait_q_.front());
-      wait_q_.pop_front();
+      // Fresh arrivals go through the overload queue discipline
+      // (adaptive-LIFO pick, CoDel / stale-sojourn sheds); resumed work
+      // is committed and is never shed here.
+      auto next = policy::overload::pop_next(
+          overload(), wait_q_, sim_.now(),
+          [](const CtxPtr& c) { return c->enq; },
+          [this](CtxPtr c) {
+            trace_close(c->job.req, c->qspan, sim_.now());
+            trace_close(c->job.req, c->hop, sim_.now());
+            shed_job(std::move(c->job), /*accepted=*/true, /*detail=*/2);
+          });
+      if (!next) break;
+      ctx = std::move(*next);
     }
     ++active_;
     trace_close(ctx->job.req, ctx->qspan, sim_.now());
@@ -106,6 +118,12 @@ void AsyncServer::run_step(const CtxPtr& ctx) {
       return;
     }
     case WorkStep::Kind::kDownstream: {
+      if (ctx->job.req->degraded) {
+        // Brownout: the degraded response skips the downstream chain.
+        ++ctx->pc;
+        run_step(ctx);
+        return;
+      }
       // Event-driven call: park the request, free the slot, continue via
       // the callback when the reply lands (Fig 14's eventHandler).
       release_slot();

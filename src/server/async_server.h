@@ -55,6 +55,7 @@ class AsyncServer : public Server {
     std::size_t pc = 0;
     std::uint64_t hop = trace::kNoSpan;    // this server's visit span
     std::uint64_t qspan = trace::kNoSpan;  // open run-queue wait, if parked
+    sim::Time enq{};  // wait-queue entry time (overload sojourn accounting)
   };
   using CtxPtr = sim::PoolRef<Ctx>;
 

@@ -50,6 +50,17 @@ struct Request {
 
   bool has_deadline() const { return deadline != sim::Time::max(); }
 
+  // --- overload-control metadata (see policy/overload/overload.h) -------
+  // Set (together with `failed`) by a tier that shed this request with an
+  // immediate error reply. The upstream governed sender treats the reply
+  // as a *retryable* rejection: it clears both flags and routes the
+  // attempt through its retry policy (spending retry budget) instead of
+  // settling the request.
+  bool overload_shed = false;
+  // Brownout: a tier under pressure marked the request for the cheap
+  // degraded response; every tier skips its kDownstream steps for it.
+  bool degraded = false;
+
   // Micro-level event trace (enabled per experiment; costs memory).
   struct Stamp {
     std::string where;  // "apache:admit", "tomcat:drop", "client:send", ...

@@ -81,6 +81,11 @@ void Server::enable_tail_policy(const policy::TailPolicy& p, sim::Rng rng) {
   governor_ = std::make_unique<policy::HopGovernor>(sim_, std::move(rng), p);
 }
 
+void Server::enable_overload_control(const policy::overload::OverloadPolicy& p) {
+  if (!p.any()) return;
+  overload_ = std::make_unique<policy::overload::AdmissionController>(p);
+}
+
 bool Server::offer(Job job) {
   if (down_) {
     // Crashed: the connection is refused. To the sender this is the same
@@ -108,6 +113,37 @@ bool Server::offer(Job job) {
     sim_.after(sim::Duration::zero(), [jr] { jr->reply(jr->req); });
     return true;
   }
+  if (overload_ != nullptr) {
+    using Decision = policy::overload::AdmissionController::Decision;
+    using ShedMode = policy::overload::OverloadPolicy::ShedMode;
+    switch (overload_->on_offer(sim_.now(), in_system_)) {
+      case Decision::kAdmit:
+        break;
+      case Decision::kDegrade:
+        // Brownout: admit, but serve the cheap response — every tier
+        // skips its downstream steps for a degraded request.
+        if (!job.req->degraded) {
+          job.req->degraded = true;
+          job.req->stamp(name_, ":degraded", sim_.now());
+          trace_instant(job.req, trace::SpanKind::kBrownout, name_,
+                        job.parent_span, sim_.now());
+        }
+        break;
+      case Decision::kShed:
+        note_offer();
+        if (overload_->policy().shed_mode == ShedMode::kTcpDrop) {
+          // Paper baseline: refuse the packet like a full accept queue;
+          // the sender's TCP stack retransmits per its RTO.
+          job.req->stamp(name_, ":shed_drop", sim_.now());
+          trace_instant(job.req, trace::SpanKind::kOverloadShed, name_,
+                        job.parent_span, sim_.now(), /*detail=*/1);
+          note_drop();
+          return false;
+        }
+        shed_job(std::move(job), /*accepted=*/false, /*detail=*/0);
+        return true;
+    }
+  }
   return do_offer(std::move(job));
 }
 
@@ -124,6 +160,19 @@ void Server::abort_job(Job job) {
   // conservation invariant accepted == completed + in-system.
   note_reply();
   job.reply(job.req);
+}
+
+void Server::shed_job(Job job, bool accepted, int detail) {
+  job.req->failed = true;
+  job.req->overload_shed = true;
+  job.req->stamp(name_, ":shed", sim_.now());
+  trace_instant(job.req, trace::SpanKind::kOverloadShed, name_, job.parent_span,
+                sim_.now(), detail);
+  if (accepted) note_reply();
+  // The canned rejection is produced without a worker but still crosses
+  // the wire; reply off this stack frame after a token service cost.
+  auto jr = job_pool().make(std::move(job));
+  sim_.after(sim::Duration::micros(50), [jr] { jr->reply(jr->req); });
 }
 
 void Server::dispatch_downstream(const RequestPtr& req, std::uint64_t parent_span,
@@ -242,6 +291,20 @@ void Server::send_attempt(const StPtr& st, bool is_hedge) {
   down.reply = [this, ga](const RequestPtr&) {
     sim_.after(transport_->link().sample(), [this, ga] {
       DispatchState& st = *ga->st;
+      if (st.req->overload_shed && !st.settled) {
+        // The downstream tier shed this attempt with a retryable
+        // rejection: clear the canned error and consult the retry policy
+        // (spending retry budget) instead of settling the dispatch — the
+        // shed/retry contract of docs/OVERLOAD.md.
+        st.req->overload_shed = false;
+        st.req->failed = false;
+        if (!ga->concluded) {
+          ga->concluded = true;
+          governor_->on_outcome(false);
+        }
+        if (!ga->is_hedge) retry_or_fail(ga->st);
+        return;
+      }
       if (!ga->concluded) {
         ga->concluded = true;
         governor_->on_outcome(!st.req->failed);

@@ -38,6 +38,7 @@
 #include "net/link.h"
 #include "net/rto_policy.h"
 #include "net/transport.h"
+#include "policy/overload/overload.h"
 #include "policy/tail_policy.h"
 #include "server/app_profile.h"
 #include "server/request.h"
@@ -100,6 +101,19 @@ class Server {
   policy::HopGovernor* governor() { return governor_ ? governor_.get() : nullptr; }
   const policy::HopGovernor* governor() const { return governor_ ? governor_.get() : nullptr; }
 
+  // --- overload control (admission + queue management) --------------------
+  // Installs an AdmissionController consulted in offer() (queue cap,
+  // token bucket, brownout) and at the model's dequeue sites (CoDel,
+  // adaptive-LIFO). No-op for a kNone policy: the run stays event-
+  // identical to a build without the overload layer.
+  void enable_overload_control(const policy::overload::OverloadPolicy& p);
+  policy::overload::AdmissionController* overload() {
+    return overload_ ? overload_.get() : nullptr;
+  }
+  const policy::overload::AdmissionController* overload() const {
+    return overload_ ? overload_.get() : nullptr;
+  }
+
   // --- observability -----------------------------------------------------
   const std::string& name() const { return name_; }
   cpu::VmCpu* vm() const { return vm_; }
@@ -144,6 +158,15 @@ class Server {
   // abort_queued implementations; keeps accepted = completed + in-system).
   void abort_job(Job job);
 
+  // Answers `job` with a retryable overload rejection: marks it
+  // failed + overload_shed and replies after a tiny fixed service cost
+  // (an error page is cheap but still crosses the wire). `accepted` says
+  // whether the job was already admitted (dequeue-time shed), so the
+  // accepted == completed + in-system invariant holds either way.
+  // `detail` distinguishes the shed site in the trace (0 = admission,
+  // 2 = dequeue).
+  void shed_job(Job job, bool accepted, int detail);
+
   // Sends the request downstream with retransmission-on-drop; `on_reply`
   // fires after the downstream tier replies (return-link latency
   // included). On permanent failure the request is marked failed and
@@ -168,6 +191,7 @@ class Server {
   Server* downstream_ = nullptr;
   std::unique_ptr<net::Transport> transport_;
   std::unique_ptr<policy::HopGovernor> governor_;
+  std::unique_ptr<policy::overload::AdmissionController> overload_;
   bool down_ = false;
 
   Stats stats_;

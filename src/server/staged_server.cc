@@ -38,6 +38,7 @@ bool StagedServer::do_offer(Job job) {
                         ctx->job.parent_span, sim_.now());
   ctx->qspan = trace_open(ctx->job.req, trace::SpanKind::kPoolQueue,
                           site_ingress_, ctx->hop, sim_.now());
+  ctx->enq = sim_.now();
   ingress_q_.push_back(std::move(ctx));
   pump();
   return true;
@@ -65,8 +66,18 @@ void StagedServer::pump() {
     run_step(ctx, /*continuation_stage=*/true);
   }
   while (ingress_active_ < cfg_.ingress.threads && !ingress_q_.empty()) {
-    CtxPtr ctx = std::move(ingress_q_.front());
-    ingress_q_.pop_front();
+    // Ingress (fresh arrivals) goes through the overload queue
+    // discipline; continuation work above is committed, never shed.
+    auto next = policy::overload::pop_next(
+        overload(), ingress_q_, sim_.now(),
+        [](const CtxPtr& c) { return c->enq; },
+        [this](CtxPtr c) {
+          trace_close(c->job.req, c->qspan, sim_.now());
+          trace_close(c->job.req, c->hop, sim_.now());
+          shed_job(std::move(c->job), /*accepted=*/true, /*detail=*/2);
+        });
+    if (!next) break;
+    CtxPtr ctx = std::move(*next);
     ++ingress_active_;
     trace_close(ctx->job.req, ctx->qspan, sim_.now());
     ctx->qspan = trace::kNoSpan;
@@ -108,6 +119,13 @@ void StagedServer::run_step(const CtxPtr& ctx, bool continuation_stage) {
       return;
     }
     case WorkStep::Kind::kDownstream: {
+      if (ctx->job.req->degraded) {
+        // Brownout: the degraded response skips the downstream chain
+        // while keeping its stage slot (no work left to wait on).
+        ++ctx->pc;
+        run_step(ctx, continuation_stage);
+        return;
+      }
       // Release this stage's slot; the reply re-enters via the
       // continuation queue (unbounded: the request is already ours).
       if (continuation_stage) {

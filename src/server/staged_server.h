@@ -66,6 +66,7 @@ class StagedServer : public Server {
     std::size_t pc = 0;
     std::uint64_t hop = trace::kNoSpan;    // this server's visit span
     std::uint64_t qspan = trace::kNoSpan;  // open stage-queue wait, if parked
+    sim::Time enq{};  // ingress-queue entry time (overload sojourn accounting)
   };
   using CtxPtr = sim::PoolRef<Ctx>;
 

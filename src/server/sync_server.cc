@@ -41,6 +41,7 @@ bool SyncServer::do_offer(Job job) {
                        sim_.now());
     q.qspan = trace_open(job.req, trace::SpanKind::kAcceptQueue, name_, q.hop,
                          sim_.now());
+    q.enq = sim_.now();
     q.job = std::move(job);
     backlog_q_.push_back(std::move(q));
     check_spawn();
@@ -120,6 +121,12 @@ void SyncServer::run_step(const CtxPtr& ctx) {
       return;
     }
     case WorkStep::Kind::kDownstream: {
+      if (ctx->job.req->degraded) {
+        // Brownout: the degraded response skips the downstream chain.
+        ++ctx->pc;
+        run_step(ctx);
+        return;
+      }
       if (pool_) {
         // The worker thread blocks until a DB connection frees — this
         // wait is still *inside* the server (counted in queued_requests).
@@ -154,13 +161,25 @@ void SyncServer::finish(const CtxPtr& ctx) {
   worker_freed();
 }
 
+std::optional<SyncServer::Queued> SyncServer::take_from_backlog() {
+  return policy::overload::pop_next(
+      overload(), backlog_q_, sim_.now(),
+      [](const Queued& q) { return q.enq; },
+      [this](Queued q) {
+        accept_q_.pop();
+        trace_close(q.job.req, q.qspan, sim_.now());
+        trace_close(q.job.req, q.hop, sim_.now());
+        shed_job(std::move(q.job), /*accepted=*/true, /*detail=*/2);
+      });
+}
+
 void SyncServer::worker_freed() {
   --busy_;
   if (!backlog_q_.empty()) {
-    Queued next = std::move(backlog_q_.front());
-    backlog_q_.pop_front();
-    accept_q_.pop();
-    start_queued(std::move(next));
+    if (auto next = take_from_backlog()) {
+      accept_q_.pop();
+      start_queued(std::move(*next));
+    }
   }
   // The pool stays "exhausted" if the backlog immediately refilled the
   // freed worker; the timer only resets when capacity truly opened up.
@@ -191,10 +210,10 @@ void SyncServer::check_spawn() {
   threads_ += cfg_.threads_per_process;
   exhausted_since_ = sim_.now();  // exhaustion timer restarts for the larger pool
   while (busy_ < threads_ && !backlog_q_.empty()) {
-    Queued next = std::move(backlog_q_.front());
-    backlog_q_.pop_front();
+    auto next = take_from_backlog();
+    if (!next) break;
     accept_q_.pop();
-    start_queued(std::move(next));
+    start_queued(std::move(*next));
   }
 }
 

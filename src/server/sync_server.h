@@ -11,6 +11,7 @@
 
 #include <deque>
 #include <memory>
+#include <optional>
 
 #include "cpu/thread_overhead.h"
 #include "net/tcp_queue.h"
@@ -76,6 +77,7 @@ class SyncServer : public Server {
     Job job;
     std::uint64_t hop = trace::kNoSpan;
     std::uint64_t qspan = trace::kNoSpan;
+    sim::Time enq{};  // backlog entry time (overload sojourn accounting)
   };
 
   static sim::SlabPool<Ctx>& ctx_pool();
@@ -86,6 +88,10 @@ class SyncServer : public Server {
   void worker_freed();
   void check_spawn();
   void start_queued(Queued q);
+  // Pops the next backlog entry under the overload controller's queue
+  // discipline (FIFO / adaptive-LIFO / CoDel + stale sheds); nullopt
+  // when the discipline shed the whole backlog. Keeps accept_q_ in step.
+  std::optional<Queued> take_from_backlog();
 
   SyncConfig cfg_;
   const std::string site_dbpool_;  // "<name>:dbpool" (built once)

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "net/transport.h"
+#include "policy/overload/overload.h"
 #include "policy/tail_policy.h"
 #include "server/server_base.h"
 #include "sim/simulation.h"
@@ -74,6 +75,25 @@ inline void publish_governor(Registry& r, const std::string& sender,
     }
     return 0.0;
   });
+}
+
+// overload: one tier's admission controller (policy/overload/overload.h).
+//   <srv>.ov_admitted      — offers admitted per second
+//   <srv>.ov_shed          — sheds per second (admission + dequeue)
+//   <srv>.ov_degraded      — brownout degradations per second
+//   <srv>.ov_sojourn_p99_ms — p99 queue sojourn of served requests (ms)
+// Registered only when a controller exists, so an overload-free run's
+// registry snapshot (and thus its manifest) is unchanged.
+inline void publish_overload(Registry& r, const std::string& srv,
+                             const policy::overload::AdmissionController& c) {
+  r.add_probe(srv + ".ov_admitted", Registry::ProbeKind::kCumulative,
+              [&c] { return static_cast<double>(c.stats().admitted); });
+  r.add_probe(srv + ".ov_shed", Registry::ProbeKind::kCumulative,
+              [&c] { return static_cast<double>(c.stats().total_shed()); });
+  r.add_probe(srv + ".ov_degraded", Registry::ProbeKind::kCumulative,
+              [&c] { return static_cast<double>(c.stats().degraded); });
+  r.add_probe(srv + ".ov_sojourn_p99_ms", Registry::ProbeKind::kGauge,
+              [&c] { return c.sojourn_quantile(0.99).to_millis(); });
 }
 
 }  // namespace ntier::telemetry

@@ -19,6 +19,8 @@ const char* to_string(SpanKind k) {
     case SpanKind::kDeadlineCancel: return "deadline_cancel";
     case SpanKind::kBreakerReject: return "breaker_reject";
     case SpanKind::kDrop: return "drop";
+    case SpanKind::kOverloadShed: return "overload_shed";
+    case SpanKind::kBrownout: return "brownout";
   }
   return "?";
 }

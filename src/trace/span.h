@@ -48,6 +48,8 @@ enum class SpanKind : std::uint8_t {
   kDeadlineCancel, // instant: the end-to-end deadline expired here
   kBreakerReject,  // instant: circuit breaker fast-failed the send
   kDrop,           // instant: an admission refusal (the dropped packet)
+  kOverloadShed,   // instant: the overload controller shed the request
+  kBrownout,       // instant: admitted for the degraded (brownout) response
 };
 
 // Stable lowercase name ("rto_gap", "service", ...) used in exports.

@@ -235,6 +235,18 @@ void ClientPool::send_attempt(const FlPtr& fl, bool is_hedge) {
   job.reply = [this, ga](const server::RequestPtr& r) {
     sim_.after(transport_.link().sample(), [this, ga, r] {
       Flight& fl = *ga->fl;
+      if (r->overload_shed && !fl.done) {
+        // A tier shed this attempt with a retryable rejection: clear the
+        // canned error and spend retry budget instead of settling.
+        r->overload_shed = false;
+        r->failed = false;
+        if (!ga->concluded) {
+          ga->concluded = true;
+          governor_->on_outcome(false);
+        }
+        if (!ga->is_hedge) retry_or_fail(ga->fl);
+        return;
+      }
       if (!ga->concluded) {
         ga->concluded = true;
         governor_->on_outcome(!r->failed);

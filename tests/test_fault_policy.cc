@@ -200,6 +200,49 @@ TEST(CrashWindow, DownServerRefusesAndAbortsQueuedWork) {
   EXPECT_EQ(srv->stats().accepted, 4u);
 }
 
+// --- system-level: the breaker under a slow-node window --------------------
+
+// A long slow-node window on the DB drives the app tier's breaker
+// through the full state cycle: closed -> open (attempt timeouts),
+// open -> half-open -> open again (the probe launched mid-window still
+// fails), and finally half-open -> closed once the window clears. A
+// reopen can only happen via a failed half-open probe, so opens >= 2
+// proves the half-open -> open edge; ending closed proves the
+// half-open -> closed edge.
+TEST(CircuitBreaker, SlowNodeWindowDrivesHalfOpenTransitions) {
+  core::ExperimentConfig cfg;
+  cfg.name = "breaker-slow-db";
+  cfg.workload.sessions = 2000;
+  cfg.duration = Duration::seconds(22);
+  policy::TailPolicy p;
+  p.attempt_timeout = Duration::millis(400);
+  p.retry.max_attempts = 2;
+  p.retry.base_backoff = Duration::millis(50);
+  p.retry.max_backoff = Duration::millis(50);
+  p.retry.decorrelated_jitter = false;
+  p.breaker.enabled = true;
+  p.breaker.failure_threshold = 0.5;
+  p.breaker.min_samples = 10;
+  p.breaker.window = Duration::seconds(1);
+  p.breaker.open_for = Duration::seconds(2);
+  cfg.tier_policy = p;
+  fault::SlowNodeWindow s;
+  s.tier = 2;  // the DB host crawls at 2% speed
+  s.at = Time::from_seconds(8.0);
+  s.duration = Duration::seconds(6);
+  s.speed_factor = 0.02;
+  cfg.faults.slow_nodes.push_back(s);
+
+  auto sys = core::run_system(cfg);
+  const auto* g = sys->app()->governor();
+  ASSERT_NE(g, nullptr);
+  const auto* br = g->breaker();
+  ASSERT_NE(br, nullptr);
+  EXPECT_GE(br->opens(), 2u);  // reopened from half-open at least once
+  EXPECT_EQ(br->state(), policy::CircuitBreaker::State::kClosed);  // recovered
+  EXPECT_GT(g->stats().breaker_rejects, 0u);  // fast-fails while open
+}
+
 // --- system-level: fault plan replay ---------------------------------------
 
 TEST(FaultInjection, ScheduleFiresAndDisturbsTheRun) {
@@ -331,6 +374,107 @@ TEST(Validate, RejectsBadConfigsDescriptively) {
     FAIL() << "expected invalid_argument";
   } catch (const std::invalid_argument& e) {
     EXPECT_NE(std::string(e.what()).find("crash tier"), std::string::npos);
+  }
+}
+
+TEST(Validate, RejectsZeroLengthFaultWindows) {
+  const auto good = core::scenarios::fig3_consolidation_sync();
+
+  auto bad = good;
+  fault::CrashWindow c;
+  c.tier = 1;
+  c.at = Time::from_seconds(5.0);
+  c.down_for = Duration::zero();
+  bad.faults.crashes.push_back(c);
+  EXPECT_THROW(core::validate(bad), std::invalid_argument);
+
+  bad = good;
+  fault::SlowNodeWindow s;
+  s.tier = 1;
+  s.at = Time::from_seconds(5.0);
+  s.duration = Duration::zero();
+  s.speed_factor = 0.5;
+  bad.faults.slow_nodes.push_back(s);
+  EXPECT_THROW(core::validate(bad), std::invalid_argument);
+
+  bad = good;
+  fault::LinkDegradeWindow l;
+  l.hop = 1;
+  l.at = Time::from_seconds(5.0);
+  l.duration = Duration::zero();
+  l.loss_prob = 0.5;
+  bad.faults.links.push_back(l);
+  EXPECT_THROW(core::validate(bad), std::invalid_argument);
+}
+
+TEST(Validate, RejectsOverlappingFaultWindowsOnTheSameTarget) {
+  const auto good = core::scenarios::fig3_consolidation_sync();
+
+  fault::CrashWindow a;
+  a.tier = 2;
+  a.at = Time::from_seconds(5.0);
+  a.down_for = Duration::seconds(2);  // occupies [5, 7)
+  fault::CrashWindow b = a;
+  b.at = Time::from_seconds(6.0);  // starts inside a's window
+
+  auto bad = good;
+  bad.faults.crashes = {a, b};
+  try {
+    core::validate(bad);
+    FAIL() << "expected invalid_argument for overlapping crash windows";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("overlapping crash"), std::string::npos);
+  }
+
+  // The scan sorts, so declaration order must not matter.
+  bad.faults.crashes = {b, a};
+  EXPECT_THROW(core::validate(bad), std::invalid_argument);
+
+  // Back-to-back windows ([5,7) then [7,...)) are legal.
+  auto ok = good;
+  b.at = Time::from_seconds(7.0);
+  ok.faults.crashes = {a, b};
+  EXPECT_NO_THROW(core::validate(ok));
+
+  // Concurrent windows on *different* targets are legal.
+  ok = good;
+  b.at = Time::from_seconds(6.0);
+  b.tier = 1;
+  ok.faults.crashes = {a, b};
+  EXPECT_NO_THROW(core::validate(ok));
+
+  // Same rule for slow-node windows...
+  bad = good;
+  fault::SlowNodeWindow s;
+  s.tier = 1;
+  s.at = Time::from_seconds(10.0);
+  s.duration = Duration::seconds(4);
+  s.speed_factor = 0.5;
+  auto s2 = s;
+  s2.at = Time::from_seconds(12.0);
+  bad.faults.slow_nodes = {s, s2};
+  try {
+    core::validate(bad);
+    FAIL() << "expected invalid_argument for overlapping slow-node windows";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("overlapping slow-node"), std::string::npos);
+  }
+
+  // ...and for link-degrade windows on the same hop.
+  bad = good;
+  fault::LinkDegradeWindow l;
+  l.hop = 0;
+  l.at = Time::from_seconds(3.0);
+  l.duration = Duration::seconds(3);
+  l.loss_prob = 0.2;
+  auto l2 = l;
+  l2.at = Time::from_seconds(4.0);
+  bad.faults.links = {l, l2};
+  try {
+    core::validate(bad);
+    FAIL() << "expected invalid_argument for overlapping link windows";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("overlapping link-degrade"), std::string::npos);
   }
 }
 
