@@ -34,6 +34,7 @@
 #include "core/manifest.h"
 #include "core/report.h"
 #include "core/scenarios.h"
+#include "graph/graph_system.h"
 #include "metrics/csv.h"
 #include "report/dashboard.h"
 #include "trace/chrome_trace.h"
@@ -160,16 +161,24 @@ inline void maybe_dashboard(core::ChainSystem& sys, const BenchFlags& flags) {
   std::printf("wrote %s (%s)\n", path.c_str(), core::to_string(corr.propagation));
 }
 
+inline void maybe_dashboard(graph::GraphSystem& sys, const BenchFlags& flags) {
+  if (flags.dashboard_dir.empty()) return;
+  const auto ctqo = graph::analyze_ctqo(sys);
+  const auto corr = graph::correlate(sys);
+  const std::string path = report::write_dashboard(sys, ctqo, corr, flags.dashboard_dir,
+                                                   sys.config().name);
+  graph::write_manifest(sys, flags.dashboard_dir, &ctqo);
+  std::printf("wrote %s (%s)\n", path.c_str(), core::to_string(corr.propagation));
+}
+
 // Post-run trace artifacts: writes the Chrome JSON + span CSV and prints
 // the per-VLRT attribution against the run's CTQO episodes. No-op when
 // tracing was off.
-inline void export_traces(core::NTierSystem& sys, const BenchFlags& flags) {
-  trace::Tracer* tracer = sys.tracer();
-  if (tracer == nullptr) return;
-
+inline void export_traces_for(trace::Tracer* tracer, const core::CtqoReport& report,
+                              const std::string& name, const BenchFlags& flags) {
   std::error_code ec;
   std::filesystem::create_directories(flags.out_dir, ec);
-  const std::string base = flags.out_dir + "/" + sys.config().name;
+  const std::string base = flags.out_dir + "/" + name;
   const std::string json_path = base + ".trace.json";
   const std::string csv_path = base + ".trace_spans.csv";
   const bool ok =
@@ -188,7 +197,6 @@ inline void export_traces(core::NTierSystem& sys, const BenchFlags& flags) {
     std::printf("FAILED writing trace artifacts under %s\n", flags.out_dir.c_str());
   }
 
-  const auto report = core::analyze_ctqo(sys);
   const auto table = core::attribute_vlrt(tracer->traces(), report,
                                           tracer->config().vlrt_threshold);
   std::puts(table.to_string().c_str());
@@ -202,6 +210,18 @@ inline void export_traces(core::NTierSystem& sys, const BenchFlags& flags) {
     std::puts(trace::critical_path(*tr).to_string().c_str());
     if (++shown >= 3) break;
   }
+}
+
+inline void export_traces(core::NTierSystem& sys, const BenchFlags& flags) {
+  trace::Tracer* tracer = sys.tracer();
+  if (tracer == nullptr) return;
+  export_traces_for(tracer, core::analyze_ctqo(sys), sys.config().name, flags);
+}
+
+inline void export_traces(graph::GraphSystem& sys, const BenchFlags& flags) {
+  trace::Tracer* tracer = sys.tracer();
+  if (tracer == nullptr) return;
+  export_traces_for(tracer, graph::analyze_ctqo(sys), sys.config().name, flags);
 }
 
 // Runs cfg and prints the standard three-panel figure layout:

@@ -4,10 +4,17 @@
 // tier. In the all-RPC chain, upstream CTQO walks the whole chain and
 // drops at the front regardless of depth — deeper chains only lengthen
 // the cascade. The all-async chain absorbs the burst at every depth.
+//
+// The chains are built as graph-engine configs (src/graph): each one is
+// chain-shaped, so GraphSystem wires it through the ChainSystem-
+// identical fast path and every number below is byte-identical to the
+// pre-graph ChainSystem build (the chain-equivalence contract,
+// docs/TOPOLOGY.md).
 #include <cstdio>
 
 #include "bench_util.h"
-#include "core/chain.h"
+#include "graph/graph_system.h"
+#include "graph/topology.h"
 #include "metrics/table.h"
 
 using namespace ntier;
@@ -16,23 +23,28 @@ using sim::Time;
 
 namespace {
 
-core::ChainConfig make_chain(std::size_t depth, bool all_async) {
-  core::ChainConfig cfg;
+graph::GraphConfig make_chain(std::size_t depth, bool all_async) {
+  graph::GraphConfig cfg;
   cfg.name = (all_async ? "async-depth-" : "sync-depth-") + std::to_string(depth);
   for (std::size_t i = 0; i < depth; ++i) {
-    core::ChainTierSpec t;
-    t.name = (i == 0) ? "front" : (i + 1 == depth) ? "leaf" : "relay" + std::to_string(i);
-    t.async = all_async;
-    t.sync.threads_per_process = (i + 1 == depth) ? 100 : 150;
-    t.sync.max_processes = 1;
-    t.program_fn = (i + 1 == depth)
-                       ? core::leaf_fn(Duration::micros(500))
-                       : core::relay_fn(Duration::micros(60), Duration::micros(60));
-    cfg.tiers.push_back(std::move(t));
+    graph::NodeSpec node;
+    node.name = (i == 0) ? "front" : (i + 1 == depth) ? "leaf" : "relay" + std::to_string(i);
+    node.kind = all_async ? graph::NodeSpec::Kind::kAsync : graph::NodeSpec::Kind::kSync;
+    node.sync.threads_per_process = (i + 1 == depth) ? 100 : 150;
+    node.sync.max_processes = 1;
+    if (i + 1 == depth) {
+      node.work = {{server::WorkStep::Kind::kCpu, Duration::micros(500)}};
+    } else {
+      node.work = {{server::WorkStep::Kind::kCpu, Duration::micros(60)},
+                   {server::WorkStep::Kind::kDownstream, Duration::zero()},
+                   {server::WorkStep::Kind::kCpu, Duration::micros(60)}};
+    }
+    if (i > 0) cfg.edges.push_back({static_cast<int>(i) - 1, static_cast<int>(i)});
+    cfg.nodes.push_back(std::move(node));
   }
   cfg.workload.sessions = 5000;
   cfg.duration = Duration::seconds(40);
-  cfg.freeze_tier = static_cast<int>(depth) - 1;
+  cfg.freeze_node = static_cast<int>(depth) - 1;
   cfg.freeze.first = Time::from_seconds(8);
   cfg.freeze.period = Duration::seconds(12);
   cfg.freeze.pause = Duration::millis(900);
@@ -49,11 +61,11 @@ int main(int argc, char** argv) {
                     "cascade"});
   for (std::size_t depth : {3u, 4u, 5u, 6u}) {
     for (bool all_async : {false, true}) {
-      core::ChainSystem sys(make_chain(depth, all_async));
+      graph::GraphSystem sys(make_chain(depth, all_async));
       sys.run();
-      std::uint64_t front = sys.tier(0)->stats().dropped;
+      std::uint64_t front = sys.server_flat(0)->stats().dropped;
       std::uint64_t other = sys.total_drops() - front;
-      const auto report = core::analyze_ctqo(sys);
+      const auto report = graph::analyze_ctqo(sys);
       std::string cascade = report.episodes.empty()
                                 ? "none"
                                 : report.episodes[0].to_string().substr(22, 40);

@@ -1,0 +1,299 @@
+// Extension study: CTQO beyond the chain — service-graph topologies.
+//
+// Four sections, all instances of the declarative graph engine
+// (src/graph, docs/TOPOLOGY.md):
+//   1. diamond DAG: a front fans out to two mid services in parallel,
+//      both share one database. A leaf millibottleneck overflows the
+//      database queue, the RPC waits hold workers in BOTH branches, and
+//      upstream CTQO surfaces as front-tier drops — the chain mechanism
+//      generalizes to fan-out/fan-in graphs.
+//   2. deep chain: the same 6-deep chain as ext_deep_chain, but written
+//      in the topology grammar; is_chain() routes it through the
+//      ChainSystem-identical wiring path.
+//   3. hedging crossover on a replicated group: three replicas behind a
+//      power-of-two-choices balancer, one replica periodically frozen.
+//      At low load a hedged duplicate (which re-picks the replica)
+//      sidesteps the frozen copy and cuts p99; near saturation the
+//      duplicates are pure extra load and hedging *raises* the tail —
+//      the helps-then-hurts crossover of Poloczek & Ciucu (PAPERS.md).
+//   4. chain equivalence: the paper's 3-tier chain expressed as a graph
+//      config, fingerprinted against the ChainSystem run of the same
+//      spec — byte-identical registries or the bench fails. With
+//      --sweep-out=DIR both fingerprints are written for the CI cmp.
+//
+// Output includes machine-readable "[graph] ..." lines collected by
+// scripts/run_benches.py into BENCH_ntier.json (schema ntier.bench/5).
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "core/chain.h"
+#include "graph/graph_system.h"
+#include "graph/topology.h"
+#include "metrics/csv.h"
+#include "metrics/table.h"
+
+using namespace ntier;
+using sim::Duration;
+using sim::Time;
+
+namespace {
+
+// Deterministic run fingerprint shared by the chain-equivalence pair:
+// the full telemetry snapshot plus the headline totals. Two runs are
+// event-identical iff these strings match byte for byte.
+template <typename System>
+std::string fingerprint(System& sys) {
+  std::string out;
+  char buf[160];
+  for (const auto& [name, value] : sys.registry().snapshot()) {
+    std::snprintf(buf, sizeof buf, "%s,%.10g\n", name.c_str(), value);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "totals,completed=%llu,vlrt=%llu,drops=%llu,events=%llu\n",
+                static_cast<unsigned long long>(sys.latency().completed()),
+                static_cast<unsigned long long>(sys.latency().vlrt_count()),
+                static_cast<unsigned long long>(sys.total_drops()),
+                static_cast<unsigned long long>(sys.simulation().events_executed()));
+  out += buf;
+  return out;
+}
+
+// --- 1. diamond DAG -------------------------------------------------------
+
+graph::GraphConfig diamond_config(bool quick) {
+  auto cfg = graph::parse_topology(R"(
+graph diamond
+seed 42
+sessions 3000
+node front   kind=sync threads=150 work=cpu:60us,down,cpu:60us
+node catalog kind=sync threads=120 work=cpu:80us,down,cpu:40us
+node ads     kind=sync threads=120 work=cpu:80us,down,cpu:40us
+node db      kind=sync threads=100 work=cpu:500us
+edge front catalog
+edge front ads
+edge catalog db
+edge ads db
+freeze db first=8s period=12s pause=900ms
+)");
+  cfg.duration = quick ? Duration::seconds(16) : Duration::seconds(40);
+  return cfg;
+}
+
+void run_diamond(const bench::BenchFlags& flags, bench::BenchPerf& perf) {
+  auto cfg = diamond_config(flags.quick);
+  cfg.trace = flags.config;
+  auto sys = graph::run_graph(cfg);
+
+  metrics::Table t({"node", "drops", "queue_peak", "completed"});
+  for (std::size_t f = 0; f < sys->flat_count(); ++f) {
+    const auto& st = sys->server_flat(f)->stats();
+    t.add_row({sys->server_flat(f)->name(), metrics::Table::num(st.dropped),
+               std::to_string(sys->server_flat(f)->max_sys_q_depth()),
+               metrics::Table::num(st.completed)});
+  }
+  std::puts("--- 1. diamond DAG (900 ms leaf freeze; drops walk both branches up) ---");
+  std::puts(t.to_string().c_str());
+  const auto report = graph::analyze_ctqo(*sys);
+  if (!report.episodes.empty())
+    std::puts(report.episodes[0].to_string().c_str());
+  const char* verdict = report.episodes.empty()
+                            ? "none"
+                            : (report.episodes[0].kind ==
+                                       core::CtqoEpisode::Kind::kUpstream
+                                   ? "upstream"
+                                   : "downstream");
+  std::printf("[graph] section=diamond nodes=%zu front_drops=%llu db_drops=%llu "
+              "vlrt=%llu verdict=%s\n",
+              sys->flat_count(),
+              static_cast<unsigned long long>(sys->server_flat(0)->stats().dropped),
+              static_cast<unsigned long long>(
+                  sys->server_flat(sys->flat_count() - 1)->stats().dropped),
+              static_cast<unsigned long long>(sys->latency().vlrt_count()), verdict);
+  bench::maybe_dashboard(*sys, flags);
+  bench::export_traces(*sys, flags);
+  perf.add_events(sys->simulation().events_executed());
+}
+
+// --- 2. deep chain in the graph grammar -----------------------------------
+
+void run_deep_chain(const bench::BenchFlags& flags, bench::BenchPerf& perf) {
+  const std::size_t depth = flags.quick ? 4 : 6;
+  std::string text = "graph graph-chain-" + std::to_string(depth) + "\nseed 42\nsessions 5000\n";
+  for (std::size_t i = 0; i < depth; ++i) {
+    const std::string name =
+        (i == 0) ? "front" : (i + 1 == depth) ? "leaf" : "relay" + std::to_string(i);
+    if (i + 1 == depth) {
+      text += "node " + name + " kind=sync threads=100 work=cpu:500us\n";
+    } else {
+      text += "node " + name + " kind=sync threads=150 work=cpu:60us,down,cpu:60us\n";
+    }
+  }
+  for (std::size_t i = 0; i + 1 < depth; ++i) {
+    const std::string a =
+        (i == 0) ? "front" : "relay" + std::to_string(i);
+    const std::string b =
+        (i + 2 == depth) ? "leaf" : "relay" + std::to_string(i + 1);
+    text += "edge " + a + " " + b + "\n";
+  }
+  text += "freeze leaf first=8s period=12s pause=900ms\n";
+  auto cfg = graph::parse_topology(text);
+  cfg.duration = flags.quick ? Duration::seconds(16) : Duration::seconds(40);
+
+  std::printf("--- 2. deep chain, depth %zu, via the topology grammar (is_chain=%d) ---\n",
+              depth, graph::is_chain(cfg) ? 1 : 0);
+  auto sys = graph::run_graph(cfg);
+  const std::uint64_t front = sys->server_flat(0)->stats().dropped;
+  const std::uint64_t other = sys->total_drops() - front;
+  std::printf("front drops %llu, deeper-tier drops %llu, vlrt %llu — the cascade "
+              "surfaces at the front at any depth\n",
+              static_cast<unsigned long long>(front),
+              static_cast<unsigned long long>(other),
+              static_cast<unsigned long long>(sys->latency().vlrt_count()));
+  std::printf("[graph] section=deep_chain depth=%zu is_chain=%d front_drops=%llu "
+              "vlrt=%llu\n",
+              depth, graph::is_chain(cfg) ? 1 : 0,
+              static_cast<unsigned long long>(front),
+              static_cast<unsigned long long>(sys->latency().vlrt_count()));
+  bench::maybe_dashboard(*sys, flags);
+  perf.add_events(sys->simulation().events_executed());
+}
+
+// --- 3. hedging crossover on a replicated group ---------------------------
+
+graph::GraphConfig replicated_config(std::size_t sessions, bool hedge, bool quick) {
+  auto cfg = graph::parse_topology(R"(
+graph replicated
+seed 42
+sessions 1
+node front kind=sync threads=400 backlog=512 work=cpu:40us,down,cpu:40us
+node svc   kind=sync replicas=3 lb=random threads=50 work=cpu:2ms
+edge front svc
+freeze svc replica=0 first=2s period=3s pause=800ms
+)");
+  cfg.name = std::string("replicated-") + (hedge ? "hedge" : "base") + "-" +
+             std::to_string(sessions);
+  cfg.workload.sessions = sessions;
+  cfg.duration = quick ? Duration::seconds(12) : Duration::seconds(30);
+  if (hedge) {
+    cfg.tier_policy.hedge.enabled = true;
+    cfg.tier_policy.hedge.percentile = 0.95;
+    cfg.tier_policy.hedge.initial_delay = Duration::millis(20);
+    cfg.tier_policy.hedge.max_hedges = 1;
+  }
+  return cfg;
+}
+
+void run_replicated(const bench::BenchFlags& flags, bench::BenchPerf& perf) {
+  std::puts("--- 3. hedging on 3 p2c replicas, one periodically frozen ---");
+  metrics::Table t({"sessions", "hedge", "p99_ms", "vlrt", "drops", "hedges"});
+  const std::vector<std::size_t> loads =
+      flags.quick ? std::vector<std::size_t>{2000, 9000}
+                  : std::vector<std::size_t>{2000, 5000, 8000, 9500};
+  for (std::size_t sessions : loads) {
+    for (bool hedge : {false, true}) {
+      auto sys = graph::run_graph(replicated_config(sessions, hedge, flags.quick));
+      const double p99 = sys->latency().histogram().percentile(99.0).to_millis();
+      std::uint64_t hedges = 0;
+      if (const auto* g = sys->server_flat(0)->governor())
+        hedges = g->stats().hedges;
+      t.add_row({std::to_string(sessions), hedge ? "on" : "off",
+                 metrics::Table::num(p99, 1), metrics::Table::num(sys->latency().vlrt_count()),
+                 metrics::Table::num(sys->total_drops()), metrics::Table::num(hedges)});
+      std::printf("[graph] section=hedging sessions=%zu hedge=%s p99_ms=%.3f "
+                  "drops=%llu hedges=%llu\n",
+                  sessions, hedge ? "on" : "off", p99,
+                  static_cast<unsigned long long>(sys->total_drops()),
+                  static_cast<unsigned long long>(hedges));
+      perf.add_events(sys->simulation().events_executed());
+    }
+  }
+  std::puts(t.to_string().c_str());
+  std::puts("expected: hedging cuts p99 at low load (duplicates dodge the frozen "
+            "replica) and inflates it near saturation (duplicates are extra load).");
+}
+
+// --- 4. chain equivalence (the byte-identical contract) --------------------
+
+core::ChainConfig native_chain(bool quick) {
+  core::ChainConfig cfg;
+  cfg.name = "equiv";
+  const char* names[3] = {"web", "app", "db"};
+  for (int i = 0; i < 3; ++i) {
+    core::ChainTierSpec tier;
+    tier.name = names[i];
+    if (i == 2) {
+      tier.sync.threads_per_process = 100;
+      tier.program_fn = core::leaf_fn(Duration::micros(500), Duration::millis(2));
+      tier.has_disk = true;
+    } else {
+      tier.program_fn = core::relay_fn(Duration::micros(60), Duration::micros(60));
+    }
+    cfg.tiers.push_back(std::move(tier));
+  }
+  cfg.workload.sessions = 5000;
+  cfg.duration = quick ? Duration::seconds(10) : Duration::seconds(25);
+  cfg.freeze_tier = 2;
+  cfg.freeze.first = Time::from_seconds(6);
+  cfg.freeze.period = Duration::seconds(8);
+  cfg.freeze.pause = Duration::millis(900);
+  return cfg;
+}
+
+graph::GraphConfig graph_chain(bool quick) {
+  auto cfg = graph::parse_topology(R"(
+graph equiv
+seed 42
+sessions 5000
+node web kind=sync threads=150 work=cpu:60us,down,cpu:60us
+node app kind=sync threads=150 work=cpu:60us,down,cpu:60us
+node db  kind=sync threads=100 work=cpu:500us,disk:2ms
+edge web app
+edge app db
+freeze db first=6s period=8s pause=900ms
+)");
+  cfg.duration = quick ? Duration::seconds(10) : Duration::seconds(25);
+  return cfg;
+}
+
+int run_equivalence(const bench::BenchFlags& flags, bench::BenchPerf& perf) {
+  std::puts("--- 4. chain-equivalence: ChainSystem vs the same topology as a graph ---");
+  core::ChainSystem chain(native_chain(flags.quick));
+  chain.run();
+  auto gcfg = graph_chain(flags.quick);
+  graph::validate(gcfg);
+  graph::GraphSystem graph_sys(std::move(gcfg));
+  graph_sys.run();
+  const std::string a = fingerprint(chain);
+  const std::string b = fingerprint(graph_sys);
+  const bool match = (a == b);
+  std::printf("fingerprints %s (%zu bytes)\n", match ? "IDENTICAL" : "DIFFER", a.size());
+  std::printf("[graph] section=chain_equivalence match=%d bytes=%zu\n",
+              match ? 1 : 0, a.size());
+  if (!flags.sweep_out.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(flags.sweep_out, ec);
+    metrics::write_file(flags.sweep_out + "/chain_native.csv", a);
+    metrics::write_file(flags.sweep_out + "/chain_graph.csv", b);
+    std::printf("wrote %s/chain_native.csv and %s/chain_graph.csv\n",
+                flags.sweep_out.c_str(), flags.sweep_out.c_str());
+  }
+  perf.add_events(chain.simulation().events_executed());
+  perf.add_events(graph_sys.simulation().events_executed());
+  return match ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = bench::parse_bench_flags(argc, argv);
+  if (flags.bad) return 2;
+  bench::BenchPerf perf("ext_graph_topologies");
+  run_diamond(flags, perf);
+  run_deep_chain(flags, perf);
+  run_replicated(flags, perf);
+  const int rc = run_equivalence(flags, perf);
+  perf.print();
+  return rc;
+}

@@ -9,10 +9,13 @@ summing the simulation events it executed across all of its runs
 (bench/bench_util.h, class BenchPerf). This script runs each binary,
 scrapes that line, and writes one aggregate JSON report — the repo's
 engine-throughput record (BENCH_ntier.json, uploaded as a CI artifact).
-Schema ntier.bench/4 adds the overload-control study
-(ext_overload_control, a long-horizon metastability run) to the bench
-roster; discovery is automatic, so the schema tag is the record that
-the roster — and therefore the totals — changed.
+Schema ntier.bench/5 adds the service-graph study
+(ext_graph_topologies) to the roster and a top-level "graph" section
+scraped from its machine-readable `[graph]` lines: the diamond CTQO
+verdict, the deep-chain drop counts, the hedging-crossover operating
+points, and the chain-equivalence match bit (the byte-identity contract
+of docs/TOPOLOGY.md). Discovery is automatic, so the schema tag is the
+record that the roster — and therefore the totals — changed.
 
 The report also carries two microbench sections:
 
@@ -58,6 +61,30 @@ PERF_RE = re.compile(
     re.MULTILINE,
 )
 
+# Machine-readable study lines from bench/ext_graph_topologies:
+#   [graph] section=<name> key=value ...
+GRAPH_RE = re.compile(r"^\[graph\]\s+(?P<kv>.*\S)\s*$", re.MULTILINE)
+
+
+def parse_graph_lines(stdout: str) -> list:
+    """[graph] key=value lines as dicts (numbers coerced)."""
+    records = []
+    for m in GRAPH_RE.finditer(stdout):
+        rec = {}
+        for tok in m.group("kv").split():
+            if "=" not in tok:
+                continue
+            key, val = tok.split("=", 1)
+            try:
+                rec[key] = int(val)
+            except ValueError:
+                try:
+                    rec[key] = float(val)
+                except ValueError:
+                    rec[key] = val
+        records.append(rec)
+    return records
+
 
 def discover(bench_dir: str) -> list:
     names = []
@@ -85,13 +112,17 @@ def run_one(bench_dir: str, name: str) -> dict:
         pass  # keep the last match (the binary's final summary line)
     if m is None:
         return {"name": name, "ok": False, "error": "no [perf] line in output"}
-    return {
+    result = {
         "name": m.group("name"),
         "ok": True,
         "events": int(m.group("events")),
         "wall_s": float(m.group("wall")),
         "events_per_s": float(m.group("rate")),
     }
+    graph = parse_graph_lines(proc.stdout)
+    if graph:
+        result["graph"] = graph
+    return result
 
 
 def run_micro_engine(bench_dir: str) -> dict:
@@ -263,10 +294,31 @@ def main() -> int:
         else:
             print(f"  FAILED: {hotpath['error']}")
 
+    # The service-graph study section: every [graph] record from
+    # ext_graph_topologies, plus the chain-equivalence bit pulled out as
+    # its own pass/fail (the byte-identity contract, docs/TOPOLOGY.md).
+    graph = None
+    for r in results:
+        if r.get("name") == "ext_graph_topologies" and r.get("ok"):
+            records = r.pop("graph", [])
+            eq = next((g for g in records
+                       if g.get("section") == "chain_equivalence"), None)
+            graph = {
+                "ok": bool(eq) and eq.get("match") == 1,
+                "chain_equivalence_match": (eq or {}).get("match", 0),
+                "records": records,
+            }
+            if graph["ok"]:
+                print(f"  graph: {len(records)} study records, "
+                      f"chain equivalence byte-identical ({eq.get('bytes')} bytes)")
+            else:
+                print("  graph: FAILED chain-equivalence check")
+
     ok = [r for r in results if r["ok"]]
     report = {
-        "schema": "ntier.bench/4",
+        "schema": "ntier.bench/5",
         "benches": results,
+        "graph": graph,
         "micro_engine": micro,
         "micro_hotpath": hotpath,
         "total_events": sum(r["events"] for r in ok),
@@ -277,6 +329,8 @@ def main() -> int:
         report["failed"].append("micro_engine")
     if hotpath is not None and not hotpath["ok"]:
         report["failed"].append("micro_hotpath")
+    if graph is not None and not graph["ok"]:
+        report["failed"].append("graph-chain-equivalence")
 
     if args.baseline:
         with open(args.baseline, encoding="utf-8") as f:

@@ -136,6 +136,30 @@ std::string run_manifest_json(const ChainSystem& sys, const CtqoReport* ctqo) {
   return out;
 }
 
+std::string run_manifest_json(const ManifestRun& run, const CtqoReport* ctqo) {
+  std::string out = "{\n  \"schema\": \"ntier.run-manifest/1\",\n  \"kind\": ";
+  append_escaped(out, run.kind);
+  out += ",\n  \"name\": ";
+  append_escaped(out, run.name);
+  out += ",\n  \"seed\": ";
+  append_u64(out, run.seed);
+  out += ",\n  \"duration_s\": ";
+  append_num(out, run.duration.to_seconds());
+  out += ",\n  \"sample_window_ms\": ";
+  append_num(out, run.sample_window.to_millis());
+  out += ",\n  \"sessions\": ";
+  append_u64(out, run.sessions);
+  out += ",\n  \"tiers\": [";
+  for (std::size_t i = 0; i < run.tiers.size(); ++i) {
+    if (i > 0) out += ", ";
+    append_escaped(out, run.tiers[i]);
+  }
+  out += "],\n";
+  append_common(out, *run.latency, run.total_drops, run.events_executed,
+                *run.registry, ctqo);
+  return out;
+}
+
 std::string write_manifest(const NTierSystem& sys, const std::string& dir,
                            const CtqoReport* ctqo) {
   return write_to(run_manifest_json(sys, ctqo), dir, sys.config().name);
@@ -144,6 +168,11 @@ std::string write_manifest(const NTierSystem& sys, const std::string& dir,
 std::string write_manifest(const ChainSystem& sys, const std::string& dir,
                            const CtqoReport* ctqo) {
   return write_to(run_manifest_json(sys, ctqo), dir, sys.config().name);
+}
+
+std::string write_manifest(const ManifestRun& run, const std::string& dir,
+                           const CtqoReport* ctqo) {
+  return write_to(run_manifest_json(run, ctqo), dir, run.name);
 }
 
 }  // namespace ntier::core

@@ -26,11 +26,33 @@ std::string run_manifest_json(const NTierSystem& sys,
 std::string run_manifest_json(const ChainSystem& sys,
                               const CtqoReport* ctqo = nullptr);
 
+// Generic manifest entry for system shapes core does not know about
+// (the service-graph engine lives above core in the layer stack):
+// callers fill the run identity plus non-owning pointers to the
+// collectors. `tiers` lists server names front to back (flattened
+// replicas for graphs).
+struct ManifestRun {
+  std::string kind;  // "graph", ... ("ntier"/"chain" use the typed APIs)
+  std::string name;
+  std::uint64_t seed = 0;
+  sim::Duration duration = sim::Duration::zero();
+  sim::Duration sample_window = sim::Duration::zero();
+  std::uint64_t sessions = 0;
+  std::vector<std::string> tiers;
+  std::uint64_t total_drops = 0;
+  std::uint64_t events_executed = 0;
+  const monitor::LatencyCollector* latency = nullptr;  // required
+  const telemetry::Registry* registry = nullptr;       // required
+};
+std::string run_manifest_json(const ManifestRun& run, const CtqoReport* ctqo = nullptr);
+
 // Writes <dir>/<name>.manifest.json (creating dir if needed); returns
 // the path, or "" on write failure.
 std::string write_manifest(const NTierSystem& sys, const std::string& dir,
                            const CtqoReport* ctqo = nullptr);
 std::string write_manifest(const ChainSystem& sys, const std::string& dir,
+                           const CtqoReport* ctqo = nullptr);
+std::string write_manifest(const ManifestRun& run, const std::string& dir,
                            const CtqoReport* ctqo = nullptr);
 
 }  // namespace ntier::core

@@ -1,0 +1,67 @@
+#include "graph/scheduler.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ntier::graph {
+
+const char* to_string(Sched s) {
+  switch (s) {
+    case Sched::kFcfs: return "fcfs";
+    case Sched::kEdf: return "edf";
+  }
+  return "?";
+}
+
+const char* to_string(LbPolicy p) {
+  switch (p) {
+    case LbPolicy::kRoundRobin: return "rr";
+    case LbPolicy::kRandom: return "random";
+    case LbPolicy::kPowerOfTwo: return "p2c";
+  }
+  return "?";
+}
+
+bool parse_sched(const std::string& s, Sched& out) {
+  if (s == "fcfs") { out = Sched::kFcfs; return true; }
+  if (s == "edf") { out = Sched::kEdf; return true; }
+  return false;
+}
+
+bool parse_lb(const std::string& s, LbPolicy& out) {
+  if (s == "rr" || s == "roundrobin") { out = LbPolicy::kRoundRobin; return true; }
+  if (s == "random") { out = LbPolicy::kRandom; return true; }
+  if (s == "p2c") { out = LbPolicy::kPowerOfTwo; return true; }
+  return false;
+}
+
+ReplicaGroup::ReplicaGroup(std::vector<server::Server*> replicas, LbPolicy lb,
+                           sim::Rng rng)
+    : replicas_(std::move(replicas)), lb_(lb), rng_(rng) {
+  assert(!replicas_.empty());
+}
+
+server::Server* ReplicaGroup::pick() {
+  const std::size_t n = replicas_.size();
+  if (n == 1) return replicas_[0];
+  switch (lb_) {
+    case LbPolicy::kRoundRobin:
+      return replicas_[rr_++ % n];
+    case LbPolicy::kRandom:
+      return replicas_[rng_.uniform_index(n)];
+    case LbPolicy::kPowerOfTwo: {
+      const std::size_t a = rng_.uniform_index(n);
+      std::size_t b = rng_.uniform_index(n - 1);
+      if (b >= a) ++b;  // second probe distinct from the first
+      // Keep the shorter queue; on a tie the lower index wins so the
+      // decision is deterministic given the two probes.
+      const std::size_t qa = replicas_[a]->queued_requests();
+      const std::size_t qb = replicas_[b]->queued_requests();
+      if (qa != qb) return replicas_[qa < qb ? a : b];
+      return replicas_[a < b ? a : b];
+    }
+  }
+  return replicas_[0];
+}
+
+}  // namespace ntier::graph

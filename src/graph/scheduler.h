@@ -1,0 +1,81 @@
+// Per-node scheduler and load-balancer menu for service graphs.
+//
+// Two pluggable decisions per graph node (docs/TOPOLOGY.md):
+//  - the *queue discipline* (Sched) a replica uses to pick the next
+//    queued request when a worker frees — FCFS (the paper's accept
+//    queue) or EDF (earliest absolute deadline first, composed with the
+//    tail-policy layer's deadline stamping);
+//  - the *load-balancer policy* (LbPolicy) a replicated node group uses
+//    to pick the destination replica for each delivery attempt — round-
+//    robin, uniform random, or power-of-two-choices on instantaneous
+//    queued-request depth (the classic balanced-allocations result:
+//    two random probes, keep the shorter queue).
+//
+// ReplicaGroup is the balancer itself: a stateful picker shared by every
+// upstream route that targets the group, so round-robin rotation and
+// p2c probe draws are global across senders, exactly like a fronting
+// L4 balancer. Picks re-run on every attempt (retransmit, policy retry,
+// hedge copy), which is what lets hedging reproduce the replication
+// helps-then-hurts crossover on a loaded group.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "server/server_base.h"
+#include "sim/random.h"
+
+namespace ntier::graph {
+
+// Queue discipline a node's replicas apply to their ingress backlog.
+enum class Sched {
+  kFcfs,  // arrival order (default; the paper's TCP accept queue)
+  kEdf,   // earliest deadline first (sync nodes only; needs deadlines)
+};
+
+// How a replicated node group picks the replica for one delivery
+// attempt.
+enum class LbPolicy {
+  kRoundRobin,  // rotate through replicas in declaration order
+  kRandom,      // uniform random replica per attempt
+  kPowerOfTwo,  // two random probes, keep the lower queued_requests()
+};
+
+// Stable lowercase names ("fcfs"/"edf", "rr"/"random"/"p2c") used in
+// exports and error messages.
+const char* to_string(Sched s);
+const char* to_string(LbPolicy p);
+// Parse the TOPOLOGY.md keyword ("fcfs"/"edf", "rr"/"random"/"p2c");
+// returns false (out untouched) on an unknown keyword.
+bool parse_sched(const std::string& s, Sched& out);
+bool parse_lb(const std::string& s, LbPolicy& out);
+
+// The load balancer in front of one node's replicas. pick() is called
+// once per delivery attempt by every route targeting this group; state
+// (rotation cursor, probe RNG) is shared across all callers.
+class ReplicaGroup {
+ public:
+  // `rng` feeds random/p2c probes; fork it from the experiment master
+  // seed so runs stay reproducible.
+  ReplicaGroup(std::vector<server::Server*> replicas, LbPolicy lb, sim::Rng rng);
+
+  // Chooses the replica for one attempt. Round-robin rotates; random
+  // draws uniformly; p2c probes two distinct random replicas and keeps
+  // the one with fewer queued requests (lower index wins ties). A
+  // single-replica group returns it without consuming randomness.
+  server::Server* pick();
+
+  // Replica count, the configured policy, and direct replica access.
+  std::size_t size() const { return replicas_.size(); }
+  LbPolicy policy() const { return lb_; }
+  server::Server* replica(std::size_t i) { return replicas_.at(i); }
+
+ private:
+  std::vector<server::Server*> replicas_;
+  LbPolicy lb_;
+  sim::Rng rng_;
+  std::size_t rr_ = 0;  // round-robin cursor
+};
+
+}  // namespace ntier::graph

@@ -10,6 +10,7 @@
 
 #include "core/chain.h"
 #include "core/system.h"
+#include "graph/graph_system.h"
 
 namespace ntier::report {
 
@@ -108,6 +109,28 @@ RunView make_view(const core::ChainSystem& sys) {
     p.name = sys.tier(i)->name();
     p.util.push_back(sys.tier_vm(i)->name() + ".demand");
     if (sys.tier_disk(i) != nullptr) p.util.push_back(sys.tier_disk(i)->name() + ".busy");
+    p.queue = p.name + ".queue";
+    p.dropped = p.name + ".dropped";
+    v.tiers.push_back(std::move(p));
+  }
+  return v;
+}
+
+// One panel per flattened replica (node-major, front node first) so a
+// replicated group renders side-by-side queue/saturation timelines.
+RunView make_view(const graph::GraphSystem& sys) {
+  RunView v;
+  v.name = sys.config().name;
+  v.seed = sys.config().seed;
+  v.duration_s = (sys.simulation().now() - sim::Time::origin()).to_seconds();
+  v.window_s = sys.sampler().window().to_seconds();
+  v.registry = &sys.registry();
+  v.latency = &sys.latency();
+  for (std::size_t f = 0; f < sys.flat_count(); ++f) {
+    TierPanel p;
+    p.name = sys.server_flat(f)->name();
+    p.util.push_back(sys.vm_flat(f)->name() + ".demand");
+    if (sys.disk_flat(f) != nullptr) p.util.push_back(sys.disk_flat(f)->name() + ".busy");
     p.queue = p.name + ".queue";
     p.dropped = p.name + ".dropped";
     v.tiers.push_back(std::move(p));
@@ -450,6 +473,17 @@ std::string write_dashboard(const core::NTierSystem& sys, const core::CtqoReport
 }
 
 std::string write_dashboard(const core::ChainSystem& sys, const core::CtqoReport& ctqo,
+                            const core::CorrelationReport& corr, const std::string& dir,
+                            const std::string& name) {
+  return write_file(dir, name, render_dashboard(sys, ctqo, corr));
+}
+
+std::string render_dashboard(const graph::GraphSystem& sys, const core::CtqoReport& ctqo,
+                             const core::CorrelationReport& corr) {
+  return render(make_view(sys), ctqo, corr);
+}
+
+std::string write_dashboard(const graph::GraphSystem& sys, const core::CtqoReport& ctqo,
                             const core::CorrelationReport& corr, const std::string& dir,
                             const std::string& name) {
   return write_file(dir, name, render_dashboard(sys, ctqo, corr));

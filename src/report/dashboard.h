@@ -11,6 +11,10 @@ class NTierSystem;
 class ChainSystem;
 }  // namespace ntier::core
 
+namespace ntier::graph {
+class GraphSystem;
+}  // namespace ntier::graph
+
 namespace ntier::report {
 
 // Renders the full run dashboard as one self-contained HTML document:
@@ -21,12 +25,17 @@ std::string render_dashboard(const core::NTierSystem& sys, const core::CtqoRepor
                              const core::CorrelationReport& corr);
 std::string render_dashboard(const core::ChainSystem& sys, const core::CtqoReport& ctqo,
                              const core::CorrelationReport& corr);
+std::string render_dashboard(const graph::GraphSystem& sys, const core::CtqoReport& ctqo,
+                             const core::CorrelationReport& corr);
 
 // Renders and writes `<dir>/<name>.dashboard.html`; returns the path.
 std::string write_dashboard(const core::NTierSystem& sys, const core::CtqoReport& ctqo,
                             const core::CorrelationReport& corr, const std::string& dir,
                             const std::string& name);
 std::string write_dashboard(const core::ChainSystem& sys, const core::CtqoReport& ctqo,
+                            const core::CorrelationReport& corr, const std::string& dir,
+                            const std::string& name);
+std::string write_dashboard(const graph::GraphSystem& sys, const core::CtqoReport& ctqo,
                             const core::CorrelationReport& corr, const std::string& dir,
                             const std::string& name);
 

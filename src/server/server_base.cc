@@ -14,6 +14,11 @@ struct DispatchState {
   bool settled = false;  // a reply (or permanent failure) already unwound
   int attempts = 1;      // primary attempts started (1 = the first send)
   int hedges = 0;        // duplicate copies issued
+  // The hop this dispatch travels: the route's transport (fan-out) or
+  // the legacy connect_downstream transport. `route` is null on the
+  // legacy path; its pick() chooses the destination per attempt.
+  net::Transport* tx = nullptr;
+  Server::Route* route = nullptr;
   // Tracing: the downstream-wait span all attempts/gaps/policy events of
   // this dispatch nest under, and its site label ("tomcat->mysql") —
   // built only for traced requests.
@@ -38,12 +43,21 @@ struct GovAttempt {
   bool is_hedge = false;
 };
 
+// Fan-in barrier of one fan-out dispatch: the caller's continuation
+// fires when the last route settles. Pooled so per-route closures
+// capture a 16-byte ref.
+struct JoinState {
+  int pending = 0;
+  sim::EventFn on_reply;
+};
+
 }  // namespace detail
 
 namespace {
 
 using detail::DispatchState;
 using detail::GovAttempt;
+using detail::JoinState;
 
 sim::SlabPool<DispatchState>& dispatch_pool() {
   thread_local sim::SlabPool<DispatchState> pool;
@@ -52,6 +66,11 @@ sim::SlabPool<DispatchState>& dispatch_pool() {
 
 sim::SlabPool<GovAttempt>& attempt_pool() {
   thread_local sim::SlabPool<GovAttempt> pool;
+  return pool;
+}
+
+sim::SlabPool<JoinState>& join_pool() {
+  thread_local sim::SlabPool<JoinState> pool;
   return pool;
 }
 
@@ -72,8 +91,20 @@ Server::Server(sim::Simulation& sim, std::string name, cpu::VmCpu* vm,
 }
 
 void Server::connect_downstream(Server* next, net::RtoPolicy rto, net::Link link) {
+  assert(routes_.empty() && "connect_downstream and add_route are exclusive");
   downstream_ = next;
   transport_ = std::make_unique<net::Transport>(sim_, rto, link);
+}
+
+void Server::add_route(std::function<Server*()> pick, net::RtoPolicy rto,
+                       net::Link link, std::string label) {
+  assert(downstream_ == nullptr && "connect_downstream and add_route are exclusive");
+  assert(pick != nullptr);
+  Route rt;
+  rt.pick = std::move(pick);
+  rt.transport = std::make_unique<net::Transport>(sim_, rto, link);
+  rt.label = std::move(label);
+  routes_.push_back(std::move(rt));
 }
 
 void Server::enable_tail_policy(const policy::TailPolicy& p, sim::Rng rng) {
@@ -177,7 +208,27 @@ void Server::shed_job(Job job, bool accepted, int detail) {
 
 void Server::dispatch_downstream(const RequestPtr& req, std::uint64_t parent_span,
                                  sim::EventFn on_reply) {
-  assert(downstream_ != nullptr && transport_ != nullptr);
+  if (!routes_.empty()) {
+    // Fan-out: contact every route in parallel. The caller's
+    // continuation fires at the fan-in barrier, once the last route
+    // settles — a failed route marks the request failed, but the
+    // barrier still waits for every sibling before resuming.
+    auto jn = join_pool().make();
+    jn->pending = static_cast<int>(routes_.size());
+    jn->on_reply = std::move(on_reply);
+    for (Route& rt : routes_) {
+      dispatch_via(&rt, req, parent_span, [jn] {
+        if (--jn->pending == 0) jn->on_reply();
+      });
+    }
+    return;
+  }
+  dispatch_via(nullptr, req, parent_span, std::move(on_reply));
+}
+
+void Server::dispatch_via(Route* route, const RequestPtr& req,
+                          std::uint64_t parent_span, sim::EventFn on_reply) {
+  assert(route != nullptr || (downstream_ != nullptr && transport_ != nullptr));
 
   // Tracing: one downstream-wait span covers this dispatch from first
   // send to unwind; RTO gaps and policy events nest under it, and the
@@ -185,8 +236,10 @@ void Server::dispatch_downstream(const RequestPtr& req, std::uint64_t parent_spa
   StPtr st = dispatch_pool().make();
   st->req = req;
   st->on_reply = std::move(on_reply);
+  st->tx = route != nullptr ? route->transport.get() : transport_.get();
+  st->route = route;
   if (req->traced()) {
-    st->site = name_ + "->" + downstream_->name();
+    st->site = name_ + "->" + (route != nullptr ? route->label : downstream_->name());
     st->ds_span = trace_open(req, trace::SpanKind::kDownstream, st->site,
                              parent_span, sim_.now());
   }
@@ -199,11 +252,11 @@ void Server::dispatch_downstream(const RequestPtr& req, std::uint64_t parent_spa
     // The downstream tier calls this at its completion instant; the
     // return-path link latency belongs to this (sending) side.
     down.reply = [this, st](const RequestPtr&) {
-      sim_.after(transport_->link().sample(), [this, st] { st->unwind(sim_.now()); });
+      sim_.after(st->tx->link().sample(), [this, st] { st->unwind(sim_.now()); });
     };
-    transport_->send(
-        [next = downstream_, down = std::move(down)](/*attempt*/) {
-          return next->offer(down);
+    st->tx->send(
+        [route, next = downstream_, down = std::move(down)](/*attempt*/) {
+          return (route != nullptr ? route->pick() : next)->offer(down);
         },
         [this, st](const net::TxOutcome& out) {
           st->req->total_drops += out.drops;
@@ -289,7 +342,7 @@ void Server::send_attempt(const StPtr& st, bool is_hedge) {
   down.req = st->req;
   down.parent_span = st->ds_span;
   down.reply = [this, ga](const RequestPtr&) {
-    sim_.after(transport_->link().sample(), [this, ga] {
+    sim_.after(ga->st->tx->link().sample(), [this, ga] {
       DispatchState& st = *ga->st;
       if (st.req->overload_shed && !st.settled) {
         // The downstream tier shed this attempt with a retryable
@@ -317,9 +370,9 @@ void Server::send_attempt(const StPtr& st, bool is_hedge) {
     });
   };
 
-  transport_->send(
-      [next = downstream_, down = std::move(down)](/*attempt*/) {
-        return next->offer(down);
+  st->tx->send(
+      [route = st->route, next = downstream_, down = std::move(down)](/*attempt*/) {
+        return (route != nullptr ? route->pick() : next)->offer(down);
       },
       [this, ga](const net::TxOutcome& out) {
         ga->st->req->total_drops += out.drops;

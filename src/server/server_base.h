@@ -3,7 +3,11 @@
 // A server admits Jobs (offer); admission can fail — that is a dropped
 // packet, the central event of the paper. Each server runs on a VmCpu,
 // may own an IoDevice for its disk steps, and may have one downstream
-// server reached through a retransmitting Transport (the RPC chain).
+// server reached through a retransmitting Transport (the RPC chain) —
+// or, for graph topologies (src/graph), a set of fan-out Routes, each
+// with its own transport and a per-attempt replica picker; a
+// kDownstream step then contacts every route in parallel and resumes
+// at the fan-in barrier.
 //
 // Three cross-cutting layers hang off this base:
 //  - the fault gate (set_down): a crashed server refuses every packet
@@ -50,6 +54,7 @@ namespace ntier::server {
 namespace detail {
 struct DispatchState;  // per-dispatch bookkeeping (slab-pooled)
 struct GovAttempt;     // per-attempt policy state (slab-pooled)
+struct JoinState;      // fan-out barrier bookkeeping (slab-pooled)
 }  // namespace detail
 
 class Server {
@@ -85,6 +90,32 @@ class Server {
 
   // Wires the downstream hop of the RPC/async chain.
   void connect_downstream(Server* next, net::RtoPolicy rto, net::Link link);
+
+  // --- fan-out routes (graph topologies; src/graph) -----------------------
+  // One fan-out edge of a service graph: `pick` selects the destination
+  // server for each delivery attempt — replica load balancing re-picks
+  // on every retransmit, policy retry, and hedge copy — over the
+  // route's own retransmitting Transport. `label` names the edge in
+  // trace spans ("front->db").
+  struct Route {
+    std::function<Server*()> pick;
+    std::unique_ptr<net::Transport> transport;
+    std::string label;
+  };
+
+  // Adds one fan-out route. A server with routes dispatches every
+  // kDownstream step to ALL routes in parallel and resumes at the
+  // fan-in barrier once the last route settles (a failed route marks
+  // the request failed but the barrier still waits for every sibling).
+  // Mutually exclusive with connect_downstream, which remains the
+  // single-downstream fast path used by chain topologies — a server
+  // with no routes runs the exact pre-graph dispatch code.
+  void add_route(std::function<Server*()> pick, net::RtoPolicy rto, net::Link link,
+                 std::string label);
+  std::size_t route_count() const { return routes_.size(); }
+  // Route access for telemetry/fault wiring (index < route_count()).
+  net::Transport* route_transport(std::size_t i) { return routes_.at(i).transport.get(); }
+  const std::string& route_label(std::size_t i) const { return routes_.at(i).label; }
   // Attaches a disk for kDisk steps (DB tier, collectl flush target).
   void attach_io(cpu::IoDevice* dev) { io_ = dev; }
 
@@ -190,6 +221,7 @@ class Server {
 
   Server* downstream_ = nullptr;
   std::unique_ptr<net::Transport> transport_;
+  std::vector<Route> routes_;
   std::unique_ptr<policy::HopGovernor> governor_;
   std::unique_ptr<policy::overload::AdmissionController> overload_;
   bool down_ = false;
@@ -201,6 +233,10 @@ class Server {
  private:
   using StPtr = sim::PoolRef<detail::DispatchState>;
   using GaPtr = sim::PoolRef<detail::GovAttempt>;
+  // One route's worth of dispatch (route == nullptr: the legacy single
+  // connect_downstream hop). All policy/trace machinery is shared.
+  void dispatch_via(Route* route, const RequestPtr& req, std::uint64_t parent_span,
+                    sim::EventFn on_reply);
   net::RetransmitFn retransmit_observer(const StPtr& st);
   void send_attempt(const StPtr& st, bool is_hedge);
   void retry_or_fail(const StPtr& st);

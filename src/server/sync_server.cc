@@ -1,6 +1,8 @@
 #include "server/sync_server.h"
 
+#include <algorithm>
 #include <cassert>
+#include <iterator>
 
 namespace ntier::server {
 
@@ -162,6 +164,17 @@ void SyncServer::finish(const CtxPtr& ctx) {
 }
 
 std::optional<SyncServer::Queued> SyncServer::take_from_backlog() {
+  if (cfg_.edf && backlog_q_.size() > 1) {
+    // EDF: rotate the earliest-deadline entry to the front so the FIFO
+    // pop below (and the overload layer's sojourn accounting) serves
+    // it. Time::max() (no deadline) naturally ranks last; strict <
+    // keeps the FIFO order among equal deadlines.
+    auto best = backlog_q_.begin();
+    for (auto it = std::next(backlog_q_.begin()); it != backlog_q_.end(); ++it)
+      if (it->job.req->deadline < best->job.req->deadline) best = it;
+    if (best != backlog_q_.begin())
+      std::rotate(backlog_q_.begin(), best, std::next(best));
+  }
   return policy::overload::pop_next(
       overload(), backlog_q_, sim_.now(),
       [](const Queued& q) { return q.enq; },

@@ -35,6 +35,12 @@ struct SyncConfig {
   // MaxSysQDepth is full. Trades VLRT for explicit failures. Intended
   // for the client-facing tier.
   bool shed_on_overload = false;
+  // Backlog dequeue discipline: false = FCFS (default, the paper's
+  // accept queue), true = earliest-deadline-first — a freed worker
+  // serves the queued request with the tightest absolute deadline;
+  // requests without a deadline rank last, FIFO among equals. Graph
+  // nodes select this with sched=edf (docs/TOPOLOGY.md).
+  bool edf = false;
 };
 
 class SyncServer : public Server {

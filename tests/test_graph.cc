@@ -1,0 +1,385 @@
+// Tests of the declarative service-graph engine (src/graph): topology
+// parsing and validation, the chain-equivalence contract against
+// ChainSystem, the parallel fan-out / fan-in barrier (verified through
+// span trees), and the load-balancer policy menu on a replicated group.
+#include "graph/graph_system.h"
+#include "graph/topology.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/chain.h"
+
+namespace ntier::graph {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+// ---------------------------------------------------------------------
+// Parsing.
+
+constexpr const char* kDiamondText = R"(
+# Diamond: front fans out to catalog and ads; both call the shared db.
+graph diamond
+seed 42
+duration 12s
+sessions 1500
+node front   kind=sync threads=150 work=cpu:60us,down,cpu:60us
+node catalog kind=sync threads=80  work=cpu:150us,down,cpu:50us
+node ads     kind=sync threads=80  work=cpu:100us,down,cpu:50us
+node db      kind=sync threads=100 work=cpu:400us
+edge front catalog
+edge front ads
+edge catalog db
+edge ads db
+)";
+
+TEST(Topology, ParsesDiamondGrammar) {
+  const GraphConfig cfg = parse_topology(kDiamondText);
+  ASSERT_EQ(cfg.nodes.size(), 4u);
+  EXPECT_EQ(cfg.name, "diamond");
+  EXPECT_EQ(cfg.seed, 42u);
+  EXPECT_EQ(cfg.duration, Duration::seconds(12));
+  EXPECT_EQ(cfg.workload.sessions, 1500u);
+  EXPECT_EQ(node_index(cfg, "front"), 0);
+  EXPECT_EQ(node_index(cfg, "db"), 3);
+  EXPECT_EQ(node_index(cfg, "nope"), -1);
+  EXPECT_EQ(out_edges(cfg, 0), (std::vector<int>{1, 2}));
+  EXPECT_EQ(out_edges(cfg, 3), std::vector<int>{});
+  EXPECT_FALSE(is_chain(cfg));
+  EXPECT_EQ(invalid_reason(cfg), "");
+  EXPECT_EQ(cfg.nodes[0].sync.threads_per_process, 150u);
+  ASSERT_EQ(cfg.nodes[0].work.size(), 3u);
+  EXPECT_EQ(cfg.nodes[0].work[1].kind, server::WorkStep::Kind::kDownstream);
+}
+
+TEST(Topology, ParsesReplicationSchedulingAndDisk) {
+  const GraphConfig cfg = parse_topology(
+      "graph g\n"
+      "node a kind=sync sched=edf threads=10 work=cpu:1ms,down\n"
+      "node b kind=sync replicas=3 lb=p2c threads=5 work=cpu:2ms,disk:1ms\n"
+      "edge a b\n");
+  ASSERT_EQ(cfg.nodes.size(), 2u);
+  EXPECT_EQ(cfg.nodes[0].sched, Sched::kEdf);
+  EXPECT_EQ(cfg.nodes[1].replicas, 3u);
+  EXPECT_EQ(cfg.nodes[1].lb, LbPolicy::kPowerOfTwo);
+  EXPECT_TRUE(cfg.nodes[1].has_disk);  // disk step implies a device
+  EXPECT_EQ(invalid_reason(cfg), "");
+}
+
+TEST(Topology, ChainShapedConfigIsDetected) {
+  const GraphConfig cfg = parse_topology(
+      "graph c\n"
+      "node w kind=sync threads=10 work=cpu:1ms,down\n"
+      "node d kind=sync threads=10 work=cpu:1ms\n"
+      "edge w d\n");
+  EXPECT_TRUE(is_chain(cfg));
+  EXPECT_EQ(invalid_reason(cfg), "");
+}
+
+TEST(Topology, SyntaxErrorsNameTheLine) {
+  EXPECT_THROW(parse_topology("node a kind=warp work=cpu:1ms\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_topology("graph g\nnode a work=cpu:1parsec\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_topology("graph g\nedge a\n"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Validation rejections. Each case perturbs a well-formed graph one way
+// and must be named in invalid_reason() / thrown by validate().
+
+GraphConfig two_node() {
+  return parse_topology(
+      "graph g\n"
+      "node a kind=sync threads=10 work=cpu:1ms,down\n"
+      "node b kind=sync threads=10 work=cpu:1ms\n"
+      "edge a b\n");
+}
+
+TEST(Validation, RejectsCycle) {
+  auto cfg = two_node();
+  cfg.nodes[1].work.push_back({server::WorkStep::Kind::kDownstream, Duration::zero()});
+  cfg.edges.push_back({1, 0});
+  EXPECT_NE(invalid_reason(cfg), "");
+  EXPECT_THROW(validate(cfg), std::invalid_argument);
+}
+
+TEST(Validation, RejectsDanglingEdge) {
+  auto cfg = two_node();
+  cfg.edges.push_back({1, 7});
+  EXPECT_NE(invalid_reason(cfg), "");
+}
+
+TEST(Validation, RejectsSelfEdgeAndDuplicateEdge) {
+  auto cfg = two_node();
+  cfg.edges.push_back({1, 1});
+  EXPECT_NE(invalid_reason(cfg), "");
+  cfg = two_node();
+  cfg.edges.push_back({0, 1});
+  EXPECT_NE(invalid_reason(cfg), "");
+}
+
+TEST(Validation, RejectsZeroReplicas) {
+  auto cfg = two_node();
+  cfg.nodes[1].replicas = 0;
+  EXPECT_NE(invalid_reason(cfg), "");
+}
+
+TEST(Validation, RejectsReplicatedEntryNode) {
+  auto cfg = two_node();
+  cfg.nodes[0].replicas = 2;
+  EXPECT_NE(invalid_reason(cfg), "");
+}
+
+TEST(Validation, RejectsDuplicateNodeNames) {
+  auto cfg = two_node();
+  cfg.nodes[1].name = "a";
+  EXPECT_NE(invalid_reason(cfg), "");
+}
+
+TEST(Validation, RejectsEdfOnAsyncNode) {
+  auto cfg = two_node();
+  cfg.nodes[1].kind = NodeSpec::Kind::kAsync;
+  cfg.nodes[1].sched = Sched::kEdf;
+  EXPECT_NE(invalid_reason(cfg), "");
+}
+
+TEST(Validation, RejectsDownstreamStepWithoutOutEdges) {
+  auto cfg = two_node();
+  cfg.nodes[1].work.push_back({server::WorkStep::Kind::kDownstream, Duration::zero()});
+  EXPECT_NE(invalid_reason(cfg), "");
+}
+
+TEST(Validation, RejectsOutEdgesWithoutDownstreamStep) {
+  auto cfg = two_node();
+  cfg.nodes[0].work = {{server::WorkStep::Kind::kCpu, Duration::millis(1)}};
+  EXPECT_NE(invalid_reason(cfg), "");
+}
+
+TEST(Validation, RejectsUnreachableNode) {
+  auto cfg = two_node();
+  NodeSpec orphan;
+  orphan.name = "orphan";
+  orphan.work = {{server::WorkStep::Kind::kCpu, Duration::millis(1)}};
+  cfg.nodes.push_back(orphan);
+  EXPECT_NE(invalid_reason(cfg), "");
+}
+
+TEST(Validation, RejectsDiskStepWithoutDisk) {
+  auto cfg = two_node();
+  cfg.nodes[1].work.push_back({server::WorkStep::Kind::kDisk, Duration::millis(1)});
+  cfg.nodes[1].has_disk = false;
+  EXPECT_NE(invalid_reason(cfg), "");
+}
+
+TEST(Validation, RejectsFreezeNodeOutOfRange) {
+  auto cfg = two_node();
+  cfg.freeze_node = 5;
+  EXPECT_NE(invalid_reason(cfg), "");
+}
+
+// ---------------------------------------------------------------------
+// Chain equivalence: a chain-shaped GraphConfig must reproduce the
+// equivalent ChainConfig run byte-for-byte (same RNG fork schedule, same
+// telemetry names, same event count) at the same seed.
+
+core::ChainConfig native_chain() {
+  core::ChainConfig cfg;
+  cfg.name = "eq";
+  auto tier = [](std::string name, std::size_t threads, auto fn, bool disk) {
+    core::ChainTierSpec t;
+    t.name = std::move(name);
+    t.sync.threads_per_process = threads;
+    t.sync.max_processes = 1;
+    t.program_fn = std::move(fn);
+    t.has_disk = disk;
+    return t;
+  };
+  cfg.tiers.push_back(tier("web", 150,
+                           core::relay_fn(Duration::micros(60), Duration::micros(60)), false));
+  cfg.tiers.push_back(tier("db", 100,
+                           core::leaf_fn(Duration::micros(500), Duration::millis(2)), true));
+  cfg.workload.sessions = 3000;
+  cfg.duration = Duration::seconds(12);
+  cfg.freeze_tier = 1;
+  cfg.freeze.first = Time::from_seconds(4);
+  cfg.freeze.period = Duration::seconds(5);
+  cfg.freeze.pause = Duration::millis(900);
+  return cfg;
+}
+
+GraphConfig graph_chain() {
+  GraphConfig cfg = parse_topology(
+      "graph eq\n"
+      "sessions 3000\n"
+      "duration 12s\n"
+      "node web kind=sync threads=150 work=cpu:60us,down,cpu:60us\n"
+      "node db  kind=sync threads=100 work=cpu:500us,disk:2ms\n"
+      "edge web db\n"
+      "freeze db first=4s period=5s pause=900ms\n");
+  return cfg;
+}
+
+// Registry snapshot + run totals, rendered exactly as the bench's
+// fingerprint (bench/ext_graph_topologies.cc) so test and CI check the
+// same contract.
+template <typename System>
+std::string fingerprint(System& sys) {
+  std::string out;
+  char line[256];
+  for (const auto& [name, value] : sys.registry().snapshot()) {
+    std::snprintf(line, sizeof(line), "%s,%.10g\n", name.c_str(), value);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "totals,completed=%llu,vlrt=%llu,drops=%llu,events=%llu\n",
+                static_cast<unsigned long long>(sys.clients().completed()),
+                static_cast<unsigned long long>(sys.latency().vlrt_count()),
+                static_cast<unsigned long long>(sys.total_drops()),
+                static_cast<unsigned long long>(sys.simulation().events_executed()));
+  out += line;
+  return out;
+}
+
+TEST(ChainEquivalence, ByteIdenticalToChainSystem) {
+  core::ChainSystem native(native_chain());
+  native.run();
+  GraphSystem asgraph(graph_chain());
+  ASSERT_TRUE(is_chain(asgraph.config()));
+  asgraph.run();
+  const std::string a = fingerprint(native);
+  const std::string b = fingerprint(asgraph);
+  EXPECT_GT(native.latency().vlrt_count(), 0u)
+      << "equivalence run too tame to be evidence";
+  EXPECT_EQ(a, b);
+}
+
+TEST(ChainEquivalence, HoldsUnderTailPolicyAndFaults) {
+  auto ncfg = native_chain();
+  auto gcfg = graph_chain();
+  policy::TailPolicy pol;
+  pol.retry.max_attempts = 2;
+  pol.attempt_timeout = Duration::millis(500);
+  ncfg.tier_policy = pol;
+  gcfg.tier_policy = pol;
+  fault::FaultPlan plan;
+  fault::LinkDegradeWindow win;
+  win.hop = 1;
+  win.at = Time::from_seconds(6);
+  win.duration = Duration::millis(300);
+  win.loss_prob = 0.5;
+  plan.links.push_back(win);
+  ncfg.faults = plan;
+  gcfg.faults = plan;
+  core::ChainSystem native(std::move(ncfg));
+  native.run();
+  GraphSystem asgraph(std::move(gcfg));
+  asgraph.run();
+  EXPECT_EQ(fingerprint(native), fingerprint(asgraph));
+}
+
+// ---------------------------------------------------------------------
+// Fan-out / fan-in: a kDownstream step with several out-edges contacts
+// every branch in parallel and resumes at the barrier when the last
+// branch settles. Verified through the span trees of a traced run.
+
+TEST(FanIn, BarrierJoinsParallelBranchesUnderTracing) {
+  GraphConfig cfg = parse_topology(kDiamondText);
+  cfg.duration = Duration::seconds(5);
+  cfg.workload.sessions = 200;
+  cfg.trace.mode = trace::TraceMode::kAll;
+  GraphSystem sys(cfg);
+  sys.run();
+  EXPECT_GT(sys.clients().completed(), 100u);
+  EXPECT_EQ(sys.total_drops(), 0u);
+  ASSERT_NE(sys.tracer(), nullptr);
+  ASSERT_GT(sys.tracer()->retained(), 0u);
+
+  std::size_t checked = 0;
+  for (const auto& tr : sys.tracer()->traces()) {
+    if (!tr || tr->empty() || !tr->root().closed()) continue;
+    // Find the two branch spans of the front tier's fan-out.
+    const trace::Span* cat = nullptr;
+    const trace::Span* ads = nullptr;
+    for (const auto& s : tr->spans()) {
+      if (s.kind != trace::SpanKind::kDownstream) continue;
+      if (s.site == "front->catalog") cat = &s;
+      if (s.site == "front->ads") ads = &s;
+    }
+    ASSERT_NE(cat, nullptr);
+    ASSERT_NE(ads, nullptr);
+    ASSERT_TRUE(cat->closed() && ads->closed());
+    // Same parent, opened at the same instant (parallel, not serial)...
+    EXPECT_EQ(cat->parent, ads->parent);
+    EXPECT_EQ(cat->begin, ads->begin);
+    // ...and the fan-in barrier holds the parent open until the LAST
+    // branch settles.
+    const sim::Time join = cat->end < ads->end ? ads->end : cat->end;
+    const auto& parent = tr->spans()[cat->parent];
+    EXPECT_TRUE(parent.closed());
+    EXPECT_GE(parent.end, join);
+    if (++checked >= 50) break;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Load-balancer menu on a replicated group: p2c (load-aware, samples
+// queue depth per delivery attempt) must route around a frozen replica
+// that blind random routing keeps hitting.
+
+GraphConfig replicated(const char* lb) {
+  std::string text =
+      "graph lbtest\n"
+      "sessions 2000\n"
+      "duration 12s\n"
+      "node front kind=sync threads=400 backlog=512 work=cpu:40us,down,cpu:40us\n"
+      "node svc kind=sync replicas=3 lb=";
+  text += lb;
+  text +=
+      " threads=50 work=cpu:2ms\n"
+      "edge front svc\n"
+      "freeze svc replica=0 first=2s period=3s pause=800ms\n";
+  return parse_topology(text);
+}
+
+TEST(ReplicaGroup, PowerOfTwoChoicesRoutesAroundFrozenReplica) {
+  GraphSystem random_sys(replicated("random"));
+  random_sys.run();
+  GraphSystem p2c_sys(replicated("p2c"));
+  p2c_sys.run();
+  ASSERT_NE(p2c_sys.group(1), nullptr);
+  EXPECT_EQ(p2c_sys.group(1)->policy(), LbPolicy::kPowerOfTwo);
+  EXPECT_EQ(p2c_sys.group(1)->size(), 3u);
+
+  const double p99_random =
+      random_sys.latency().histogram().percentile(99.0).to_millis();
+  const double p99_p2c =
+      p2c_sys.latency().histogram().percentile(99.0).to_millis();
+  // Blind random keeps sending ~1/3 of traffic into the frozen replica's
+  // queue; p2c compares two sampled queue depths per attempt and walks
+  // around it. The gap is orders of magnitude, so 2x is a safe floor.
+  EXPECT_GT(p99_random, 2.0 * p99_p2c);
+  EXPECT_LE(p2c_sys.latency().vlrt_count(), random_sys.latency().vlrt_count());
+}
+
+TEST(ReplicaGroup, RoundRobinSpreadsLoadEvenly) {
+  GraphConfig cfg = replicated("rr");
+  cfg.freeze_node = -1;  // no freeze: all replicas equal
+  GraphSystem sys(cfg);
+  sys.run();
+  const auto c0 = sys.server_flat(1)->stats().completed;
+  const auto c1 = sys.server_flat(2)->stats().completed;
+  const auto c2 = sys.server_flat(3)->stats().completed;
+  EXPECT_GT(c0, 0u);
+  // Round-robin alternates strictly, so replica counts differ by at most
+  // the number of in-flight retransmission re-picks (tiny here).
+  EXPECT_LE(c0 > c1 ? c0 - c1 : c1 - c0, 2u);
+  EXPECT_LE(c1 > c2 ? c1 - c2 : c2 - c1, 2u);
+}
+
+}  // namespace
+}  // namespace ntier::graph
