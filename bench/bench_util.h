@@ -6,6 +6,10 @@
 //   --trace=all|vlrt|1inN|off   sampling mode (N an integer, e.g. 1in100)
 //   --trace-out=DIR             trace artifact directory (default trace_out/)
 //   --dashboard=DIR             write <DIR>/<name>.dashboard.html per run
+//   --incidents=DIR             enable the online incident detectors +
+//                               flight recorder (src/obs); incident
+//                               artifacts land in DIR
+//   --flight-window=SEC         retroactive capture half-window (default 5)
 // Sweep-capable benches (bench/sweep_ctqo_surface) additionally accept
 //   --replications=R            seed-replications per grid point (default 3)
 //   --jobs=J                    worker threads; artifacts are J-invariant
@@ -36,6 +40,7 @@
 #include "core/scenarios.h"
 #include "graph/graph_system.h"
 #include "metrics/csv.h"
+#include "obs/incident_monitor.h"
 #include "report/dashboard.h"
 #include "trace/chrome_trace.h"
 #include "trace/critical_path.h"
@@ -46,6 +51,7 @@ struct BenchFlags {
   trace::TraceConfig config;        // mode kOff unless --trace given
   std::string out_dir = "trace_out";
   std::string dashboard_dir;        // empty = no dashboard
+  obs::ObsConfig obs;               // enabled iff --incidents given
   // Sweep controls (sweep-capable benches only; sweep/engine.h):
   std::size_t replications = 3;     // --replications=R seed-replications/point
   std::size_t jobs = 1;             // --jobs=J worker threads (artifact-invariant)
@@ -79,6 +85,14 @@ inline BenchFlags parse_bench_flags(int argc, char** argv) {
     } else if (arg.rfind("--dashboard=", 0) == 0) {
       f.dashboard_dir = arg.substr(12);
       if (f.dashboard_dir.empty()) f.bad = true;
+    } else if (arg.rfind("--incidents=", 0) == 0) {
+      f.obs.out_dir = arg.substr(12);
+      if (f.obs.out_dir.empty()) f.bad = true;
+      else f.obs.enabled = true;
+    } else if (arg.rfind("--flight-window=", 0) == 0) {
+      const double w = std::strtod(arg.c_str() + 16, nullptr);
+      if (w > 0.0) f.obs.flight.window = sim::Duration::from_seconds(w);
+      else f.bad = true;
     } else if (arg.rfind("--trace=", 0) == 0) {
       const std::string mode = arg.substr(8);
       if (mode == "off") {
@@ -105,7 +119,8 @@ inline BenchFlags parse_bench_flags(int argc, char** argv) {
   if (f.bad) {
     std::fprintf(stderr,
                  "usage: %s [--trace=all|vlrt|1inN|off] [--trace-out=DIR] "
-                 "[--dashboard=DIR] [--replications=R] [--jobs=J] "
+                 "[--dashboard=DIR] [--incidents=DIR] [--flight-window=SEC] "
+                 "[--replications=R] [--jobs=J] "
                  "[--sweep-out=DIR] [--quick]\n",
                  argc > 0 ? argv[0] : "fig");
   }
@@ -136,18 +151,43 @@ class BenchPerf {
   std::chrono::steady_clock::time_point t0_;
 };
 
+// Closes the incident monitor's books after a run — pending retroactive
+// flight dump plus <name>.incident.json — and prints its report to
+// stdout. Call right after run(), before maybe_dashboard. No-op when
+// --incidents was not given. Works on any system exposing obs().
+template <typename System>
+inline void finalize_incidents(System& sys) {
+  obs::IncidentMonitor* om = sys.obs();
+  if (om == nullptr) return;
+  om->finalize(sys.simulation().now());
+  const std::string report = om->to_string();
+  if (!report.empty()) std::fputs(report.c_str(), stdout);
+}
+
+// The incident summary pointer manifests expect: non-null only when at
+// least one incident fired (quiet runs keep byte-identical manifests).
+inline const obs::IncidentSummary* incidents_for_manifest(
+    const obs::IncidentMonitor* om, obs::IncidentSummary& storage) {
+  if (om == nullptr) return nullptr;
+  storage = om->summary();
+  return storage.count > 0 ? &storage : nullptr;
+}
+
 // Writes <dir>/<name>.dashboard.html when --dashboard was given: the
 // whole run (histogram, tier timelines, VLRT strip, CTQO episodes, and
 // the correlation engine's causal-chain ranking) in one self-contained
 // file, plus the <name>.manifest.json sidecar. Byte-identical for a
-// fixed seed.
+// fixed seed. With --incidents, fired incidents ride along into both
+// (markers/table in the dashboard, the "incidents" manifest block).
 inline void maybe_dashboard(core::NTierSystem& sys, const BenchFlags& flags) {
   if (flags.dashboard_dir.empty()) return;
   const auto ctqo = core::analyze_ctqo(sys);
   const auto corr = core::correlate(sys);
+  obs::IncidentSummary inc;
   const std::string path = report::write_dashboard(sys, ctqo, corr, flags.dashboard_dir,
-                                                   sys.config().name);
-  core::write_manifest(sys, flags.dashboard_dir, &ctqo);
+                                                   sys.config().name, sys.obs());
+  core::write_manifest(sys, flags.dashboard_dir, &ctqo,
+                       incidents_for_manifest(sys.obs(), inc));
   std::printf("wrote %s (%s)\n", path.c_str(), core::to_string(corr.propagation));
 }
 
@@ -155,9 +195,11 @@ inline void maybe_dashboard(core::ChainSystem& sys, const BenchFlags& flags) {
   if (flags.dashboard_dir.empty()) return;
   const auto ctqo = core::analyze_ctqo(sys);
   const auto corr = core::correlate(sys);
+  obs::IncidentSummary inc;
   const std::string path = report::write_dashboard(sys, ctqo, corr, flags.dashboard_dir,
-                                                   sys.config().name);
-  core::write_manifest(sys, flags.dashboard_dir, &ctqo);
+                                                   sys.config().name, sys.obs());
+  core::write_manifest(sys, flags.dashboard_dir, &ctqo,
+                       incidents_for_manifest(sys.obs(), inc));
   std::printf("wrote %s (%s)\n", path.c_str(), core::to_string(corr.propagation));
 }
 
@@ -165,9 +207,11 @@ inline void maybe_dashboard(graph::GraphSystem& sys, const BenchFlags& flags) {
   if (flags.dashboard_dir.empty()) return;
   const auto ctqo = graph::analyze_ctqo(sys);
   const auto corr = graph::correlate(sys);
+  obs::IncidentSummary inc;
   const std::string path = report::write_dashboard(sys, ctqo, corr, flags.dashboard_dir,
-                                                   sys.config().name);
-  graph::write_manifest(sys, flags.dashboard_dir, &ctqo);
+                                                   sys.config().name, sys.obs());
+  graph::write_manifest(sys, flags.dashboard_dir, &ctqo,
+                        incidents_for_manifest(sys.obs(), inc));
   std::printf("wrote %s (%s)\n", path.c_str(), core::to_string(corr.propagation));
 }
 

@@ -64,12 +64,15 @@ void part_a(const bench::BenchFlags& tf, bench::BenchPerf& perf) {
   for (auto [style, name] : {std::pair{Style::kSync, "thread-per-request"},
                              std::pair{Style::kStaged, "SEDA staged (q=1000)"},
                              std::pair{Style::kAsync, "event-driven"}}) {
-    core::ChainSystem sys(chain_of(style));
+    auto ccfg = chain_of(style);
+    ccfg.obs = tf.obs;
+    core::ChainSystem sys(std::move(ccfg));
     sys.run();
     t.add_row({name, metrics::Table::num(std::uint64_t{sys.tier(0)->max_sys_q_depth()}),
                metrics::Table::num(sys.total_drops()),
                metrics::Table::num(sys.latency().vlrt_count()),
                metrics::Table::num(sys.latency().histogram().percentile(99.9).to_millis(), 0)});
+    bench::finalize_incidents(sys);
     bench::maybe_dashboard(sys, tf);
     perf.add_events(sys.simulation().events_executed());
   }
@@ -88,6 +91,7 @@ void part_b(const bench::BenchFlags& tf, bench::BenchPerf& perf) {
     auto cfg = core::scenarios::fig3_consolidation_sync();
     cfg.name = shed ? "altb-shed" : "altb-drop";
     cfg.system.web_shed_on_overload = shed;
+    cfg.obs = tf.obs;
     auto sys = core::run_system(cfg);
     auto s = core::summarize(*sys);
     auto* web = dynamic_cast<server::SyncServer*>(sys->web());
@@ -97,6 +101,7 @@ void part_b(const bench::BenchFlags& tf, bench::BenchPerf& perf) {
                metrics::Table::num(sys->clients().failed()),
                metrics::Table::num(s.latency.vlrt_count),
                metrics::Table::num(s.throughput_rps, 0)});
+    bench::finalize_incidents(*sys);
     bench::maybe_dashboard(*sys, tf);
     perf.add_events(sys->simulation().events_executed());
   }
@@ -113,11 +118,13 @@ void part_c(const bench::BenchFlags& tf, bench::BenchPerf& perf) {
     auto cfg = core::scenarios::fig3_consolidation_sync();
     cfg.name = std::string("altc-timeout-") + label;
     cfg.workload.client_timeout = timeout;
+    cfg.obs = tf.obs;
     auto sys = core::run_system(cfg);
     t.add_row({label, metrics::Table::num(sys->latency().vlrt_count()),
                metrics::Table::num(sys->clients().timeouts()),
                metrics::Table::num(sys->clients().failed()),
                metrics::Table::num(sys->latency().histogram().percentile(99.9).to_millis(), 0)});
+    bench::finalize_incidents(*sys);
     bench::maybe_dashboard(*sys, tf);
     perf.add_events(sys->simulation().events_executed());
   }

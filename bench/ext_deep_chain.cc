@@ -61,7 +61,9 @@ int main(int argc, char** argv) {
                     "cascade"});
   for (std::size_t depth : {3u, 4u, 5u, 6u}) {
     for (bool all_async : {false, true}) {
-      graph::GraphSystem sys(make_chain(depth, all_async));
+      auto gcfg = make_chain(depth, all_async);
+      gcfg.obs = tf.obs;
+      graph::GraphSystem sys(std::move(gcfg));
       sys.run();
       std::uint64_t front = sys.server_flat(0)->stats().dropped;
       std::uint64_t other = sys.total_drops() - front;
@@ -72,6 +74,7 @@ int main(int argc, char** argv) {
       t.add_row({std::to_string(depth), all_async ? "async" : "sync",
                  metrics::Table::num(front), metrics::Table::num(other),
                  metrics::Table::num(sys.latency().vlrt_count()), cascade});
+      bench::finalize_incidents(sys);
       bench::maybe_dashboard(sys, tf);
       perf.add_events(sys.simulation().events_executed());
     }

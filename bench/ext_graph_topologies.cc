@@ -84,6 +84,7 @@ freeze db first=8s period=12s pause=900ms
 void run_diamond(const bench::BenchFlags& flags, bench::BenchPerf& perf) {
   auto cfg = diamond_config(flags.quick);
   cfg.trace = flags.config;
+  cfg.obs = flags.obs;
   auto sys = graph::run_graph(cfg);
 
   metrics::Table t({"node", "drops", "queue_peak", "completed"});
@@ -111,6 +112,7 @@ void run_diamond(const bench::BenchFlags& flags, bench::BenchPerf& perf) {
               static_cast<unsigned long long>(
                   sys->server_flat(sys->flat_count() - 1)->stats().dropped),
               static_cast<unsigned long long>(sys->latency().vlrt_count()), verdict);
+  bench::finalize_incidents(*sys);
   bench::maybe_dashboard(*sys, flags);
   bench::export_traces(*sys, flags);
   perf.add_events(sys->simulation().events_executed());
@@ -140,6 +142,7 @@ void run_deep_chain(const bench::BenchFlags& flags, bench::BenchPerf& perf) {
   text += "freeze leaf first=8s period=12s pause=900ms\n";
   auto cfg = graph::parse_topology(text);
   cfg.duration = flags.quick ? Duration::seconds(16) : Duration::seconds(40);
+  cfg.obs = flags.obs;
 
   std::printf("--- 2. deep chain, depth %zu, via the topology grammar (is_chain=%d) ---\n",
               depth, graph::is_chain(cfg) ? 1 : 0);
@@ -156,6 +159,7 @@ void run_deep_chain(const bench::BenchFlags& flags, bench::BenchPerf& perf) {
               depth, graph::is_chain(cfg) ? 1 : 0,
               static_cast<unsigned long long>(front),
               static_cast<unsigned long long>(sys->latency().vlrt_count()));
+  bench::finalize_incidents(*sys);
   bench::maybe_dashboard(*sys, flags);
   perf.add_events(sys->simulation().events_executed());
 }
@@ -193,7 +197,10 @@ void run_replicated(const bench::BenchFlags& flags, bench::BenchPerf& perf) {
                   : std::vector<std::size_t>{2000, 5000, 8000, 9500};
   for (std::size_t sessions : loads) {
     for (bool hedge : {false, true}) {
-      auto sys = graph::run_graph(replicated_config(sessions, hedge, flags.quick));
+      auto cfg = replicated_config(sessions, hedge, flags.quick);
+      cfg.obs = flags.obs;
+      auto sys = graph::run_graph(cfg);
+      bench::finalize_incidents(*sys);
       const double p99 = sys->latency().histogram().percentile(99.0).to_millis();
       std::uint64_t hedges = 0;
       if (const auto* g = sys->server_flat(0)->governor())

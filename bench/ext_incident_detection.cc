@@ -1,0 +1,244 @@
+// Headline bench for the src/obs layer: can ONLINE incident detection
+// call the millibottleneck before its VLRT consequences land, and does
+// it agree with the OFFLINE engines that see the whole run?
+//
+// Part A — fig 5's log-flush millibottleneck (collectl flushes to the
+// MySQL disk; dbdisk.busy pegs, queues cascade, apache drops, VLRTs
+// follow one 3 s RTO later). Runs with detection + flight recorder on
+// and scores the online result against offline ground truth:
+//   - attribution: the first saturation incident must name the same
+//     series the correlation engine ranks as the bottleneck;
+//   - detection latency: the first fire must precede the first VLRT
+//     window (the whole point of online detection — the alarm beats the
+//     user-visible symptom by roughly one TCP RTO);
+//   - precision/recall: incident fires vs the CTQO analyzer's drop
+//     episodes, with slack for debounce (1 s) and the RTO lag that
+//     delays the VLRT burn-rate detector (4 s);
+//   - the retroactive flight dump window must cover the causal episode,
+//     not just its aftermath.
+// Part B — the metastable retry storm (ext_overload_control): with no
+// admission control the offline verdict engine says kMetastable and the
+// online monitor must still be holding open incidents at run end; with
+// CoDel shedding the verdict is kRecovered and every incident must have
+// cleared. Online open-incident state and offline verdict must agree.
+//
+// Output includes machine-readable "[obs] ..." lines collected by
+// scripts/run_benches.py into BENCH_ntier.json (schema ntier.bench/6).
+// --quick runs Part A only. Exit code 1 on any scoring failure.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/experiment.h"
+#include "core/metastability.h"
+#include "core/scenarios.h"
+
+using namespace ntier;
+
+namespace {
+
+double seconds_of(sim::Time t) { return (t - sim::Time::origin()).to_seconds(); }
+
+// First window with at least one VLRT completion; -1 when none.
+double first_vlrt_s(const metrics::Timeline& vlrt) {
+  for (std::size_t i = 0; i < vlrt.window_count(); ++i)
+    if (vlrt.value_at(i) > 0.0) return seconds_of(vlrt.window_start(i));
+  return -1.0;
+}
+
+// Episode-level match with slack: fires up to `pre` before the first
+// drop (detectors often see the saturation first) or `post` after the
+// last drop (the burn-rate detector trails by one RTO) still count.
+bool in_episode(const core::CtqoEpisode& ep, sim::Time fired, double pre, double post) {
+  const double t = seconds_of(fired);
+  return t >= seconds_of(ep.start) - pre && t <= seconds_of(ep.end) + post;
+}
+
+int part_a(const bench::BenchFlags& tf, bench::BenchPerf& perf) {
+  std::puts("=== A. online detection vs offline analysis, fig 5 scenario ===");
+  auto cfg = core::scenarios::fig5_logflush_sync();
+  cfg.trace = tf.config;
+  if (cfg.trace.mode == trace::TraceMode::kOff) {
+    // The flight recorder needs span trees; default to light sampling
+    // when the user did not pick a trace mode.
+    cfg.trace.mode = trace::TraceMode::kSampled;
+    cfg.trace.sample_every_n = 20;
+  }
+  cfg.obs = tf.obs;
+  cfg.obs.enabled = true;  // this bench IS the detection study
+  auto sys = core::run_system(cfg);
+  bench::finalize_incidents(*sys);
+  const obs::IncidentMonitor* om = sys->obs();
+  const auto ctqo = core::analyze_ctqo(*sys);
+  const auto corr = core::correlate(*sys);
+  bench::maybe_dashboard(*sys, tf);
+  perf.add_events(sys->simulation().events_executed());
+
+  int failures = 0;
+  const auto& incs = om->incidents();
+  if (incs.empty()) {
+    std::puts("FAIL: no incident fired on the fig 5 millibottleneck");
+    return 1;
+  }
+
+  // Attribution: first saturation incident vs the correlation engine.
+  const obs::Incident* first_sat = nullptr;
+  for (const auto& inc : incs) {
+    if (inc.kind == obs::DetectorKind::kThreshold) {
+      first_sat = &inc;
+      break;
+    }
+  }
+  const bool attributed = first_sat != nullptr && !corr.bottleneck_series.empty() &&
+                          first_sat->series == corr.bottleneck_series;
+  if (!attributed) {
+    std::printf("FAIL: online attribution %s != offline bottleneck %s\n",
+                first_sat != nullptr ? first_sat->series.c_str() : "(none)",
+                corr.bottleneck_series.c_str());
+    ++failures;
+  }
+
+  // Detection latency: the alarm must beat the first VLRT completion.
+  const double fire_s = seconds_of(incs.front().fired_at);
+  const double vlrt_s = first_vlrt_s(sys->latency().vlrt_per_window());
+  const bool early = vlrt_s < 0.0 || fire_s < vlrt_s;
+  if (!early) {
+    std::printf("FAIL: first fire %.2fs did not precede first VLRT window %.2fs\n",
+                fire_s, vlrt_s);
+    ++failures;
+  }
+  std::printf("[obs] section=fig05 incidents=%zu first_fire_s=%.3f first_vlrt_s=%.3f "
+              "lead_s=%.3f series=%s attributed=%d\n",
+              incs.size(), fire_s, vlrt_s, vlrt_s >= 0.0 ? vlrt_s - fire_s : -1.0,
+              first_sat != nullptr ? first_sat->series.c_str() : "none",
+              attributed ? 1 : 0);
+
+  // Precision / recall against the CTQO analyzer's drop episodes.
+  std::size_t matched_incidents = 0, detected_episodes = 0;
+  for (const auto& inc : incs) {
+    for (const auto& ep : ctqo.episodes) {
+      if (in_episode(ep, inc.fired_at, 1.0, 4.0)) {
+        ++matched_incidents;
+        break;
+      }
+    }
+  }
+  for (const auto& ep : ctqo.episodes) {
+    for (const auto& inc : incs) {
+      if (in_episode(ep, inc.fired_at, 1.0, 4.0)) {
+        ++detected_episodes;
+        break;
+      }
+    }
+  }
+  const double precision =
+      incs.empty() ? 0.0 : static_cast<double>(matched_incidents) / incs.size();
+  const double recall = ctqo.episodes.empty()
+                            ? 1.0
+                            : static_cast<double>(detected_episodes) / ctqo.episodes.size();
+  std::printf("[obs] section=fig05 episodes=%zu matched_incidents=%zu "
+              "detected_episodes=%zu precision=%.3f recall=%.3f\n",
+              ctqo.episodes.size(), matched_incidents, detected_episodes, precision,
+              recall);
+  if (!ctqo.episodes.empty() && detected_episodes == 0) {
+    std::puts("FAIL: no drop episode was detected online");
+    ++failures;
+  }
+  if (precision < 0.5) {
+    std::printf("FAIL: precision %.3f below 0.5 — detectors fire away from episodes\n",
+                precision);
+    ++failures;
+  }
+
+  // The retroactive dump must overlap the causal episode.
+  if (om->have_dump_window() && !ctqo.episodes.empty()) {
+    const auto& ep = ctqo.episodes.front();
+    const bool covers =
+        om->dump_from() <= ep.end && om->dump_to() >= ep.start;
+    std::printf("[obs] section=fig05 dump_from_s=%.2f dump_to_s=%.2f traces=%zu "
+                "covers_episode=%d\n",
+                seconds_of(om->dump_from()), seconds_of(om->dump_to()),
+                om->dumped_traces(), covers ? 1 : 0);
+    if (!covers) {
+      std::puts("FAIL: retroactive dump window misses the first drop episode");
+      ++failures;
+    }
+    if (sys->tracer() != nullptr && om->dumped_traces() == 0) {
+      std::puts("FAIL: tracing was on but the flight dump captured no span trees");
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+// Shared with ext_overload_control: the judged fault window must match
+// the scenario's SlowNodeWindow.
+core::RecoveryOptions verdict_options() {
+  core::RecoveryOptions opt;
+  opt.fault_start = sim::Time::from_seconds(12.0);
+  opt.fault_clear = sim::Time::from_seconds(14.0);
+  opt.horizon = sim::Duration::seconds(25);
+  return opt;
+}
+
+int part_b(const bench::BenchFlags& tf, bench::BenchPerf& perf) {
+  std::puts("=== B. online open-incident state vs the metastability verdict ===");
+  int failures = 0;
+  for (auto choice : {core::scenarios::OverloadChoice::kNone,
+                      core::scenarios::OverloadChoice::kCoDel}) {
+    auto cfg = core::scenarios::ext_overload_control(choice);
+    cfg.obs = tf.obs;
+    cfg.obs.enabled = true;
+    auto sys = core::run_system(cfg);
+    bench::finalize_incidents(*sys);
+    const auto verdict = core::classify_recovery(
+        {sys->web()->name(), sys->app()->name(), sys->db()->name()}, sys->sampler(),
+        verdict_options());
+    perf.add_events(sys->simulation().events_executed());
+
+    const obs::IncidentSummary s = sys->obs()->summary();
+    const bool metastable = verdict.regime != core::Regime::kRecovered;
+    // Agreement contract on the storm-tracking detectors (VLRT burn
+    // rate + drop CUSUM): a metastable run is still holding them open
+    // at run end, a recovered run has fired and cleared them all. The
+    // saturation thresholds are excluded — this scenario runs near
+    // saturation by design, so a VM legitimately pegs 100% even after
+    // a clean recovery.
+    std::uint64_t storm_open = 0;
+    for (const auto& inc : sys->obs()->incidents()) {
+      if (inc.cleared) continue;
+      if (inc.kind == obs::DetectorKind::kBurnRate ||
+          inc.kind == obs::DetectorKind::kCusum)
+        ++storm_open;
+    }
+    const bool agree = s.count > 0 && (metastable ? storm_open > 0 : storm_open == 0);
+    std::printf("[obs] section=metastable policy=%s incidents=%llu open=%llu "
+                "storm_open=%llu verdict=%s agree=%d\n",
+                core::scenarios::to_string(choice),
+                static_cast<unsigned long long>(s.count),
+                static_cast<unsigned long long>(s.open),
+                static_cast<unsigned long long>(storm_open),
+                metastable ? "metastable" : "recovered", agree ? 1 : 0);
+    if (!agree) {
+      std::printf("FAIL: online state disagrees with the %s verdict under %s\n",
+                  metastable ? "metastable" : "recovered",
+                  core::scenarios::to_string(choice));
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto tf = bench::parse_bench_flags(argc, argv);
+  if (tf.bad) return 2;
+  bench::BenchPerf perf("ext_incident_detection");
+  int failures = part_a(tf, perf);
+  if (!tf.quick) failures += part_b(tf, perf);
+  std::printf("[obs] section=verdict pass=%d\n", failures == 0 ? 1 : 0);
+  if (failures == 0) std::puts("online detection agrees with offline analysis");
+  perf.print();
+  return failures == 0 ? 0 : 1;
+}

@@ -61,7 +61,9 @@ int main(int argc, char** argv) {
     const bool web = (mask & 4) != 0;
     const bool app = (mask & 2) != 0;
     const bool db = (mask & 1) != 0;
-    core::ChainSystem sys(combo(web, app, db));
+    auto ccfg = combo(web, app, db);
+    ccfg.obs = tf.obs;
+    core::ChainSystem sys(std::move(ccfg));
     sys.run();
     t.add_row({web ? "async" : "sync", app ? "async" : "sync", db ? "async" : "sync",
                metrics::Table::num(sys.tier(0)->stats().dropped),
@@ -69,6 +71,7 @@ int main(int argc, char** argv) {
                metrics::Table::num(sys.tier(2)->stats().dropped),
                metrics::Table::num(sys.latency().vlrt_count()),
                sys.total_drops() == 0 ? "YES" : "no"});
+    bench::finalize_incidents(sys);
     bench::maybe_dashboard(sys, tf);
     perf.add_events(sys.simulation().events_executed());
   }

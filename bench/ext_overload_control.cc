@@ -56,7 +56,8 @@ struct RunResult {
 
 RunResult run_policy(OverloadChoice choice, const bench::BenchFlags& tf,
                      bench::BenchPerf& perf) {
-  const auto cfg = core::scenarios::ext_overload_control(choice);
+  auto cfg = core::scenarios::ext_overload_control(choice);
+  cfg.obs = tf.obs;
   auto sys = core::run_system(cfg);
   RunResult r;
   r.choice = choice;
@@ -70,6 +71,7 @@ RunResult run_policy(OverloadChoice choice, const bench::BenchFlags& tf,
       r.degraded += c->stats().degraded;
     }
   }
+  bench::finalize_incidents(*sys);
   bench::maybe_dashboard(*sys, tf);
   perf.add_events(sys->simulation().events_executed());
   return r;

@@ -30,9 +30,10 @@ using core::scenarios::TailPolicyChoice;
 
 namespace {
 
-core::ExperimentSummary run_row(metrics::Table& t, const core::ExperimentConfig& cfg,
+core::ExperimentSummary run_row(metrics::Table& t, core::ExperimentConfig cfg,
                                 const char* label, const bench::BenchFlags& tf,
                                 bench::BenchPerf& perf) {
+  cfg.obs = tf.obs;
   auto sys = core::run_system(cfg);
   auto s = core::summarize(*sys);
   t.add_row({label, metrics::Table::num(s.latency.vlrt_count),
@@ -42,6 +43,7 @@ core::ExperimentSummary run_row(metrics::Table& t, const core::ExperimentConfig&
              metrics::Table::num(s.deadline_cancels),
              metrics::Table::num(std::uint64_t{s.ctqo.episodes.size()}),
              metrics::Table::num(s.ctqo.retry_storm_episodes)});
+  bench::finalize_incidents(*sys);
   bench::maybe_dashboard(*sys, tf);
   perf.add_events(sys->simulation().events_executed());
   return s;
@@ -110,6 +112,7 @@ int main(int argc, char** argv) {
     auto t = make_table();
     for (auto arch : {core::Architecture::kSync, core::Architecture::kNx3}) {
       auto cfg = core::scenarios::ext_fault_injection(arch);
+      cfg.obs = tf.obs;
       auto sys = core::run_system(cfg);
       auto s = core::summarize(*sys);
       t.add_row({core::to_string(arch), metrics::Table::num(s.latency.vlrt_count),
@@ -126,6 +129,7 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(fc.restarts),
                   static_cast<unsigned long long>(fc.link_windows),
                   static_cast<unsigned long long>(fc.slow_windows));
+      bench::finalize_incidents(*sys);
       bench::maybe_dashboard(*sys, tf);
       perf.add_events(sys->simulation().events_executed());
     }

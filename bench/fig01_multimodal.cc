@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   for (std::size_t wl : {4000u, 7000u, 8000u}) {
     auto cfg = core::scenarios::fig1_multimodal(wl);
     cfg.trace = tf.config;
+    cfg.obs = tf.obs;
     std::puts(core::config_banner(cfg).c_str());
     auto sys = core::run_system(cfg);
     auto s = core::summarize(*sys);
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.latency.vlrt_count),
                 static_cast<unsigned long long>(s.latency.count));
     std::puts(core::histogram_panel(sys->latency()).c_str());
+    bench::finalize_incidents(*sys);
     bench::export_traces(*sys, tf);
     bench::maybe_dashboard(*sys, tf);
     perf.add_events(sys->simulation().events_executed());

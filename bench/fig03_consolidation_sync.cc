@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   bench::BenchPerf perf("fig03_consolidation_sync");
   auto cfg = core::scenarios::fig3_consolidation_sync();
   cfg.trace = tf.config;
+  cfg.obs = tf.obs;
   auto sys = bench::run_figure(
       cfg, {"tomcat.demand", "sysbursty.demand", "apache.demand"});
   std::printf("burst marks (SysBursty batches):");
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
     std::printf(" %.1fs", t.to_seconds());
   std::printf("\nApache processes spawned: second level MaxSysQDepth=%zu\n",
               sys->web()->max_sys_q_depth());
+  bench::finalize_incidents(*sys);
   bench::export_traces(*sys, tf);
   bench::maybe_dashboard(*sys, tf);
   perf.add_events(sys->simulation().events_executed());

@@ -10,11 +10,13 @@ int main(int argc, char** argv) {
   bench::BenchPerf perf("fig05_logflush_sync");
   auto cfg = core::scenarios::fig5_logflush_sync();
   cfg.trace = tf.config;
+  cfg.obs = tf.obs;
   auto sys = bench::run_figure(
       cfg, {"mysql.demand", "dbdisk.busy", "tomcat.demand", "apache.demand"});
   std::printf("collectl flushes:");
   for (auto t : sys->collectl()->flush_times()) std::printf(" %.0fs", t.to_seconds());
   std::printf("  (paper: 10s 40s 70s)\n");
+  bench::finalize_incidents(*sys);
   bench::export_traces(*sys, tf);
   bench::maybe_dashboard(*sys, tf);
   perf.add_events(sys->simulation().events_executed());

@@ -10,11 +10,13 @@ int main(int argc, char** argv) {
   bench::BenchPerf perf("fig07_nx1");
   auto cfg = core::scenarios::fig7_nx1();
   cfg.trace = tf.config;
+  cfg.obs = tf.obs;
   auto sys = bench::run_figure(cfg, {"tomcat.demand", "sysbursty.demand"});
   std::printf("drops: nginx=%llu tomcat=%llu mysql=%llu (paper: only Tomcat drops)\n",
               static_cast<unsigned long long>(sys->web()->stats().dropped),
               static_cast<unsigned long long>(sys->app()->stats().dropped),
               static_cast<unsigned long long>(sys->db()->stats().dropped));
+  bench::finalize_incidents(*sys);
   bench::export_traces(*sys, tf);
   bench::maybe_dashboard(*sys, tf);
   perf.add_events(sys->simulation().events_executed());

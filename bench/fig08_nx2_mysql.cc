@@ -11,11 +11,13 @@ int main(int argc, char** argv) {
   bench::BenchPerf perf("fig08_nx2_mysql");
   auto cfg = core::scenarios::fig8_nx2_mysql();
   cfg.trace = tf.config;
+  cfg.obs = tf.obs;
   auto sys = bench::run_figure(cfg, {"mysql.demand", "sysbursty.demand"});
   std::printf("drops: nginx=%llu xtomcat=%llu mysql=%llu (paper: only MySQL drops)\n",
               static_cast<unsigned long long>(sys->web()->stats().dropped),
               static_cast<unsigned long long>(sys->app()->stats().dropped),
               static_cast<unsigned long long>(sys->db()->stats().dropped));
+  bench::finalize_incidents(*sys);
   bench::export_traces(*sys, tf);
   bench::maybe_dashboard(*sys, tf);
   perf.add_events(sys->simulation().events_executed());

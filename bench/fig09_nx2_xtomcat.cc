@@ -11,12 +11,14 @@ int main(int argc, char** argv) {
   bench::BenchPerf perf("fig09_nx2_xtomcat");
   auto cfg = core::scenarios::fig9_nx2_xtomcat();
   cfg.trace = tf.config;
+  cfg.obs = tf.obs;
   auto sys = bench::run_figure(cfg, {"xtomcat.demand", "sysbursty.demand"});
   std::printf("drops: nginx=%llu xtomcat=%llu mysql=%llu "
               "(paper: MySQL drops, bottleneck in XTomcat)\n",
               static_cast<unsigned long long>(sys->web()->stats().dropped),
               static_cast<unsigned long long>(sys->app()->stats().dropped),
               static_cast<unsigned long long>(sys->db()->stats().dropped));
+  bench::finalize_incidents(*sys);
   bench::export_traces(*sys, tf);
   bench::maybe_dashboard(*sys, tf);
   perf.add_events(sys->simulation().events_executed());

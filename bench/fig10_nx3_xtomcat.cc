@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   bench::BenchPerf perf("fig10_nx3_xtomcat");
   auto cfg = core::scenarios::fig10_nx3_xtomcat();
   cfg.trace = tf.config;
+  cfg.obs = tf.obs;
   auto sys = bench::run_figure(cfg, {"xtomcat.demand", "sysbursty.demand"});
   const auto drops = sys->web()->stats().dropped + sys->app()->stats().dropped +
                      sys->db()->stats().dropped;
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(sys->latency().vlrt_count()));
   std::printf("millibottlenecks observed in xtomcat: %zu saturated 50ms windows\n",
               sys->sampler().saturated_windows("xtomcat").size());
+  bench::finalize_incidents(*sys);
   bench::export_traces(*sys, tf);
   bench::maybe_dashboard(*sys, tf);
   perf.add_events(sys->simulation().events_executed());

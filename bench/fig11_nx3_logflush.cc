@@ -10,12 +10,14 @@ int main(int argc, char** argv) {
   bench::BenchPerf perf("fig11_nx3_logflush");
   auto cfg = core::scenarios::fig11_nx3_logflush();
   cfg.trace = tf.config;
+  cfg.obs = tf.obs;
   auto sys = bench::run_figure(cfg, {"xmysql.demand", "dbdisk.busy"});
   const auto drops = sys->web()->stats().dropped + sys->app()->stats().dropped +
                      sys->db()->stats().dropped;
   std::printf("total drops across tiers: %llu (paper: 0), VLRT: %llu (paper: 0)\n",
               static_cast<unsigned long long>(drops),
               static_cast<unsigned long long>(sys->latency().vlrt_count()));
+  bench::finalize_incidents(*sys);
   bench::export_traces(*sys, tf);
   bench::maybe_dashboard(*sys, tf);
   perf.add_events(sys->simulation().events_executed());

@@ -22,8 +22,10 @@ int main(int argc, char** argv) {
     for (auto arch : {core::Architecture::kSync, core::Architecture::kNx3}) {
       auto cfg = core::scenarios::fig12_point(arch, conc);
       cfg.trace = tf.config;
+      cfg.obs = tf.obs;
       auto sys = core::run_system(cfg);
       rps[i++] = core::summarize(*sys).throughput_rps;
+      bench::finalize_incidents(*sys);
       bench::export_traces(*sys, tf);
       bench::maybe_dashboard(*sys, tf);
       perf.add_events(sys->simulation().events_executed());

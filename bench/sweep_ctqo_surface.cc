@@ -35,8 +35,14 @@ int main(int argc, char** argv) {
 
   // Each point is the Fig 3 consolidation millibottleneck with the
   // axes applied; replication r of a point runs seed 42 + r.
-  auto bind = [](const sweep::GridPoint& p) {
+  auto bind = [&flags](const sweep::GridPoint& p) {
     auto cfg = core::scenarios::fig3_consolidation_sync();
+    // Detection-only under the sweep: replications share one run name,
+    // so file-writing from worker threads would race. Incidents still
+    // reach the rep-0 dashboard + manifest via maybe_dashboard.
+    cfg.obs = flags.obs;
+    cfg.obs.out_dir.clear();
+    cfg.obs.max_dumps = 0;
     const auto wl = static_cast<std::size_t>(p.value(0));
     const auto backlog = static_cast<std::size_t>(p.value(1));
     const auto nx = static_cast<int>(p.value(2));

@@ -16,7 +16,7 @@ Enforced rules, per header file:
       related members, but an undocumented group is an error.
 
 Usage: scripts/check_doc_comments.py [DIR ...]
-Default audit set: src/sim src/core src/sweep src/graph.
+Default audit set: src/sim src/core src/sweep src/graph src/obs.
 Exit status 0 when every header passes, 1 otherwise (one line per
 violation: file:line: symbol).
 """
@@ -25,7 +25,7 @@ import os
 import re
 import sys
 
-DEFAULT_DIRS = ["src/sim", "src/core", "src/sweep", "src/graph"]
+DEFAULT_DIRS = ["src/sim", "src/core", "src/sweep", "src/graph", "src/obs"]
 
 # Namespace-scope lines that are structure, not symbols to document.
 SKIP_RE = re.compile(

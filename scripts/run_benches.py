@@ -14,8 +14,13 @@ Schema ntier.bench/5 adds the service-graph study
 scraped from its machine-readable `[graph]` lines: the diamond CTQO
 verdict, the deep-chain drop counts, the hedging-crossover operating
 points, and the chain-equivalence match bit (the byte-identity contract
-of docs/TOPOLOGY.md). Discovery is automatic, so the schema tag is the
-record that the roster — and therefore the totals — changed.
+of docs/TOPOLOGY.md). Schema ntier.bench/6 adds the online-detection
+study (ext_incident_detection) and a top-level "obs" section scraped
+from its `[obs]` lines: detection latency vs. the first VLRT,
+precision/recall against the offline CTQO episodes, the retroactive
+flight-dump window, and the online-vs-verdict agreement bits
+(docs/OBSERVABILITY.md). Discovery is automatic, so the schema tag is
+the record that the roster — and therefore the totals — changed.
 
 The report also carries two microbench sections:
 
@@ -65,11 +70,15 @@ PERF_RE = re.compile(
 #   [graph] section=<name> key=value ...
 GRAPH_RE = re.compile(r"^\[graph\]\s+(?P<kv>.*\S)\s*$", re.MULTILINE)
 
+# Machine-readable study lines from bench/ext_incident_detection:
+#   [obs] section=<name> key=value ...
+OBS_RE = re.compile(r"^\[obs\]\s+(?P<kv>.*\S)\s*$", re.MULTILINE)
 
-def parse_graph_lines(stdout: str) -> list:
-    """[graph] key=value lines as dicts (numbers coerced)."""
+
+def parse_kv_lines(regex: re.Pattern, stdout: str) -> list:
+    """Tagged key=value lines as dicts (numbers coerced)."""
     records = []
-    for m in GRAPH_RE.finditer(stdout):
+    for m in regex.finditer(stdout):
         rec = {}
         for tok in m.group("kv").split():
             if "=" not in tok:
@@ -119,9 +128,12 @@ def run_one(bench_dir: str, name: str) -> dict:
         "wall_s": float(m.group("wall")),
         "events_per_s": float(m.group("rate")),
     }
-    graph = parse_graph_lines(proc.stdout)
+    graph = parse_kv_lines(GRAPH_RE, proc.stdout)
     if graph:
         result["graph"] = graph
+    obs = parse_kv_lines(OBS_RE, proc.stdout)
+    if obs:
+        result["obs"] = obs
     return result
 
 
@@ -314,11 +326,31 @@ def main() -> int:
             else:
                 print("  graph: FAILED chain-equivalence check")
 
+    # The online-detection study section: every [obs] record from
+    # ext_incident_detection, plus the online-vs-offline agreement
+    # verdict pulled out as its own pass/fail (docs/OBSERVABILITY.md).
+    obs = None
+    for r in results:
+        if r.get("name") == "ext_incident_detection" and r.get("ok"):
+            records = r.pop("obs", [])
+            verdict = next((o for o in records
+                            if o.get("section") == "verdict"), None)
+            obs = {
+                "ok": bool(verdict) and verdict.get("pass") == 1,
+                "records": records,
+            }
+            if obs["ok"]:
+                print(f"  obs: {len(records)} study records, online detection "
+                      "agrees with offline analysis")
+            else:
+                print("  obs: FAILED online-vs-offline agreement check")
+
     ok = [r for r in results if r["ok"]]
     report = {
-        "schema": "ntier.bench/5",
+        "schema": "ntier.bench/6",
         "benches": results,
         "graph": graph,
+        "obs": obs,
         "micro_engine": micro,
         "micro_hotpath": hotpath,
         "total_events": sum(r["events"] for r in ok),
@@ -331,6 +363,8 @@ def main() -> int:
         report["failed"].append("micro_hotpath")
     if graph is not None and not graph["ok"]:
         report["failed"].append("graph-chain-equivalence")
+    if obs is not None and not obs["ok"]:
+        report["failed"].append("obs-online-agreement")
 
     if args.baseline:
         with open(args.baseline, encoding="utf-8") as f:

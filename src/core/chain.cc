@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "core/correlate.h"
 #include "telemetry/publish.h"
 
 namespace ntier::core {
@@ -139,6 +140,17 @@ ChainSystem::ChainSystem(ChainConfig cfg)
       targets.hops.push_back(servers_[i]->downstream_transport());
     fault_injector_ = std::make_unique<fault::FaultInjector>(
         sim_, rng_.fork(20), cfg_.faults, std::move(targets));
+  }
+
+  if (cfg_.obs.enabled) {
+    obs_ = std::make_unique<obs::IncidentMonitor>(cfg_.obs);
+    obs::Bindings b;
+    b.sampler = &sampler_;
+    b.registry = &registry_;
+    b.vlrt = &latency_.vlrt_per_window();
+    b.run_name = cfg_.name;
+    b.groups = detector_groups(collect_signals(*this));
+    obs_->attach(std::move(b));
   }
 }
 

@@ -83,6 +83,9 @@ struct ChainConfig {
   policy::TailPolicy tier_policy{};
   // Deterministic fault schedule; tier/hop indices run front to back.
   fault::FaultPlan faults{};
+  // Online incident detection (obs/incident_monitor.h). Chains have no
+  // tracer, so enabling this runs detectors + timeline capture only.
+  obs::ObsConfig obs{};
 };
 
 // A built chain: owns the simulation, hosts, servers, clients, and
@@ -124,6 +127,9 @@ class ChainSystem {
   workload::ClientPool& clients() { return *clients_; }
   cpu::FreezeInjector* injector() { return injector_.get(); }
   fault::FaultInjector* faults() { return fault_injector_.get(); }
+  // Online incident detection; null when cfg.obs is disabled.
+  obs::IncidentMonitor* obs() { return obs_.get(); }
+  const obs::IncidentMonitor* obs() const { return obs_.get(); }
 
   // Dropped packets summed over every tier listen queue.
   std::uint64_t total_drops() const;
@@ -143,6 +149,9 @@ class ChainSystem {
   std::unique_ptr<fault::FaultInjector> fault_injector_;
   monitor::Sampler sampler_;
   monitor::LatencyCollector latency_;
+  // Declared after every collector it reads so its (auto-finalizing)
+  // destructor runs first.
+  std::unique_ptr<obs::IncidentMonitor> obs_;
   bool started_ = false;
 };
 

@@ -12,6 +12,7 @@
 #include "fault/fault_plan.h"
 #include "monitor/collectl.h"
 #include "net/rto_policy.h"
+#include "obs/incident_monitor.h"
 #include "policy/overload/overload.h"
 #include "policy/tail_policy.h"
 #include "server/app_profile.h"
@@ -156,6 +157,11 @@ struct ExperimentConfig {
   // request allocates a tree and the run is bit-identical to a build
   // without the trace layer.
   trace::TraceConfig trace{};
+  // Online observability (obs/incident_monitor.h): incident detectors
+  // evaluated on the sampler tick plus the always-on flight recorder.
+  // Default disabled; enabling it never perturbs the simulation
+  // (DESIGN.md invariant 10).
+  obs::ObsConfig obs{};
 };
 
 // Rejects nonsensical configurations (zero-sized pools, negative

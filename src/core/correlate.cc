@@ -147,6 +147,20 @@ SignalSet collect_signals(const NTierSystem& sys) {
   return s;
 }
 
+std::vector<obs::SeriesGroup> detector_groups(const SignalSet& s) {
+  std::vector<obs::SeriesGroup> groups;
+  groups.reserve(s.tiers.size());
+  for (const TierSignals& ts : s.tiers) {
+    obs::SeriesGroup g;
+    g.name = ts.name;
+    g.saturation = ts.saturation;
+    g.queue = ts.queue;
+    g.dropped = ts.dropped;
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
 SignalSet collect_signals(const ChainSystem& sys) {
   SignalSet s;
   s.registry = &sys.registry();

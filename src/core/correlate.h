@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "metrics/timeline.h"
+#include "obs/detector.h"
 #include "sim/time.h"
 #include "telemetry/registry.h"
 
@@ -141,6 +142,12 @@ struct CorrelateOptions {
 // drop series the systems publish, in tier order.
 SignalSet collect_signals(const NTierSystem& sys);
 SignalSet collect_signals(const ChainSystem& sys);
+
+// Adapts a SignalSet into the obs detector suite's per-tier series
+// groups — the same series the offline engine correlates are what the
+// online detectors (obs/detector.h default_suite) watch, which is what
+// makes online-vs-offline precision/recall scoring apples-to-apples.
+std::vector<obs::SeriesGroup> detector_groups(const SignalSet& s);
 
 // The engine proper. Pure function of the signals: reads timelines,
 // schedules nothing, draws no randomness (DESIGN.md invariant 10).

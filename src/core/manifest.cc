@@ -37,7 +37,8 @@ void append_u64(std::string& out, std::uint64_t v) {
 void append_common(std::string& out, const monitor::LatencyCollector& lat,
                    std::uint64_t total_drops, std::uint64_t events,
                    const telemetry::Registry& reg,
-                   const CtqoReport* ctqo) {
+                   const CtqoReport* ctqo,
+                   const obs::IncidentSummary* incidents) {
   // Storm aggregates ride along only when the analyzer flagged storms,
   // so storm-free manifests stay byte-identical to pre-report ones.
   if (ctqo != nullptr && ctqo->retry_storm_episodes > 0) {
@@ -48,6 +49,27 @@ void append_common(std::string& out, const monitor::LatencyCollector& lat,
     out += ",\n    \"peak_retry_amplification\": ";
     append_num(out, ctqo->peak_retry_amplification);
     out += "\n  },\n";
+  }
+  // Same pattern for online incidents: the block appears only when at
+  // least one detector fired, so incident-free manifests stay
+  // byte-identical to pre-obs ones.
+  if (incidents != nullptr && incidents->count > 0) {
+    out += "  \"incidents\": {\n    \"count\": ";
+    append_u64(out, incidents->count);
+    out += ",\n    \"open\": ";
+    append_u64(out, incidents->open);
+    out += ",\n    \"first_fire_s\": ";
+    append_num(out, incidents->first_fire_s);
+    out += ",\n    \"by_detector\": {";
+    bool first_det = true;
+    for (const auto& [name, count] : incidents->by_detector) {
+      out += first_det ? "\n      " : ",\n      ";
+      first_det = false;
+      append_escaped(out, name);
+      out += ": ";
+      append_u64(out, count);
+    }
+    out += "\n    }\n  },\n";
   }
   out += "  \"totals\": {\n    \"completed\": ";
   append_u64(out, lat.completed());
@@ -83,7 +105,8 @@ std::string write_to(const std::string& json, const std::string& dir,
 
 }  // namespace
 
-std::string run_manifest_json(const NTierSystem& sys, const CtqoReport* ctqo) {
+std::string run_manifest_json(const NTierSystem& sys, const CtqoReport* ctqo,
+                              const obs::IncidentSummary* incidents) {
   const auto& cfg = sys.config();
   std::string out = "{\n  \"schema\": \"ntier.run-manifest/1\",\n  \"kind\": \"ntier\",\n";
   out += "  \"name\": ";
@@ -108,11 +131,12 @@ std::string run_manifest_json(const NTierSystem& sys, const CtqoReport* ctqo) {
   }
   out += "],\n";
   append_common(out, sys.latency(), drops, sys.simulation().events_executed(),
-                sys.registry(), ctqo);
+                sys.registry(), ctqo, incidents);
   return out;
 }
 
-std::string run_manifest_json(const ChainSystem& sys, const CtqoReport* ctqo) {
+std::string run_manifest_json(const ChainSystem& sys, const CtqoReport* ctqo,
+                              const obs::IncidentSummary* incidents) {
   const auto& cfg = sys.config();
   std::string out = "{\n  \"schema\": \"ntier.run-manifest/1\",\n  \"kind\": \"chain\",\n";
   out += "  \"name\": ";
@@ -132,11 +156,12 @@ std::string run_manifest_json(const ChainSystem& sys, const CtqoReport* ctqo) {
   }
   out += "],\n";
   append_common(out, sys.latency(), sys.total_drops(),
-                sys.simulation().events_executed(), sys.registry(), ctqo);
+                sys.simulation().events_executed(), sys.registry(), ctqo, incidents);
   return out;
 }
 
-std::string run_manifest_json(const ManifestRun& run, const CtqoReport* ctqo) {
+std::string run_manifest_json(const ManifestRun& run, const CtqoReport* ctqo,
+                              const obs::IncidentSummary* incidents) {
   std::string out = "{\n  \"schema\": \"ntier.run-manifest/1\",\n  \"kind\": ";
   append_escaped(out, run.kind);
   out += ",\n  \"name\": ";
@@ -156,23 +181,23 @@ std::string run_manifest_json(const ManifestRun& run, const CtqoReport* ctqo) {
   }
   out += "],\n";
   append_common(out, *run.latency, run.total_drops, run.events_executed,
-                *run.registry, ctqo);
+                *run.registry, ctqo, incidents);
   return out;
 }
 
 std::string write_manifest(const NTierSystem& sys, const std::string& dir,
-                           const CtqoReport* ctqo) {
-  return write_to(run_manifest_json(sys, ctqo), dir, sys.config().name);
+                           const CtqoReport* ctqo, const obs::IncidentSummary* incidents) {
+  return write_to(run_manifest_json(sys, ctqo, incidents), dir, sys.config().name);
 }
 
 std::string write_manifest(const ChainSystem& sys, const std::string& dir,
-                           const CtqoReport* ctqo) {
-  return write_to(run_manifest_json(sys, ctqo), dir, sys.config().name);
+                           const CtqoReport* ctqo, const obs::IncidentSummary* incidents) {
+  return write_to(run_manifest_json(sys, ctqo, incidents), dir, sys.config().name);
 }
 
 std::string write_manifest(const ManifestRun& run, const std::string& dir,
-                           const CtqoReport* ctqo) {
-  return write_to(run_manifest_json(run, ctqo), dir, run.name);
+                           const CtqoReport* ctqo, const obs::IncidentSummary* incidents) {
+  return write_to(run_manifest_json(run, ctqo, incidents), dir, run.name);
 }
 
 }  // namespace ntier::core

@@ -21,10 +21,16 @@ struct CtqoReport;
 // CTQO report is supplied and it detected retry storms, a "ctqo_storm"
 // block (episode count, longest storm, peak retry amplification) is
 // included; storm-free runs emit byte-identical manifests either way.
+// When an obs incident summary with count > 0 is supplied, an
+// "incidents" block (count, open, first-fire time, per-detector
+// breakdown) rides along the same way — incident-free runs (or callers
+// not passing a summary) emit byte-identical manifests.
 std::string run_manifest_json(const NTierSystem& sys,
-                              const CtqoReport* ctqo = nullptr);
+                              const CtqoReport* ctqo = nullptr,
+                              const obs::IncidentSummary* incidents = nullptr);
 std::string run_manifest_json(const ChainSystem& sys,
-                              const CtqoReport* ctqo = nullptr);
+                              const CtqoReport* ctqo = nullptr,
+                              const obs::IncidentSummary* incidents = nullptr);
 
 // Generic manifest entry for system shapes core does not know about
 // (the service-graph engine lives above core in the layer stack):
@@ -44,15 +50,19 @@ struct ManifestRun {
   const monitor::LatencyCollector* latency = nullptr;  // required
   const telemetry::Registry* registry = nullptr;       // required
 };
-std::string run_manifest_json(const ManifestRun& run, const CtqoReport* ctqo = nullptr);
+std::string run_manifest_json(const ManifestRun& run, const CtqoReport* ctqo = nullptr,
+                              const obs::IncidentSummary* incidents = nullptr);
 
 // Writes <dir>/<name>.manifest.json (creating dir if needed); returns
 // the path, or "" on write failure.
 std::string write_manifest(const NTierSystem& sys, const std::string& dir,
-                           const CtqoReport* ctqo = nullptr);
+                           const CtqoReport* ctqo = nullptr,
+                           const obs::IncidentSummary* incidents = nullptr);
 std::string write_manifest(const ChainSystem& sys, const std::string& dir,
-                           const CtqoReport* ctqo = nullptr);
+                           const CtqoReport* ctqo = nullptr,
+                           const obs::IncidentSummary* incidents = nullptr);
 std::string write_manifest(const ManifestRun& run, const std::string& dir,
-                           const CtqoReport* ctqo = nullptr);
+                           const CtqoReport* ctqo = nullptr,
+                           const obs::IncidentSummary* incidents = nullptr);
 
 }  // namespace ntier::core

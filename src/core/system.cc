@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "core/correlate.h"
 #include "server/tiers.h"
 #include "telemetry/publish.h"
 
@@ -20,6 +21,7 @@ NTierSystem::NTierSystem(ExperimentConfig cfg)
   build_workload();
   build_monitoring();
   build_faults();
+  build_obs();
 }
 
 void NTierSystem::build_hosts() {
@@ -208,6 +210,19 @@ void NTierSystem::build_faults() {
                   servers_[1]->downstream_transport()};
   fault_injector_ = std::make_unique<fault::FaultInjector>(
       sim_, rng_.fork(20), cfg_.faults, std::move(targets));
+}
+
+void NTierSystem::build_obs() {
+  if (!cfg_.obs.enabled) return;
+  obs_ = std::make_unique<obs::IncidentMonitor>(cfg_.obs);
+  obs::Bindings b;
+  b.sampler = &sampler_;
+  b.registry = &registry_;
+  b.vlrt = &latency_.vlrt_per_window();
+  b.tracer = tracer_.get();
+  b.run_name = cfg_.name;
+  b.groups = detector_groups(collect_signals(*this));
+  obs_->attach(std::move(b));
 }
 
 void NTierSystem::run() { run_until(sim_.now() + cfg_.duration); }

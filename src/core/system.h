@@ -20,6 +20,7 @@
 #include "monitor/collectl.h"
 #include "monitor/sampler.h"
 #include "monitor/vlrt_tracker.h"
+#include "obs/incident_monitor.h"
 #include "server/server_base.h"
 #include "sim/random.h"
 #include "sim/simulation.h"
@@ -84,6 +85,10 @@ class NTierSystem {
   // Distributed-tracing collector; null when cfg.trace.mode is kOff.
   trace::Tracer* tracer() { return tracer_.get(); }
   const trace::Tracer* tracer() const { return tracer_.get(); }
+  // Online incident detection + flight recorder; null when cfg.obs is
+  // disabled (obs/incident_monitor.h).
+  obs::IncidentMonitor* obs() { return obs_.get(); }
+  const obs::IncidentMonitor* obs() const { return obs_.get(); }
 
   // The request-class profile the system was built with.
   const server::AppProfile& profile() const { return cfg_.profile; }
@@ -94,6 +99,7 @@ class NTierSystem {
   void build_workload();
   void build_monitoring();
   void build_faults();
+  void build_obs();
 
   ExperimentConfig cfg_;
   sim::Simulation sim_;
@@ -119,6 +125,9 @@ class NTierSystem {
 
   monitor::Sampler sampler_;
   monitor::LatencyCollector latency_;
+  // Declared after every collector it reads so its (auto-finalizing)
+  // destructor runs first.
+  std::unique_ptr<obs::IncidentMonitor> obs_;
   bool started_ = false;
 };
 

@@ -191,6 +191,18 @@ GraphSystem::GraphSystem(GraphConfig cfg)
     fault_injector_ = std::make_unique<fault::FaultInjector>(
         sim_, rng_.fork(20), cfg_.faults, std::move(targets));
   }
+
+  if (cfg_.obs.enabled) {
+    obs_ = std::make_unique<obs::IncidentMonitor>(cfg_.obs);
+    obs::Bindings b;
+    b.sampler = &sampler_;
+    b.registry = &registry_;
+    b.vlrt = &latency_.vlrt_per_window();
+    b.tracer = tracer_.get();
+    b.run_name = cfg_.name;
+    b.groups = core::detector_groups(collect_signals(*this));
+    obs_->attach(std::move(b));
+  }
 }
 
 void GraphSystem::run() { run_until(sim_.now() + cfg_.duration); }
@@ -268,13 +280,15 @@ core::ManifestRun manifest_run(const GraphSystem& sys) {
 
 }  // namespace
 
-std::string run_manifest_json(const GraphSystem& sys, const core::CtqoReport* ctqo) {
-  return core::run_manifest_json(manifest_run(sys), ctqo);
+std::string run_manifest_json(const GraphSystem& sys, const core::CtqoReport* ctqo,
+                              const obs::IncidentSummary* incidents) {
+  return core::run_manifest_json(manifest_run(sys), ctqo, incidents);
 }
 
 std::string write_manifest(const GraphSystem& sys, const std::string& dir,
-                           const core::CtqoReport* ctqo) {
-  return core::write_manifest(manifest_run(sys), dir, ctqo);
+                           const core::CtqoReport* ctqo,
+                           const obs::IncidentSummary* incidents) {
+  return core::write_manifest(manifest_run(sys), dir, ctqo, incidents);
 }
 
 std::unique_ptr<GraphSystem> run_graph(const GraphConfig& cfg) {

@@ -107,6 +107,9 @@ class GraphSystem {
   // Distributed-tracing collector; null when cfg.trace.mode is kOff.
   trace::Tracer* tracer() { return tracer_.get(); }
   const trace::Tracer* tracer() const { return tracer_.get(); }
+  // Online incident detection; null when cfg.obs is disabled.
+  obs::IncidentMonitor* obs() { return obs_.get(); }
+  const obs::IncidentMonitor* obs() const { return obs_.get(); }
 
   // Dropped packets summed over every replica listen queue.
   std::uint64_t total_drops() const;
@@ -129,6 +132,9 @@ class GraphSystem {
   std::unique_ptr<fault::FaultInjector> fault_injector_;
   monitor::Sampler sampler_;
   monitor::LatencyCollector latency_;
+  // Declared after every collector it reads so its (auto-finalizing)
+  // destructor runs first.
+  std::unique_ptr<obs::IncidentMonitor> obs_;
   bool started_ = false;
 };
 
@@ -147,9 +153,11 @@ core::CorrelationReport correlate(const GraphSystem& sys,
 // The reproducibility sidecar (core/manifest.h) for a graph run, kind
 // "graph", tiers = flattened replica names.
 std::string run_manifest_json(const GraphSystem& sys,
-                              const core::CtqoReport* ctqo = nullptr);
+                              const core::CtqoReport* ctqo = nullptr,
+                              const obs::IncidentSummary* incidents = nullptr);
 std::string write_manifest(const GraphSystem& sys, const std::string& dir,
-                           const core::CtqoReport* ctqo = nullptr);
+                           const core::CtqoReport* ctqo = nullptr,
+                           const obs::IncidentSummary* incidents = nullptr);
 
 // Builds and runs cfg.duration after validating; the system stays alive
 // for inspection (mirrors run_chain for chain topologies).

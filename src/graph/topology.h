@@ -111,6 +111,9 @@ struct GraphConfig {
   fault::FaultPlan faults{};
   // Distributed tracing (span trees across fan-out joins).
   trace::TraceConfig trace{};
+  // Online incident detection + flight recorder (obs/incident_monitor.h);
+  // the flight recorder engages only when tracing is enabled.
+  obs::ObsConfig obs{};
 };
 
 // Node index by name; -1 when absent.

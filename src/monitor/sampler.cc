@@ -44,6 +44,10 @@ void Sampler::track_io(const std::string& prefix, cpu::IoDevice* dev) {
   ios_.push_back(t);
 }
 
+void Sampler::add_tick_hook(std::function<void(sim::Time)> hook) {
+  hooks_.push_back(std::move(hook));
+}
+
 void Sampler::start() {
   if (started_) return;
   started_ = true;
@@ -89,6 +93,9 @@ void Sampler::tick() {
   // Materialize every registered pull-probe for this window (sim.events,
   // headroom, retransmit rates, ... — see telemetry/publish.h).
   registry_->sample(wstart, win_s);
+  // Tick hooks (online detectors) run inside this event, after the
+  // window is fully materialized — they add no events of their own.
+  for (const auto& hook : hooks_) hook(wstart);
   sim_.after(window_, [this] { tick(); });
 }
 

@@ -32,6 +32,7 @@
 // ("tomcat.queue") — docs/METRICS.md documents every one.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -60,6 +61,14 @@ class Sampler {
 
   // Begins periodic sampling (runs until the simulation stops).
   void start();
+
+  // Registers an observer run at the END of every tick, inside the tick
+  // event itself, after all series and probes for the window starting at
+  // `wstart` are materialized. Hooks must schedule no events and draw no
+  // randomness (DESIGN.md invariant 10) — they piggyback on the tick so
+  // that adding one changes nothing about the event stream. The online
+  // incident detectors (obs/incident_monitor.h) ride here.
+  void add_tick_hook(std::function<void(sim::Time wstart)> hook);
 
   sim::Duration window() const { return window_; }
   telemetry::Registry& registry() { return *registry_; }
@@ -109,6 +118,7 @@ class Sampler {
   std::vector<VmTrack> vms_;
   std::vector<ServerTrack> servers_;
   std::vector<IoTrack> ios_;
+  std::vector<std::function<void(sim::Time)>> hooks_;
 };
 
 }  // namespace ntier::monitor

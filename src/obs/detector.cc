@@ -1,0 +1,182 @@
+#include "obs/detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ntier::obs {
+
+const char* to_string(DetectorKind k) {
+  switch (k) {
+    case DetectorKind::kThreshold: return "threshold";
+    case DetectorKind::kEwmaZ: return "ewma_z";
+    case DetectorKind::kBurnRate: return "burn_rate";
+    case DetectorKind::kCusum: return "cusum";
+  }
+  return "?";
+}
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kCritical: return "critical";
+  }
+  return "?";
+}
+
+Detector::Detector(DetectorSpec spec) : spec_(std::move(spec)) {
+  if (spec_.kind == DetectorKind::kBurnRate) {
+    bad_ring_.assign(static_cast<std::size_t>(std::max(1, spec_.lookback_windows)), 0);
+  }
+}
+
+double Detector::compute_statistic(double value) {
+  switch (spec_.kind) {
+    case DetectorKind::kThreshold:
+      return value;
+    case DetectorKind::kEwmaZ: {
+      // Statistics freeze while firing so a long incident cannot teach
+      // the baseline that the anomaly is normal.
+      const bool learn = !firing_;
+      if (seen_ == 0) {
+        if (learn) {
+          mean_ = value;
+          var_ = 0.0;
+          seen_ = 1;
+        }
+        return 0.0;
+      }
+      const double sigma = std::max(std::sqrt(var_), spec_.min_sigma);
+      const double z = (value - mean_) / sigma;
+      if (learn) {
+        const double d = value - mean_;
+        mean_ += spec_.alpha * d;
+        var_ = (1.0 - spec_.alpha) * (var_ + spec_.alpha * d * d);
+        ++seen_;
+      }
+      // Warmup: report the z-score but the fire arm below suppresses it
+      // until the baseline has seen warmup_windows of history.
+      return z;
+    }
+    case DetectorKind::kBurnRate: {
+      const int was_bad = bad_ring_[ring_pos_];
+      const int is_bad = value > spec_.slo ? 1 : 0;
+      bad_count_ += is_bad - was_bad;
+      bad_ring_[ring_pos_] = static_cast<std::uint8_t>(is_bad);
+      ring_pos_ = (ring_pos_ + 1) % bad_ring_.size();
+      const double bad_frac =
+          static_cast<double>(bad_count_) / static_cast<double>(bad_ring_.size());
+      const double budget = std::max(spec_.budget, 1e-9);
+      return bad_frac / budget;
+    }
+    case DetectorKind::kCusum: {
+      // One-sided, clamped at 2h so clearing needs a bounded amount of
+      // calm evidence no matter how long the shift lasted.
+      cusum_s_ = std::clamp(cusum_s_ + (value - spec_.cusum_ref) - spec_.cusum_k, 0.0,
+                            2.0 * spec_.cusum_h);
+      return cusum_s_;
+    }
+  }
+  return 0.0;
+}
+
+Detector::Edge Detector::observe(double value) {
+  stat_ = compute_statistic(value);
+
+  double fire_level = 0.0;
+  double clear_level = 0.0;
+  bool may_fire = true;
+  switch (spec_.kind) {
+    case DetectorKind::kThreshold:
+      fire_level = spec_.threshold;
+      clear_level = spec_.threshold;
+      break;
+    case DetectorKind::kEwmaZ:
+      fire_level = spec_.z_fire;
+      clear_level = spec_.z_clear;
+      may_fire = seen_ > spec_.warmup_windows;
+      break;
+    case DetectorKind::kBurnRate:
+      fire_level = spec_.burn_fire;
+      clear_level = spec_.burn_clear;
+      break;
+    case DetectorKind::kCusum:
+      fire_level = spec_.cusum_h;
+      // Clearing waits for the integrated evidence to fully drain.
+      clear_level = 1e-12;
+      break;
+  }
+
+  if (!firing_) {
+    if (stat_ >= fire_level && may_fire) {
+      ++over_;
+      if (over_ >= std::max(1, spec_.arm_windows)) {
+        firing_ = true;
+        over_ = 0;
+        calm_ = 0;
+        return Edge::kFire;
+      }
+    } else {
+      over_ = 0;
+    }
+    return Edge::kNone;
+  }
+
+  if (stat_ < clear_level) {
+    ++calm_;
+    if (calm_ >= std::max(1, spec_.clear_windows)) {
+      firing_ = false;
+      calm_ = 0;
+      over_ = 0;
+      return Edge::kClear;
+    }
+  } else {
+    calm_ = 0;
+  }
+  return Edge::kNone;
+}
+
+std::vector<DetectorSpec> default_suite(const std::vector<SeriesGroup>& groups,
+                                        double vlrt_slo_count) {
+  std::vector<DetectorSpec> out;
+  for (const SeriesGroup& g : groups) {
+    for (const std::string& sat : g.saturation) {
+      DetectorSpec d;
+      d.name = "sat:" + sat;
+      d.series = sat;
+      d.kind = DetectorKind::kThreshold;
+      d.severity = Severity::kCritical;
+      d.threshold = 99.0;
+      d.arm_windows = 2;
+      out.push_back(std::move(d));
+    }
+    if (!g.queue.empty()) {
+      DetectorSpec d;
+      d.name = "queue:" + g.queue;
+      d.series = g.queue;
+      d.kind = DetectorKind::kEwmaZ;
+      d.severity = Severity::kWarning;
+      out.push_back(std::move(d));
+    }
+    if (!g.dropped.empty()) {
+      DetectorSpec d;
+      d.name = "drops:" + g.dropped;
+      d.series = g.dropped;
+      d.kind = DetectorKind::kCusum;
+      d.severity = Severity::kCritical;
+      d.arm_windows = 1;
+      out.push_back(std::move(d));
+    }
+  }
+  DetectorSpec v;
+  v.name = "slo:vlrt";
+  v.series = kVlrtSeries;
+  v.kind = DetectorKind::kBurnRate;
+  v.severity = Severity::kCritical;
+  v.slo = vlrt_slo_count;
+  v.arm_windows = 1;
+  out.push_back(std::move(v));
+  return out;
+}
+
+}  // namespace ntier::obs

@@ -1,0 +1,175 @@
+// Online incident detectors over telemetry timelines.
+//
+// The offline correlation engine (core/correlate.h) can name the
+// bottleneck device only after a run finishes; this module detects the
+// same millibottleneck signatures *while the run is happening*, one
+// 50 ms window at a time. A Detector is a small state machine fed one
+// value per sampler window (piggybacked on the existing Sampler tick by
+// obs/incident_monitor.h); it fires an Incident when the bound series
+// misbehaves and clears it when the series settles. Four detector kinds
+// cover the paper's signals:
+//
+//   kThreshold — value >= threshold for `arm_windows` consecutive
+//       windows. The millibottleneck primitive: a disk or VM pegged at
+//       >= 99% for 100+ ms is exactly the paper's Fig 5(a) "I/O wait"
+//       spike.
+//   kEwmaZ — exponentially weighted moving mean/variance; fires when
+//       the z-score (value - mean) / max(sigma, min_sigma) exceeds
+//       `z_fire`. Baseline-relative, so it works on series whose normal
+//       level varies by scenario (queue depths). Statistics freeze while
+//       the detector is firing, so a long incident cannot teach the
+//       baseline that the anomaly is normal.
+//   kBurnRate — windowed SLO burn rate. A window is "bad" when the
+//       value exceeds `slo`; the burn rate is bad-fraction / budget
+//       over the trailing `lookback_windows`. Burn >= `burn_fire`
+//       means the error budget is being consumed faster than allowed
+//       (the SRE multiwindow-burn idiom). Bound to the VLRT tracker
+//       (budget 0, any VLRT burns) it is the online "tail mode began"
+//       signal.
+//   kCusum — one-sided CUSUM change-point statistic
+//       S := clamp(S + (value - ref) - k, 0, 2h); fires at S >= h.
+//       Integrates small persistent shifts that never cross a static
+//       threshold — drop counters that tick 1-2 per window. The clamp
+//       at 2h bounds how much evidence must drain before clearing.
+//
+// Determinism contract (DESIGN.md invariant 10): detectors read values,
+// update doubles, and return an edge — they schedule no events and draw
+// no randomness, so enabling them leaves every simulation artifact
+// byte-identical. Tuning guidance lives in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ntier::obs {
+
+// Detector algorithm menu (see file header for the math of each).
+enum class DetectorKind : std::uint8_t { kThreshold, kEwmaZ, kBurnRate, kCusum };
+
+// How bad a fired incident is — set per spec, carried on the Incident.
+enum class Severity : std::uint8_t { kInfo, kWarning, kCritical };
+
+// Stable lowercase names used in exports ("threshold", "warning", ...).
+const char* to_string(DetectorKind k);
+const char* to_string(Severity s);
+
+// One declarative detector binding: which series to watch, which
+// algorithm, and its tuning. Kind-specific fields are ignored by the
+// other kinds. Defaults are the tuned values used by default_suite().
+struct DetectorSpec {
+  std::string name;    // unique detector name, e.g. "sat:dbdisk.busy"
+  std::string series;  // registry series name, or obs::kVlrtSeries
+  DetectorKind kind = DetectorKind::kThreshold;
+  Severity severity = Severity::kWarning;
+
+  // Debounce: consecutive over-windows to fire / calm windows to clear.
+  int arm_windows = 2;
+  int clear_windows = 10;
+
+  // kThreshold: fire level (units of the bound series).
+  double threshold = 99.0;
+
+  // kEwmaZ: smoothing factor, fire/clear z-scores, variance floor, and
+  // windows of baseline learning before the detector may fire.
+  double alpha = 0.05;
+  double z_fire = 8.0;
+  double z_clear = 2.0;
+  double min_sigma = 1.0;
+  int warmup_windows = 40;
+
+  // kBurnRate: SLO level, allowed bad fraction, fire/clear burn rates,
+  // trailing window count (40 windows = 2 s at 50 ms).
+  double slo = 0.0;
+  double budget = 0.02;
+  double burn_fire = 2.0;
+  double burn_clear = 1.0;
+  int lookback_windows = 40;
+
+  // kCusum: reference level, slack per window, decision threshold.
+  double cusum_ref = 0.0;
+  double cusum_k = 0.5;
+  double cusum_h = 3.0;
+};
+
+// Reserved series name binding a detector to the VLRT-per-window
+// timeline (monitor::LatencyCollector) instead of a registry series.
+inline constexpr const char* kVlrtSeries = "vlrt";
+
+// One fired incident: which detector, on which series, when it fired,
+// and (once the series settles) when it cleared. Times are the STARTS
+// of the offending/calm sampler windows.
+struct Incident {
+  std::string detector;
+  std::string series;
+  DetectorKind kind = DetectorKind::kThreshold;
+  Severity severity = Severity::kWarning;
+  sim::Time fired_at;
+  sim::Time cleared_at;     // valid iff cleared
+  bool cleared = false;
+  double value_at_fire = 0.0;  // raw series value in the firing window
+  double stat_at_fire = 0.0;   // detector statistic (z, burn, S, value)
+  double peak_value = 0.0;     // max raw value observed while firing
+};
+
+// The per-spec state machine. observe() consumes one window value and
+// reports whether this window fired or cleared the detector.
+class Detector {
+ public:
+  // What one observe() call did to the fired/cleared state.
+  enum class Edge : std::uint8_t { kNone, kFire, kClear };
+
+  // Initial state: not firing, empty history.
+  explicit Detector(DetectorSpec spec);
+
+  // The binding this detector was built from, unchanged.
+  const DetectorSpec& spec() const { return spec_; }
+  bool firing() const { return firing_; }
+  // Current detector statistic: the raw value (kThreshold), z-score
+  // (kEwmaZ), burn rate (kBurnRate), or CUSUM S (kCusum).
+  double statistic() const { return stat_; }
+
+  // Feeds the value of one sampler window (windows must be fed in
+  // order, no gaps). Pure arithmetic — no events, no randomness.
+  Edge observe(double value);
+
+ private:
+  double compute_statistic(double value);
+
+  DetectorSpec spec_;
+  bool firing_ = false;
+  double stat_ = 0.0;
+  int over_ = 0;   // consecutive windows with statistic past fire level
+  int calm_ = 0;   // consecutive windows below the clear level
+  // kEwmaZ state.
+  double mean_ = 0.0;
+  double var_ = 0.0;
+  std::int64_t seen_ = 0;
+  // kBurnRate state: ring of bad/good bits over the lookback.
+  std::vector<std::uint8_t> bad_ring_;
+  std::size_t ring_pos_ = 0;
+  int bad_count_ = 0;
+  // kCusum state.
+  double cusum_s_ = 0.0;
+};
+
+// The series names of one tier/node used to build the default detector
+// suite (core adapts its collect_signals() output into these).
+struct SeriesGroup {
+  std::string name;                     // tier/node name ("apache")
+  std::vector<std::string> saturation;  // disk .busy first, then VM series
+  std::string queue;                    // "<name>.queue"
+  std::string dropped;                  // "<name>.dropped"
+};
+
+// The default suite bound to a system's signals: per tier a kThreshold
+// on each saturation series (critical), a kEwmaZ on the queue, and a
+// kCusum on the drop counter; plus one kBurnRate on the VLRT tracker.
+// `vlrt_slo_count` is the per-window VLRT count treated as "bad" > slo
+// (default 0: any VLRT completion burns budget).
+std::vector<DetectorSpec> default_suite(const std::vector<SeriesGroup>& groups,
+                                        double vlrt_slo_count = 0.0);
+
+}  // namespace ntier::obs

@@ -1,0 +1,55 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+namespace ntier::obs {
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig cfg) : cfg_(cfg) {
+  if (cfg_.ring_capacity == 0) cfg_.ring_capacity = 1;
+  ring_.reserve(cfg_.ring_capacity);
+}
+
+void FlightRecorder::offer(const trace::TracePtr& t) {
+  if (!t) return;
+  ++offered_;
+  if (!frozen_ && ring_.size() - start_ >= cfg_.ring_capacity) {
+    ring_[start_] = nullptr;  // release the pooled tree
+    ++start_;
+    ++evicted_;
+  }
+  ring_.push_back(t);
+  compact();
+}
+
+void FlightRecorder::thaw() {
+  frozen_ = false;
+  while (ring_.size() - start_ > cfg_.ring_capacity) {
+    ring_[start_] = nullptr;
+    ++start_;
+    ++evicted_;
+  }
+  compact();
+}
+
+void FlightRecorder::compact() {
+  // Amortized O(1): slide live entries down once a capacity's worth of
+  // dead slots accumulated, keeping the vector at <= 2x capacity.
+  if (start_ < cfg_.ring_capacity) return;
+  ring_.erase(ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(start_));
+  start_ = 0;
+}
+
+std::vector<trace::TracePtr> FlightRecorder::window_snapshot(sim::Time from,
+                                                             sim::Time to) const {
+  std::vector<trace::TracePtr> out;
+  for (std::size_t i = start_; i < ring_.size(); ++i) {
+    const trace::TracePtr& t = ring_[i];
+    if (!t || t->empty()) continue;
+    const trace::Span& root = t->root();
+    const sim::Time end = root.closed() ? root.end : to;
+    if (root.begin < to && end >= from) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace ntier::obs

@@ -1,0 +1,89 @@
+// Always-on flight recorder: a bounded ring of completed span trees.
+//
+// Production tail hunting cannot afford full-fidelity trace retention at
+// every operating point, but "start tracing after the page fires" misses
+// the cause — the millibottleneck is over by the time anyone reacts.
+// The flight recorder squares that: every finished span tree the Tracer
+// sees (whatever its sampling mode) is offered to a fixed-capacity ring;
+// old trees are evicted as new ones complete, so steady-state memory is
+// O(ring_capacity) regardless of run length, and the hot path pays
+// nothing beyond what the tracing mode already pays (one refcount
+// retain per finished trace — no allocation, spans were recorded
+// anyway). When a detector fires, the ring is frozen — eviction stops —
+// and the retroactive window [T-W, T+W] around the trigger T can be
+// dumped: the spans from *before* the incident are still in the ring.
+//
+// Span trees are slab-pooled PoolRefs (trace/span.h); holding one in
+// the ring retains the pooled slot, dropping it on eviction releases it
+// back to the pool. Freezing pins at most ring_capacity + the trees
+// completed during the ±W window, so the memory bound survives the
+// freeze (docs/OBSERVABILITY.md works the numbers).
+//
+// Determinism: offer/evict/freeze do no simulation work — no events, no
+// randomness, no clock reads — so recording never perturbs the run
+// (DESIGN.md invariant 10).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+#include "trace/span.h"
+
+namespace ntier::obs {
+
+// Sizing of the retained ring and the retroactive dump window.
+struct FlightRecorderConfig {
+  // Completed span trees retained while healthy. At fig-scale traffic
+  // (~2k req/s, 1-in-5 sampling) 4096 trees cover ~10 s of history.
+  std::size_t ring_capacity = 4096;
+  // Half-width W of the dump window [T-W, T+W] around the trigger.
+  sim::Duration window = sim::Duration::seconds(5);
+};
+
+// The ring itself. IncidentMonitor owns one and feeds it from the
+// Tracer's finish hook; tests drive it directly.
+class FlightRecorder {
+ public:
+  // An empty, unfrozen ring (capacity 0 is clamped to 1).
+  explicit FlightRecorder(FlightRecorderConfig cfg);
+
+  // The sizing this recorder was built with (after clamping).
+  const FlightRecorderConfig& config() const { return cfg_; }
+
+  // Offers one finished span tree. Healthy: evicts the oldest entry
+  // once the ring is full. Frozen: keeps everything (the post-trigger
+  // half of the dump window must not evict the pre-trigger half).
+  void offer(const trace::TracePtr& t);
+
+  // Stops eviction until thaw(). Idempotent.
+  void freeze() { frozen_ = true; }
+  // Resumes normal eviction and re-trims the ring to capacity.
+  void thaw();
+  bool frozen() const { return frozen_; }
+
+  // Retained trees whose root span overlaps [from, to), oldest first —
+  // the retroactive dump set. Unclosed roots are treated as still open
+  // (they overlap any window after their begin).
+  std::vector<trace::TracePtr> window_snapshot(sim::Time from, sim::Time to) const;
+
+  // Monotonic counters over one run (offered includes kept ones).
+  std::uint64_t offered() const { return offered_; }
+  std::uint64_t evicted() const { return evicted_; }
+  // Live (retained) trees — excludes lazily-compacted dead slots.
+  std::size_t size() const { return ring_.size() - start_; }
+
+ private:
+  FlightRecorderConfig cfg_;
+  // Oldest-first deque emulated over a vector + start index; entries
+  // before start_ are already-released null slots compacted lazily.
+  std::vector<trace::TracePtr> ring_;
+  std::size_t start_ = 0;
+  bool frozen_ = false;
+  std::uint64_t offered_ = 0;
+  std::uint64_t evicted_ = 0;
+
+  void compact();
+};
+
+}  // namespace ntier::obs

@@ -1,0 +1,321 @@
+#include "obs/incident_monitor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+
+#include "metrics/csv.h"
+#include "trace/chrome_trace.h"
+
+namespace ntier::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+void append_num(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+IncidentMonitor::IncidentMonitor(ObsConfig cfg) : cfg_(std::move(cfg)) {}
+
+IncidentMonitor::~IncidentMonitor() {
+  // Fallback for callers that never finalize (sweep points, aborted
+  // benches): close the books at the last sampled instant so enabled
+  // runs always leave their incident log behind.
+  if (attached_ && !finalized_) finalize(last_tick_end_);
+}
+
+void IncidentMonitor::attach(Bindings b) {
+  b_ = std::move(b);
+  attached_ = true;
+  window_ = b_.sampler->window();
+
+  std::vector<DetectorSpec> specs = cfg_.detectors;
+  if (specs.empty()) specs = default_suite(b_.groups, cfg_.vlrt_slo_count);
+  bound_.reserve(specs.size());
+  for (DetectorSpec& s : specs) {
+    Bound bd(std::move(s));
+    const DetectorSpec& spec = bd.det.spec();
+    if (spec.series == kVlrtSeries) {
+      bd.tl = b_.vlrt;
+    } else {
+      bd.tl = b_.registry->find_series(spec.series);
+    }
+    bound_.push_back(std::move(bd));
+  }
+
+  b_.sampler->add_tick_hook([this](sim::Time wstart) { on_tick(wstart); });
+  if (b_.tracer != nullptr && b_.tracer->enabled()) {
+    recorder_ = std::make_unique<FlightRecorder>(cfg_.flight);
+    b_.tracer->set_finish_hook(
+        [this](const trace::TracePtr& t, sim::Duration) { recorder_->offer(t); });
+  }
+}
+
+void IncidentMonitor::on_tick(sim::Time wstart) {
+  last_tick_end_ = wstart + window_;
+  for (Bound& bd : bound_) {
+    double v = 0.0;
+    if (bd.tl != nullptr) {
+      const std::size_t ix = static_cast<std::size_t>(
+          wstart.count_micros() / bd.tl->window().count_micros());
+      v = bd.tl->value_at(ix);
+    }
+    const Detector::Edge edge = bd.det.observe(v);
+    if (bd.open_incident >= 0) {
+      Incident& inc = incidents_[static_cast<std::size_t>(bd.open_incident)];
+      inc.peak_value = std::max(inc.peak_value, v);
+    }
+    if (edge == Detector::Edge::kFire) {
+      Incident inc;
+      const DetectorSpec& spec = bd.det.spec();
+      inc.detector = spec.name;
+      inc.series = spec.series;
+      inc.kind = spec.kind;
+      inc.severity = spec.severity;
+      inc.fired_at = wstart;
+      inc.value_at_fire = v;
+      inc.stat_at_fire = bd.det.statistic();
+      inc.peak_value = v;
+      bd.open_incident = static_cast<int>(incidents_.size());
+      incidents_.push_back(std::move(inc));
+      trigger_capture(wstart);
+    } else if (edge == Detector::Edge::kClear && bd.open_incident >= 0) {
+      Incident& inc = incidents_[static_cast<std::size_t>(bd.open_incident)];
+      inc.cleared = true;
+      inc.cleared_at = wstart;
+      bd.open_incident = -1;
+    }
+  }
+  // The post-trigger half of the retro window has elapsed: dump now,
+  // mid-run, while the frozen ring still holds the pre-trigger spans.
+  if (capture_pending_ && last_tick_end_ >= trigger_ + cfg_.flight.window) {
+    do_dump(last_tick_end_);
+  }
+}
+
+void IncidentMonitor::trigger_capture(sim::Time fired_at) {
+  if (capture_pending_ || dumps_done_ >= std::max(0, cfg_.max_dumps)) {
+    if (!have_window_ && !capture_pending_) {
+      // Dumping disabled (max_dumps 0): still pin the retro window to
+      // the first fire so incident.json can slice the timelines.
+      trigger_ = fired_at;
+      have_window_ = true;
+      dump_from_ = fired_at < sim::Time::origin() + cfg_.flight.window
+                       ? sim::Time::origin()
+                       : fired_at - cfg_.flight.window;
+      dump_to_ = fired_at + cfg_.flight.window;
+    }
+    return;
+  }
+  capture_pending_ = true;
+  trigger_ = fired_at;
+  if (recorder_) recorder_->freeze();
+}
+
+void IncidentMonitor::do_dump(sim::Time at) {
+  capture_pending_ = false;
+  ++dumps_done_;
+  const sim::Duration w = cfg_.flight.window;
+  dump_from_ = trigger_ < sim::Time::origin() + w ? sim::Time::origin() : trigger_ - w;
+  dump_to_ = std::min(trigger_ + w, std::max(at, trigger_));
+  have_window_ = true;
+  if (recorder_) {
+    const std::vector<trace::TracePtr> snap =
+        recorder_->window_snapshot(dump_from_, dump_to_);
+    dumped_traces_ = snap.size();
+    if (!cfg_.out_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(cfg_.out_dir, ec);
+      const std::string base = cfg_.out_dir + "/" + b_.run_name + ".incident";
+      if (metrics::write_file(base + ".trace.json", trace::chrome_trace_json(snap)))
+        written_.push_back(base + ".trace.json");
+      if (metrics::write_file(base + "_spans.csv", trace::spans_csv(snap)))
+        written_.push_back(base + "_spans.csv");
+    }
+    recorder_->thaw();
+  }
+}
+
+void IncidentMonitor::finalize(sim::Time end) {
+  if (finalized_ || !attached_) return;
+  finalized_ = true;
+  if (capture_pending_) do_dump(end);
+  if (!cfg_.out_dir.empty()) write_incident_json(end);
+}
+
+void IncidentMonitor::write_incident_json(sim::Time end) {
+  std::string out = "{\n  \"schema\": \"ntier.incidents/1\",\n  \"name\": ";
+  append_escaped(out, b_.run_name);
+  out += ",\n  \"window_ms\": ";
+  append_num(out, window_.to_millis());
+  out += ",\n  \"detectors\": ";
+  append_u64(out, bound_.size());
+  out += ",\n  \"end_s\": ";
+  append_num(out, end.to_seconds());
+  if (recorder_) {
+    out += ",\n  \"flight\": {\n    \"ring_capacity\": ";
+    append_u64(out, cfg_.flight.ring_capacity);
+    out += ",\n    \"window_s\": ";
+    append_num(out, cfg_.flight.window.to_seconds());
+    out += ",\n    \"offered\": ";
+    append_u64(out, recorder_->offered());
+    out += ",\n    \"evicted\": ";
+    append_u64(out, recorder_->evicted());
+    out += "\n  }";
+  }
+  if (have_window_) {
+    out += ",\n  \"dump\": {\n    \"from_s\": ";
+    append_num(out, dump_from_.to_seconds());
+    out += ",\n    \"to_s\": ";
+    append_num(out, dump_to_.to_seconds());
+    out += ",\n    \"traces\": ";
+    append_u64(out, dumped_traces_);
+    out += "\n  }";
+  }
+  out += ",\n  \"incidents\": [";
+  for (std::size_t i = 0; i < incidents_.size(); ++i) {
+    const Incident& inc = incidents_[i];
+    out += i == 0 ? "\n    {" : ",\n    {";
+    out += "\"detector\": ";
+    append_escaped(out, inc.detector);
+    out += ", \"kind\": \"";
+    out += obs::to_string(inc.kind);
+    out += "\", \"series\": ";
+    append_escaped(out, inc.series);
+    out += ", \"severity\": \"";
+    out += obs::to_string(inc.severity);
+    out += "\", \"fired_s\": ";
+    append_num(out, inc.fired_at.to_seconds());
+    out += ", \"cleared_s\": ";
+    if (inc.cleared)
+      append_num(out, inc.cleared_at.to_seconds());
+    else
+      out += "null";
+    out += ", \"value_at_fire\": ";
+    append_num(out, inc.value_at_fire);
+    out += ", \"stat_at_fire\": ";
+    append_num(out, inc.stat_at_fire);
+    out += ", \"peak_value\": ";
+    append_num(out, inc.peak_value);
+    out += "}";
+  }
+  out += incidents_.empty() ? "],\n" : "\n  ],\n";
+  // Retro-window slices of every bound series: the flight-recorder view
+  // of the *metric* plane, so the dump shows the causal drop episode
+  // even when no spans were captured.
+  out += "  \"timelines\": {";
+  bool first = true;
+  if (have_window_) {
+    // Distinct bound series, preserving suite order.
+    std::vector<const Bound*> slices;
+    for (const Bound& bd : bound_) {
+      if (bd.tl == nullptr) continue;
+      bool dup = false;
+      for (const Bound* prev : slices)
+        if (prev->tl == bd.tl) { dup = true; break; }
+      if (!dup) slices.push_back(&bd);
+    }
+    for (const Bound* bd : slices) {
+      const std::int64_t win_us = bd->tl->window().count_micros();
+      const std::size_t i0 =
+          static_cast<std::size_t>(dump_from_.count_micros() / win_us);
+      const std::size_t i1 = std::min(
+          bd->tl->window_count(),
+          static_cast<std::size_t>((dump_to_.count_micros() + win_us - 1) / win_us));
+      out += first ? "\n    " : ",\n    ";
+      first = false;
+      append_escaped(out, bd->det.spec().series);
+      out += ": {\"t0_s\": ";
+      append_num(out, bd->tl->window_start(i0).to_seconds());
+      out += ", \"window_ms\": ";
+      append_num(out, bd->tl->window().to_millis());
+      out += ", \"values\": [";
+      for (std::size_t i = i0; i < i1; ++i) {
+        if (i > i0) out += ", ";
+        append_num(out, bd->tl->value_at(i));
+      }
+      out += "]}";
+    }
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+
+  std::error_code ec;
+  std::filesystem::create_directories(cfg_.out_dir, ec);
+  const std::string path = cfg_.out_dir + "/" + b_.run_name + ".incident.json";
+  if (metrics::write_file(path, out)) written_.push_back(path);
+}
+
+IncidentSummary IncidentMonitor::summary() const {
+  IncidentSummary s;
+  s.count = incidents_.size();
+  std::map<std::string, std::uint64_t> by;
+  for (const Incident& inc : incidents_) {
+    if (!inc.cleared) ++s.open;
+    if (s.first_fire_s < 0 || inc.fired_at.to_seconds() < s.first_fire_s)
+      s.first_fire_s = inc.fired_at.to_seconds();
+    ++by[inc.detector];
+  }
+  s.by_detector.assign(by.begin(), by.end());
+  return s;
+}
+
+std::string IncidentMonitor::to_string() const {
+  if (incidents_.empty() && written_.empty()) return std::string();
+  std::string out = "--- incidents: " + std::to_string(incidents_.size()) + " fired";
+  const IncidentSummary s = summary();
+  if (s.open > 0) out += " (" + std::to_string(s.open) + " still open)";
+  out += " ---\n";
+  for (const Incident& inc : incidents_) {
+    char buf[256];
+    std::snprintf(buf, sizeof buf, "  [%s] %s (%s) fired %.2fs", obs::to_string(inc.severity),
+                  inc.detector.c_str(), obs::to_string(inc.kind), inc.fired_at.to_seconds());
+    out += buf;
+    if (inc.cleared) {
+      std::snprintf(buf, sizeof buf, " cleared %.2fs", inc.cleared_at.to_seconds());
+      out += buf;
+    } else {
+      out += " OPEN";
+    }
+    std::snprintf(buf, sizeof buf, " peak %.3g\n", inc.peak_value);
+    out += buf;
+  }
+  if (recorder_) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "  flight: offered %llu evicted %llu",
+                  static_cast<unsigned long long>(recorder_->offered()),
+                  static_cast<unsigned long long>(recorder_->evicted()));
+    out += buf;
+    if (have_window_) {
+      std::snprintf(buf, sizeof buf, " dump %.2f..%.2fs traces %llu",
+                    dump_from_.to_seconds(), dump_to_.to_seconds(),
+                    static_cast<unsigned long long>(dumped_traces_));
+      out += buf;
+    }
+    out += '\n';
+  }
+  for (const std::string& p : written_) out += "  wrote " + p + "\n";
+  return out;
+}
+
+}  // namespace ntier::obs

@@ -11,6 +11,7 @@
 #include "core/chain.h"
 #include "core/system.h"
 #include "graph/graph_system.h"
+#include "obs/incident_monitor.h"
 
 namespace ntier::report {
 
@@ -34,8 +35,36 @@ std::string esc(const std::string& s) {
       out += "&lt;";
     else if (c == '>')
       out += "&gt;";
+    else if (c == '"')
+      out += "&quot;";
+    else if (c == '\'')
+      out += "&#39;";
     else
       out += c;
+  }
+  return out;
+}
+
+// JSON string escaping that is additionally safe inside an inline
+// <script> element: <, >, & become \u00XX so a series name containing
+// "</script>" cannot terminate the data island.
+std::string json_js(const std::string& s) {
+  std::string out;
+  for (unsigned char c : s) {
+    if (c == '"')
+      out += "\\\"";
+    else if (c == '\\')
+      out += "\\\\";
+    else if (c == '<')
+      out += "\\u003c";
+    else if (c == '>')
+      out += "\\u003e";
+    else if (c == '&')
+      out += "\\u0026";
+    else if (c < 0x20)
+      appendf(out, "\\u%04x", c);
+    else
+      out += static_cast<char>(c);
   }
   return out;
 }
@@ -164,6 +193,14 @@ struct TimeChart {
             kMT, std::max(x(t1) - x(t0), 1.0), ph(), fill);
   }
 
+  // Dashed full-height marker at an incident fire time.
+  void marker(double t_s, const char* color) {
+    appendf(body,
+            "<line x1='%.2f' y1='%.2f' x2='%.2f' y2='%.2f' stroke='%s' stroke-width='1' "
+            "stroke-dasharray='4,3' class='incident'/>\n",
+            x(t_s), kMT, x(t_s), kMT + ph(), color);
+  }
+
   void frame_and_xaxis() {
     appendf(body,
             "<rect x='%.2f' y='%.2f' width='%.2f' height='%.2f' fill='none' "
@@ -227,8 +264,31 @@ struct TimeChart {
 
 const char* kUtilColors[] = {"#1f77b4", "#9467bd", "#17becf"};
 
+const char* severity_color(obs::Severity s) {
+  return s == obs::Severity::kCritical ? "#d62728"
+         : s == obs::Severity::kWarning ? "#ff7f0e"
+                                        : "#888888";
+}
+
+bool panel_has_series(const TierPanel& p, const std::string& series) {
+  if (series == p.queue || series == p.dropped) return true;
+  for (const auto& u : p.util)
+    if (u == series) return true;
+  return false;
+}
+
+void draw_incident_markers(TimeChart& c, const std::vector<obs::Incident>* incs,
+                           const TierPanel* panel) {
+  if (incs == nullptr) return;
+  for (const auto& inc : *incs) {
+    if (panel != nullptr && !panel_has_series(*panel, inc.series)) continue;
+    c.marker((inc.fired_at - sim::Time::origin()).to_seconds(), severity_color(inc.severity));
+  }
+}
+
 void render_tier_panel(std::string& out, const RunView& v, const TierPanel& p,
-                       const core::CtqoReport& ctqo) {
+                       const core::CtqoReport& ctqo,
+                       const std::vector<obs::Incident>* incs) {
   TimeChart c(150, v.duration_s);
   for (const auto& ep : ctqo.episodes) {
     c.shade((ep.start - sim::Time::origin()).to_seconds(),
@@ -236,6 +296,7 @@ void render_tier_panel(std::string& out, const RunView& v, const TierPanel& p,
   }
   c.frame_and_xaxis();
   c.yaxis_left(100.0, "%");
+  draw_incident_markers(c, incs, &p);
 
   const metrics::Timeline* q = v.registry->find_series(p.queue);
   const bool has_queue = q != nullptr && q->max_value() > 0.0;
@@ -267,7 +328,8 @@ void render_tier_panel(std::string& out, const RunView& v, const TierPanel& p,
   out += c.svg();
 }
 
-void render_vlrt_strip(std::string& out, const RunView& v, const core::CtqoReport& ctqo) {
+void render_vlrt_strip(std::string& out, const RunView& v, const core::CtqoReport& ctqo,
+                       const std::vector<obs::Incident>* incs) {
   const std::vector<double> vals = values_of(v.latency->vlrt_per_window());
   double vmax = 0.0;
   for (double x : vals) vmax = std::max(vmax, x);
@@ -277,6 +339,9 @@ void render_vlrt_strip(std::string& out, const RunView& v, const core::CtqoRepor
             (ep.end - sim::Time::origin()).to_seconds(), "#fde9e6");
   }
   c.frame_and_xaxis();
+  // Every incident marks the VLRT strip: the strip is the end-to-end
+  // consequence the detectors are trying to get ahead of.
+  draw_incident_markers(c, incs, nullptr);
   c.yaxis_left(nice_ceil(vmax), "");
   c.impulses(vals, v.window_s, nice_ceil(vmax), "#d62728");
   c.label(kML + 6.0, kMT + 11.0, "#d62728", "VLRT requests per 50 ms window");
@@ -394,6 +459,65 @@ void render_episodes(std::string& out, const core::CtqoReport& ctqo) {
   out += "</table>\n";
 }
 
+// The incidents table, flight-recorder summary line, and the
+// machine-readable data island (satellite of the obs layer; only
+// rendered when at least one incident fired, so incident-free runs keep
+// byte-identical dashboards).
+void render_incidents(std::string& out, const obs::IncidentMonitor& om) {
+  const std::vector<obs::Incident>& incs = om.incidents();
+  std::size_t open = 0;
+  for (const auto& inc : incs)
+    if (!inc.cleared) ++open;
+  appendf(out, "<h3>Incidents (%llu fired, %llu open at run end)</h3>\n",
+          static_cast<unsigned long long>(incs.size()), static_cast<unsigned long long>(open));
+  if (om.have_dump_window()) {
+    appendf(out, "<p class='meta'>flight recorder: retroactive window %.2f&ndash;%.2f s",
+            (om.dump_from() - sim::Time::origin()).to_seconds(),
+            (om.dump_to() - sim::Time::origin()).to_seconds());
+    if (om.recorder() != nullptr) {
+      appendf(out, " &middot; %llu span trees dumped (%llu offered, %llu evicted)",
+              static_cast<unsigned long long>(om.dumped_traces()),
+              static_cast<unsigned long long>(om.recorder()->offered()),
+              static_cast<unsigned long long>(om.recorder()->evicted()));
+    }
+    out += "</p>\n";
+  }
+  out += "<table><tr><th>#</th><th>detector</th><th>kind</th><th>series</th>"
+         "<th>severity</th><th>fired</th><th>cleared</th><th>value</th><th>stat</th>"
+         "<th>peak</th></tr>\n";
+  int i = 0;
+  for (const auto& inc : incs) {
+    appendf(out, "<tr><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%.2f s</td>",
+            ++i, esc(inc.detector).c_str(), obs::to_string(inc.kind), esc(inc.series).c_str(),
+            obs::to_string(inc.severity), (inc.fired_at - sim::Time::origin()).to_seconds());
+    if (inc.cleared)
+      appendf(out, "<td>%.2f s</td>", (inc.cleared_at - sim::Time::origin()).to_seconds());
+    else
+      out += "<td>open</td>";
+    appendf(out, "<td>%.3g</td><td>%.3g</td><td>%.3g</td></tr>\n", inc.value_at_fire,
+            inc.stat_at_fire, inc.peak_value);
+  }
+  out += "</table>\n";
+  out += "<script type=\"application/json\" id=\"incident-data\">[";
+  i = 0;
+  for (const auto& inc : incs) {
+    if (i++ > 0) out += ",";
+    appendf(out,
+            "{\"detector\":\"%s\",\"series\":\"%s\",\"kind\":\"%s\",\"severity\":\"%s\","
+            "\"fired_s\":%.6f,",
+            json_js(inc.detector).c_str(), json_js(inc.series).c_str(),
+            obs::to_string(inc.kind), obs::to_string(inc.severity),
+            (inc.fired_at - sim::Time::origin()).to_seconds());
+    if (inc.cleared)
+      appendf(out, "\"cleared_s\":%.6f,", (inc.cleared_at - sim::Time::origin()).to_seconds());
+    else
+      out += "\"cleared_s\":null,";
+    appendf(out, "\"value_at_fire\":%.6g,\"stat_at_fire\":%.6g,\"peak_value\":%.6g}",
+            inc.value_at_fire, inc.stat_at_fire, inc.peak_value);
+  }
+  out += "]</script>\n";
+}
+
 void render_counters(std::string& out, const RunView& v) {
   out += "<details><summary>Registry counters &amp; probe totals</summary><table>"
          "<tr><th>metric</th><th>value</th></tr>\n";
@@ -410,7 +534,9 @@ void render_counters(std::string& out, const RunView& v) {
 }
 
 std::string render(const RunView& v, const core::CtqoReport& ctqo,
-                   const core::CorrelationReport& corr) {
+                   const core::CorrelationReport& corr, const obs::IncidentMonitor* om) {
+  const bool have_incidents = om != nullptr && !om->incidents().empty();
+  const std::vector<obs::Incident>* incs = have_incidents ? &om->incidents() : nullptr;
   std::string out;
   out += "<!doctype html>\n<html><head><meta charset='utf-8'>\n<title>ntier-ctqo &mdash; ";
   out += esc(v.name);
@@ -436,9 +562,10 @@ std::string render(const RunView& v, const core::CtqoReport& ctqo,
           static_cast<unsigned long long>(v.latency->failed_count()));
   render_correlation(out, corr);
   render_histogram(out, v);
-  for (const auto& p : v.tiers) render_tier_panel(out, v, p, ctqo);
-  render_vlrt_strip(out, v, ctqo);
+  for (const auto& p : v.tiers) render_tier_panel(out, v, p, ctqo, incs);
+  render_vlrt_strip(out, v, ctqo, incs);
   render_episodes(out, ctqo);
+  if (have_incidents) render_incidents(out, *om);
   render_counters(out, v);
   out += "</body></html>\n";
   return out;
@@ -457,36 +584,39 @@ std::string write_file(const std::string& dir, const std::string& name,
 }  // namespace
 
 std::string render_dashboard(const core::NTierSystem& sys, const core::CtqoReport& ctqo,
-                             const core::CorrelationReport& corr) {
-  return render(make_view(sys), ctqo, corr);
+                             const core::CorrelationReport& corr,
+                             const obs::IncidentMonitor* om) {
+  return render(make_view(sys), ctqo, corr, om);
 }
 
 std::string render_dashboard(const core::ChainSystem& sys, const core::CtqoReport& ctqo,
-                             const core::CorrelationReport& corr) {
-  return render(make_view(sys), ctqo, corr);
+                             const core::CorrelationReport& corr,
+                             const obs::IncidentMonitor* om) {
+  return render(make_view(sys), ctqo, corr, om);
 }
 
 std::string write_dashboard(const core::NTierSystem& sys, const core::CtqoReport& ctqo,
                             const core::CorrelationReport& corr, const std::string& dir,
-                            const std::string& name) {
-  return write_file(dir, name, render_dashboard(sys, ctqo, corr));
+                            const std::string& name, const obs::IncidentMonitor* om) {
+  return write_file(dir, name, render_dashboard(sys, ctqo, corr, om));
 }
 
 std::string write_dashboard(const core::ChainSystem& sys, const core::CtqoReport& ctqo,
                             const core::CorrelationReport& corr, const std::string& dir,
-                            const std::string& name) {
-  return write_file(dir, name, render_dashboard(sys, ctqo, corr));
+                            const std::string& name, const obs::IncidentMonitor* om) {
+  return write_file(dir, name, render_dashboard(sys, ctqo, corr, om));
 }
 
 std::string render_dashboard(const graph::GraphSystem& sys, const core::CtqoReport& ctqo,
-                             const core::CorrelationReport& corr) {
-  return render(make_view(sys), ctqo, corr);
+                             const core::CorrelationReport& corr,
+                             const obs::IncidentMonitor* om) {
+  return render(make_view(sys), ctqo, corr, om);
 }
 
 std::string write_dashboard(const graph::GraphSystem& sys, const core::CtqoReport& ctqo,
                             const core::CorrelationReport& corr, const std::string& dir,
-                            const std::string& name) {
-  return write_file(dir, name, render_dashboard(sys, ctqo, corr));
+                            const std::string& name, const obs::IncidentMonitor* om) {
+  return write_file(dir, name, render_dashboard(sys, ctqo, corr, om));
 }
 
 }  // namespace ntier::report

@@ -31,6 +31,7 @@ TracePtr Tracer::begin(std::uint64_t request_id) {
 void Tracer::finish(const TracePtr& trace,
                     sim::Duration latency) {
   if (!trace) return;
+  if (finish_hook_) finish_hook_(trace, latency);
   if (cfg_.mode == TraceMode::kVlrtOnly && latency < cfg_.vlrt_threshold) {
     ++discarded_;
     return;

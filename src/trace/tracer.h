@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "sim/time.h"
@@ -63,6 +64,15 @@ class Tracer {
   // caller first). Retains or discards per the sampling mode.
   void finish(const TracePtr& trace, sim::Duration latency);
 
+  // Observer invoked once per finished span tree, BEFORE the retention
+  // decision — so trees the sampling mode would discard are seen too.
+  // The obs flight recorder rides here; hooks must not schedule events
+  // or draw randomness (the tracing layer's zero-perturbation contract
+  // extends to them).
+  void set_finish_hook(std::function<void(const TracePtr&, sim::Duration)> hook) {
+    finish_hook_ = std::move(hook);
+  }
+
   // Retained traces, in completion order (deterministic per seed).
   const std::vector<TracePtr>& traces() const {
     return traces_;
@@ -75,6 +85,7 @@ class Tracer {
 
  private:
   TraceConfig cfg_;
+  std::function<void(const TracePtr&, sim::Duration)> finish_hook_;
   std::vector<TracePtr> traces_;
   std::uint64_t begun_ = 0;
   std::uint64_t discarded_ = 0;
