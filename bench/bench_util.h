@@ -10,6 +10,13 @@
 //                               flight recorder (src/obs); incident
 //                               artifacts land in DIR
 //   --flight-window=SEC         retroactive capture half-window (default 5)
+//   --proto=NAME                apply a named protocol profile
+//                               (net/protocol.h, docs/PROTOCOLS.md) to the
+//                               scenario before running; default keeps the
+//                               scenario's own stack (fixed3s). Honored by
+//                               every fig* binary; the study benches
+//                               (ablation/ext/sweep) own their protocol
+//                               axis and ignore it.
 // Sweep-capable benches (bench/sweep_ctqo_surface) additionally accept
 //   --replications=R            seed-replications per grid point (default 3)
 //   --jobs=J                    worker threads; artifacts are J-invariant
@@ -57,6 +64,7 @@ struct BenchFlags {
   std::size_t jobs = 1;             // --jobs=J worker threads (artifact-invariant)
   std::string sweep_out = "sweep_out";  // --sweep-out=DIR for CSV + manifest
   bool quick = false;               // --quick: shrunken grid for smoke runs
+  std::string proto;                // --proto=NAME protocol profile ("" = default)
   bool bad = false;                 // an unparsable flag was seen
 };
 
@@ -79,6 +87,9 @@ inline BenchFlags parse_bench_flags(int argc, char** argv) {
       if (f.sweep_out.empty()) f.bad = true;
     } else if (arg == "--quick") {
       f.quick = true;
+    } else if (arg.rfind("--proto=", 0) == 0) {
+      f.proto = arg.substr(8);
+      if (f.proto.empty() || !net::ProtocolProfile::by_name(f.proto)) f.bad = true;
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       f.out_dir = arg.substr(12);
       if (f.out_dir.empty()) f.bad = true;
@@ -120,11 +131,23 @@ inline BenchFlags parse_bench_flags(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [--trace=all|vlrt|1inN|off] [--trace-out=DIR] "
                  "[--dashboard=DIR] [--incidents=DIR] [--flight-window=SEC] "
-                 "[--replications=R] [--jobs=J] "
+                 "[--proto=NAME] [--replications=R] [--jobs=J] "
                  "[--sweep-out=DIR] [--quick]\n",
                  argc > 0 ? argv[0] : "fig");
   }
   return f;
+}
+
+// Applies --proto=NAME to a scenario config and prints a banner line so
+// the output records which stack produced it. No-op (and no output)
+// without the flag, keeping default bench output byte-identical.
+inline void apply_proto_flag(core::ExperimentConfig& cfg, const BenchFlags& flags) {
+  if (flags.proto.empty()) return;
+  const auto p = net::ProtocolProfile::by_name(flags.proto);
+  if (!p) return;  // parse_bench_flags already flagged it
+  core::apply_protocol(cfg, *p);
+  std::printf("protocol profile: %s (rto0=%.0fms admission=%s)\n", p->name.c_str(),
+              p->rto.rto(0).to_millis(), net::to_string(p->admission));
 }
 
 // Wall-clock + engine-throughput accounting for one bench binary. The

@@ -39,7 +39,7 @@ graph::GraphConfig make_chain(std::size_t depth, bool all_async) {
                    {server::WorkStep::Kind::kDownstream, Duration::zero()},
                    {server::WorkStep::Kind::kCpu, Duration::micros(60)}};
     }
-    if (i > 0) cfg.edges.push_back({static_cast<int>(i) - 1, static_cast<int>(i)});
+    if (i > 0) cfg.edges.push_back({static_cast<int>(i) - 1, static_cast<int>(i), {}});
     cfg.nodes.push_back(std::move(node));
   }
   cfg.workload.sessions = 5000;

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
     auto cfg = core::scenarios::fig1_multimodal(wl);
     cfg.trace = tf.config;
     cfg.obs = tf.obs;
+    bench::apply_proto_flag(cfg, tf);
     std::puts(core::config_banner(cfg).c_str());
     auto sys = core::run_system(cfg);
     auto s = core::summarize(*sys);

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   auto cfg = core::scenarios::fig3_consolidation_sync();
   cfg.trace = tf.config;
   cfg.obs = tf.obs;
+  bench::apply_proto_flag(cfg, tf);
   auto sys = bench::run_figure(
       cfg, {"tomcat.demand", "sysbursty.demand", "apache.demand"});
   std::printf("burst marks (SysBursty batches):");

@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   auto cfg = core::scenarios::fig5_logflush_sync();
   cfg.trace = tf.config;
   cfg.obs = tf.obs;
+  bench::apply_proto_flag(cfg, tf);
   auto sys = bench::run_figure(
       cfg, {"mysql.demand", "dbdisk.busy", "tomcat.demand", "apache.demand"});
   std::printf("collectl flushes:");

@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   auto cfg = core::scenarios::fig7_nx1();
   cfg.trace = tf.config;
   cfg.obs = tf.obs;
+  bench::apply_proto_flag(cfg, tf);
   auto sys = bench::run_figure(cfg, {"tomcat.demand", "sysbursty.demand"});
   std::printf("drops: nginx=%llu tomcat=%llu mysql=%llu (paper: only Tomcat drops)\n",
               static_cast<unsigned long long>(sys->web()->stats().dropped),

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   auto cfg = core::scenarios::fig8_nx2_mysql();
   cfg.trace = tf.config;
   cfg.obs = tf.obs;
+  bench::apply_proto_flag(cfg, tf);
   auto sys = bench::run_figure(cfg, {"mysql.demand", "sysbursty.demand"});
   std::printf("drops: nginx=%llu xtomcat=%llu mysql=%llu (paper: only MySQL drops)\n",
               static_cast<unsigned long long>(sys->web()->stats().dropped),

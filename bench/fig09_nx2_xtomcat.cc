@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   auto cfg = core::scenarios::fig9_nx2_xtomcat();
   cfg.trace = tf.config;
   cfg.obs = tf.obs;
+  bench::apply_proto_flag(cfg, tf);
   auto sys = bench::run_figure(cfg, {"xtomcat.demand", "sysbursty.demand"});
   std::printf("drops: nginx=%llu xtomcat=%llu mysql=%llu "
               "(paper: MySQL drops, bottleneck in XTomcat)\n",

@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   auto cfg = core::scenarios::fig11_nx3_logflush();
   cfg.trace = tf.config;
   cfg.obs = tf.obs;
+  bench::apply_proto_flag(cfg, tf);
   auto sys = bench::run_figure(cfg, {"xmysql.demand", "dbdisk.busy"});
   const auto drops = sys->web()->stats().dropped + sys->app()->stats().dropped +
                      sys->db()->stats().dropped;

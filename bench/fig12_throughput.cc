@@ -23,6 +23,10 @@ int main(int argc, char** argv) {
       auto cfg = core::scenarios::fig12_point(arch, conc);
       cfg.trace = tf.config;
       cfg.obs = tf.obs;
+      if (!tf.proto.empty()) {  // banner once, applied to every point
+        core::apply_protocol(cfg, *net::ProtocolProfile::by_name(tf.proto));
+        if (row == 0 && i == 0) bench::apply_proto_flag(cfg, tf);
+      }
       auto sys = core::run_system(cfg);
       rps[i++] = core::summarize(*sys).throughput_rps;
       bench::finalize_incidents(*sys);

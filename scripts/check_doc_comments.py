@@ -25,7 +25,8 @@ import os
 import re
 import sys
 
-DEFAULT_DIRS = ["src/sim", "src/core", "src/sweep", "src/graph", "src/obs"]
+DEFAULT_DIRS = ["src/sim", "src/core", "src/net", "src/sweep", "src/graph",
+                "src/obs"]
 
 # Namespace-scope lines that are structure, not symbols to document.
 SKIP_RE = re.compile(

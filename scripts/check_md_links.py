@@ -5,8 +5,10 @@ Checks every [text](target) and bare reference-style link in *.md files
 tracked in the repository. Targets that are URLs (scheme://, mailto:) or
 pure in-page anchors (#...) are ignored; everything else must resolve to
 an existing file or directory relative to the markdown file (or to the
-repo root when the link starts with '/'). Anchors on file links are
-stripped before the existence check.
+repo root when the link starts with '/'). A '#anchor' on a link to a
+markdown file must additionally match a heading in the target file
+(GitHub slug rules: lowercased, punctuation stripped, spaces to dashes),
+so section links can't silently rot when headings are renamed.
 
 Usage: scripts/check_md_links.py [root]      (default: repo root)
 Exit status: 0 when all links resolve, 1 otherwise (dead links listed).
@@ -34,6 +36,23 @@ def is_external(target: str) -> bool:
     )
 
 
+def heading_slugs(md: Path) -> set:
+    """GitHub-style anchor slugs of every heading in `md`."""
+    slugs = set()
+    text = re.sub(r"```.*?```", "", md.read_text(encoding="utf-8"),
+                  flags=re.DOTALL)
+    for line in text.splitlines():
+        m = re.match(r"#{1,6}\s+(.*\S)\s*$", line)
+        if not m:
+            continue
+        # Strip inline code/links, lowercase, drop punctuation, dash spaces.
+        heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", m.group(1))
+        heading = heading.replace("`", "")
+        slug = re.sub(r"[^\w\- ]", "", heading.lower()).strip()
+        slugs.add(re.sub(r"\s+", "-", slug))
+    return slugs
+
+
 def check(root: Path):
     dead = []
     for md in md_files(root):
@@ -53,6 +72,13 @@ def check(root: Path):
                 resolved = md.parent / path_part
             if not resolved.exists():
                 dead.append((md.relative_to(root), target))
+                continue
+            # Validate the heading anchor on links into markdown files.
+            if "#" in target and resolved.is_file() and resolved.suffix == ".md":
+                anchor = target.split("#", 1)[1]
+                if anchor and anchor not in heading_slugs(resolved):
+                    dead.append((md.relative_to(root),
+                                 f"{target} (no such heading)"))
     return dead
 
 

@@ -19,8 +19,14 @@ study (ext_incident_detection) and a top-level "obs" section scraped
 from its `[obs]` lines: detection latency vs. the first VLRT,
 precision/recall against the offline CTQO episodes, the retroactive
 flight-dump window, and the online-vs-verdict agreement bits
-(docs/OBSERVABILITY.md). Discovery is automatic, so the schema tag is
-the record that the roster — and therefore the totals — changed.
+(docs/OBSERVABILITY.md). Schema ntier.bench/7 adds the protocol-matrix
+study (ext_protocol_matrix) and a top-level "proto" section scraped
+from its `[proto]` lines: per-point visible/hidden/absent CTQO verdicts
+across protocol × workload × NX, plus the headline expectations
+(fixed3s visible, linux_modern hidden, erpc absent — docs/PROTOCOLS.md)
+pulled out as their own pass/fail. Discovery is automatic, so the
+schema tag is the record that the roster — and therefore the totals —
+changed.
 
 The report also carries two microbench sections:
 
@@ -73,6 +79,10 @@ GRAPH_RE = re.compile(r"^\[graph\]\s+(?P<kv>.*\S)\s*$", re.MULTILINE)
 # Machine-readable study lines from bench/ext_incident_detection:
 #   [obs] section=<name> key=value ...
 OBS_RE = re.compile(r"^\[obs\]\s+(?P<kv>.*\S)\s*$", re.MULTILINE)
+
+# Machine-readable study lines from bench/ext_protocol_matrix:
+#   [proto] section=<name> key=value ...
+PROTO_RE = re.compile(r"^\[proto\]\s+(?P<kv>.*\S)\s*$", re.MULTILINE)
 
 
 def parse_kv_lines(regex: re.Pattern, stdout: str) -> list:
@@ -134,6 +144,9 @@ def run_one(bench_dir: str, name: str) -> dict:
     obs = parse_kv_lines(OBS_RE, proc.stdout)
     if obs:
         result["obs"] = obs
+    proto = parse_kv_lines(PROTO_RE, proc.stdout)
+    if proto:
+        result["proto"] = proto
     return result
 
 
@@ -345,12 +358,33 @@ def main() -> int:
             else:
                 print("  obs: FAILED online-vs-offline agreement check")
 
+    # The protocol-matrix study section: every [proto] record from
+    # ext_protocol_matrix, plus the headline verdicts (fixed3s visible,
+    # linux_modern hidden, erpc absent) pulled out as their own
+    # pass/fail (docs/PROTOCOLS.md).
+    proto = None
+    for r in results:
+        if r.get("name") == "ext_protocol_matrix" and r.get("ok"):
+            records = r.pop("proto", [])
+            verdicts = [p for p in records if p.get("section") == "verdict"]
+            proto = {
+                "ok": bool(verdicts) and all(v.get("pass") == 1
+                                             for v in verdicts),
+                "records": records,
+            }
+            if proto["ok"]:
+                print(f"  proto: {len(records)} study records, headline "
+                      "verdicts (visible/hidden/absent) all hold")
+            else:
+                print("  proto: FAILED headline verdict check")
+
     ok = [r for r in results if r["ok"]]
     report = {
-        "schema": "ntier.bench/6",
+        "schema": "ntier.bench/7",
         "benches": results,
         "graph": graph,
         "obs": obs,
+        "proto": proto,
         "micro_engine": micro,
         "micro_hotpath": hotpath,
         "total_events": sum(r["events"] for r in ok),
@@ -365,6 +399,8 @@ def main() -> int:
         report["failed"].append("graph-chain-equivalence")
     if obs is not None and not obs["ok"]:
         report["failed"].append("obs-online-agreement")
+    if proto is not None and not proto["ok"]:
+        report["failed"].append("proto-headline-verdicts")
 
     if args.baseline:
         with open(args.baseline, encoding="utf-8") as f:

@@ -29,6 +29,25 @@ void check_policy(const std::string& name, const char* where,
 
 }  // namespace
 
+void apply_app_recovery(policy::TailPolicy& t, const net::ProtocolProfile& p) {
+  if (p.transport != net::TransportKind::kUdpAppTimeout) return;
+  t.attempt_timeout = p.app_timeout;
+  t.retry.max_attempts = p.app_attempts;
+  t.retry.budget_ratio = p.app_retry_budget;
+}
+
+void apply_protocol(ExperimentConfig& cfg, const net::ProtocolProfile& p) {
+  cfg.system.tier_rto = p.rto;
+  cfg.system.admission = p.admission;
+  cfg.system.cookie_penalty = p.cookie_penalty;
+  cfg.workload.client_rto = p.rto;
+  // Datagram recovery lives in the application: arm the PR 1 governors
+  // on the client hop and every inter-tier hop with the profile's
+  // timeout / attempt / budget knobs.
+  apply_app_recovery(cfg.workload.client_policy, p);
+  apply_app_recovery(cfg.tier_policy, p);
+}
+
 void validate(const ExperimentConfig& cfg) {
   const SystemConfig& s = cfg.system;
   const WorkloadConfig& w = cfg.workload;

@@ -11,6 +11,7 @@
 #include "cpu/thread_overhead.h"
 #include "fault/fault_plan.h"
 #include "monitor/collectl.h"
+#include "net/protocol.h"
 #include "net/rto_policy.h"
 #include "obs/incident_monitor.h"
 #include "policy/overload/overload.h"
@@ -86,6 +87,12 @@ struct SystemConfig {
   // strict exponential backoff instead (modes at 3/9 s per hop).
   net::RtoPolicy tier_rto = net::RtoPolicy::fixed3s();
   sim::Duration link_latency = sim::Duration::micros(200);
+  // Accept-queue overflow behaviour at every sync tier, and the cookie
+  // slow-path CPU cost when admission = kSynCookies (net/tcp_queue.h).
+  // Defaults to the paper's drop-and-retransmit kernel; set via
+  // apply_protocol() below for the named profiles.
+  net::AdmissionMode admission = net::AdmissionMode::kTcpDrop;
+  sim::Duration cookie_penalty = sim::Duration::zero();
   // Fig 12 concurrency-overhead model, applied to sync tiers.
   cpu::ThreadOverheadModel sync_overhead{};
   // Alternative design: web tier replies with an immediate overload
@@ -170,6 +177,23 @@ struct ExperimentConfig {
 // std::invalid_argument. run_system() calls this first, so every
 // experiment fails fast instead of silently simulating garbage.
 void validate(const ExperimentConfig& cfg);
+
+// Arms one hop governor with a datagram profile's app-level recovery
+// knobs — attempt_timeout, retry.max_attempts, retry.budget_ratio are
+// overwritten from the profile; everything else is preserved. No-op for
+// non-datagram profiles. apply_protocol() and the graph grammar's
+// `proto` directive both route through this.
+void apply_app_recovery(policy::TailPolicy& t, const net::ProtocolProfile& p);
+
+// Threads a named protocol profile (net/protocol.h, docs/PROTOCOLS.md)
+// through the whole experiment: retransmission timers on the client and
+// inter-tier hops, accept-queue admission semantics at the sync tiers,
+// and — for udp_apptimeout — the app-level timeout/retry knobs on the
+// client and tier policy governors (attempt_timeout, max_attempts,
+// budget_ratio are overwritten; other policy fields are preserved).
+// Applying the default profile (fixed3s) is a no-op: the run stays
+// byte-identical to one that never called this.
+void apply_protocol(ExperimentConfig& cfg, const net::ProtocolProfile& p);
 
 // MaxSysQDepth arithmetic of paper §III: thread pool + TCP backlog.
 constexpr std::size_t max_sys_q_depth(std::size_t threads, std::size_t backlog) {

@@ -62,6 +62,8 @@ void NTierSystem::build_servers() {
     web_cfg.backlog = s.backlog;
     web_cfg.overhead = s.sync_overhead;
     web_cfg.shed_on_overload = s.web_shed_on_overload;
+    web_cfg.admission = s.admission;
+    web_cfg.cookie_penalty = s.cookie_penalty;
     servers_[0] = st::make_apache(sim_, vms_[0], prof, web_cfg);
   } else {
     auto web_cfg = st::nginx_config();
@@ -75,6 +77,8 @@ void NTierSystem::build_servers() {
     app_cfg.backlog = s.backlog;
     app_cfg.db_pool = s.db_pool;
     app_cfg.overhead = s.sync_overhead;
+    app_cfg.admission = s.admission;
+    app_cfg.cookie_penalty = s.cookie_penalty;
     servers_[1] = st::make_tomcat(sim_, vms_[1], prof, app_cfg);
   } else {
     auto app_cfg = st::xtomcat_config();
@@ -88,6 +92,8 @@ void NTierSystem::build_servers() {
     db_cfg.threads_per_process = s.db_threads;
     db_cfg.backlog = s.backlog;
     db_cfg.overhead = s.sync_overhead;
+    db_cfg.admission = s.admission;
+    db_cfg.cookie_penalty = s.cookie_penalty;
     servers_[2] = st::make_mysql(sim_, vms_[2], prof, db_cfg);
   } else {
     auto db_cfg = st::xmysql_config();
@@ -198,6 +204,13 @@ void NTierSystem::build_monitoring() {
   for (auto& srv : servers_) {
     if (const auto* c = srv->overload())
       telemetry::publish_overload(registry_, srv->name(), *c);
+  }
+  // SYN-cookie slow-path counter, only under that admission mode (the
+  // default registry snapshot stays unchanged).
+  for (auto& srv : servers_) {
+    if (const auto* q = srv->accept_queue();
+        q != nullptr && q->mode() == net::AdmissionMode::kSynCookies)
+      telemetry::publish_accept_queue(registry_, srv->name(), *q);
   }
 }
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "net/link.h"
+#include "net/protocol.h"
 #include "telemetry/publish.h"
 
 namespace ntier::graph {
@@ -33,6 +34,19 @@ GraphSystem::GraphSystem(GraphConfig cfg)
   assert(!cfg_.nodes.empty());
   const std::size_t n = cfg_.nodes.size();
   const bool chain = is_chain(cfg_);
+
+  // Effective admission mode per node: the node's own SyncConfig unless
+  // a graph-wide protocol (cfg_.admission) or an incoming edge's
+  // `proto=` override says otherwise (validated consistent).
+  std::vector<net::AdmissionMode> node_adm(n, cfg_.admission);
+  std::vector<sim::Duration> node_cookie(n, cfg_.cookie_penalty);
+  for (const EdgeSpec& e : cfg_.edges) {
+    if (e.proto.empty()) continue;
+    if (const auto p = net::ProtocolProfile::by_name(e.proto)) {
+      node_adm[static_cast<std::size_t>(e.to)] = p->admission;
+      node_cookie[static_cast<std::size_t>(e.to)] = p->cookie_penalty;
+    }
+  }
 
   // Components, node-major replica-minor — the same construction order
   // as ChainSystem when the graph is a chain (one replica per node).
@@ -66,6 +80,10 @@ GraphSystem::GraphSystem(GraphConfig cfg)
         case NodeSpec::Kind::kSync: {
           server::SyncConfig sc = spec.sync;
           sc.edf = (spec.sched == Sched::kEdf);
+          if (node_adm[i] != net::AdmissionMode::kTcpDrop) {
+            sc.admission = node_adm[i];
+            sc.cookie_penalty = node_cookie[i];
+          }
           srv = std::make_unique<server::SyncServer>(sim_, name, vms_.back(),
                                                      &cfg_.profile,
                                                      program_from(spec.work), sc);
@@ -95,9 +113,16 @@ GraphSystem::GraphSystem(GraphConfig cfg)
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t r = 0; r < cfg_.nodes[i].replicas; ++r) {
         server::Server* from = servers_[flat_index(i, r)].get();
-        for (int j : out_edges(cfg_, static_cast<int>(i))) {
-          ReplicaGroup* g = groups_[static_cast<std::size_t>(j)].get();
-          from->add_route([g] { return g->pick(); }, cfg_.tier_rto, link,
+        // Edge-declaration order (matches out_edges()); a per-edge
+        // `proto=` swaps the retransmission timers of that route.
+        for (const EdgeSpec& e : cfg_.edges) {
+          if (e.from != static_cast<int>(i)) continue;
+          const std::size_t j = static_cast<std::size_t>(e.to);
+          ReplicaGroup* g = groups_[j].get();
+          net::RtoPolicy rto = cfg_.tier_rto;
+          if (!e.proto.empty())
+            if (const auto p = net::ProtocolProfile::by_name(e.proto)) rto = p->rto;
+          from->add_route([g] { return g->pick(); }, rto, link,
                           cfg_.nodes[j].name);
         }
       }
@@ -176,6 +201,13 @@ GraphSystem::GraphSystem(GraphConfig cfg)
   for (auto& srv : servers_) {
     if (const auto* c = srv->overload())
       telemetry::publish_overload(registry_, srv->name(), *c);
+  }
+  // SYN-cookie slow-path counter, only under that admission mode (the
+  // default registry snapshot stays unchanged).
+  for (auto& srv : servers_) {
+    if (const auto* q = srv->accept_queue();
+        q != nullptr && q->mode() == net::AdmissionMode::kSynCookies)
+      telemetry::publish_accept_queue(registry_, srv->name(), *q);
   }
 
   if (!cfg_.faults.empty()) {

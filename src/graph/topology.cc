@@ -1,5 +1,7 @@
 #include "graph/topology.h"
 
+#include "net/protocol.h"
+
 #include <algorithm>
 #include <cctype>
 #include <cmath>
@@ -175,6 +177,10 @@ bool is_chain(const GraphConfig& cfg) {
   const std::size_t n = cfg.nodes.size();
   for (const NodeSpec& spec : cfg.nodes)
     if (spec.replicas != 1) return false;
+  // A per-edge protocol override needs per-route transports, which the
+  // connect_downstream fast path cannot express.
+  for (const EdgeSpec& e : cfg.edges)
+    if (!e.proto.empty()) return false;
   if (cfg.edges.size() != (n == 0 ? 0 : n - 1)) return false;
   // Every consecutive pair linked, and no other edges — order-free.
   std::vector<bool> seen(n, false);
@@ -227,6 +233,17 @@ GraphConfig parse_topology(const std::string& text) {
     } else if (kw == "link") {
       want(2);
       cfg.link_latency = dur_arg(toks[1]);
+    } else if (kw == "proto") {
+      want(2);
+      const auto p = net::ProtocolProfile::by_name(toks[1]);
+      if (!p) fail(lineno, "unknown protocol profile '" + toks[1] + "'");
+      cfg.protocol = toks[1];
+      cfg.tier_rto = p->rto;
+      cfg.workload.client_rto = p->rto;
+      cfg.admission = p->admission;
+      cfg.cookie_penalty = p->cookie_penalty;
+      core::apply_app_recovery(cfg.workload.client_policy, *p);
+      core::apply_app_recovery(cfg.tier_policy, *p);
     } else if (kw == "burst") {
       want(4);
       try {
@@ -242,12 +259,23 @@ GraphConfig parse_topology(const std::string& text) {
       by_name[spec.name] = static_cast<int>(cfg.nodes.size());
       cfg.nodes.push_back(std::move(spec));
     } else if (kw == "edge") {
-      want(3);
+      if (toks.size() != 3 && toks.size() != 4)
+        fail(lineno, "'edge' takes 2 node names and an optional proto=<name>");
       const auto from = by_name.find(toks[1]);
       const auto to = by_name.find(toks[2]);
       if (from == by_name.end()) fail(lineno, "edge from unknown node '" + toks[1] + "'");
       if (to == by_name.end()) fail(lineno, "edge to unknown node '" + toks[2] + "'");
-      cfg.edges.push_back({from->second, to->second});
+      EdgeSpec e{from->second, to->second, {}};
+      if (toks.size() == 4) {
+        const std::string& attr = toks[3];
+        const auto eq = attr.find('=');
+        if (eq == std::string::npos || attr.substr(0, eq) != "proto")
+          fail(lineno, "unknown edge attribute '" + attr + "'");
+        e.proto = attr.substr(eq + 1);
+        if (!net::ProtocolProfile::by_name(e.proto))
+          fail(lineno, "unknown protocol profile '" + e.proto + "'");
+      }
+      cfg.edges.push_back(std::move(e));
     } else if (kw == "freeze") {
       // freeze <node> [replica=N] [first=<dur>] [period=<dur>] [pause=<dur>]
       if (toks.size() < 2) fail(lineno, "freeze needs a node name");
@@ -340,6 +368,31 @@ std::string invalid_reason(const GraphConfig& cfg) {
     return why("entry node '" + cfg.nodes[0].name + "' has an incoming edge");
   if (cfg.nodes[0].replicas != 1)
     return why("entry node '" + cfg.nodes[0].name + "' cannot be replicated");
+
+  // Protocol profiles: the graph-wide name and every per-edge override
+  // must resolve, and all edges into one node must agree on the
+  // receiver's admission mode (admission belongs to the receiving
+  // server, not to one route).
+  if (!cfg.protocol.empty() && !net::ProtocolProfile::by_name(cfg.protocol))
+    return why("unknown protocol profile '" + cfg.protocol + "'");
+  {
+    std::vector<int> node_adm(n, -1);
+    for (const EdgeSpec& e : cfg.edges) {
+      net::AdmissionMode m = cfg.admission;
+      if (!e.proto.empty()) {
+        const auto p = net::ProtocolProfile::by_name(e.proto);
+        if (!p)
+          return why("edge " + cfg.nodes[e.from].name + " -> " + cfg.nodes[e.to].name +
+                     ": unknown protocol profile '" + e.proto + "'");
+        m = p->admission;
+      }
+      int& cur = node_adm[static_cast<std::size_t>(e.to)];
+      if (cur >= 0 && cur != static_cast<int>(m))
+        return why("node '" + cfg.nodes[e.to].name +
+                   "' receives edges with conflicting admission modes");
+      cur = static_cast<int>(m);
+    }
+  }
 
   // Kahn's algorithm: a leftover node means a cycle.
   {

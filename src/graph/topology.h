@@ -17,11 +17,16 @@
 //   duration 30s
 //   sessions 120
 //   think 200ms
+//   proto linux_modern
 //   node front kind=sync threads=60 backlog=64 work=cpu:500us,down,cpu:200us
 //   node auth  kind=async work=cpu:800us
 //   node data  kind=sync replicas=3 lb=p2c work=cpu:1ms,disk:2ms
 //   edge front auth
-//   edge front data
+//   edge front data proto=erpc
+//
+// `proto <name>` applies a named protocol profile (net/protocol.h,
+// docs/PROTOCOLS.md) graph-wide; `edge a b proto=<name>` overrides the
+// timers of one route and the receiving node's admission mode.
 //
 // Chain-equivalence contract: a chain-shaped config (every node one
 // replica, edges exactly i -> i+1) is wired through the same
@@ -39,6 +44,7 @@
 #include "fault/fault_injector.h"
 #include "graph/scheduler.h"
 #include "net/rto_policy.h"
+#include "net/tcp_queue.h"
 #include "policy/overload/overload.h"
 #include "policy/tail_policy.h"
 #include "server/app_profile.h"
@@ -80,6 +86,13 @@ struct NodeSpec {
 struct EdgeSpec {
   int from = 0;
   int to = 0;
+  // Optional per-edge protocol profile (net/protocol.h) written as
+  // `edge a b proto=erpc` in the grammar: overrides the retransmission
+  // timers on this route and the *receiving* node's admission mode.
+  // Empty = the graph-wide protocol. Every edge into one node must
+  // agree on the receiver's admission mode (validated), and any
+  // per-edge override takes the graph off the chain fast path.
+  std::string proto;
 };
 
 // A whole graph experiment: topology plus the workload / fault / policy
@@ -96,6 +109,17 @@ struct GraphConfig {
   core::WorkloadConfig workload{};
   net::RtoPolicy tier_rto = net::RtoPolicy::fixed3s();
   sim::Duration link_latency = sim::Duration::micros(200);
+  // Graph-wide protocol profile name ("" = the defaults below; set by
+  // the grammar's `proto <name>` directive, which also rewrites
+  // tier_rto, the client RTO, the admission fields, and — for
+  // udp_apptimeout — the client/tier policy governors). Recorded so
+  // tooling can tell which profile produced a run.
+  std::string protocol;
+  // Accept-queue overflow behaviour at sync nodes plus the SYN-cookie
+  // slow-path CPU cost (net/tcp_queue.h); per-edge `proto=` overrides
+  // the receiving node's mode.
+  net::AdmissionMode admission = net::AdmissionMode::kTcpDrop;
+  sim::Duration cookie_penalty = sim::Duration::zero();
   sim::Duration sample_window = sim::Duration::millis(50);
   sim::Duration duration = sim::Duration::seconds(30);
   std::uint64_t seed = 42;

@@ -13,6 +13,8 @@
 
 namespace ntier::net {
 
+// One inter-tier link: base latency, optional jitter, and the degraded
+// state the fault injector toggles.
 class Link {
  public:
   // Fixed one-way latency.
@@ -23,6 +25,7 @@ class Link {
   Link(sim::Duration latency, sim::Duration jitter, sim::Rng& rng)
       : latency_(latency), jitter_(jitter), rng_(&rng) {}
 
+  // One traversal's latency: base + degradation extra + jitter draw.
   sim::Duration sample() {
     sim::Duration d = latency_ + extra_latency_;
     if (rng_ != nullptr && jitter_ > sim::Duration::zero())
@@ -30,6 +33,7 @@ class Link {
     return d;
   }
 
+  // The configured base latency (excludes jitter and degradation).
   sim::Duration base_latency() const { return latency_; }
 
   // --- fault-injection hooks (see fault::FaultInjector) ------------------

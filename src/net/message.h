@@ -9,6 +9,7 @@
 
 namespace ntier::net {
 
+// Strongly-typed message identity (avoids bare-integer mixups).
 struct MessageId {
   std::uint64_t value = 0;
   friend constexpr auto operator<=>(MessageId, MessageId) = default;
@@ -17,6 +18,7 @@ struct MessageId {
 // Monotonic id source; one per simulation.
 class MessageIdGen {
  public:
+  // The next unused id (ids start at 1).
   MessageId next() { return MessageId{++last_}; }
 
  private:

@@ -1,0 +1,96 @@
+#include "net/protocol.h"
+
+namespace ntier::net {
+
+const char* to_string(TransportKind k) {
+  switch (k) {
+    case TransportKind::kTcp: return "tcp";
+    case TransportKind::kUdpAppTimeout: return "udp_apptimeout";
+    case TransportKind::kErpc: return "erpc";
+  }
+  return "?";
+}
+
+const char* to_string(CtqoVisibility v) {
+  switch (v) {
+    case CtqoVisibility::kVisible: return "visible";
+    case CtqoVisibility::kHidden: return "hidden";
+    case CtqoVisibility::kAbsent: return "absent";
+  }
+  return "?";
+}
+
+ProtocolProfile ProtocolProfile::fixed3s() { return ProtocolProfile{}; }
+
+ProtocolProfile ProtocolProfile::rhel6() {
+  ProtocolProfile p;
+  p.name = "rhel6";
+  p.rto = RtoPolicy::rhel6();
+  return p;
+}
+
+ProtocolProfile ProtocolProfile::linux_modern() {
+  ProtocolProfile p;
+  p.name = "linux_modern";
+  p.rto = RtoPolicy::linux_modern();
+  return p;
+}
+
+ProtocolProfile ProtocolProfile::syn_cookies() {
+  ProtocolProfile p;
+  p.name = "syn_cookies";
+  p.rto = RtoPolicy::linux_modern();
+  p.admission = AdmissionMode::kSynCookies;
+  // Stateless slow path: SYN-ACK encode + ACK decode + TCP-option
+  // reconstruction, charged to the accepting server's CPU per request.
+  p.cookie_penalty = sim::Duration::millis(1);
+  return p;
+}
+
+ProtocolProfile ProtocolProfile::udp_apptimeout() {
+  ProtocolProfile p;
+  p.name = "udp_apptimeout";
+  p.transport = TransportKind::kUdpAppTimeout;
+  // The stack never retransmits a datagram: max_retries = 0 makes the
+  // first refused/lost attempt fail straight back to the application.
+  // `initial` is never consulted as a timer; it is set to the app
+  // timeout so config validation (client_timeout >= rto(0)) stays sane.
+  p.rto.backoff = RtoPolicy::Backoff::kFixed;
+  p.rto.initial = sim::Duration::millis(200);
+  p.rto.max_retries = 0;
+  p.app_timeout = sim::Duration::millis(200);
+  p.app_attempts = 4;
+  p.app_retry_budget = 0.1;
+  return p;
+}
+
+ProtocolProfile ProtocolProfile::erpc() {
+  ProtocolProfile p;
+  p.name = "erpc";
+  p.transport = TransportKind::kErpc;
+  p.admission = AdmissionMode::kBypass;
+  p.rto = RtoPolicy::erpc();
+  return p;
+}
+
+std::optional<ProtocolProfile> ProtocolProfile::by_name(std::string_view name) {
+  if (name == "fixed3s") return fixed3s();
+  if (name == "rhel6") return rhel6();
+  if (name == "linux_modern") return linux_modern();
+  if (name == "syn_cookies") return syn_cookies();
+  if (name == "udp_apptimeout") return udp_apptimeout();
+  if (name == "erpc") return erpc();
+  return std::nullopt;
+}
+
+std::vector<std::string> ProtocolProfile::names() {
+  return {"fixed3s", "rhel6", "linux_modern", "syn_cookies", "udp_apptimeout", "erpc"};
+}
+
+CtqoVisibility classify_ctqo(std::uint64_t overflow_events, sim::Duration p999,
+                             sim::Duration visible_threshold) {
+  if (overflow_events == 0) return CtqoVisibility::kAbsent;
+  return p999 >= visible_threshold ? CtqoVisibility::kVisible : CtqoVisibility::kHidden;
+}
+
+}  // namespace ntier::net

@@ -6,8 +6,15 @@ namespace ntier::net {
 
 sim::Duration RtoPolicy::rto(int retry) const {
   if (retry < 0) retry = 0;
-  if (backoff == Backoff::kFixed) return initial;
-  return initial * std::pow(multiplier, static_cast<double>(retry));
+  if (tlp > sim::Duration::zero()) {
+    if (retry == 0) return tlp;
+    --retry;  // the probe consumed slot 0; the RTO ladder starts at `initial`
+  }
+  sim::Duration d = (backoff == Backoff::kFixed)
+                        ? initial
+                        : initial * std::pow(multiplier, static_cast<double>(retry));
+  if (max_rto > sim::Duration::zero() && d > max_rto) d = max_rto;
+  return d;
 }
 
 RtoPolicy RtoPolicy::rhel6() { return RtoPolicy{}; }
@@ -15,6 +22,25 @@ RtoPolicy RtoPolicy::rhel6() { return RtoPolicy{}; }
 RtoPolicy RtoPolicy::fixed3s() {
   RtoPolicy p;
   p.backoff = Backoff::kFixed;
+  return p;
+}
+
+RtoPolicy RtoPolicy::linux_modern() {
+  RtoPolicy p;
+  p.initial = sim::Duration::millis(200);
+  p.backoff = Backoff::kExponential;
+  p.multiplier = 2.0;
+  p.max_retries = 6;
+  p.tlp = sim::Duration::millis(10);
+  p.max_rto = sim::Duration::seconds(120);
+  return p;
+}
+
+RtoPolicy RtoPolicy::erpc() {
+  RtoPolicy p;
+  p.initial = sim::Duration::millis(2);
+  p.backoff = Backoff::kFixed;
+  p.max_retries = 64;
   return p;
 }
 

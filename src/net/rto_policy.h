@@ -1,4 +1,4 @@
-// TCP retransmission-timeout policy.
+// Retransmission-timeout policy: the timer semantics of one protocol stack.
 //
 // The paper's testbed runs RHEL 6.3 (kernel 2.6.32), where a dropped
 // connection-establishment packet is retransmitted after 3 s, with
@@ -7,15 +7,43 @@
 // multi-second VLRT request, producing Fig 1's modes near 3/6/9 s
 // (one drop = 3 s; drops on two hops = 6 s; a double drop on one
 // hop = 3+6 = 9 s).
+//
+// Retransmission is not unbounded: after `max_retries` retransmissions
+// the attempt is abandoned and surfaced to the sender as
+// TxStats::retransmit_exhausted (net/message.h) — the simulated analogue
+// of the kernel giving up after tcp_syn_retries and the application
+// seeing ETIMEDOUT. Policy governors (policy/tail_policy.h) and client
+// timeouts then decide what happens to the logical request.
+//
+// Named profiles (see docs/PROTOCOLS.md for the full matrix and the
+// closed-form schedules):
+//
+//   profile        rto(0)  rto(1)  rto(2)  rto(3)  rto(4)  rto(5)  cap
+//   rhel6()          3 s     6 s    12 s    24 s    48 s     —      —
+//   fixed3s()        3 s     3 s     3 s     3 s     3 s     —      —
+//   linux_modern()  10 ms  200 ms  400 ms  800 ms  1.6 s   3.2 s  120 s
+//   erpc()           2 ms    2 ms    2 ms   ... (fixed, 64 tries)   —
+//
+// linux_modern()'s rto(0) is the tail-loss probe (TLP): modern kernels
+// probe ~10 ms after a suspected tail loss before engaging the real RTO
+// state machine, so the first recovery is two orders of magnitude
+// cheaper than RHEL 6's 3 s. erpc() models a kernel-bypass transport
+// whose *client* drives retransmission at RTT timescales (the eRPC
+// design); it is normally paired with AdmissionMode::kBypass so drops
+// only come from link loss, never from kernel queue overflow.
 #pragma once
 
 #include "sim/time.h"
 
 namespace ntier::net {
 
+// The retransmission-timer schedule of one protocol stack; rto(k) gives
+// the delay before retransmission k (see the profile table above).
 struct RtoPolicy {
   enum class Backoff { kFixed, kExponential };
 
+  // Delay before the first (non-probe) retransmission; the base the
+  // exponential ladder multiplies from.
   sim::Duration initial = sim::Duration::seconds(3);
   Backoff backoff = Backoff::kExponential;
   double multiplier = 2.0;  // used by kExponential
@@ -24,15 +52,33 @@ struct RtoPolicy {
   // attempt is abandoned and surfaced as TxStats::retransmit_exhausted.
   // Without the cap a persistently-full accept queue retransmits forever.
   int max_retries = 5;
+  // Tail-loss probe: when positive, the FIRST retransmission fires after
+  // this delay and the backoff schedule above starts at the second
+  // retransmission (modern kernels probe at ~2*SRTT, min 10 ms, before
+  // declaring a real RTO). Zero = no probe (the legacy schedule).
+  sim::Duration tlp = sim::Duration::zero();
+  // Upper bound on any single RTO (TCP_RTO_MAX, 120 s on Linux). Zero =
+  // uncapped, which is exact for the short schedules above.
+  sim::Duration max_rto = sim::Duration::zero();
 
   // Timeout before retransmission number `retry` (0-based: the delay
-  // after the first drop is rto(0)).
+  // after the first drop is rto(0)). With a tail-loss probe, rto(0) is
+  // `tlp` and rto(k>=1) is the ordinary schedule at position k-1.
   sim::Duration rto(int retry) const;
 
-  // RHEL 6.3 / kernel 2.6.32 SYN-retransmit behaviour (paper default).
+  // RHEL 6.3 / kernel 2.6.32 SYN-retransmit behaviour (paper default):
+  // 3 s initial, doubling, 5 retries.
   static RtoPolicy rhel6();
-  // Fixed 3 s for every retry.
+  // Fixed 3 s for every retry — reproduces Fig 1's 3/6/9 s modes exactly
+  // (k drops => ~3k s). The repo-wide seed default.
   static RtoPolicy fixed3s();
+  // Modern Linux (>= 3.10 era): 10 ms tail-loss probe, then 200 ms min
+  // RTO doubling up to TCP_RTO_MAX = 120 s, 6 tries total. Worst-case
+  // added delay before abandonment: 10ms+200+400+800+1600+3200 ≈ 6.2 s.
+  static RtoPolicy linux_modern();
+  // Kernel-bypass transport (eRPC-style): the client retransmits on a
+  // fixed ~RTT-scale 2 ms timer, 64 tries. Pair with kBypass admission.
+  static RtoPolicy erpc();
 };
 
 }  // namespace ntier::net

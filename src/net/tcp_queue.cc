@@ -1,3 +1,14 @@
 #include "net/tcp_queue.h"
 
-namespace ntier::net {}
+namespace ntier::net {
+
+const char* to_string(AdmissionMode m) {
+  switch (m) {
+    case AdmissionMode::kTcpDrop: return "tcp_drop";
+    case AdmissionMode::kSynCookies: return "syn_cookies";
+    case AdmissionMode::kBypass: return "bypass";
+  }
+  return "?";
+}
+
+}  // namespace ntier::net

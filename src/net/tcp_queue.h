@@ -4,6 +4,21 @@
 // (backlog) size, 128 on their Linux kernel. A server admits a request
 // either into a free worker or into this queue; when both are full the
 // packet is dropped and the sender retransmits per RtoPolicy.
+//
+// The admission mode generalizes "when both are full" beyond the
+// paper's drop-and-retransmit kernel (docs/PROTOCOLS.md):
+//
+//   kTcpDrop    — classic bounded backlog: overflow drops the packet and
+//                 the sender eats an RTO (the CTQO mechanism).
+//   kSynCookies — stateless overflow handling: the kernel answers the
+//                 SYN without a queue slot, so the connection is
+//                 *accepted* instead of dropped, but the cookie slow
+//                 path costs extra server work (SyncConfig::
+//                 cookie_penalty). Overflow admits are counted in
+//                 cookie_admits() and the depth may exceed capacity().
+//   kBypass     — kernel-bypass transport (eRPC-style): there is no
+//                 kernel queue to overflow; every request is admitted
+//                 into userspace queueing.
 #pragma once
 
 #include <cstdint>
@@ -13,37 +28,76 @@
 
 namespace ntier::net {
 
+// What a full accept queue does to the next arriving packet (see the
+// class comment above; selected per server via SyncConfig::admission
+// and per protocol profile via net/protocol.h).
+enum class AdmissionMode { kTcpDrop, kSynCookies, kBypass };
+const char* to_string(AdmissionMode m);
+
+// The bounded accept queue of one server, with its admission mode and
+// overflow counters.
 class TcpQueue {
  public:
+  // A queue holding at most `capacity` waiting requests (in kTcpDrop
+  // mode; cookie/bypass modes may exceed it).
   explicit TcpQueue(std::size_t capacity) : capacity_(capacity) {}
 
+  // Capacity, current depth, and whether the next kTcpDrop arrival drops.
   std::size_t capacity() const { return capacity_; }
   std::size_t depth() const { return depth_; }
   bool full() const { return depth_ >= capacity_; }
 
-  // Admits one request; returns false (and records the drop) when full.
-  bool try_push(sim::Time now) {
+  // The overflow behaviour (set once at wiring time, before traffic).
+  AdmissionMode mode() const { return mode_; }
+  void set_mode(AdmissionMode m) { mode_ = m; }
+
+  // Outcome of one admission attempt: a regular slot, a SYN-cookie
+  // overflow admit (slow path), or a drop.
+  enum class Admit { kSlot, kCookie, kDrop };
+
+  // Admits one request per the admission mode; records the drop (and
+  // its time) in kTcpDrop mode, the overflow admit in kSynCookies mode.
+  Admit try_admit(sim::Time now) {
     if (depth_ >= capacity_) {
-      ++drops_;
-      drop_times_.push_back(now);
-      return false;
+      switch (mode_) {
+        case AdmissionMode::kTcpDrop:
+          ++drops_;
+          drop_times_.push_back(now);
+          return Admit::kDrop;
+        case AdmissionMode::kSynCookies:
+          ++cookie_admits_;
+          ++depth_;
+          return Admit::kCookie;
+        case AdmissionMode::kBypass:
+          ++depth_;
+          return Admit::kSlot;
+      }
     }
     ++depth_;
-    return true;
+    return Admit::kSlot;
   }
+
+  // Admits one request; returns false (and records the drop) when full
+  // in kTcpDrop mode. Convenience wrapper over try_admit().
+  bool try_push(sim::Time now) { return try_admit(now) != Admit::kDrop; }
 
   // Removes one queued request (a worker picked it up).
   void pop() {
     if (depth_ > 0) --depth_;
   }
 
+  // Total packets dropped (kTcpDrop overflow), and each drop's instant.
   std::uint64_t drops() const { return drops_; }
   const std::vector<sim::Time>& drop_times() const { return drop_times_; }
+  // Overflow admissions taken on the SYN-cookie slow path.
+  std::uint64_t cookie_admits() const { return cookie_admits_; }
 
  private:
   std::size_t capacity_;
   std::size_t depth_ = 0;
+  AdmissionMode mode_ = AdmissionMode::kTcpDrop;
   std::uint64_t drops_ = 0;
+  std::uint64_t cookie_admits_ = 0;
   std::vector<sim::Time> drop_times_;
 };
 

@@ -23,8 +23,11 @@ using ResultFn = TxResultFn;
 // (see net/message.h for the contract).
 using RetransmitFn = TxRetransmitObserver;
 
+// One sender's reliable-delivery endpoint: a link plus the RTO loop.
 class Transport {
  public:
+  // Binds the transport to its simulation clock, timer schedule, and
+  // link; all three persist for the transport's lifetime.
   Transport(sim::Simulation& sim, RtoPolicy rto, Link link)
       : sim_(sim), rto_(rto), link_(link) {}
 
@@ -34,6 +37,8 @@ class Transport {
   void send(AttemptFn attempt, ResultFn on_result = {},
             RetransmitFn on_retransmit = {});
 
+  // Lifetime counters, the active timer schedule, and the mutable link
+  // (the fault injector degrades/restores it in place).
   const TxStats& stats() const { return stats_; }
   const RtoPolicy& rto_policy() const { return rto_; }
   Link& link() { return link_; }

@@ -41,6 +41,7 @@
 #include "cpu/io_device.h"
 #include "net/link.h"
 #include "net/rto_policy.h"
+#include "net/tcp_queue.h"
 #include "net/transport.h"
 #include "policy/overload/overload.h"
 #include "policy/tail_policy.h"
@@ -160,6 +161,11 @@ class Server {
   virtual std::size_t max_sys_q_depth() const = 0;
   // Timestamps of every admission drop at this server.
   const std::vector<sim::Time>& drop_times() const { return drop_times_; }
+  // The kernel accept queue, when this server model has one (sync
+  // servers); null for async/staged models. Used by the telemetry layer
+  // to publish the SYN-cookie slow-path counter for non-drop admission
+  // modes (net/tcp_queue.h) without perturbing default runs.
+  virtual const net::TcpQueue* accept_queue() const { return nullptr; }
   net::Transport* downstream_transport() { return transport_ ? transport_.get() : nullptr; }
   Server* downstream() const { return downstream_; }
 

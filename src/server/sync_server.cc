@@ -18,9 +18,11 @@ SyncServer::SyncServer(sim::Simulation& sim, std::string name, cpu::VmCpu* vm,
     : Server(sim, std::move(name), vm, profile, std::move(program_fn)),
       cfg_(cfg),
       site_dbpool_(name_ + ":dbpool"),
+      site_cookie_(name_ + ":syncookie"),
       threads_(cfg.threads_per_process),
       accept_q_(cfg.backlog) {
   assert(cfg.threads_per_process > 0);
+  accept_q_.set_mode(cfg_.admission);
   if (cfg_.db_pool > 0) pool_ = std::make_unique<ConnectionPool>(cfg_.db_pool);
   arm_gc(sim_, *vm_, cfg_.overhead, [this] { return busy_; });
 }
@@ -35,7 +37,8 @@ bool SyncServer::do_offer(Job job) {
     start(std::move(job), hop);
     return true;
   }
-  if (accept_q_.try_push(sim_.now())) {
+  const auto admit = accept_q_.try_admit(sim_.now());
+  if (admit != net::TcpQueue::Admit::kDrop) {
     note_accept();
     job.req->stamp(name_, ":backlog", sim_.now());
     Queued q;
@@ -44,6 +47,7 @@ bool SyncServer::do_offer(Job job) {
     q.qspan = trace_open(job.req, trace::SpanKind::kAcceptQueue, name_, q.hop,
                          sim_.now());
     q.enq = sim_.now();
+    q.cookie = (admit == net::TcpQueue::Admit::kCookie);
     q.job = std::move(job);
     backlog_q_.push_back(std::move(q));
     check_spawn();
@@ -70,7 +74,7 @@ bool SyncServer::do_offer(Job job) {
   return false;
 }
 
-void SyncServer::start(Job job, std::uint64_t hop) {
+void SyncServer::start(Job job, std::uint64_t hop, bool cookie) {
   ++busy_;
   if (busy_ == threads_ && exhausted_since_ == sim::Time::max())
     exhausted_since_ = sim_.now();
@@ -78,12 +82,24 @@ void SyncServer::start(Job job, std::uint64_t hop) {
   ctx->prog = &program_for(*job.req);
   ctx->job = std::move(job);
   ctx->hop = hop;
+  if (cookie && cfg_.cookie_penalty > sim::Duration::zero()) {
+    // SYN-cookie slow path: the worker reconstructs the connection state
+    // (cookie decode, option recovery) before the request program runs —
+    // the "accepted but slow" cost that replaced the drop.
+    const std::uint64_t sp = trace_open(ctx->job.req, trace::SpanKind::kService,
+                                        site_cookie_, ctx->hop, sim_.now());
+    vm_->submit(cfg_.cookie_penalty, [this, ctx, sp] {
+      trace_close(ctx->job.req, sp, sim_.now());
+      run_step(ctx);
+    });
+    return;
+  }
   run_step(ctx);
 }
 
 void SyncServer::start_queued(Queued q) {
   trace_close(q.job.req, q.qspan, sim_.now());
-  start(std::move(q.job), q.hop);
+  start(std::move(q.job), q.hop, q.cookie);
 }
 
 void SyncServer::run_step(const CtxPtr& ctx) {

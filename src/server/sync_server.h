@@ -41,6 +41,14 @@ struct SyncConfig {
   // requests without a deadline rank last, FIFO among equals. Graph
   // nodes select this with sched=edf (docs/TOPOLOGY.md).
   bool edf = false;
+  // Accept-queue overflow behaviour (net/tcp_queue.h): kTcpDrop is the
+  // paper's drop-and-retransmit kernel; kSynCookies admits the overflow
+  // on the stateless slow path (costing `cookie_penalty` of extra CPU
+  // per cookie-admitted request); kBypass never refuses (kernel-bypass
+  // transports queue in userspace). Protocol profiles (net/protocol.h)
+  // set both fields via core::apply_protocol or the graph grammar.
+  net::AdmissionMode admission = net::AdmissionMode::kTcpDrop;
+  sim::Duration cookie_penalty = sim::Duration::zero();
 };
 
 class SyncServer : public Server {
@@ -57,6 +65,8 @@ class SyncServer : public Server {
   std::size_t process_count() const { return processes_; }
   // Requests answered with an immediate overload error (shed mode).
   std::uint64_t shed_count() const { return shed_; }
+  // Accept queue, for admission-mode telemetry (cookie_admits probe).
+  const net::TcpQueue* accept_queue() const override { return &accept_q_; }
   ConnectionPool* pool() { return pool_ ? pool_.get() : nullptr; }
   const SyncConfig& config() const { return cfg_; }
 
@@ -84,10 +94,11 @@ class SyncServer : public Server {
     std::uint64_t hop = trace::kNoSpan;
     std::uint64_t qspan = trace::kNoSpan;
     sim::Time enq{};  // backlog entry time (overload sojourn accounting)
+    bool cookie = false;  // admitted via the SYN-cookie slow path
   };
 
   static sim::SlabPool<Ctx>& ctx_pool();
-  void start(Job job, std::uint64_t hop);
+  void start(Job job, std::uint64_t hop, bool cookie = false);
   void run_step(const CtxPtr& ctx);
   void begin_downstream(const CtxPtr& ctx);
   void finish(const CtxPtr& ctx);
@@ -101,6 +112,7 @@ class SyncServer : public Server {
 
   SyncConfig cfg_;
   const std::string site_dbpool_;  // "<name>:dbpool" (built once)
+  const std::string site_cookie_;  // "<name>:syncookie" (built once)
   std::size_t threads_;     // current total across processes
   std::size_t processes_ = 1;
   std::size_t busy_ = 0;

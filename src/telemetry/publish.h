@@ -11,6 +11,7 @@
 
 #include <string>
 
+#include "net/tcp_queue.h"
 #include "net/transport.h"
 #include "policy/overload/overload.h"
 #include "policy/tail_policy.h"
@@ -53,6 +54,17 @@ inline void publish_server(Registry& r, server::Server& s) {
 inline void publish_transport(Registry& r, const std::string& sender, net::Transport& t) {
   r.add_probe(sender + ".retransmits", Registry::ProbeKind::kCumulative,
               [&t] { return static_cast<double>(t.stats().retransmits); });
+}
+
+// net admission: the SYN-cookie slow path of one accept queue.
+//   <srv>.cookie_admits — overflow admissions taken via the stateless
+//                         cookie path per second (tcp_queue.h)
+// Registered only for non-default admission modes, so a kTcpDrop run's
+// registry snapshot (and thus its manifest) is unchanged.
+inline void publish_accept_queue(Registry& r, const std::string& srv,
+                                 const net::TcpQueue& q) {
+  r.add_probe(srv + ".cookie_admits", Registry::ProbeKind::kCumulative,
+              [&q] { return static_cast<double>(q.cookie_admits()); });
 }
 
 // policy: the tail-tolerance governor of one hop.
