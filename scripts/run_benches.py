@@ -24,16 +24,23 @@ study (ext_protocol_matrix) and a top-level "proto" section scraped
 from its `[proto]` lines: per-point visible/hidden/absent CTQO verdicts
 across protocol × workload × NX, plus the headline expectations
 (fixed3s visible, linux_modern hidden, erpc absent — docs/PROTOCOLS.md)
-pulled out as their own pass/fail. Discovery is automatic, so the
-schema tag is the record that the roster — and therefore the totals —
-changed.
+pulled out as their own pass/fail. Schema ntier.bench/8 adds the
+"micro_wheel" section for the hierarchical timing-wheel engine
+(bench/micro_engine.cc): dense self-rescheduling timer throughput of
+the wheel vs. the indexed-heap predecessor (wheel_over_heap_dense
+speedup), the wheel's cancel-heavy churn rate, and the beyond-horizon
+FarTimer fallback rate. Discovery is automatic, so the schema tag is
+the record that the roster — and therefore the totals — changed.
 
-The report also carries two microbench sections:
+The report also carries three microbench sections:
 
-  * "micro_engine" — the event-queue CancelHeavy comparison
+  * "micro_engine" — the event-queue CancelHeavy lineage comparison
     (bench/micro_engine.cc): items/s of the old lazy-cancellation
-    priority_queue vs. the current indexed 4-ary heap, plus the
-    indexed_over_lazy speedup ratio.
+    priority_queue vs. a replica of the PR-5 indexed 4-ary heap, plus
+    the indexed_over_lazy speedup ratio.
+  * "micro_wheel" — the timing-wheel generation (bench/micro_engine.cc):
+    WheelDense/HeapDense events/s, WheelCancelHeavy items/s, and
+    FarTimer events/s, plus the wheel_over_heap_dense speedup ratio.
   * "micro_hotpath" — the allocation-discipline comparison
     (bench/micro_hotpath.cc): events/s of the pre-pooling substrate
     (shared_ptr requests/contexts + std::function events + per-push
@@ -188,6 +195,53 @@ def run_micro_engine(bench_dir: str) -> dict:
     }
 
 
+def run_micro_wheel(bench_dir: str) -> dict:
+    """Timing-wheel generation: dense/cancel-heavy/far-timer rates."""
+    path = os.path.join(bench_dir, "micro_engine")
+    if not (os.path.isfile(path) and os.access(path, os.X_OK)):
+        return {"ok": False, "error": "micro_engine binary not found"}
+    try:
+        proc = subprocess.run(
+            [path, "--benchmark_filter=Dense|WheelCancelHeavy|FarTimer",
+             "--benchmark_format=json"],
+            capture_output=True, text=True, timeout=600, check=False,
+        )
+    except subprocess.TimeoutExpired:
+        return {"ok": False, "error": "timeout"}
+    if proc.returncode != 0:
+        return {"ok": False, "error": f"exit {proc.returncode}"}
+    try:
+        data = json.loads(proc.stdout)
+    except ValueError:
+        return {"ok": False, "error": "unparsable google-benchmark JSON"}
+    rates = {}
+    for b in data.get("benchmarks", []):
+        name = b.get("name", "")
+        rate = b.get("items_per_second")
+        if "WheelDense" in name:
+            rates["wheel_dense_events_per_s"] = rate
+        elif "HeapDense" in name:
+            rates["heap_dense_events_per_s"] = rate
+        elif "WheelCancelHeavy" in name:
+            rates["wheel_cancel_heavy_items_per_s"] = rate
+        elif "FarTimer" in name:
+            rates["far_timer_events_per_s"] = rate
+    wheel = rates.get("wheel_dense_events_per_s")
+    heap = rates.get("heap_dense_events_per_s")
+    cancel = rates.get("wheel_cancel_heavy_items_per_s")
+    far = rates.get("far_timer_events_per_s")
+    if not wheel or not heap or not cancel or not far:
+        return {"ok": False, "error": "wheel benchmarks missing from output"}
+    return {
+        "ok": True,
+        "wheel_dense_events_per_s": round(wheel),
+        "heap_dense_events_per_s": round(heap),
+        "wheel_cancel_heavy_items_per_s": round(cancel),
+        "far_timer_events_per_s": round(far),
+        "wheel_over_heap_dense": round(wheel / heap, 3),
+    }
+
+
 def run_micro_hotpath(bench_dir: str) -> dict:
     """Pooled-vs-legacy allocation comparison from the HotPath benchmarks."""
     path = os.path.join(bench_dir, "micro_hotpath")
@@ -239,6 +293,7 @@ def find_regressions(report: dict, baseline: dict) -> list:
         if b.get("ok") and b.get("events_per_s")
     }
     for section, key in (("micro_engine", "indexed_heap_items_per_s"),
+                         ("micro_wheel", "wheel_dense_events_per_s"),
                          ("micro_hotpath", "pooled_events_per_s")):
         sec = baseline.get(section)
         if sec and sec.get("ok") and sec.get(key):
@@ -249,6 +304,7 @@ def find_regressions(report: dict, baseline: dict) -> list:
         if b.get("ok") and b.get("events_per_s")
     }
     for section, key in (("micro_engine", "indexed_heap_items_per_s"),
+                         ("micro_wheel", "wheel_dense_events_per_s"),
                          ("micro_hotpath", "pooled_events_per_s")):
         sec = report.get(section)
         if sec and sec.get("ok") and sec.get(key):
@@ -298,6 +354,7 @@ def main() -> int:
         results.append(r)
 
     micro = None
+    wheel = None
     if want_micro:
         print("running micro_engine (CancelHeavy old-vs-new heap) ...", flush=True)
         micro = run_micro_engine(bench_dir)
@@ -307,6 +364,17 @@ def main() -> int:
                   f"speedup={micro['indexed_over_lazy']}x")
         else:
             print(f"  FAILED: {micro['error']}")
+        print("running micro_engine (timing-wheel dense/cancel/far) ...",
+              flush=True)
+        wheel = run_micro_wheel(bench_dir)
+        if wheel["ok"]:
+            print(f"  wheel_dense={wheel['wheel_dense_events_per_s']}/s "
+                  f"heap_dense={wheel['heap_dense_events_per_s']}/s "
+                  f"speedup={wheel['wheel_over_heap_dense']}x "
+                  f"cancel_heavy={wheel['wheel_cancel_heavy_items_per_s']}/s "
+                  f"far_timer={wheel['far_timer_events_per_s']}/s")
+        else:
+            print(f"  FAILED: {wheel['error']}")
 
     hotpath = None
     if want_hotpath:
@@ -380,12 +448,13 @@ def main() -> int:
 
     ok = [r for r in results if r["ok"]]
     report = {
-        "schema": "ntier.bench/7",
+        "schema": "ntier.bench/8",
         "benches": results,
         "graph": graph,
         "obs": obs,
         "proto": proto,
         "micro_engine": micro,
+        "micro_wheel": wheel,
         "micro_hotpath": hotpath,
         "total_events": sum(r["events"] for r in ok),
         "total_wall_s": round(sum(r["wall_s"] for r in ok), 3),
@@ -393,6 +462,8 @@ def main() -> int:
     }
     if micro is not None and not micro["ok"]:
         report["failed"].append("micro_engine")
+    if wheel is not None and not wheel["ok"]:
+        report["failed"].append("micro_wheel")
     if hotpath is not None and not hotpath["ok"]:
         report["failed"].append("micro_hotpath")
     if graph is not None and not graph["ok"]:

@@ -20,7 +20,8 @@ struct GcState {
 void tick(const std::shared_ptr<GcState>& st) {
   const auto pause = st->model.gc_pause(st->busy());
   if (pause > sim::Duration::zero()) st->vm->freeze_for(pause);
-  st->sim->after(st->model.gc_interval, [st] { tick(st); });
+  st->sim->after(st->model.gc_interval, [st] { tick(st); },
+                 sim::SchedClass::kTimer);
 }
 
 }  // namespace
@@ -30,7 +31,7 @@ void arm_gc(sim::Simulation& sim, VmCpu& vm, const ThreadOverheadModel& model,
   if (model.gc_interval <= sim::Duration::zero()) return;
   auto st = std::make_shared<GcState>(
       GcState{&sim, &vm, model, std::move(busy_threads)});
-  sim.after(model.gc_interval, [st] { tick(st); });
+  sim.after(model.gc_interval, [st] { tick(st); }, sim::SchedClass::kTimer);
 }
 
 }  // namespace ntier::cpu

@@ -14,7 +14,8 @@ void Transport::send(AttemptFn attempt, ResultFn on_result,
   attempt_at(std::move(p), link_.sample());
 }
 
-void Transport::attempt_at(MessagePtr p, sim::Duration delay) {
+void Transport::attempt_at(MessagePtr p, sim::Duration delay,
+                           sim::SchedClass klass) {
   sim_.after(delay, [this, p] {
     ++p->attempts;
     // A degraded link may lose the packet in flight; the sender cannot
@@ -46,8 +47,8 @@ void Transport::attempt_at(MessagePtr p, sim::Duration delay) {
     ++stats_.retransmits;
     p->retrans_delay += rto;
     if (p->on_retransmit) p->on_retransmit(sim_.now(), rto, p->attempts);
-    attempt_at(p, rto + link_.sample());
-  });
+    attempt_at(p, rto + link_.sample(), sim::SchedClass::kTimer);
+  }, klass);
 }
 
 }  // namespace ntier::net

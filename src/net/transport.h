@@ -44,7 +44,12 @@ class Transport {
   Link& link() { return link_; }
 
  private:
-  void attempt_at(MessagePtr p, sim::Duration delay);
+  // Schedules the next delivery attempt. The first attempt rides the
+  // sampled link latency (kAuto); RTO-driven retransmissions pass
+  // kTimer — they are exactly the homogeneous 3 s/ladder timer mass the
+  // timing wheel absorbs.
+  void attempt_at(MessagePtr p, sim::Duration delay,
+                  sim::SchedClass klass = sim::SchedClass::kAuto);
 
   sim::Simulation& sim_;
   RtoPolicy rto_;

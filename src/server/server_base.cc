@@ -141,7 +141,8 @@ bool Server::offer(Job job) {
     trace_instant(job.req, trace::SpanKind::kDeadlineCancel, name_,
                   job.parent_span, sim_.now());
     auto jr = job_pool().make(std::move(job));
-    sim_.after(sim::Duration::zero(), [jr] { jr->reply(jr->req); });
+    sim_.after(sim::Duration::zero(), [jr] { jr->reply(jr->req); },
+               sim::SchedClass::kImmediate);
     return true;
   }
   if (overload_ != nullptr) {
@@ -203,7 +204,8 @@ void Server::shed_job(Job job, bool accepted, int detail) {
   // The canned rejection is produced without a worker but still crosses
   // the wire; reply off this stack frame after a token service cost.
   auto jr = job_pool().make(std::move(job));
-  sim_.after(sim::Duration::micros(50), [jr] { jr->reply(jr->req); });
+  sim_.after(sim::Duration::micros(50), [jr] { jr->reply(jr->req); },
+             sim::SchedClass::kTimer);
 }
 
 void Server::dispatch_downstream(const RequestPtr& req, std::uint64_t parent_span,
@@ -284,7 +286,8 @@ void Server::dispatch_via(Route* route, const RequestPtr& req,
     ++stats_.failed;
     trace_instant(req, trace::SpanKind::kDeadlineCancel, st->site, st->ds_span,
                   sim_.now());
-    sim_.after(sim::Duration::zero(), [this, st] { st->unwind(sim_.now()); });
+    sim_.after(sim::Duration::zero(), [this, st] { st->unwind(sim_.now()); },
+               sim::SchedClass::kImmediate);
     return;
   }
   if (!governor_->allow_send()) {
@@ -294,7 +297,8 @@ void Server::dispatch_via(Route* route, const RequestPtr& req,
     ++stats_.failed;
     trace_instant(req, trace::SpanKind::kBreakerReject, st->site, st->ds_span,
                   sim_.now());
-    sim_.after(sim::Duration::zero(), [this, st] { st->unwind(sim_.now()); });
+    sim_.after(sim::Duration::zero(), [this, st] { st->unwind(sim_.now()); },
+               sim::SchedClass::kImmediate);
     return;
   }
 
@@ -315,7 +319,7 @@ void Server::dispatch_via(Route* route, const RequestPtr& req,
         trace_instant(st->req, trace::SpanKind::kHedge, st->site, st->ds_span,
                       sim_.now(), /*detail=*/i);
         send_attempt(st, /*is_hedge=*/true);
-      });
+      }, sim::SchedClass::kTimer);
     }
   }
 }
@@ -395,7 +399,7 @@ void Server::send_attempt(const StPtr& st, bool is_hedge) {
       // The timed-out attempt stays in flight downstream (its work is not
       // recalled); if it lands before the retry it still wins via `st`.
       retry_or_fail(ga->st);
-    });
+    }, sim::SchedClass::kTimer);
   }
 }
 
@@ -438,7 +442,7 @@ void Server::retry_or_fail(const StPtr& st) {
     ++st->attempts;
     ++st->req->app_retries;
     send_attempt(st, /*is_hedge=*/false);
-  });
+  }, sim::SchedClass::kTimer);
 }
 
 void Server::fail_dispatch(const StPtr& st) {

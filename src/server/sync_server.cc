@@ -62,7 +62,8 @@ bool SyncServer::do_offer(Job job) {
     trace_instant(job.req, trace::SpanKind::kDrop, name_, job.parent_span,
                   sim_.now(), /*detail=*/2);
     auto jr = job_pool().make(std::move(job));
-    sim_.after(sim::Duration::micros(50), [jr] { jr->reply(jr->req); });
+    sim_.after(sim::Duration::micros(50), [jr] { jr->reply(jr->req); },
+               sim::SchedClass::kTimer);
     check_spawn();
     return true;
   }

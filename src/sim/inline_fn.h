@@ -21,6 +21,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -66,28 +67,43 @@ class InlineFn<R(Args...), Capacity> {
     invoke_ = [](void* self, Args... args) -> R {
       return (*static_cast<Fn*>(self))(std::forward<Args>(args)...);
     };
-    manage_ = [](Op op, void* self, void* other) {
-      switch (op) {
-        case Op::kDestroy:
-          static_cast<Fn*>(self)->~Fn();
-          break;
-        case Op::kMoveTo:
-          ::new (other) Fn(std::move(*static_cast<Fn*>(self)));
-          static_cast<Fn*>(self)->~Fn();
-          break;
-        case Op::kCopyTo:
-          ::new (other) Fn(*static_cast<const Fn*>(self));
-          break;
-      }
-    };
+    // Trivially copyable + destructible targets (the steady-state
+    // closures: pointer/handle/POD captures) need no manager at all —
+    // move and copy degrade to a fixed-size memcpy and destruction to
+    // nothing, sparing the event loop an indirect call per transfer.
+    if constexpr (!(std::is_trivially_copyable_v<Fn> &&
+                    std::is_trivially_destructible_v<Fn>)) {
+      manage_ = [](Op op, void* self, void* other) {
+        switch (op) {
+          case Op::kDestroy:
+            static_cast<Fn*>(self)->~Fn();
+            break;
+          case Op::kMoveTo:
+            ::new (other) Fn(std::move(*static_cast<Fn*>(self)));
+            static_cast<Fn*>(self)->~Fn();
+            break;
+          case Op::kCopyTo:
+            ::new (other) Fn(*static_cast<const Fn*>(self));
+            break;
+        }
+      };
+    }
   }
 
   // Copy duplicates the target; move transfers it and empties the source.
+  // A stored target with no manager is trivially copyable: both degrade
+  // to copying the buffer.
   InlineFn(const InlineFn& o) : invoke_(o.invoke_), manage_(o.manage_) {
-    if (manage_) manage_(Op::kCopyTo, const_cast<unsigned char*>(o.buf_), buf_);
+    if (manage_)
+      manage_(Op::kCopyTo, const_cast<unsigned char*>(o.buf_), buf_);
+    else if (invoke_)
+      std::memcpy(buf_, o.buf_, Capacity);
   }
   InlineFn(InlineFn&& o) noexcept : invoke_(o.invoke_), manage_(o.manage_) {
-    if (manage_) manage_(Op::kMoveTo, o.buf_, buf_);
+    if (manage_)
+      manage_(Op::kMoveTo, o.buf_, buf_);
+    else if (invoke_)
+      std::memcpy(buf_, o.buf_, Capacity);
     o.invoke_ = nullptr;
     o.manage_ = nullptr;
   }
@@ -98,6 +114,8 @@ class InlineFn<R(Args...), Capacity> {
       manage_ = o.manage_;
       if (manage_)
         manage_(Op::kCopyTo, const_cast<unsigned char*>(o.buf_), buf_);
+      else if (invoke_)
+        std::memcpy(buf_, o.buf_, Capacity);
     }
     return *this;
   }
@@ -106,7 +124,10 @@ class InlineFn<R(Args...), Capacity> {
       reset();
       invoke_ = o.invoke_;
       manage_ = o.manage_;
-      if (manage_) manage_(Op::kMoveTo, o.buf_, buf_);
+      if (manage_)
+        manage_(Op::kMoveTo, o.buf_, buf_);
+      else if (invoke_)
+        std::memcpy(buf_, o.buf_, Capacity);
       o.invoke_ = nullptr;
       o.manage_ = nullptr;
     }

@@ -3,24 +3,14 @@
 namespace ntier::sim {
 
 void Simulation::run_until(Time deadline) {
-  while (true) {
-    Time t = queue_.next_time();
-    if (t > deadline) break;
-    now_ = t;
-    queue_.pop_and_run();
-    ++executed_;
-  }
+  while (const std::size_t n = queue_.run_next_tick(deadline, now_))
+    executed_ += n;
   if (deadline > now_) now_ = deadline;
 }
 
 void Simulation::run_all() {
-  while (true) {
-    Time t = queue_.next_time();
-    if (t == Time::max()) break;
-    now_ = t;
-    queue_.pop_and_run();
-    ++executed_;
-  }
+  while (const std::size_t n = queue_.run_next_tick(Time::max(), now_))
+    executed_ += n;
 }
 
 }  // namespace ntier::sim

@@ -3,7 +3,6 @@
 
 #include <cassert>
 #include <cstdint>
-#include <functional>
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
@@ -23,20 +22,32 @@ class Simulation {
   // Current simulated instant (starts at Time::origin()).
   Time now() const { return now_; }
 
-  // Schedules fn at an absolute instant (>= now()).
-  EventHandle at(Time when, EventFn fn) {
+  // Schedules fn at an absolute instant (>= now()). The optional hint
+  // documents the call site's scheduling class (see sim::SchedClass);
+  // placement is identical for every hint. Debug builds check that
+  // kImmediate really is a same-instant dispatch; kTimer is a pure
+  // audited annotation (stochastic timer draws may legally round to
+  // zero delay).
+  EventHandle at(Time when, EventFn fn, SchedClass hint = SchedClass::kAuto) {
     assert(when >= now_);
+    assert(hint != SchedClass::kImmediate || when == now_);
+    (void)hint;
     return queue_.push(when, std::move(fn));
   }
 
-  // Schedules fn after a non-negative delay.
-  EventHandle after(Duration delay, EventFn fn) {
+  // Schedules fn after a non-negative delay (same hint semantics).
+  EventHandle after(Duration delay, EventFn fn,
+                    SchedClass hint = SchedClass::kAuto) {
     assert(delay >= Duration::zero());
+    assert(hint != SchedClass::kImmediate || delay == Duration::zero());
+    (void)hint;
     return queue_.push(now_ + delay, std::move(fn));
   }
 
-  // Runs events until the clock would pass `deadline`. The clock ends at
-  // exactly `deadline` (events at the deadline itself do run).
+  // Runs events until the clock would pass `deadline`, one whole tick
+  // batch at a time (every event at one instant drains in a single
+  // pass). The clock ends at exactly `deadline` (events at the deadline
+  // itself do run).
   void run_until(Time deadline);
 
   // Runs until no live events remain (use with closed models only).
@@ -45,9 +56,10 @@ class Simulation {
   // Events executed so far; useful for microbenchmarks and loop guards.
   std::uint64_t events_executed() const { return executed_; }
 
-  // Exact number of live future events — the "heap depth" gauge the
-  // telemetry registry samples. (Cancelled events are erased eagerly by
-  // the indexed heap, so this is no longer an upper bound.)
+  // Exact number of live future events — the "queue depth" gauge the
+  // telemetry registry samples. Counts every pending event wherever it
+  // resides (tick batch, wheel slot, or overflow heap); cancelled
+  // events leave the count immediately.
   std::size_t pending_events() const { return queue_.size(); }
 
  private:

@@ -57,13 +57,14 @@ void ClientPool::start() {
     // (exponential) think cycle, so the arrival process is stationary
     // from t=0 with no ramp-in overshoot.
     const auto phase = rng_.exp_duration(cfg_.mean_think);
-    sim_.after(phase, [this, s] { issue(s); });
+    sim_.after(phase, [this, s] { issue(s); }, sim::SchedClass::kTimer);
   }
 }
 
 void ClientPool::session_think(std::size_t session) {
   const auto think = draw_think(rng_, cfg_.mean_think, burst_);
-  sim_.after(think, [this, session] { issue(session); });
+  sim_.after(think, [this, session] { issue(session); },
+             sim::SchedClass::kTimer);
 }
 
 std::size_t ClientPool::pick_class(std::size_t session) {
@@ -140,7 +141,7 @@ void ClientPool::issue(std::size_t session) {
       req->failed = true;
       req->stamp("client:timeout", sim_.now());
       settle(session, req);
-    });
+    }, sim::SchedClass::kTimer);
   }
 
   transport_.send(
@@ -186,7 +187,7 @@ void ClientPool::issue_governed(std::size_t session, const server::RequestPtr& r
       fl->req->failed = true;
       fl->req->stamp("client:timeout", sim_.now());
       settle(fl->session, fl->req);
-    });
+    }, sim::SchedClass::kTimer);
   }
   if (req->has_deadline()) {
     // The deadline bounds the client's patience too: at expiry the
@@ -201,7 +202,7 @@ void ClientPool::issue_governed(std::size_t session, const server::RequestPtr& r
       server::trace_instant(fl->req, trace::SpanKind::kDeadlineCancel, "client",
                             server::trace_root(fl->req), sim_.now());
       settle(fl->session, fl->req);
-    });
+    }, sim::SchedClass::kTimer);
   }
 
   send_attempt(fl, /*is_hedge=*/false);
@@ -217,7 +218,7 @@ void ClientPool::issue_governed(std::size_t session, const server::RequestPtr& r
         server::trace_instant(fl->req, trace::SpanKind::kHedge, "client",
                               server::trace_root(fl->req), sim_.now(), /*detail=*/i);
         send_attempt(fl, /*is_hedge=*/true);
-      });
+      }, sim::SchedClass::kTimer);
     }
   }
 }
@@ -278,7 +279,7 @@ void ClientPool::send_attempt(const FlPtr& fl, bool is_hedge) {
       ga->concluded = true;
       governor_->on_outcome(false);
       retry_or_fail(ga->fl);
-    });
+    }, sim::SchedClass::kTimer);
   }
 }
 
@@ -316,7 +317,7 @@ void ClientPool::retry_or_fail(const FlPtr& fl) {
     ++fl->req->app_retries;
     fl->req->stamp("client:retry", sim_.now());
     send_attempt(fl, /*is_hedge=*/false);
-  });
+  }, sim::SchedClass::kTimer);
 }
 
 void ClientPool::settle_failed(const FlPtr& fl) {

@@ -1,0 +1,299 @@
+// Property tests for the hierarchical timing-wheel front-end: the
+// EventQueue must be observationally identical to a (when, seq)
+// priority queue no matter how events distribute across wheel levels,
+// the beyond-horizon heap fallback, and the per-tick batch. The
+// randomized schedules here deliberately mix same-tick bursts,
+// far-future pushes that cascade through every level, cancels of
+// events in all three residences, and cancel-after-fire no-ops, and
+// check size()/next_time() exactness after every operation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iterator>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace {
+
+using ntier::sim::EventHandle;
+using ntier::sim::EventQueue;
+using ntier::sim::Rng;
+using ntier::sim::Time;
+
+// Reference model: a lazy-deletion priority queue popping strictly in
+// (when, seq) order — the order the pre-wheel implementations used and
+// the determinism invariant the wheel must preserve.
+class Oracle {
+ public:
+  std::shared_ptr<bool> push(std::int64_t when, std::uint64_t id) {
+    auto dead = std::make_shared<bool>(false);
+    heap_.push(Entry{when, next_seq_++, id, dead});
+    ++live_;
+    return dead;
+  }
+
+  void cancel(const std::shared_ptr<bool>& dead) {
+    if (*dead) return;
+    *dead = true;
+    --live_;
+  }
+
+  // Exact earliest live instant; INT64_MAX when empty.
+  std::int64_t next_time() {
+    skip_dead();
+    return heap_.empty() ? std::numeric_limits<std::int64_t>::max()
+                         : heap_.top().when;
+  }
+
+  // Pops every live entry at the earliest instant, in seq order.
+  std::vector<std::uint64_t> pop_tick(std::int64_t* when_out) {
+    std::vector<std::uint64_t> ids;
+    skip_dead();
+    if (heap_.empty()) return ids;
+    *when_out = heap_.top().when;
+    while (!heap_.empty() && heap_.top().when == *when_out) {
+      if (!*heap_.top().dead) {
+        *heap_.top().dead = true;  // fired: outstanding handles go stale
+        ids.push_back(heap_.top().id);
+        --live_;
+      }
+      heap_.pop();
+    }
+    return ids;
+  }
+
+  std::size_t live() const { return live_; }
+
+ private:
+  struct Entry {
+    std::int64_t when;
+    std::uint64_t seq;
+    std::uint64_t id;
+    std::shared_ptr<bool> dead;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void skip_dead() {
+    while (!heap_.empty() && *heap_.top().dead) heap_.pop();
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+TEST(WheelProperty, MatchesPriorityQueueOracleAcrossLevels) {
+  // Random op mix whose delay menu hits every wheel level (0..3), the
+  // exact level boundaries, and the beyond-horizon (>= 2^32 us) heap
+  // fallback. Draining goes through run_tick — the batched path the
+  // Simulation drives — and time only moves forward, as under the
+  // Simulation facade.
+  EventQueue q;
+  Oracle oracle;
+  Rng rng(0x5eed);
+  std::vector<EventHandle> handles;
+  std::vector<std::shared_ptr<bool>> oracle_handles;
+  std::vector<std::uint64_t> fired;
+  std::int64_t now = 0;
+  std::uint64_t next_id = 0;
+
+  static constexpr std::int64_t kDelays[] = {
+      0,         1,          3,          200,        255,
+      256,       257,        4096,       65535,      65536,
+      65537,     1 << 20,    1ll << 24,  (1ll << 24) + 5,
+      1ll << 31, 1ll << 32,  (1ll << 32) + 9,        1ll << 33};
+
+  for (int step = 0; step < 30000; ++step) {
+    const std::uint64_t op = rng.next_u64() % 10;
+    if (op < 6) {  // push (same-tick duplicates arise from delay 0/1)
+      const std::int64_t when =
+          now + kDelays[rng.next_u64() % std::size(kDelays)];
+      const std::uint64_t id = next_id++;
+      handles.push_back(q.push(Time::from_micros(when), [id, &fired] {
+        fired.push_back(id);
+      }));
+      oracle_handles.push_back(oracle.push(when, id));
+    } else if (op < 8 && !handles.empty()) {  // cancel a random handle
+      const std::size_t i = rng.next_u64() % handles.size();
+      ASSERT_EQ(handles[i].pending(), !*oracle_handles[i]);
+      handles[i].cancel();
+      oracle.cancel(oracle_handles[i]);
+      // Idempotent, and a no-op after the event fired.
+      handles[i].cancel();
+      EXPECT_FALSE(handles[i].pending());
+    } else {  // drain one whole tick through the batched path
+      ASSERT_EQ(q.size(), oracle.live());
+      ASSERT_EQ(q.empty(), oracle.live() == 0);
+      std::int64_t owhen = 0;
+      const std::vector<std::uint64_t> want = oracle.pop_tick(&owhen);
+      if (want.empty()) {
+        EXPECT_EQ(q.next_time(), Time::max());
+        EXPECT_EQ(q.run_tick(), 0u);
+      } else {
+        // next_time() must surface the exact instant even while the
+        // earliest event still sits in a coarse, not-yet-cascaded slot.
+        ASSERT_EQ(q.next_time().count_micros(), owhen);
+        fired.clear();
+        ASSERT_EQ(q.run_tick(), want.size());
+        ASSERT_EQ(fired, want);
+        now = owhen;  // the facade never schedules into the past
+      }
+    }
+  }
+
+  // Drain both to empty and compare the complete remaining pop order.
+  for (;;) {
+    ASSERT_EQ(q.size(), oracle.live());
+    std::int64_t owhen = 0;
+    const std::vector<std::uint64_t> want = oracle.pop_tick(&owhen);
+    if (want.empty()) break;
+    ASSERT_EQ(q.next_time().count_micros(), owhen);
+    fired.clear();
+    ASSERT_EQ(q.run_tick(), want.size());
+    ASSERT_EQ(fired, want);
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), Time::max());
+}
+
+TEST(WheelProperty, SingleSteppingMatchesOracle) {
+  // The same schedule shape driven through pop_and_run — the
+  // single-stepping path with no batching — including pushes at times
+  // the queue has already executed past (legal through the raw API).
+  EventQueue q;
+  Oracle oracle;
+  Rng rng(4242);
+  std::vector<std::uint64_t> fired;
+  std::uint64_t next_id = 0;
+
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t op = rng.next_u64() % 10;
+    if (op < 6) {
+      // Absolute times from a small window: many land before the
+      // current wheel tick and must still fire in (when, seq) order.
+      const std::int64_t when =
+          static_cast<std::int64_t>(rng.next_u64() % 512);
+      const std::uint64_t id = next_id++;
+      q.push(Time::from_micros(when), [id, &fired] { fired.push_back(id); });
+      oracle.push(when, id);
+    } else {
+      std::int64_t owhen = 0;
+      std::vector<std::uint64_t> want = oracle.pop_tick(&owhen);
+      if (want.empty()) {
+        EXPECT_FALSE(q.pop_and_run());
+      } else {
+        for (const std::uint64_t id : want) {
+          fired.clear();
+          ASSERT_TRUE(q.pop_and_run());
+          ASSERT_EQ(fired.size(), 1u);
+          ASSERT_EQ(fired.front(), id);
+        }
+      }
+    }
+  }
+}
+
+TEST(WheelTick, SameInstantPushJoinsTheDrainingBatch) {
+  // An event that schedules more work at its own instant sees that
+  // work run in the same run_tick pass, after every previously
+  // scheduled same-instant event (seq order).
+  EventQueue q;
+  std::vector<int> fired;
+  const Time t = Time::from_micros(1000);
+  q.push(t, [&q, &fired, t] {
+    fired.push_back(1);
+    q.push(t, [&fired] { fired.push_back(3); });
+  });
+  q.push(t, [&fired] { fired.push_back(2); });
+  EXPECT_EQ(q.run_tick(), 3u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(WheelTick, MixedResidenciesMergeInSeqOrder) {
+  // One instant reached from every residence: a far push that cascades
+  // into the tick (pushed first, so smallest seq), a beyond-horizon
+  // heap event moved within the wheel's range only by its absolute
+  // time, and direct near pushes. The drain must interleave them by
+  // seq even though the wheel slot itself is unordered.
+  EventQueue q;
+  std::vector<int> fired;
+  const std::int64_t t = (1ll << 24) + 12345;  // level-3 away from 0
+  q.push(Time::from_micros(t), [&fired] { fired.push_back(0); });
+  q.push(Time::from_micros(t), [&fired] { fired.push_back(1); });
+  // Burn a nearer tick so the queue advances and cascades the pair.
+  q.push(Time::from_micros(1 << 20), [&fired] { fired.push_back(-1); });
+  EXPECT_EQ(q.run_tick(), 1u);
+  // Now push more events at t from the nearer current tick (they land
+  // in finer levels than the first two did).
+  q.push(Time::from_micros(t), [&fired] { fired.push_back(2); });
+  q.push(Time::from_micros(t), [&fired] { fired.push_back(3); });
+  fired.clear();
+  EXPECT_EQ(q.next_time().count_micros(), t);
+  EXPECT_EQ(q.run_tick(), 4u);
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(WheelSize, CountsEveryResidenceExactly) {
+  // size() and next_time() across the wheel/heap split: wheel-resident
+  // events (all levels), beyond-horizon heap residents, and batch
+  // residents all count, and next_time() is exact before any cascade.
+  EventQueue q;
+  int ran = 0;
+  const auto noop = [&ran] { ++ran; };
+
+  EventHandle near = q.push(Time::from_micros(7), noop);        // level 0
+  EventHandle mid = q.push(Time::from_micros(70'000), noop);    // level 2
+  EventHandle far = q.push(Time::from_micros(1ll << 33), noop); // heap
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.next_time().count_micros(), 7);
+
+  // Cancelling the minimum re-exposes the exact coarse-slot time.
+  near.cancel();
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.next_time().count_micros(), 70'000);
+
+  // A heap-resident cancel is also exact and immediate.
+  far.cancel();
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time().count_micros(), 70'000);
+  EXPECT_TRUE(mid.pending());
+
+  EXPECT_EQ(q.run_tick(), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(mid.pending());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), Time::max());
+}
+
+TEST(WheelCancel, CancelDuringDrainSkipsBatchedEntry) {
+  // Cancelling a same-tick sibling from inside a running event must
+  // suppress it even though it was already gathered into the batch.
+  EventQueue q;
+  std::vector<int> fired;
+  const Time t = Time::from_micros(50);
+  EventHandle doomed;
+  q.push(t, [&doomed, &fired] {
+    fired.push_back(1);
+    doomed.cancel();
+  });
+  doomed = q.push(t, [&fired] { fired.push_back(2); });
+  q.push(t, [&fired] { fired.push_back(3); });
+  EXPECT_EQ(q.run_tick(), 2u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+}  // namespace
